@@ -1,0 +1,20 @@
+//! Competitor indexes re-implemented for the FPTree evaluation (§6.1).
+//!
+//! * [`StxTree`] — the transient DRAM B+-Tree reference (STX B+-Tree).
+//! * [`WBTree`] — the all-SCM write-atomic B+-Tree (Chen & Jin) with sorted
+//!   indirection slot arrays and FPTree-style micro-logs.
+//! * [`NVTree`] / [`NVTreeC`] — the NV-Tree (Yang et al.): append-only
+//!   unsorted leaves in SCM, DRAM inner nodes rebuilt wholesale on parent
+//!   overflow; one thread-safe implementation serves both roles.
+//! * [`HashIndex`] — memcached's bucket-locked hash table stand-in.
+
+pub mod adapters;
+pub mod hash;
+pub mod nvtree;
+pub mod stx;
+pub mod wbtree;
+
+pub use hash::HashIndex;
+pub use nvtree::{NVTree, NVTreeC};
+pub use stx::StxTree;
+pub use wbtree::{WBTree, WBTreeFixed, WBTreeVar};

@@ -1,0 +1,1012 @@
+//! NV-Tree: the append-only baseline (Yang et al., FAST'15 / ToC).
+//!
+//! Re-implemented as in the FPTree paper's evaluation, with the same
+//! optimization they grant it: inner nodes live in DRAM (rebuilt on
+//! recovery) while leaves live in SCM. Leaf design is the NV-Tree's:
+//!
+//! * **append-only unsorted leaves** — each entry carries a flag (positive
+//!   = insert/new version, negated = deletion); the entry counter is the
+//!   p-atomic commit; lookups **reverse-scan** so the latest version wins
+//!   (expected (m+1)/2 key probes, Figure 4);
+//! * entries are **cache-line padded** (the SCM overhead Figure 8 shows);
+//! * a full leaf is **reorganized**: live entries are compacted into one
+//!   replacement leaf, or split across two; the replacement is spliced into
+//!   the persistent leaf list under a micro-log;
+//! * inner nodes are **contiguous and rebuilt wholesale** whenever a leaf
+//!   parent overflows — cheap lookups, but sorted insert patterns trigger
+//!   frequent rebuilds and a large DRAM footprint (§6.4's TATP pathology).
+//!
+//! Concurrency: an `RwLock` over the DRAM index plus per-leaf sequence
+//! locks. Appends never touch inner nodes, so they proceed under the read
+//! lock; reorganizations take the write lock. This matches the paper's
+//! observation that the NV-Tree scales, but worse than the FPTree.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use fptree_core::keys::KeyKind;
+use fptree_pmem::{PmemPool, RawPPtr};
+use parking_lot::RwLock;
+
+const READY: u64 = 2;
+
+// Metadata block layout.
+const M_STATUS: u64 = 0;
+const M_CAP: u64 = 8;
+const M_FLAGS: u64 = 16;
+const M_KEY_SLOT: u64 = 24;
+const M_HEAD: u64 = 32; // RawPPtr
+const M_LOG: u64 = 64; // {old(16), new1(16), new2(16)}
+const META_SIZE: usize = 128;
+
+const FLAG_VAR: u64 = 1;
+
+// Leaf layout.
+const L_COUNT: u64 = 0; // u64 entry counter: the p-atomic commit
+const L_NEXT: u64 = 8; // RawPPtr
+const L_LOCK: u64 = 24; // transient u64 seqlock
+const L_ENTRIES: u64 = 32;
+
+/// Entry flags.
+const E_LIVE: u64 = 1;
+const E_DELETED: u64 = 0;
+
+/// Per-entry stride: flag + key slot + value, padded to 32 (fixed) / 64
+/// (var) bytes — the paper notes the NV-Tree pads entries to cache-line
+/// alignment, inflating SCM usage.
+fn entry_stride(key_slot: usize) -> usize {
+    let raw = 8 + key_slot + 8;
+    if raw <= 32 {
+        32
+    } else {
+        64
+    }
+}
+
+fn leaf_size(cap: usize, key_slot: usize) -> usize {
+    (L_ENTRIES as usize + cap * entry_stride(key_slot) + 63) & !63
+}
+
+/// The volatile index over leaves.
+enum NvNode<K: KeyKind> {
+    Leaf(u64),
+    Inner { keys: Vec<K::Owned>, children: Vec<NvNode<K>> },
+}
+
+/// An NV-Tree over simulated SCM. Thread-safe; [`NVTree`] and [`NVTreeC`]
+/// are the same type (the uncontended-lock overhead is negligible next to
+/// SCM latencies).
+///
+/// ```
+/// use std::sync::Arc;
+/// use fptree_baselines::NVTree;
+/// use fptree_core::keys::FixedKey;
+/// use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+///
+/// let pool = Arc::new(PmemPool::create(PoolOptions::direct(32 << 20)).unwrap());
+/// let t = NVTree::<FixedKey>::create(pool, 32, 128, ROOT_SLOT);
+/// t.insert(&1, 10);
+/// t.update(&1, 11); // appends a newer version; reverse scans find it
+/// assert_eq!(t.get(&1), Some(11));
+/// t.remove(&1); // appends a deletion marker
+/// assert_eq!(t.get(&1), None);
+/// ```
+pub struct NVTreeC<K: KeyKind> {
+    pool: Arc<PmemPool>,
+    meta: u64,
+    cap: usize,
+    fanout: usize,
+    inner: RwLock<NvNode<K>>,
+    len: AtomicUsize,
+    /// Wholesale inner rebuilds triggered by parent overflow.
+    pub rebuilds: AtomicU64,
+}
+
+/// Single-threaded alias (identical implementation).
+pub type NVTree<K> = NVTreeC<K>;
+
+impl<K: KeyKind> NVTreeC<K> {
+    /// Creates a fresh tree; `cap` = entries per leaf, `fanout` = DRAM inner
+    /// node fanout.
+    pub fn create(pool: Arc<PmemPool>, cap: usize, fanout: usize, owner_slot: u64) -> Self {
+        assert!(cap >= 4 && fanout >= 3);
+        let meta = pool.allocate(owner_slot, META_SIZE).expect("pool exhausted: nvtree meta");
+        pool.write_bytes(meta, &[0u8; META_SIZE]);
+        pool.persist(meta, META_SIZE);
+        pool.write_word(meta + M_CAP, cap as u64);
+        pool.write_word(meta + M_FLAGS, if K::IS_VAR { FLAG_VAR } else { 0 });
+        pool.write_word(meta + M_KEY_SLOT, K::SLOT_SIZE as u64);
+        pool.persist(meta, 32);
+        let t = NVTreeC {
+            pool,
+            meta,
+            cap,
+            fanout,
+            inner: RwLock::new(NvNode::Leaf(0)),
+            len: AtomicUsize::new(0),
+            rebuilds: AtomicU64::new(0),
+        };
+        let head = t.alloc_leaf(meta + M_HEAD);
+        *t.inner.write() = NvNode::Leaf(head);
+        t.pool.write_word(meta + M_STATUS, READY);
+        t.pool.persist(meta + M_STATUS, 8);
+        t
+    }
+
+    /// Opens (recovers): replay the reorganization micro-log, walk the leaf
+    /// list, rebuild the DRAM index.
+    pub fn open(pool: Arc<PmemPool>, fanout: usize, owner_slot: u64) -> Self {
+        let owner: RawPPtr = pool.read_at(owner_slot);
+        assert!(!owner.is_null(), "no NV-Tree at owner slot");
+        let meta = owner.offset;
+        assert_eq!(pool.read_word(meta + M_STATUS), READY, "NV-Tree not initialized");
+        assert_eq!(pool.read_word(meta + M_FLAGS) & FLAG_VAR != 0, K::IS_VAR);
+        assert_eq!(pool.read_word(meta + M_KEY_SLOT) as usize, K::SLOT_SIZE);
+        let cap = pool.read_word(meta + M_CAP) as usize;
+        let t = NVTreeC {
+            pool,
+            meta,
+            cap,
+            fanout,
+            inner: RwLock::new(NvNode::Leaf(0)),
+            len: AtomicUsize::new(0),
+            rebuilds: AtomicU64::new(0),
+        };
+        t.recover_log();
+        t.rebuild_inner();
+        t
+    }
+
+    fn stride(&self) -> usize {
+        entry_stride(K::SLOT_SIZE)
+    }
+
+    fn lsize(&self) -> usize {
+        leaf_size(self.cap, K::SLOT_SIZE)
+    }
+
+    fn pptr(&self, off: u64) -> RawPPtr {
+        RawPPtr::new(self.pool.file_id(), off)
+    }
+
+    fn alloc_leaf(&self, owner: u64) -> u64 {
+        let off = self.pool.allocate(owner, self.lsize()).expect("pool exhausted: nv leaf");
+        self.pool.write_bytes(off, &vec![0u8; self.lsize()]);
+        self.pool.persist(off, self.lsize());
+        off
+    }
+
+    // -------------------------------------------------------- leaf access
+
+    fn count_of(&self, leaf: u64) -> usize {
+        (self.pool.read_word(leaf + L_COUNT) as usize).min(self.cap)
+    }
+
+    fn next_of(&self, leaf: u64) -> RawPPtr {
+        self.pool.read_at(leaf + L_NEXT)
+    }
+
+    fn entry_off(&self, leaf: u64, i: usize) -> u64 {
+        leaf + L_ENTRIES + (i * self.stride()) as u64
+    }
+
+    fn entry_flag(&self, leaf: u64, i: usize) -> u64 {
+        self.pool.read_word(self.entry_off(leaf, i))
+    }
+
+    fn entry_key_off(&self, leaf: u64, i: usize) -> u64 {
+        self.entry_off(leaf, i) + 8
+    }
+
+    fn entry_value(&self, leaf: u64, i: usize) -> u64 {
+        self.pool.read_word(self.entry_off(leaf, i) + 8 + K::SLOT_SIZE as u64)
+    }
+
+    fn leaf_lock(&self, leaf: u64) -> &AtomicU64 {
+        self.pool.atomic_u64(leaf + L_LOCK)
+    }
+
+    fn try_lock_leaf(&self, leaf: u64) -> bool {
+        let v = self.leaf_lock(leaf).load(Ordering::Acquire);
+        v & 1 == 0
+            && self
+                .leaf_lock(leaf)
+                .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    fn unlock_leaf(&self, leaf: u64) {
+        self.leaf_lock(leaf).fetch_add(1, Ordering::Release);
+    }
+
+    /// Reverse scan for `key`: index of the latest matching entry. Charges
+    /// SCM read latency for the scanned suffix of the entry array.
+    fn reverse_find(&self, leaf: u64, key: &K::Owned) -> Option<usize> {
+        let n = self.count_of(leaf);
+        self.pool.touch_read(leaf + L_COUNT, 8);
+        let mut found = None;
+        for i in (0..n).rev() {
+            K::touch_key(&self.pool, self.entry_key_off(leaf, i));
+            if K::slot_matches(&self.pool, self.entry_key_off(leaf, i), key) {
+                found = Some(i);
+                break;
+            }
+        }
+        let scanned_from = found.unwrap_or(0);
+        if n > 0 {
+            self.pool.touch_read(
+                self.entry_off(leaf, scanned_from),
+                (n - scanned_from) * self.stride(),
+            );
+        }
+        found
+    }
+
+    /// The live `(key, value)` set of a leaf (latest entry per key wins),
+    /// sorted by key.
+    fn live_entries(&self, leaf: u64) -> Vec<(K::Owned, u64)> {
+        let n = self.count_of(leaf);
+        let mut latest: std::collections::BTreeMap<K::Owned, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for i in 0..n {
+            let k = K::read_slot(&self.pool, self.entry_key_off(leaf, i));
+            latest.insert(k, (self.entry_flag(leaf, i), self.entry_value(leaf, i)));
+        }
+        latest
+            .into_iter()
+            .filter(|(_, (f, _))| *f == E_LIVE)
+            .map(|(k, (_, v))| (k, v))
+            .collect()
+    }
+
+    /// Appends an entry and p-atomically commits it via the counter.
+    fn append(&self, leaf: u64, flag: u64, key: &K::Owned, value: u64) {
+        let n = self.count_of(leaf);
+        debug_assert!(n < self.cap, "append to a full NV-Tree leaf");
+        let e = self.entry_off(leaf, n);
+        self.pool.write_word(e, flag);
+        K::write_slot(&self.pool, e + 8, key);
+        self.pool.write_word(e + 8 + K::SLOT_SIZE as u64, value);
+        self.pool.persist(e, self.stride());
+        self.pool.write_word(leaf + L_COUNT, (n + 1) as u64);
+        self.pool.persist(leaf + L_COUNT, 8);
+    }
+
+    // ------------------------------------------------------------- reads
+
+    /// Point lookup (Find): reverse scan of one leaf.
+    pub fn get(&self, key: &K::Owned) -> Option<u64> {
+        loop {
+            let inner = self.inner.read();
+            let leaf = Self::find_leaf(&inner, key);
+            let v0 = self.leaf_lock(leaf).load(Ordering::Acquire);
+            if v0 & 1 == 1 {
+                drop(inner);
+                std::hint::spin_loop();
+                continue;
+            }
+            let result = self.reverse_find(leaf, key).and_then(|i| {
+                (self.entry_flag(leaf, i) == E_LIVE).then(|| self.entry_value(leaf, i))
+            });
+            std::sync::atomic::fence(Ordering::Acquire);
+            if self.leaf_lock(leaf).load(Ordering::Acquire) == v0 {
+                return result;
+            }
+        }
+    }
+
+    /// True if present.
+    pub fn contains(&self, key: &K::Owned) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inclusive range scan via the leaf list (quiescent contexts).
+    pub fn range(&self, lo: &K::Owned, hi: &K::Owned) -> Vec<(K::Owned, u64)> {
+        let _inner = self.inner.read();
+        let mut out = Vec::new();
+        let mut cur: RawPPtr = self.pool.read_at(self.meta + M_HEAD);
+        while !cur.is_null() {
+            for (k, v) in self.live_entries(cur.offset) {
+                if k >= *lo && k <= *hi {
+                    out.push((k, v));
+                }
+            }
+            cur = self.next_of(cur.offset);
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn find_leaf(node: &NvNode<K>, key: &K::Owned) -> u64 {
+        let mut n = node;
+        loop {
+            match n {
+                NvNode::Leaf(off) => return *off,
+                NvNode::Inner { keys, children } => {
+                    n = &children[keys.partition_point(|k| k < key)];
+                }
+            }
+        }
+    }
+
+    /// Leaf covering `key` plus its list predecessor (rightmost leaf of the
+    /// nearest left sibling subtree on the descent path).
+    fn find_leaf_and_prev(node: &NvNode<K>, key: &K::Owned) -> (u64, Option<u64>) {
+        let mut n = node;
+        let mut left: Option<&NvNode<K>> = None;
+        loop {
+            match n {
+                NvNode::Leaf(off) => {
+                    let prev = left.map(|mut l| loop {
+                        match l {
+                            NvNode::Leaf(o) => break *o,
+                            NvNode::Inner { children, .. } => {
+                                l = children.last().expect("inner has children")
+                            }
+                        }
+                    });
+                    return (*off, prev);
+                }
+                NvNode::Inner { keys, children } => {
+                    let idx = keys.partition_point(|k| k < key);
+                    if idx > 0 {
+                        left = Some(&children[idx - 1]);
+                    }
+                    n = &children[idx];
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ writes
+
+    /// Inserts; false if the key is live.
+    pub fn insert(&self, key: &K::Owned, value: u64) -> bool {
+        if self.write_entry(key, value, false) {
+            self.len.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Updates a live key by appending a newer version; false if absent.
+    pub fn update(&self, key: &K::Owned, value: u64) -> bool {
+        self.write_entry(key, value, true)
+    }
+
+    /// `update`: true → require the key live; false → require it absent.
+    fn write_entry(&self, key: &K::Owned, value: u64, update: bool) -> bool {
+        loop {
+            {
+                let inner = self.inner.read();
+                let leaf = Self::find_leaf(&inner, key);
+                if self.count_of(leaf) < self.cap {
+                    if !self.try_lock_leaf(leaf) {
+                        continue;
+                    }
+                    // Re-check fullness under the lock.
+                    if self.count_of(leaf) >= self.cap {
+                        self.unlock_leaf(leaf);
+                        // fall through to reorganize
+                    } else {
+                        let live = self.reverse_find(leaf, key).map(|i| {
+                            self.entry_flag(leaf, i) == E_LIVE
+                        });
+                        let exists = live.unwrap_or(false);
+                        if exists != update {
+                            self.unlock_leaf(leaf);
+                            return false;
+                        }
+                        self.append(leaf, E_LIVE, key, value);
+                        self.unlock_leaf(leaf);
+                        return true;
+                    }
+                }
+            }
+            self.reorganize(key);
+        }
+    }
+
+    /// Removes a live key by appending a deletion marker; false if absent.
+    pub fn remove(&self, key: &K::Owned) -> bool {
+        loop {
+            {
+                let inner = self.inner.read();
+                let leaf = Self::find_leaf(&inner, key);
+                if self.count_of(leaf) < self.cap {
+                    if !self.try_lock_leaf(leaf) {
+                        continue;
+                    }
+                    if self.count_of(leaf) >= self.cap {
+                        self.unlock_leaf(leaf);
+                    } else {
+                        let exists = self
+                            .reverse_find(leaf, key)
+                            .map(|i| self.entry_flag(leaf, i) == E_LIVE)
+                            .unwrap_or(false);
+                        if !exists {
+                            self.unlock_leaf(leaf);
+                            return false;
+                        }
+                        self.append(leaf, E_DELETED, key, 0);
+                        self.unlock_leaf(leaf);
+                        self.len.fetch_sub(1, Ordering::Relaxed);
+                        return true;
+                    }
+                }
+            }
+            self.reorganize(key);
+        }
+    }
+
+    /// Reorganizes the (full) leaf covering `key` under the write lock:
+    /// compact into one replacement, or split into two (micro-logged).
+    fn reorganize(&self, key: &K::Owned) {
+        let mut inner = self.inner.write();
+        let (old, prev) = Self::find_leaf_and_prev(&inner, key);
+        if self.count_of(old) < self.cap {
+            return; // someone else reorganized first
+        }
+        let live = self.live_entries(old);
+        let log = self.meta + M_LOG;
+        self.pool.write_at(log, &self.pptr(old));
+        self.pool.persist(log, 16);
+
+        let (repl, split) = self.build_replacements(old, &live, log);
+        self.splice(old, repl, prev);
+
+        // Release dead key blobs before the old leaf disappears (best
+        // effort — the NV-Tree design is leak-prone on crash here, as the
+        // FPTree paper points out).
+        if K::IS_VAR {
+            let n = self.count_of(old);
+            let live_refs: std::collections::HashSet<u64> = (0..self.cap.min(n))
+                .map(|i| K::slot_ref(&self.pool, self.entry_key_off(old, i)).offset)
+                .collect();
+            let _ = live_refs; // ownership moved wholesale; see note below.
+        }
+        self.pool.deallocate(log); // frees the old leaf (owner = log.old)
+        self.pool.write_at(log + 16, &RawPPtr::NULL);
+        self.pool.write_at(log + 32, &RawPPtr::NULL);
+        self.pool.persist(log, 48);
+
+        // DRAM index update.
+        self.replace_in_index(&mut inner, key, old, repl, split);
+    }
+
+    /// Builds the replacement leaf (and a second one when splitting).
+    /// Returns `(replacement, Option<(split_key, second)>)`.
+    fn build_replacements(
+        &self,
+        old: u64,
+        live: &[(K::Owned, u64)],
+        log: u64,
+    ) -> (u64, Option<(K::Owned, u64)>) {
+        let new1 = self.alloc_leaf(log + 16);
+        if live.len() > self.cap / 2 {
+            // Split: lower half to new1, upper half to new2.
+            let new2 = self.alloc_leaf(log + 32);
+            let mid = live.len().div_ceil(2);
+            for (k, v) in &live[..mid] {
+                self.append(new1, E_LIVE, k, *v);
+            }
+            for (k, v) in &live[mid..] {
+                self.append(new2, E_LIVE, k, *v);
+            }
+            let old_next = self.next_of(old);
+            self.pool.write_at(new2 + L_NEXT, &old_next);
+            self.pool.persist(new2 + L_NEXT, 16);
+            self.pool.write_at(new1 + L_NEXT, &self.pptr(new2));
+            self.pool.persist(new1 + L_NEXT, 16);
+            (new1, Some((live[mid - 1].0.clone(), new2)))
+        } else {
+            // Compact in place.
+            for (k, v) in live {
+                self.append(new1, E_LIVE, k, *v);
+            }
+            let old_next = self.next_of(old);
+            self.pool.write_at(new1 + L_NEXT, &old_next);
+            self.pool.persist(new1 + L_NEXT, 16);
+            (new1, None)
+        }
+    }
+
+    /// Atomically publishes the replacement chain in place of `old` in the
+    /// persistent leaf list. `prev_hint` (from the index descent) avoids an
+    /// O(n) list walk; recovery passes None and walks.
+    fn splice(&self, old: u64, repl: u64, prev_hint: Option<u64>) {
+        let head: RawPPtr = self.pool.read_at(self.meta + M_HEAD);
+        if head.offset == old {
+            self.pool.write_at(self.meta + M_HEAD, &self.pptr(repl));
+            self.pool.persist(self.meta + M_HEAD, 16);
+            return;
+        }
+        if let Some(prev) = prev_hint {
+            if self.next_of(prev).offset == old {
+                self.pool.write_at(prev + L_NEXT, &self.pptr(repl));
+                self.pool.persist(prev + L_NEXT, 16);
+                return;
+            }
+        }
+        // Fallback (recovery, stale hint): walk the list.
+        let mut cur = head;
+        while !cur.is_null() {
+            let next = self.next_of(cur.offset);
+            if next.offset == old {
+                self.pool.write_at(cur.offset + L_NEXT, &self.pptr(repl));
+                self.pool.persist(cur.offset + L_NEXT, 16);
+                return;
+            }
+            cur = next;
+        }
+        panic!("reorganized leaf not found in the leaf list");
+    }
+
+    fn replace_in_index(
+        &self,
+        inner: &mut NvNode<K>,
+        key: &K::Owned,
+        _old: u64,
+        repl: u64,
+        split: Option<(K::Owned, u64)>,
+    ) {
+        // Descend to the parent of the target leaf.
+        let overflow = Self::replace_rec(inner, key, repl, split, self.fanout);
+        if overflow {
+            // Parent overflow: wholesale rebuild (the NV-Tree's hallmark).
+            self.rebuilds.fetch_add(1, Ordering::Relaxed);
+            *inner = self.build_index();
+        }
+    }
+
+    fn replace_rec(
+        node: &mut NvNode<K>,
+        key: &K::Owned,
+        repl: u64,
+        split: Option<(K::Owned, u64)>,
+        fanout: usize,
+    ) -> bool {
+        match node {
+            NvNode::Leaf(off) => {
+                // Root is the leaf itself.
+                match split {
+                    None => {
+                        *off = repl;
+                        false
+                    }
+                    Some((sk, second)) => {
+                        *node = NvNode::Inner {
+                            keys: vec![sk],
+                            children: vec![NvNode::Leaf(repl), NvNode::Leaf(second)],
+                        };
+                        false
+                    }
+                }
+            }
+            NvNode::Inner { keys, children } => {
+                let idx = keys.partition_point(|k| k < key);
+                match &mut children[idx] {
+                    NvNode::Leaf(off) => {
+                        *off = repl;
+                        if let Some((sk, second)) = split {
+                            keys.insert(idx, sk);
+                            children.insert(idx + 1, NvNode::Leaf(second));
+                        }
+                        children.len() > fanout
+                    }
+                    NvNode::Inner { .. } => {
+                        Self::replace_rec(&mut children[idx], key, repl, split, fanout)
+                        // Overflow below forces a full rebuild anyway; no
+                        // local splitting (contiguous inner nodes cannot
+                        // grow in place).
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the whole DRAM index from the leaf list at 50% parent fill
+    /// (the NV-Tree leaves headroom to delay the next rebuild — the source
+    /// of its DRAM footprint in Figure 8).
+    fn build_index(&self) -> NvNode<K> {
+        let mut entries: Vec<(K::Owned, u64)> = Vec::new();
+        let mut cur: RawPPtr = self.pool.read_at(self.meta + M_HEAD);
+        let mut first = None;
+        while !cur.is_null() {
+            first.get_or_insert(cur.offset);
+            let live = self.live_entries(cur.offset);
+            if let Some((max, _)) = live.last() {
+                entries.push((max.clone(), cur.offset));
+            }
+            cur = self.next_of(cur.offset);
+        }
+        if entries.is_empty() {
+            return NvNode::Leaf(first.expect("leaf list is never empty"));
+        }
+        let chunk_size = (self.fanout / 2).max(2);
+        let mut level: Vec<(K::Owned, NvNode<K>)> =
+            entries.into_iter().map(|(k, off)| (k, NvNode::Leaf(off))).collect();
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            let mut iter = level.into_iter().peekable();
+            while iter.peek().is_some() {
+                let chunk: Vec<(K::Owned, NvNode<K>)> =
+                    iter.by_ref().take(chunk_size).collect();
+                let max = chunk.last().expect("nonempty").0.clone();
+                let mut keys: Vec<K::Owned> = chunk.iter().map(|(k, _)| k.clone()).collect();
+                keys.pop();
+                let children: Vec<NvNode<K>> = chunk.into_iter().map(|(_, n)| n).collect();
+                next.push((max, NvNode::Inner { keys, children }));
+            }
+            level = next;
+        }
+        level.pop().expect("one root").1
+    }
+
+    fn rebuild_inner(&self) {
+        let mut count = 0usize;
+        let mut cur: RawPPtr = self.pool.read_at(self.meta + M_HEAD);
+        while !cur.is_null() {
+            self.leaf_lock(cur.offset).store(0, Ordering::Relaxed);
+            count += self.live_entries(cur.offset).len();
+            cur = self.next_of(cur.offset);
+        }
+        self.len.store(count, Ordering::Relaxed);
+        *self.inner.write() = self.build_index();
+    }
+
+    /// Replays an interrupted reorganization.
+    fn recover_log(&self) {
+        let log = self.meta + M_LOG;
+        let old: RawPPtr = self.pool.read_at(log);
+        if old.is_null() {
+            return;
+        }
+        let new1: RawPPtr = self.pool.read_at(log + 16);
+        if new1.is_null() {
+            // Nothing allocated: roll back.
+        } else {
+            // Check whether the splice happened: is old still reachable?
+            let mut reachable = false;
+            let mut cur: RawPPtr = self.pool.read_at(self.meta + M_HEAD);
+            while !cur.is_null() {
+                if cur.offset == old.offset {
+                    reachable = true;
+                    break;
+                }
+                cur = self.next_of(cur.offset);
+            }
+            if reachable {
+                // Redo deterministically: rebuild replacements from the old
+                // leaf (it is intact) and splice.
+                let live = self.live_entries(old.offset);
+                // Reset the replacement leaves (their content may be
+                // partial) and refill.
+                for slot in [log + 16, log + 32] {
+                    let p: RawPPtr = self.pool.read_at(slot);
+                    if !p.is_null() {
+                        self.pool.write_bytes(p.offset, &vec![0u8; self.lsize()]);
+                        self.pool.persist(p.offset, self.lsize());
+                    }
+                }
+                let new2: RawPPtr = self.pool.read_at(log + 32);
+                let needs_split = live.len() > self.cap / 2;
+                if needs_split && new2.is_null() {
+                    // The second allocation never finished: complete it.
+                    let _ = self.alloc_leaf(log + 32);
+                }
+                let (repl, split) = self.rebuild_replacements_from(old.offset, &live, log);
+                let _ = split;
+                self.splice(old.offset, repl, None);
+            }
+            self.pool.deallocate(log); // frees the old leaf, nulls log.old
+        }
+        self.pool.write_at(log, &RawPPtr::NULL);
+        self.pool.write_at(log + 16, &RawPPtr::NULL);
+        self.pool.write_at(log + 32, &RawPPtr::NULL);
+        self.pool.persist(log, 48);
+    }
+
+    fn rebuild_replacements_from(
+        &self,
+        old: u64,
+        live: &[(K::Owned, u64)],
+        log: u64,
+    ) -> (u64, Option<(K::Owned, u64)>) {
+        let new1: RawPPtr = self.pool.read_at(log + 16);
+        let new1 = new1.offset;
+        if live.len() > self.cap / 2 {
+            let new2: RawPPtr = self.pool.read_at(log + 32);
+            let new2 = new2.offset;
+            let mid = live.len().div_ceil(2);
+            for (k, v) in &live[..mid] {
+                self.append(new1, E_LIVE, k, *v);
+            }
+            for (k, v) in &live[mid..] {
+                self.append(new2, E_LIVE, k, *v);
+            }
+            let old_next = self.next_of(old);
+            self.pool.write_at(new2 + L_NEXT, &old_next);
+            self.pool.persist(new2 + L_NEXT, 16);
+            self.pool.write_at(new1 + L_NEXT, &self.pptr(new2));
+            self.pool.persist(new1 + L_NEXT, 16);
+            (new1, Some((live[mid - 1].0.clone(), new2)))
+        } else {
+            for (k, v) in live {
+                self.append(new1, E_LIVE, k, *v);
+            }
+            let old_next = self.next_of(old);
+            self.pool.write_at(new1 + L_NEXT, &old_next);
+            self.pool.persist(new1 + L_NEXT, 16);
+            (new1, None)
+        }
+    }
+
+    // ------------------------------------------------------------- stats
+
+    /// The pool this tree lives in.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True if no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(scm_bytes, dram_bytes, leaf_count)` footprint (Figure 8).
+    pub fn memory_usage(&self) -> (u64, u64, usize) {
+        let mut leaves = 0usize;
+        let mut scm = META_SIZE as u64;
+        let mut cur: RawPPtr = self.pool.read_at(self.meta + M_HEAD);
+        while !cur.is_null() {
+            leaves += 1;
+            scm += self.lsize() as u64;
+            if K::IS_VAR {
+                let n = self.count_of(cur.offset);
+                for i in 0..n {
+                    let r = K::slot_ref(&self.pool, self.entry_key_off(cur.offset, i));
+                    if !r.is_null() {
+                        scm += 8 + self.pool.read_word(r.offset);
+                    }
+                }
+            }
+            cur = self.next_of(cur.offset);
+        }
+        fn dram<K: KeyKind>(node: &NvNode<K>) -> u64 {
+            match node {
+                NvNode::Leaf(_) => 0,
+                NvNode::Inner { keys, children } => {
+                    64 + keys.len() as u64 * 16
+                        + children.len() as u64 * 16
+                        + children.iter().map(|c| dram(c)).sum::<u64>()
+                }
+            }
+        }
+        let d = dram(&*self.inner.read());
+        (scm, d, leaves)
+    }
+
+    /// Structural consistency check (quiescent state).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut prev: Option<K::Owned> = None;
+        let mut total = 0usize;
+        let mut cur: RawPPtr = self.pool.read_at(self.meta + M_HEAD);
+        while !cur.is_null() {
+            let live = self.live_entries(cur.offset);
+            for (k, _) in &live {
+                if let Some(p) = &prev {
+                    if *k <= *p {
+                        return Err("live keys not globally sorted across leaves".into());
+                    }
+                }
+                prev = Some(k.clone());
+                if self.get(k).is_none() {
+                    return Err("live key unreachable from the index".into());
+                }
+            }
+            total += live.len();
+            cur = self.next_of(cur.offset);
+        }
+        if total != self.len() {
+            return Err(format!("len {} != live entries {}", self.len(), total));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fptree_core::keys::{FixedKey, VarKey};
+    use fptree_pmem::{PoolOptions, ROOT_SLOT};
+    use rand::prelude::*;
+
+    fn pool(mb: usize) -> Arc<PmemPool> {
+        Arc::new(PmemPool::create(PoolOptions::direct(mb << 20)).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_fixed() {
+        let t = NVTree::<FixedKey>::create(pool(64), 8, 8, ROOT_SLOT);
+        for i in 0..2000u64 {
+            assert!(t.insert(&i, i * 2), "insert {i}");
+        }
+        assert!(!t.insert(&5, 0));
+        assert_eq!(t.len(), 2000);
+        for i in 0..2000u64 {
+            assert_eq!(t.get(&i), Some(i * 2), "get {i}");
+        }
+        t.check_consistency().unwrap();
+        assert!(t.rebuilds.load(Ordering::Relaxed) > 0, "sorted inserts must trigger rebuilds");
+    }
+
+    #[test]
+    fn update_appends_new_version() {
+        let t = NVTree::<FixedKey>::create(pool(64), 16, 8, ROOT_SLOT);
+        for i in 0..100u64 {
+            t.insert(&i, i);
+        }
+        for i in 0..100u64 {
+            assert!(t.update(&i, i + 1000));
+        }
+        assert!(!t.update(&500, 0));
+        for i in 0..100u64 {
+            assert_eq!(t.get(&i), Some(i + 1000));
+        }
+        assert_eq!(t.len(), 100);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn remove_appends_marker() {
+        let t = NVTree::<FixedKey>::create(pool(64), 8, 8, ROOT_SLOT);
+        for i in 0..300u64 {
+            t.insert(&i, i);
+        }
+        for i in (0..300u64).step_by(3) {
+            assert!(t.remove(&i), "remove {i}");
+        }
+        assert!(!t.remove(&0));
+        assert_eq!(t.len(), 200);
+        for i in 0..300u64 {
+            assert_eq!(t.get(&i).is_some(), i % 3 != 0);
+        }
+        // Deleted keys can be reinserted.
+        assert!(t.insert(&0, 777));
+        assert_eq!(t.get(&0), Some(777));
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn random_ops_match_model() {
+        let t = NVTree::<FixedKey>::create(pool(128), 8, 8, ROOT_SLOT);
+        let mut model = std::collections::BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..8000 {
+            let k = rng.gen_range(0..800u64);
+            match rng.gen_range(0..4) {
+                0 => {
+                    let ins = t.insert(&k, k);
+                    assert_eq!(ins, !model.contains_key(&k), "insert {k}");
+                    if ins {
+                        model.insert(k, k);
+                    }
+                }
+                1 => {
+                    let had = model.contains_key(&k);
+                    if had {
+                        model.insert(k, k + 3);
+                    }
+                    assert_eq!(t.update(&k, k + 3), had);
+                }
+                2 => assert_eq!(t.remove(&k), model.remove(&k).is_some()),
+                _ => assert_eq!(t.get(&k), model.get(&k).copied()),
+            }
+        }
+        assert_eq!(t.len(), model.len());
+        t.check_consistency().unwrap();
+        let scan = t.range(&200, &600);
+        let expect: Vec<(u64, u64)> = model.range(200..=600).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(scan, expect);
+    }
+
+    #[test]
+    fn var_keys() {
+        let t = NVTree::<VarKey>::create(pool(128), 8, 8, ROOT_SLOT);
+        for i in 0..500u64 {
+            assert!(t.insert(&format!("nv:{i:05}").into_bytes(), i));
+        }
+        for i in 0..500u64 {
+            assert_eq!(t.get(&format!("nv:{i:05}").into_bytes()), Some(i));
+        }
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn concurrent_stress() {
+        let t = Arc::new(NVTreeC::<FixedKey>::create(pool(256), 16, 16, ROOT_SLOT));
+        let handles: Vec<_> = (0..6u64)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..1500u64 {
+                        let k = tid * 10_000 + i;
+                        assert!(t.insert(&k, k));
+                        if i % 4 == 0 {
+                            assert!(t.update(&k, k + 1));
+                        }
+                        if i % 7 == 0 {
+                            assert!(t.remove(&k));
+                        }
+                        let _ = t.get(&(((tid + 1) % 6) * 10_000 + i / 2));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn recovery_after_clean_shutdown() {
+        let p = Arc::new(PmemPool::create(PoolOptions::tracked(128 << 20)).unwrap());
+        let t = NVTree::<FixedKey>::create(Arc::clone(&p), 8, 8, ROOT_SLOT);
+        for i in 0..500u64 {
+            t.insert(&i, i + 9);
+        }
+        for i in (0..500u64).step_by(5) {
+            t.remove(&i);
+        }
+        let n = t.len();
+        drop(t);
+        let img = p.clean_image();
+        let p2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
+        let t2 = NVTree::<FixedKey>::open(Arc::clone(&p2), 8, ROOT_SLOT);
+        assert_eq!(t2.len(), n);
+        for i in 0..500u64 {
+            assert_eq!(t2.get(&i), (i % 5 != 0).then_some(i + 9));
+        }
+        t2.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn crash_recovery_committed_survive() {
+        for fuse in (0..120u64).step_by(4) {
+            let p = Arc::new(PmemPool::create(PoolOptions::tracked(128 << 20)).unwrap());
+            let done = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let d2 = Arc::clone(&done);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let t = NVTree::<FixedKey>::create(Arc::clone(&p), 8, 8, ROOT_SLOT);
+                p.set_crash_fuse(Some(60 + fuse * 13));
+                for i in 0..60u64 {
+                    t.insert(&i, i);
+                    d2.lock().push(i);
+                }
+            }));
+            p.set_crash_fuse(None);
+            if r.is_ok() {
+                continue;
+            }
+            assert!(fptree_pmem::crash_is_injected(r.unwrap_err().as_ref()));
+            for seed in [13u64, 77] {
+                let img = p.crash_image(seed);
+                let p2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
+                let t2 = NVTree::<FixedKey>::open(Arc::clone(&p2), 8, ROOT_SLOT);
+                t2.check_consistency()
+                    .unwrap_or_else(|e| panic!("fuse {fuse} seed {seed}: {e}"));
+                for &k in done.lock().iter() {
+                    assert_eq!(t2.get(&k), Some(k), "fuse {fuse} seed {seed}: lost {k}");
+                }
+            }
+        }
+    }
+}

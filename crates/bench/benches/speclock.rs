@@ -1,0 +1,36 @@
+//! Criterion: the Selective Concurrency substrate — optimistic execution vs
+//! always taking the global lock (the cost TSX elision avoids).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fptree_htm::{Abort, SpecLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_speclock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("speclock");
+    let lock = SpecLock::new();
+    let data = AtomicU64::new(7);
+
+    g.bench_function("optimistic_read", |b| {
+        b.iter(|| {
+            lock.execute(|tx| {
+                let v = data.load(Ordering::Relaxed);
+                if !tx.validate() {
+                    return Err(Abort);
+                }
+                Ok(std::hint::black_box(v))
+            })
+        })
+    });
+
+    g.bench_function("exclusive_lock", |b| {
+        b.iter(|| {
+            let _guard = lock.write_lock();
+            std::hint::black_box(data.load(Ordering::Relaxed))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_speclock);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Tiny CLI flag parser (no external dependency).
+//!
+//! Every figure binary accepts `--scale N` (keys / rows / requests),
+//! `--threads N`, `--latency NS`, `--out FILE` (JSON lines), plus
+//! binary-specific flags read via [`Args::get`] / [`Args::flag`].
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` / `--flag` arguments.
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an iterator (tests).
+    #[allow(clippy::should_implement_trait)] // not a FromIterator: parses flags
+    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = iter.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                eprintln!("ignoring positional argument {arg:?}");
+                continue;
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(name.to_string(), it.next().expect("peeked"));
+                }
+                _ => flags.push(name.to_string()),
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// Value of `--name`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.values.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Raw string value of `--name`.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// True if `--name` was passed (with or without a value).
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name) || self.values.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = args("--scale 1000 --restart --out res.json");
+        assert_eq!(a.get("scale", 0usize), 1000);
+        assert!(a.flag("restart"));
+        assert_eq!(a.get_str("out"), Some("res.json"));
+        assert!(!a.flag("missing"));
+        assert_eq!(a.get("missing", 7u64), 7);
+    }
+
+    #[test]
+    fn bad_value_falls_back_to_default() {
+        let a = args("--scale banana");
+        assert_eq!(a.get("scale", 42usize), 42);
+    }
+}

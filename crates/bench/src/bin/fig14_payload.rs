@@ -1,0 +1,177 @@
+//! Figure 14 / Appendix A: payload (value) size impact.
+//!
+//! (a–d) single-threaded Find/Insert/Update/Delete average latency at
+//! 360 ns SCM latency with payloads 8–112 bytes;
+//! (e–f) 44-thread FPTreeC / NV-TreeC throughput across the same payloads
+//! (`--concurrent`; thread count clamps to available cores).
+//!
+//! Expected shape: the NV-Tree suffers most (its full linear leaf scans
+//! read payload bytes); FPTree and wBTree vary only slightly (constant /
+//! logarithmic scan costs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use fptree_baselines::NVTreeC;
+use fptree_bench::{shuffled_keys, AnyTree, Args, Report, Row, TreeKind};
+use fptree_core::keys::FixedKey;
+use fptree_core::{ConcurrentFPTree, TreeConfig};
+use fptree_pmem::{LatencyProfile, PmemPool, PoolOptions, ROOT_SLOT};
+
+const PAYLOADS: [usize; 4] = [8, 48, 80, 112];
+
+fn main() {
+    let args = Args::parse();
+    let scale: usize = args.get("scale", 30_000);
+    let latency: u64 = args.get("latency", 360);
+    let out = args.get_str("out");
+
+    if args.flag("concurrent") {
+        concurrent(&args, scale, latency, out);
+        return;
+    }
+
+    let warm = shuffled_keys(scale, 21);
+    let extra = shuffled_keys(scale, 22);
+    for (op_idx, op) in ["Find", "Insert", "Update", "Delete"].iter().enumerate() {
+        let mut report = Report::new(
+            "fig14_payload",
+            &format!("Figure 14: {op} avg µs/op vs payload size @{latency}ns"),
+        );
+        for kind in [TreeKind::FPTree, TreeKind::PTree, TreeKind::NVTree, TreeKind::WBTree] {
+            let mut row = Row::new(kind.name());
+            for &payload in &PAYLOADS {
+                let pool_mb =
+                    (scale * (4000 + payload * 40) / (1 << 20) + 128).next_power_of_two();
+                // NV-Tree / wBTree take fixed layouts; payload modeling via
+                // value_size applies to the FPTree family. For the others
+                // the value is always 8 bytes plus their own padding, so we
+                // model payload by touching extra bytes — handled inside
+                // each structure's entry stride for NV-Tree (64 B padded).
+                let timings = run(kind, pool_mb, latency, payload, &warm, &extra);
+                row = row.field(&format!("{payload}B"), timings[op_idx]);
+            }
+            report.push(row);
+        }
+        report.emit(out);
+    }
+}
+
+fn run(
+    kind: TreeKind,
+    pool_mb: usize,
+    latency: u64,
+    payload: usize,
+    warm: &[u64],
+    extra: &[u64],
+) -> [f64; 4] {
+    let mut t = AnyTree::build(kind, pool_mb, latency, payload);
+    for &k in warm {
+        t.insert(k, k);
+    }
+    let n = warm.len() as f64;
+    let f = time(|| {
+        for &k in warm {
+            std::hint::black_box(t.get(k));
+        }
+    });
+    let i = time(|| {
+        for &k in extra {
+            t.insert(k, k);
+        }
+    });
+    let u = time(|| {
+        for &k in warm {
+            t.update(k, k + 1);
+        }
+    });
+    let d = time(|| {
+        for &k in extra {
+            t.remove(k);
+        }
+    });
+    [f / n, i / n, u / n, d / n]
+}
+
+fn concurrent(args: &Args, scale: usize, latency: u64, out: Option<&str>) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads: usize = args.get("threads", (cores * 2).min(44));
+    let warm = shuffled_keys(scale, 23);
+    let extra = shuffled_keys(scale, 24);
+    let mut report = Report::new(
+        "fig14_concurrent",
+        &format!("Figure 14 e–f: {threads}-thread mixed throughput (MOps/s) vs payload"),
+    );
+    for &payload in &PAYLOADS {
+        let pool_mb = (scale * (5000 + payload * 40) / (1 << 20) + 256).next_power_of_two();
+        let mk_pool = || {
+            Arc::new(
+                PmemPool::create(
+                    PoolOptions::direct(pool_mb << 20)
+                        .with_latency(LatencyProfile::from_total(latency)),
+                )
+                .expect("pool"),
+            )
+        };
+        // FPTreeC with the payload baked into the leaf layout.
+        let fpc = ConcurrentFPTree::create(
+            mk_pool(),
+            TreeConfig::fptree_concurrent().with_value_size(payload),
+            ROOT_SLOT,
+        );
+        for &k in &warm {
+            fpc.insert(&k, k);
+        }
+        let fpc_mops = drive(threads, scale, |i| {
+            if i % 2 == 0 {
+                fpc.insert(&extra[i], 1);
+            } else {
+                std::hint::black_box(fpc.get(&warm[i]));
+            }
+        });
+        // NV-TreeC (its entries are cache-line padded regardless; payload
+        // is modeled by its 64-byte stride).
+        let nvc = NVTreeC::<FixedKey>::create(mk_pool(), 32, 128, ROOT_SLOT);
+        for &k in &warm {
+            nvc.insert(&k, k);
+        }
+        let nv_mops = drive(threads, scale, |i| {
+            if i % 2 == 0 {
+                nvc.insert(&extra[i], 1);
+            } else {
+                std::hint::black_box(nvc.get(&warm[i]));
+            }
+        });
+        eprintln!("payload {payload}B: FPTreeC {fpc_mops:.2}, NV-TreeC {nv_mops:.2} MOps/s");
+        report.push(
+            Row::new(format!("{payload}B"))
+                .field("FPTreeC_mops", fpc_mops)
+                .field("NV-TreeC_mops", nv_mops),
+        );
+    }
+    report.emit(out);
+}
+
+fn drive(n_threads: usize, total: usize, f: impl Fn(usize) + Sync) -> f64 {
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+    total as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn time(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e6
+}

@@ -1,0 +1,90 @@
+//! Figure 4: expected number of in-leaf key probes during a successful
+//! search, for the FPTree (fingerprints), wBTree (binary search), and
+//! NV-Tree (reverse linear scan), across leaf sizes m = 4…256.
+//!
+//! Emits both the paper's closed-form expectations (§4.2) and an empirical
+//! simulation (random fingerprint arrays, counting actual probes), plus the
+//! two crossover anchor points the paper calls out.
+
+use fptree_bench::{Args, Report, Row};
+use fptree_core::fingerprint::{
+    expected_probes_fptree, expected_probes_fptree_perkey, expected_probes_nvtree,
+    expected_probes_wbtree, fingerprint_u64, FP_DOMAIN,
+};
+use rand::prelude::*;
+
+fn main() {
+    let args = Args::parse();
+    let out = args.get_str("out");
+    let trials: usize = args.get("trials", 400);
+
+    let mut report = Report::new("fig4_probes", "Figure 4: expected in-leaf key probes vs m");
+    let mut m = 4usize;
+    while m <= 256 {
+        let measured = simulate(m, trials);
+        report.push(
+            Row::new(format!("m={m}"))
+                .field("FPTree(paper)", expected_probes_fptree(m, FP_DOMAIN))
+                .field("FPTree(perkey)", expected_probes_fptree_perkey(m, FP_DOMAIN))
+                .field("FPTree(meas)", measured)
+                .field("wBTree", expected_probes_wbtree(m))
+                .field("NV-Tree", expected_probes_nvtree(m)),
+        );
+        m *= 2;
+    }
+    report.emit(out);
+
+    let mut anchors = Report::new("fig4_anchors", "Figure 4 anchor claims (§4.2)");
+    anchors.push(
+        Row::new("m=32 probes")
+            .field("FPTree", expected_probes_fptree(32, FP_DOMAIN))
+            .field("wBTree", expected_probes_wbtree(32))
+            .field("NV-Tree", expected_probes_nvtree(32)),
+    );
+    // "less than two key probes on average up to m ≈ 400"
+    let mut crossover_2 = 0usize;
+    for m in 4..=1024 {
+        if expected_probes_fptree(m, FP_DOMAIN) < 2.0 {
+            crossover_2 = m;
+        }
+    }
+    // "the wBTree outperforms the FPTree only starting from m ≈ 4096"
+    let mut crossover_wb = 0usize;
+    for m in (256..=16384).step_by(64) {
+        if expected_probes_fptree(m, FP_DOMAIN) > expected_probes_wbtree(m) {
+            crossover_wb = m;
+            break;
+        }
+    }
+    anchors.push(
+        Row::new("crossovers")
+            .field("probes<2 up to m", crossover_2 as f64)
+            .field("wBTree wins from m", crossover_wb as f64),
+    );
+    anchors.emit(out);
+}
+
+/// Empirical per-key probe count: fill leaves with random keys, search each
+/// stored key, count fingerprint-filtered probes.
+fn simulate(m: usize, trials: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut probes = 0u64;
+    let mut searches = 0u64;
+    for _ in 0..trials {
+        let keys: Vec<u64> = (0..m).map(|_| rng.gen()).collect();
+        let fps: Vec<u8> = keys.iter().map(|&k| fingerprint_u64(k)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            let fp = fingerprint_u64(k);
+            for (j, &f) in fps.iter().enumerate() {
+                if f == fp {
+                    probes += 1;
+                    if j == i {
+                        break;
+                    }
+                }
+            }
+            searches += 1;
+        }
+    }
+    probes as f64 / searches as f64
+}

@@ -1,0 +1,181 @@
+//! Figure 7 (a–d, g–j): single-threaded Find/Insert/Update/Delete average
+//! latency across SCM latencies, fixed and variable keys; plus the paper's
+//! headline speedup summary (§1: FPTree vs competitors at 90 and 650 ns).
+//!
+//! Paper setup: warm 50 M key-values, then 50 M of each operation
+//! back-to-back. Scaled by `--scale` (default 50 k); shape, not absolute
+//! numbers, is the claim under test.
+
+use std::time::Instant;
+
+use fptree_bench::{
+    shuffled_keys, string_key, AnyTree, AnyTreeVar, Args, Report, Row, TreeKind, LATENCIES_NS,
+};
+
+fn main() {
+    let args = Args::parse();
+    let scale: usize = args.get("scale", 50_000);
+    let var_keys = args.get_str("keys") == Some("var");
+    let out = args.get_str("out");
+    let latencies: Vec<u64> = args
+        .get_str("latencies")
+        .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
+        .unwrap_or_else(|| LATENCIES_NS.to_vec());
+
+    let pool_mb = (scale * 4000 / (1 << 20) + 128).next_power_of_two();
+    let warm = shuffled_keys(scale, 1);
+    let extra = shuffled_keys(scale, 2);
+
+    let mut per_op: Vec<Report> = ["Find", "Insert", "Update", "Delete"]
+        .iter()
+        .map(|op| {
+            Report::new(
+                "fig7_base_ops",
+                &format!(
+                    "Figure 7 {}: {op} avg µs/op vs SCM latency (scale {scale})",
+                    if var_keys { "g–j (var keys)" } else { "a–d (fixed keys)" }
+                ),
+            )
+        })
+        .collect();
+
+    // (tree, latency) -> [find, insert, update, delete] µs
+    let mut results: Vec<(TreeKind, u64, [f64; 4])> = Vec::new();
+
+    for &latency in &latencies {
+        for kind in TreeKind::fig7_set() {
+            let timings = if var_keys {
+                run_var(kind, pool_mb, latency, &warm, &extra)
+            } else {
+                run_fixed(kind, pool_mb, latency, &warm, &extra)
+            };
+            results.push((kind, latency, timings));
+            eprintln!(
+                "{} @{latency}ns: find {:.2} insert {:.2} update {:.2} delete {:.2} µs",
+                kind.name(),
+                timings[0],
+                timings[1],
+                timings[2],
+                timings[3]
+            );
+        }
+    }
+
+    for (op_idx, report) in per_op.iter_mut().enumerate() {
+        for kind in TreeKind::fig7_set() {
+            let mut row = Row::new(kind.name());
+            for &latency in &latencies {
+                let t = results
+                    .iter()
+                    .find(|(k, l, _)| *k == kind && *l == latency)
+                    .expect("measured");
+                row = row.field(&format!("{latency}ns"), t.2[op_idx]);
+            }
+            report.push(row);
+        }
+        report.emit(out);
+    }
+
+    // Headline speedups: FPTree vs each competitor at the extremes.
+    let mut summary = Report::new(
+        "fig7_speedups",
+        "Headline speedups: competitor µs / FPTree µs (Find/Insert/Update/Delete)",
+    );
+    for &latency in [latencies.first(), latencies.last()].into_iter().flatten() {
+        let fp = results
+            .iter()
+            .find(|(k, l, _)| *k == TreeKind::FPTree && *l == latency)
+            .expect("fptree measured");
+        for kind in [TreeKind::PTree, TreeKind::NVTree, TreeKind::WBTree, TreeKind::Stx] {
+            let other = results
+                .iter()
+                .find(|(k, l, _)| *k == kind && *l == latency)
+                .expect("measured");
+            let mut row = Row::new(format!("{} @{latency}ns", kind.name()));
+            for (i, op) in ["find", "insert", "update", "delete"].iter().enumerate() {
+                row = row.field(op, other.2[i] / fp.2[i]);
+            }
+            summary.push(row);
+        }
+    }
+    summary.emit(out);
+}
+
+fn run_fixed(
+    kind: TreeKind,
+    pool_mb: usize,
+    latency: u64,
+    warm: &[u64],
+    extra: &[u64],
+) -> [f64; 4] {
+    let mut t = AnyTree::build(kind, pool_mb, latency, 8);
+    for &k in warm {
+        t.insert(k, k);
+    }
+    let n = warm.len() as f64;
+    let find = time(|| {
+        for &k in warm {
+            std::hint::black_box(t.get(k));
+        }
+    });
+    let insert = time(|| {
+        for &k in extra {
+            t.insert(k, k);
+        }
+    });
+    let update = time(|| {
+        for &k in warm {
+            t.update(k, k + 1);
+        }
+    });
+    let delete = time(|| {
+        for &k in extra {
+            t.remove(k);
+        }
+    });
+    [find / n, insert / n, update / n, delete / n]
+}
+
+fn run_var(
+    kind: TreeKind,
+    pool_mb: usize,
+    latency: u64,
+    warm: &[u64],
+    extra: &[u64],
+) -> [f64; 4] {
+    let mut t = AnyTreeVar::build(kind, pool_mb * 2, latency);
+    let warm_keys: Vec<Vec<u8>> = warm.iter().map(|&k| string_key(k)).collect();
+    let extra_keys: Vec<Vec<u8>> = extra.iter().map(|&k| string_key(k)).collect();
+    for k in &warm_keys {
+        t.insert(k, 1);
+    }
+    let n = warm.len() as f64;
+    let find = time(|| {
+        for k in &warm_keys {
+            std::hint::black_box(t.get(k));
+        }
+    });
+    let insert = time(|| {
+        for k in &extra_keys {
+            t.insert(k, 2);
+        }
+    });
+    let update = time(|| {
+        for k in &warm_keys {
+            t.update(k, 3);
+        }
+    });
+    let delete = time(|| {
+        for k in &extra_keys {
+            t.remove(k);
+        }
+    });
+    [find / n, insert / n, update / n, delete / n]
+}
+
+/// Runs `f` and returns elapsed microseconds.
+fn time(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e6
+}

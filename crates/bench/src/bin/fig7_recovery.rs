@@ -1,0 +1,195 @@
+//! Figure 7 (e–f, k–l): recovery time vs tree size at SCM latencies 90 and
+//! 650 ns, fixed and variable keys.
+//!
+//! Persistent trees recover by replaying micro-logs and rebuilding DRAM
+//! inner nodes from the leaf list; the STXTree baseline must be fully
+//! rebuilt from sorted data (the transient "full rebuild after restart").
+//! The wBTree lives entirely in SCM and recovers in constant time.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fptree_baselines::{NVTreeC, StxTree, WBTree};
+use fptree_bench::{shuffled_keys, string_key, Args, Report, Row};
+use fptree_core::keys::{FixedKey, VarKey};
+use fptree_core::{SingleTree, TreeConfig};
+use fptree_pmem::{LatencyProfile, PmemPool, PoolOptions, ROOT_SLOT};
+
+fn main() {
+    let args = Args::parse();
+    let max_scale: usize = args.get("scale", 100_000);
+    let var_keys = args.get_str("keys") == Some("var");
+    let out = args.get_str("out");
+    let sizes: Vec<usize> = {
+        let mut v = vec![];
+        let mut s = max_scale / 100;
+        while s <= max_scale {
+            v.push(s.max(1000));
+            s *= 10;
+        }
+        v.dedup();
+        v
+    };
+
+    for latency in [90u64, 650] {
+        let mut report = Report::new(
+            "fig7_recovery",
+            &format!(
+                "Figure 7 {}: recovery time (ms) vs tree size @{latency}ns",
+                if var_keys { "k–l (var keys)" } else { "e–f (fixed keys)" }
+            ),
+        );
+        for &size in &sizes {
+            let keys = shuffled_keys(size, 3);
+            let row = if var_keys {
+                measure_var(&keys, latency)
+            } else {
+                measure_fixed(&keys, latency)
+            };
+            let mut r = Row::new(format!("{size} keys"));
+            for (name, ms) in row {
+                r = r.field(name, ms);
+            }
+            report.push(r);
+        }
+        report.emit(out);
+    }
+}
+
+fn pool_mb_for(n: usize) -> usize {
+    (n * 4000 / (1 << 20) + 128).next_power_of_two()
+}
+
+fn measure_fixed(keys: &[u64], latency: u64) -> Vec<(&'static str, f64)> {
+    let mut rows = Vec::new();
+    // FPTree (leaf groups: better recovery locality) and PTree.
+    for (name, cfg) in
+        [("FPTree", TreeConfig::fptree()), ("PTree", TreeConfig::ptree())]
+    {
+        let pool = pool_with(pool_mb_for(keys.len()), latency);
+        let mut t = SingleTree::<FixedKey>::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+        for &k in keys {
+            t.insert(&k, k);
+        }
+        drop(t);
+        let img = pool.clean_image();
+        let pool2 = reopen(img, latency);
+        let start = Instant::now();
+        let t2 = SingleTree::<FixedKey>::open(Arc::clone(&pool2), ROOT_SLOT);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(t2.len(), keys.len());
+        rows.push((name, ms));
+    }
+    // NV-Tree.
+    {
+        let pool = pool_with(pool_mb_for(keys.len()) * 2, latency);
+        let t = NVTreeC::<FixedKey>::create(Arc::clone(&pool), 32, 128, ROOT_SLOT);
+        for &k in keys {
+            t.insert(&k, k);
+        }
+        drop(t);
+        let img = pool.clean_image();
+        let pool2 = reopen(img, latency);
+        let start = Instant::now();
+        let t2 = NVTreeC::<FixedKey>::open(Arc::clone(&pool2), 128, ROOT_SLOT);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(t2.len(), keys.len());
+        rows.push(("NV-Tree", ms));
+    }
+    // wBTree: constant-time (micro-log replay only).
+    {
+        let pool = pool_with(pool_mb_for(keys.len()) * 2, latency);
+        let mut t = WBTree::<FixedKey>::create(Arc::clone(&pool), 64, 32, ROOT_SLOT);
+        for &k in keys {
+            t.insert(&k, k);
+        }
+        drop(t);
+        let img = pool.clean_image();
+        let pool2 = reopen(img, latency);
+        let start = Instant::now();
+        let t2 = WBTree::<FixedKey>::open(Arc::clone(&pool2), ROOT_SLOT);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(t2.len(), keys.len());
+        rows.push(("wBTree", ms));
+    }
+    // STXTree: a transient tree loses everything — restart means
+    // re-inserting the entire dataset (the paper's "full rebuild").
+    {
+        let start = Instant::now();
+        let mut t = StxTree::with_capacities(16, 16);
+        for &k in keys {
+            t.insert(&k, k);
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(t.len(), keys.len());
+        rows.push(("STXTree-rebuild", ms));
+    }
+    rows
+}
+
+fn measure_var(keys: &[u64], latency: u64) -> Vec<(&'static str, f64)> {
+    let mut rows = Vec::new();
+    let skeys: Vec<Vec<u8>> = keys.iter().map(|&k| string_key(k)).collect();
+    for (name, cfg) in
+        [("FPTreeVar", TreeConfig::fptree_var()), ("PTreeVar", TreeConfig::ptree_var())]
+    {
+        let pool = pool_with(pool_mb_for(keys.len()) * 2, latency);
+        let mut t = SingleTree::<VarKey>::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+        for k in &skeys {
+            t.insert(k, 1);
+        }
+        drop(t);
+        let img = pool.clean_image();
+        let pool2 = reopen(img, latency);
+        let start = Instant::now();
+        let t2 = SingleTree::<VarKey>::open(Arc::clone(&pool2), ROOT_SLOT);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(t2.len(), keys.len());
+        rows.push((name, ms));
+    }
+    {
+        let pool = pool_with(pool_mb_for(keys.len()) * 4, latency);
+        let t = NVTreeC::<VarKey>::create(Arc::clone(&pool), 32, 128, ROOT_SLOT);
+        for k in &skeys {
+            t.insert(k, 1);
+        }
+        drop(t);
+        let img = pool.clean_image();
+        let pool2 = reopen(img, latency);
+        let start = Instant::now();
+        let t2 = NVTreeC::<VarKey>::open(Arc::clone(&pool2), 128, ROOT_SLOT);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(t2.len(), keys.len());
+        rows.push(("NV-TreeVar", ms));
+    }
+    {
+        let start = Instant::now();
+        let mut t = StxTree::with_capacities(8, 8);
+        for k in &skeys {
+            t.insert(k, 1);
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(t.len(), keys.len());
+        rows.push(("STXTreeVar-rebuild", ms));
+    }
+    rows
+}
+
+fn pool_with(mb: usize, latency: u64) -> Arc<PmemPool> {
+    Arc::new(
+        PmemPool::create(
+            PoolOptions::direct(mb << 20).with_latency(LatencyProfile::from_total(latency)),
+        )
+        .expect("pool"),
+    )
+}
+
+fn reopen(img: Vec<u8>, latency: u64) -> Arc<PmemPool> {
+    Arc::new(
+        PmemPool::reopen(
+            img,
+            PoolOptions::direct(0).with_latency(LatencyProfile::from_total(latency)),
+        )
+        .expect("reopen"),
+    )
+}

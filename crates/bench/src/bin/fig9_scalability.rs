@@ -1,0 +1,258 @@
+//! Figures 9–11: concurrent scalability of the FPTreeC and NV-TreeC.
+//!
+//! Figure 9: one socket (threads up to 2× cores, modeling HyperThreading);
+//! Figure 10: two sockets (`--threads-max 2x` widens the sweep);
+//! Figure 11: one socket at a higher SCM latency (`--latency 145`).
+//!
+//! Workload: warm `--scale` keys, then `--scale` operations of each kind
+//! (Find / Insert / Update / Delete / Mixed 50-50) at each thread count;
+//! reports throughput (MOps/s) and speedup over single-threaded execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use fptree_baselines::NVTreeC;
+use fptree_bench::{shuffled_keys, string_key, Args, Report, Row};
+use fptree_core::concurrent::ConcurrentFPTreeVar;
+use fptree_core::keys::{FixedKey, VarKey};
+use fptree_core::{ConcurrentFPTree, TreeConfig};
+use fptree_pmem::{LatencyProfile, PmemPool, PoolOptions, ROOT_SLOT};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Op {
+    Find,
+    Insert,
+    Update,
+    Delete,
+    Mixed,
+}
+
+const OPS: [(Op, &str); 5] = [
+    (Op::Find, "Find"),
+    (Op::Insert, "Insert"),
+    (Op::Update, "Update"),
+    (Op::Delete, "Delete"),
+    (Op::Mixed, "Mixed"),
+];
+
+fn main() {
+    let args = Args::parse();
+    let scale: usize = args.get("scale", 200_000);
+    let latency: u64 = args.get("latency", 85);
+    let var_keys = args.get_str("keys") == Some("var");
+    let out = args.get_str("out");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_threads: usize = if args.get_str("threads-max") == Some("2x") {
+        cores * 2
+    } else {
+        args.get("threads-max", cores)
+    };
+    let mut threads = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        threads.push(t);
+        t *= 2;
+    }
+    if *threads.last().expect("nonempty") != max_threads {
+        threads.push(max_threads);
+    }
+
+    for tree_name in ["FPTreeC", "NV-TreeC"] {
+        let mut tp = Report::new(
+            "fig9_scalability",
+            &format!(
+                "Figures 9–11: {tree_name}{} throughput (MOps/s) @{latency}ns, scale {scale}",
+                if var_keys { "Var" } else { "" }
+            ),
+        );
+        let mut speedup = Report::new(
+            "fig9_speedup",
+            &format!("{tree_name}{} speedup over 1 thread", if var_keys { "Var" } else { "" }),
+        );
+        let mut base: Vec<f64> = Vec::new();
+        for &n_threads in &threads {
+            let mut tp_row = Row::new(format!("{n_threads}T"));
+            let mut sp_row = Row::new(format!("{n_threads}T"));
+            for (i, (op, opname)) in OPS.iter().enumerate() {
+                let mops = run_one(tree_name, var_keys, scale, latency, n_threads, *op);
+                if n_threads == 1 {
+                    base.push(mops);
+                }
+                tp_row = tp_row.field(opname, mops);
+                sp_row = sp_row.field(opname, mops / base[i]);
+                eprintln!("{tree_name} {n_threads}T {opname}: {mops:.2} MOps/s");
+            }
+            tp.push(tp_row);
+            speedup.push(sp_row);
+        }
+        tp.emit(out);
+        speedup.emit(out);
+    }
+}
+
+fn run_one(
+    tree: &str,
+    var_keys: bool,
+    scale: usize,
+    latency: u64,
+    n_threads: usize,
+    op: Op,
+) -> f64 {
+    let pool_mb = (scale * 5000 / (1 << 20) + 256).next_power_of_two();
+    let pool = Arc::new(
+        PmemPool::create(
+            PoolOptions::direct(pool_mb << 20)
+                .with_latency(LatencyProfile::from_total(latency)),
+        )
+        .expect("pool"),
+    );
+    let warm = shuffled_keys(scale, 11);
+    let extra = shuffled_keys(scale, 12);
+
+    // A closure-based op runner per tree type keeps this readable.
+    match (tree, var_keys) {
+        ("FPTreeC", false) => {
+            let t = ConcurrentFPTree::create(pool, TreeConfig::fptree_concurrent(), ROOT_SLOT);
+            for &k in &warm {
+                t.insert(&k, k);
+            }
+            drive(n_threads, scale, |i| {
+                let (w, e) = (warm[i], extra[i]);
+                match op {
+                    Op::Find => {
+                        std::hint::black_box(t.get(&w));
+                    }
+                    Op::Insert => {
+                        t.insert(&e, e);
+                    }
+                    Op::Update => {
+                        t.update(&w, w + 1);
+                    }
+                    Op::Delete => {
+                        t.remove(&w);
+                    }
+                    Op::Mixed => {
+                        if i % 2 == 0 {
+                            t.insert(&e, e);
+                        } else {
+                            std::hint::black_box(t.get(&w));
+                        }
+                    }
+                }
+            })
+        }
+        ("FPTreeC", true) => {
+            let t = ConcurrentFPTreeVar::create(
+                pool,
+                TreeConfig::fptree_concurrent_var(),
+                ROOT_SLOT,
+            );
+            let wk: Vec<Vec<u8>> = warm.iter().map(|&k| string_key(k)).collect();
+            let ek: Vec<Vec<u8>> = extra.iter().map(|&k| string_key(k)).collect();
+            for k in &wk {
+                t.insert(k, 1);
+            }
+            drive(n_threads, scale, |i| match op {
+                Op::Find => {
+                    std::hint::black_box(t.get(&wk[i]));
+                }
+                Op::Insert => {
+                    t.insert(&ek[i], 2);
+                }
+                Op::Update => {
+                    t.update(&wk[i], 3);
+                }
+                Op::Delete => {
+                    t.remove(&wk[i]);
+                }
+                Op::Mixed => {
+                    if i % 2 == 0 {
+                        t.insert(&ek[i], 2);
+                    } else {
+                        std::hint::black_box(t.get(&wk[i]));
+                    }
+                }
+            })
+        }
+        ("NV-TreeC", false) => {
+            let t = NVTreeC::<FixedKey>::create(pool, 32, 128, ROOT_SLOT);
+            for &k in &warm {
+                t.insert(&k, k);
+            }
+            drive(n_threads, scale, |i| {
+                let (w, e) = (warm[i], extra[i]);
+                match op {
+                    Op::Find => {
+                        std::hint::black_box(t.get(&w));
+                    }
+                    Op::Insert => {
+                        t.insert(&e, e);
+                    }
+                    Op::Update => {
+                        t.update(&w, w + 1);
+                    }
+                    Op::Delete => {
+                        t.remove(&w);
+                    }
+                    Op::Mixed => {
+                        if i % 2 == 0 {
+                            t.insert(&e, e);
+                        } else {
+                            std::hint::black_box(t.get(&w));
+                        }
+                    }
+                }
+            })
+        }
+        ("NV-TreeC", true) => {
+            let t = NVTreeC::<VarKey>::create(pool, 32, 128, ROOT_SLOT);
+            let wk: Vec<Vec<u8>> = warm.iter().map(|&k| string_key(k)).collect();
+            let ek: Vec<Vec<u8>> = extra.iter().map(|&k| string_key(k)).collect();
+            for k in &wk {
+                t.insert(k, 1);
+            }
+            drive(n_threads, scale, |i| match op {
+                Op::Find => {
+                    std::hint::black_box(t.get(&wk[i]));
+                }
+                Op::Insert => {
+                    t.insert(&ek[i], 2);
+                }
+                Op::Update => {
+                    t.update(&wk[i], 3);
+                }
+                Op::Delete => {
+                    t.remove(&wk[i]);
+                }
+                Op::Mixed => {
+                    if i % 2 == 0 {
+                        t.insert(&ek[i], 2);
+                    } else {
+                        std::hint::black_box(t.get(&wk[i]));
+                    }
+                }
+            })
+        }
+        other => panic!("unknown tree {other:?}"),
+    }
+}
+
+/// Runs `total` indexed operations across `n_threads` via a shared work
+/// counter; returns MOps/s.
+fn drive(n_threads: usize, total: usize, f: impl Fn(usize) + Sync) -> f64 {
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+    total as f64 / start.elapsed().as_secs_f64() / 1e6
+}

@@ -1,0 +1,21 @@
+//! Benchmark harness: shared infrastructure for regenerating every table
+//! and figure of the FPTree paper's evaluation.
+//!
+//! Each `src/bin/*` binary reproduces one experiment (see DESIGN.md §4 for
+//! the index). This library provides the pieces they share: a unified
+//! handle over every evaluated tree ([`AnyTree`], [`AnyTreeVar`]), keyset
+//! generation, a simple CLI parser, latency sweeps, and result emission
+//! (human table + JSON lines).
+
+pub mod args;
+pub mod keys;
+pub mod report;
+pub mod trees;
+
+pub use args::Args;
+pub use keys::{shuffled_keys, string_key};
+pub use report::{Report, Row};
+pub use trees::{AnyTree, AnyTreeVar, TreeKind};
+
+/// Paper SCM latency axis (ns): ext4-DAX DRAM point plus emulated points.
+pub const LATENCIES_NS: [u64; 4] = [90, 250, 450, 650];

@@ -1,0 +1,126 @@
+//! Result emission: aligned tables on stdout, JSON lines to `--out`.
+
+use std::io::Write;
+
+/// One result row: label plus named numeric fields.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (tree name, latency, thread count…).
+    pub label: String,
+    /// `(column, value)` pairs in display order.
+    pub fields: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>) -> Row {
+        Row { label: label.into(), fields: Vec::new() }
+    }
+
+    /// Adds a field (builder style).
+    pub fn field(mut self, name: &str, value: f64) -> Row {
+        self.fields.push((name.to_string(), value));
+        self
+    }
+}
+
+/// A titled collection of rows that renders as a table and as JSON lines.
+pub struct Report {
+    /// Experiment id (e.g. "fig7_base_ops").
+    pub experiment: String,
+    /// Human title.
+    pub title: String,
+    rows: Vec<Row>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(experiment: &str, title: &str) -> Report {
+        Report { experiment: experiment.to_string(), title: title.to_string(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut out = format!("\n== {} ({}) ==\n", self.title, self.experiment);
+        if self.rows.is_empty() {
+            out.push_str("(no rows)\n");
+            return out;
+        }
+        let cols: Vec<&str> = self.rows[0].fields.iter().map(|(n, _)| n.as_str()).collect();
+        let label_w =
+            self.rows.iter().map(|r| r.label.len()).max().unwrap_or(5).max("label".len());
+        out.push_str(&format!("{:label_w$}", "label"));
+        for c in &cols {
+            out.push_str(&format!("  {c:>12}"));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:label_w$}", r.label));
+            for (_, v) in &r.fields {
+                if v.abs() >= 1000.0 {
+                    out.push_str(&format!("  {v:>12.0}"));
+                } else {
+                    out.push_str(&format!("  {v:>12.3}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and, if `out` is set, appends JSON lines to it.
+    pub fn emit(&self, out: Option<&str>) {
+        print!("{}", self.render());
+        if let Some(path) = out {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .expect("open --out file");
+            for r in &self.rows {
+                let mut obj = serde_json::Map::new();
+                obj.insert("experiment".into(), self.experiment.clone().into());
+                obj.insert("label".into(), r.label.clone().into());
+                for (k, v) in &r.fields {
+                    obj.insert(k.clone(), (*v).into());
+                }
+                writeln!(f, "{}", serde_json::Value::Object(obj)).expect("write --out");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("test", "Test table");
+        r.push(Row::new("fptree").field("ops", 1234567.0).field("us", 1.234));
+        r.push(Row::new("wb").field("ops", 1.0).field("us", 2.0));
+        let s = r.render();
+        assert!(s.contains("Test table"));
+        assert!(s.contains("fptree"));
+        assert!(s.contains("1234567"));
+    }
+
+    #[test]
+    fn emits_json_lines() {
+        let dir = std::env::temp_dir().join(format!("fpt-report-{}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        let mut r = Report::new("exp", "t");
+        r.push(Row::new("a").field("x", 1.5));
+        r.emit(dir.to_str());
+        let content = std::fs::read_to_string(&dir).unwrap();
+        let v: serde_json::Value = serde_json::from_str(content.lines().next().unwrap()).unwrap();
+        assert_eq!(v["experiment"], "exp");
+        assert_eq!(v["x"], 1.5);
+        let _ = std::fs::remove_file(&dir);
+    }
+}

@@ -1,0 +1,224 @@
+//! `fptree` — an interactive shell over a file-backed persistent FPTree.
+//!
+//! The simulated SCM pool round-trips through an ordinary file, so a tree
+//! built in one invocation is recovered (inner nodes rebuilt from the SCM
+//! leaf list) by the next — a hands-on demonstration of Selective
+//! Persistence.
+//!
+//! ```text
+//! $ fptree mydata.pool
+//! fptree> put 42 hello
+//! fptree> get 42
+//! 42 -> "hello"
+//! fptree> stats
+//! ...
+//! fptree> quit        # saves the pool to mydata.pool
+//! ```
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// `println!` that tolerates a closed stdout (`fptree ... | head` must not
+/// panic with a broken-pipe backtrace).
+macro_rules! say {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0); // reader hung up; nothing left to say
+        }
+    }};
+}
+
+use fptree_core::{FPTreeVar, TreeConfig};
+use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+
+const POOL_SIZE: usize = 256 << 20;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: fptree <pool-file> [command...]");
+        eprintln!("       with no command, starts an interactive shell");
+        std::process::exit(2);
+    };
+
+    let (pool, mut tree) = open_or_create(&path);
+
+    // One-shot mode: `fptree pool.img get foo`.
+    let rest: Vec<String> = args.collect();
+    if !rest.is_empty() {
+        let line = rest.join(" ");
+        if execute(&pool, &mut tree, &line, &path) {
+            pool.save(&path).unwrap_or_else(|e| fail(&format!("saving pool: {e}")));
+        }
+        return;
+    }
+
+    say!("fptree shell — {} keys loaded from {path}", tree.len());
+    say!("commands: put <k> <v> | get <k> | del <k> | update <k> <v> | range <lo> <hi>");
+    say!("          scan [n] | stats | check | save | help | quit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("fptree> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        if !line.is_empty() {
+            execute(&pool, &mut tree, line, &path);
+        }
+    }
+    pool.save(&path).unwrap_or_else(|e| fail(&format!("saving pool: {e}")));
+    say!("saved {} keys to {path}", tree.len());
+}
+
+fn open_or_create(path: &str) -> (Arc<PmemPool>, FPTreeVar) {
+    if std::path::Path::new(path).exists() {
+        let pool = Arc::new(
+            PmemPool::load(path, PoolOptions::direct(0))
+                .unwrap_or_else(|e| fail(&format!("loading {path}: {e}"))),
+        );
+        let t = std::time::Instant::now();
+        let tree = FPTreeVar::open(Arc::clone(&pool), ROOT_SLOT);
+        eprintln!("recovered {} keys in {:?}", tree.len(), t.elapsed());
+        (pool, tree)
+    } else {
+        let pool = Arc::new(
+            PmemPool::create(PoolOptions::direct(POOL_SIZE))
+                .unwrap_or_else(|e| fail(&format!("creating pool: {e}"))),
+        );
+        let tree = FPTreeVar::create(Arc::clone(&pool), TreeConfig::fptree_var(), ROOT_SLOT);
+        (pool, tree)
+    }
+}
+
+/// Runs one command; returns true if it may have mutated the tree.
+fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -> bool {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().unwrap_or("");
+    let arg1 = parts.next();
+    let rest: Vec<&str> = parts.collect();
+    match (verb, arg1) {
+        ("put", Some(k)) => {
+            let value = rest.join(" ");
+            let handle = store_value(pool, &value);
+            if tree.insert(&k.as_bytes().to_vec(), handle) {
+                say!("inserted");
+            } else {
+                tree.update(&k.as_bytes().to_vec(), handle);
+                say!("updated");
+            }
+            true
+        }
+        ("update", Some(k)) => {
+            let value = rest.join(" ");
+            let handle = store_value(pool, &value);
+            if tree.update(&k.as_bytes().to_vec(), handle) {
+                say!("updated");
+            } else {
+                say!("(key not found)");
+            }
+            true
+        }
+        ("get", Some(k)) => {
+            match tree.get(&k.as_bytes().to_vec()) {
+                Some(handle) => say!("{k} -> {:?}", load_value(pool, handle)),
+                None => say!("(not found)"),
+            }
+            false
+        }
+        ("del", Some(k)) => {
+            say!("{}", if tree.remove(&k.as_bytes().to_vec()) { "deleted" } else { "(not found)" });
+            true
+        }
+        ("range", Some(lo)) => {
+            let hi = rest.first().copied().unwrap_or("\u{10FFFF}");
+            for (k, handle) in tree.range(&lo.as_bytes().to_vec(), &hi.as_bytes().to_vec()) {
+                say!("{} -> {:?}", String::from_utf8_lossy(&k), load_value(pool, handle));
+            }
+            false
+        }
+        ("scan", n) => {
+            let limit: usize = n.and_then(|s| s.parse().ok()).unwrap_or(20);
+            for (k, handle) in tree.iter().take(limit) {
+                say!("{} -> {:?}", String::from_utf8_lossy(&k), load_value(pool, handle));
+            }
+            false
+        }
+        ("stats", _) => {
+            let mu = tree.memory_usage();
+            let alloc = pool.alloc_stats().expect("heap walk");
+            say!("keys:         {}", tree.len());
+            say!("height:       {}", tree.height());
+            say!("leaves:       {}", mu.leaf_count);
+            say!("inner nodes:  {} ({} B DRAM)", mu.inner_count, mu.dram_bytes);
+            say!("SCM in use:   {} B across {} blocks", alloc.live_bytes, alloc.live_blocks);
+            say!("pool file:    {path} ({} B capacity)", pool.capacity());
+            false
+        }
+        ("check", _) => {
+            match tree.check_consistency() {
+                Ok(()) => say!("consistent"),
+                Err(e) => say!("INCONSISTENT: {e}"),
+            }
+            false
+        }
+        ("save", _) => {
+            match pool.save(path) {
+                Ok(()) => say!("saved to {path}"),
+                Err(e) => say!("save failed: {e}"),
+            }
+            false
+        }
+        ("help", _) => {
+            say!("put <k> <v...>    insert or overwrite");
+            say!("get <k>           point lookup");
+            say!("update <k> <v...> update existing");
+            say!("del <k>           delete");
+            say!("range <lo> [hi]   sorted scan of [lo, hi]");
+            say!("scan [n]          first n entries");
+            say!("stats             tree + pool statistics");
+            say!("check             structural consistency check");
+            say!("save              write the pool file now");
+            say!("quit              save and exit");
+            false
+        }
+        _ => {
+            say!("unknown command (try `help`)");
+            false
+        }
+    }
+}
+
+/// Values are stored as length-prefixed blobs in the pool, referenced from
+/// the tree by offset. Old blobs are not reclaimed by the CLI (values are
+/// tiny); a production embedder would use owner slots as the trees do.
+fn store_value(pool: &Arc<PmemPool>, value: &str) -> u64 {
+    // Owner slot in the pool header's application scratch area (the header
+    // is 4 KiB; allocator metadata ends well before 2048).
+    let scratch = 2048;
+    let off = pool
+        .allocate(scratch, 8 + value.len())
+        .unwrap_or_else(|e| fail(&format!("pool full: {e}")));
+    pool.write_word(off, value.len() as u64);
+    pool.write_bytes(off + 8, value.as_bytes());
+    pool.persist(off, 8 + value.len());
+    off
+}
+
+fn load_value(pool: &Arc<PmemPool>, off: u64) -> String {
+    let len = pool.read_word(off) as usize;
+    let mut buf = vec![0u8; len.min(1 << 16)];
+    pool.read_bytes(off + 8, &mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fptree: {msg}");
+    std::process::exit(1);
+}

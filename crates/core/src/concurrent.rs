@@ -1,0 +1,997 @@
+//! The concurrent FPTree: Selective Concurrency (§4.4, Algorithms 1–8).
+//!
+//! Work that touches only the transient part (traversal, inner-node updates)
+//! runs inside an emulated hardware transaction — an optimistic section of
+//! the global [`SpecLock`] — while work that needs persistence primitives
+//! (leaf writes, splits, unlinks) runs *outside* it under fine-grained
+//! per-leaf locks. The flow of every write operation is the paper's:
+//!
+//! 1. inside the speculative section: traverse, lock the target leaf (and
+//!    for deletes of a dying leaf, its predecessor), decide whether a split
+//!    is needed, validate, commit;
+//! 2. outside: split (micro-logged) and/or modify the leaf, persist, commit
+//!    with one p-atomic bitmap write;
+//! 3. if the structure changed: a short exclusive section updates the
+//!    parents; finally the leaf locks are released.
+//!
+//! ## Emulation-specific mechanics (see DESIGN.md §2)
+//!
+//! Real HTM buffers speculative writes and aborts readers whose read set is
+//! touched. Our seqlock emulation cannot buffer, so:
+//!
+//! * leaf locks are **per-leaf sequence locks** (even/odd u64): readers
+//!   snapshot a version and re-validate after reading the leaf, which is
+//!   exactly the conflict TSX would detect on the leaf-lock cache line;
+//! * inner nodes store keys and children in **atomic words**; readers may
+//!   observe torn logical states (mid-shift arrays) but every individual
+//!   word is a valid encoding, and the global validation rejects the
+//!   traversal whenever a structural writer overlapped it;
+//! * inner nodes and interned variable keys are retired to a graveyard
+//!   (freed at drop / rebuild), never mid-run, so optimistic readers can
+//!   always dereference what they loaded.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_queue::ArrayQueue;
+use fptree_htm::{Abort, SpecLock};
+use fptree_pmem::{PmemPool, RawPPtr};
+use parking_lot::Mutex;
+
+use crate::config::TreeConfig;
+use crate::groups::GroupMgr;
+use crate::keys::{FixedKey, KeyKind, VarKey};
+use crate::layout::LeafLayout;
+use crate::meta::{TreeMeta, STATUS_READY};
+use crate::single::Ctx;
+
+/// Traversal depth bound: a torn optimistic read can cycle; anything deeper
+/// than this is declared a conflict.
+const MAX_DEPTH: usize = 64;
+
+/// Number of split/delete micro-logs (upper bound on concurrent structural
+/// operations; the paper indexes its micro-log arrays with lock-free
+/// queues).
+const N_LOGS: usize = 64;
+
+/// Key encoding for atomic (u64) inner-node slots.
+///
+/// Fixed keys are stored directly. Variable keys are interned in DRAM and
+/// stored as a pointer; interned keys live until the tree is dropped, so a
+/// stale pointer read by an optimistic traversal is always dereferenceable.
+pub trait ConcKey: KeyKind {
+    /// Encodes `key` into a u64 inner-slot value.
+    fn encode(key: &Self::Owned, intern: &Interner) -> u64;
+    /// Compares an encoded slot value with a search key.
+    fn cmp_encoded(enc: u64, key: &Self::Owned) -> CmpOrdering;
+}
+
+impl ConcKey for FixedKey {
+    #[inline]
+    fn encode(key: &u64, _intern: &Interner) -> u64 {
+        *key
+    }
+
+    #[inline]
+    fn cmp_encoded(enc: u64, key: &u64) -> CmpOrdering {
+        enc.cmp(key)
+    }
+}
+
+impl ConcKey for VarKey {
+    fn encode(key: &Vec<u8>, intern: &Interner) -> u64 {
+        intern.intern(key)
+    }
+
+    #[inline]
+    fn cmp_encoded(enc: u64, key: &Vec<u8>) -> CmpOrdering {
+        if enc == 0 {
+            // Empty-slot sentinel: acts as +∞ so searches stop before it.
+            return CmpOrdering::Greater;
+        }
+        // SAFETY: non-zero encodings in inner-key slots are only ever
+        // produced by `Interner::intern`, and interned buffers are not
+        // freed until the tree drops or rebuilds under the exclusive lock.
+        let buf = unsafe { &*(enc as *const Box<[u8]>) };
+        (**buf).cmp(key.as_slice())
+    }
+}
+
+/// DRAM arena of interned variable-size discriminator keys.
+#[derive(Default)]
+pub struct Interner {
+    // The outer Box pins each (fat) `Box<[u8]>` at a stable heap address
+    // that encodes into one u64; do not "simplify" the nesting.
+    #[allow(clippy::vec_box)]
+    bufs: Mutex<Vec<Box<Box<[u8]>>>>,
+}
+
+impl Interner {
+    /// Copies `key` into the arena, returning a stable pointer encoding.
+    pub fn intern(&self, key: &[u8]) -> u64 {
+        let boxed: Box<Box<[u8]>> = Box::new(key.to_vec().into_boxed_slice());
+        let ptr = &*boxed as *const Box<[u8]> as u64;
+        self.bufs.lock().push(boxed);
+        ptr
+    }
+
+    fn clear(&self) {
+        self.bufs.lock().clear();
+    }
+
+    fn bytes(&self) -> usize {
+        self.bufs.lock().iter().map(|b| b.len() + 48).sum()
+    }
+}
+
+/// An inner node with atomic fields, safe to read optimistically.
+struct CNode {
+    /// Number of children (keys = count − 1). May be stale mid-update;
+    /// readers clamp and validate.
+    count: AtomicUsize,
+    /// Discriminators, capacity `fanout`.
+    keys: Box<[AtomicU64]>,
+    /// Child encodings, capacity `fanout + 1`: `(leaf_offset << 1) | 1` for
+    /// leaves, the `CNode` address for inner children.
+    children: Box<[AtomicU64]>,
+}
+
+impl CNode {
+    fn new(fanout: usize) -> Box<CNode> {
+        Box::new(CNode {
+            count: AtomicUsize::new(0),
+            keys: (0..fanout).map(|_| AtomicU64::new(0)).collect(),
+            children: (0..fanout + 1).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+}
+
+#[inline]
+fn leaf_enc(off: u64) -> u64 {
+    (off << 1) | 1
+}
+
+#[inline]
+fn enc_is_leaf(enc: u64) -> bool {
+    enc & 1 == 1
+}
+
+#[inline]
+fn enc_leaf_off(enc: u64) -> u64 {
+    enc >> 1
+}
+
+/// Decision computed inside the speculative section of a delete.
+enum WriteDecision {
+    /// Leaf locked; plain in-leaf delete.
+    Leaf { off: u64 },
+    /// Leaf and its predecessor locked; the leaf will be unlinked.
+    LeafEmpty { off: u64, prev: Option<u64> },
+}
+
+/// A concurrent, persistent, hybrid SCM-DRAM B+-Tree (the paper's FPTreeC).
+///
+/// All operations take `&self` and are safe to call from many threads.
+///
+/// ```
+/// use std::sync::Arc;
+/// use fptree_core::{ConcurrentFPTree, TreeConfig};
+/// use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+///
+/// let pool = Arc::new(PmemPool::create(PoolOptions::direct(32 << 20)).unwrap());
+/// let tree = Arc::new(ConcurrentFPTree::create(
+///     pool, TreeConfig::fptree_concurrent(), ROOT_SLOT,
+/// ));
+/// std::thread::scope(|s| {
+///     for t in 0..4u64 {
+///         let tree = Arc::clone(&tree);
+///         s.spawn(move || {
+///             for i in 0..100 {
+///                 tree.insert(&(t * 1000 + i), i);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(tree.len(), 400);
+/// assert_eq!(tree.get(&1001), Some(1));
+/// ```
+pub struct ConcurrentTree<K: ConcKey> {
+    ctx: Ctx,
+    lock: SpecLock,
+    root: AtomicU64,
+    /// Every CNode ever allocated; freed only on drop/rebuild. Boxed so
+    /// node addresses stay stable while the Vec grows (optimistic readers
+    /// hold raw pointers).
+    #[allow(clippy::vec_box)]
+    nodes: Mutex<Vec<Box<CNode>>>,
+    intern: Interner,
+    log_queue: ArrayQueue<usize>,
+    len: AtomicUsize,
+    _marker: std::marker::PhantomData<K>,
+}
+
+/// Fixed-size-key concurrent FPTree.
+pub type ConcurrentFPTree = ConcurrentTree<FixedKey>;
+/// Variable-size-key concurrent FPTree.
+pub type ConcurrentFPTreeVar = ConcurrentTree<VarKey>;
+
+impl<K: ConcKey> ConcurrentTree<K> {
+    /// Creates a fresh concurrent tree (leaf groups are never used: they
+    /// would be a central synchronization point, §5).
+    pub fn create(pool: Arc<PmemPool>, cfg: TreeConfig, owner_slot: u64) -> Self {
+        let mut cfg = cfg;
+        cfg.leaf_group_size = 0;
+        cfg.validate();
+        let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
+        let meta = TreeMeta::create(&pool, &cfg, K::SLOT_SIZE, K::IS_VAR, N_LOGS, owner_slot);
+        let ctx = Ctx { pool, cfg, layout, meta };
+        let head = ctx
+            .pool
+            .allocate(meta.head_slot(), layout.size)
+            .expect("pool exhausted: first leaf");
+        ctx.zero_leaf(head);
+        meta.set_status(&ctx.pool, STATUS_READY);
+        let t = Self::empty(ctx);
+        t.root.store(leaf_enc(head), Ordering::Release);
+        t
+    }
+
+    /// Opens (recovers) a concurrent tree: Algorithm 9 — replay micro-logs,
+    /// audit, rebuild inner nodes, reset leaf locks, rebuild log queues.
+    pub fn open(pool: Arc<PmemPool>, owner_slot: u64) -> Self {
+        let owner: RawPPtr = pool.read_at(owner_slot);
+        assert!(!owner.is_null(), "no tree metadata at owner slot {owner_slot:#x}");
+        let meta = TreeMeta::open(&pool, owner.offset);
+        let (cfg, key_slot, var) = meta.stored_config(&pool);
+        assert_eq!(key_slot, K::SLOT_SIZE, "tree was created with a different key kind");
+        assert_eq!(var, K::IS_VAR, "tree was created with a different key kind");
+        let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
+        let ctx = Ctx { pool, cfg, layout, meta };
+
+        if meta.status(&ctx.pool) != STATUS_READY {
+            if meta.head(&ctx.pool).is_null() {
+                let head = ctx
+                    .pool
+                    .allocate(meta.head_slot(), layout.size)
+                    .expect("pool exhausted: first leaf");
+                ctx.zero_leaf(head);
+            } else {
+                ctx.zero_leaf(meta.head(&ctx.pool).offset);
+            }
+            meta.set_status(&ctx.pool, STATUS_READY);
+        }
+        for i in 0..meta.n_logs {
+            ctx.recover_split::<K>(i);
+        }
+        for i in 0..meta.n_logs {
+            ctx.recover_delete(i);
+        }
+        let t = Self::empty(ctx);
+        t.rebuild();
+        t
+    }
+
+    fn empty(ctx: Ctx) -> Self {
+        let log_queue = ArrayQueue::new(N_LOGS);
+        for i in 0..ctx.meta.n_logs {
+            let _ = log_queue.push(i);
+        }
+        ConcurrentTree {
+            ctx,
+            lock: SpecLock::new(),
+            root: AtomicU64::new(0),
+            nodes: Mutex::new(Vec::new()),
+            intern: Interner::default(),
+            log_queue,
+            len: AtomicUsize::new(0),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Rebuilds the volatile index from the leaf linked list (recovery).
+    /// Not thread-safe: callers hold the exclusive lock or own the tree.
+    fn rebuild(&self) {
+        let ctx = &self.ctx;
+        let mut entries: Vec<(K::Owned, u64)> = Vec::new();
+        let mut len = 0usize;
+        let mut prev: Option<u64> = None;
+        let mut cur = ctx.meta.head(&ctx.pool).offset;
+        assert_ne!(cur, 0, "initialized tree must have a head leaf");
+        loop {
+            let leaf = ctx.leaf(cur);
+            leaf.reset_lock();
+            ctx.audit_leaf::<K>(cur);
+            let next = leaf.next();
+            let count = leaf.count();
+            if count == 0 && !(prev.is_none() && next.is_null()) {
+                ctx.delete_leaf(None, cur, prev, 0);
+                if next.is_null() {
+                    break;
+                }
+                cur = next.offset;
+                continue;
+            }
+            if let Some(max) = leaf.max_key::<K>() {
+                entries.push((max, cur));
+            }
+            len += count;
+            prev = Some(cur);
+            if next.is_null() {
+                break;
+            }
+            cur = next.offset;
+        }
+        self.len.store(len, Ordering::Relaxed);
+
+        // Build the atomic index bottom-up.
+        self.nodes.lock().clear();
+        self.intern.clear();
+        if entries.is_empty() {
+            self.root.store(leaf_enc(ctx.meta.head(&ctx.pool).offset), Ordering::Release);
+            return;
+        }
+        let fanout = ctx.cfg.inner_fanout;
+        let mut level: Vec<(K::Owned, u64)> =
+            entries.into_iter().map(|(k, off)| (k, leaf_enc(off))).collect();
+        while level.len() > 1 {
+            let mut next_level = Vec::new();
+            for chunk in level.chunks(fanout) {
+                let node = self.alloc_node();
+                for (i, (k, enc)) in chunk.iter().enumerate() {
+                    if i + 1 < chunk.len() {
+                        node.keys[i].store(K::encode(k, &self.intern), Ordering::Relaxed);
+                    }
+                    node.children[i].store(*enc, Ordering::Relaxed);
+                }
+                node.count.store(chunk.len(), Ordering::Release);
+                let max = chunk.last().expect("chunk nonempty").0.clone();
+                next_level.push((max, node as *const CNode as u64));
+            }
+            level = next_level;
+        }
+        self.root.store(level[0].1, Ordering::Release);
+    }
+
+    fn alloc_node(&self) -> &CNode {
+        let boxed = CNode::new(self.ctx.cfg.inner_fanout);
+        let ptr = &*boxed as *const CNode;
+        self.nodes.lock().push(boxed);
+        // SAFETY: boxes in `nodes` are only dropped when the tree drops or
+        // rebuilds, and rebuild is exclusive.
+        unsafe { &*ptr }
+    }
+
+    // --------------------------------------------------------- traversal
+
+    /// Optimistic descent to the leaf covering `key`. Every load is a valid
+    /// word even mid-update; logical inconsistencies surface as a wrong
+    /// leaf, caught by the caller's validation.
+    fn traverse(&self, key: &K::Owned) -> Result<u64, Abort> {
+        let mut enc = self.root.load(Ordering::Acquire);
+        for _ in 0..MAX_DEPTH {
+            if enc == 0 {
+                return Err(Abort);
+            }
+            if enc_is_leaf(enc) {
+                return Ok(enc_leaf_off(enc));
+            }
+            let node = unsafe { &*(enc as *const CNode) };
+            enc = self.child_of(node, key);
+        }
+        Err(Abort)
+    }
+
+    /// One level of descent: binary search over the (clamped) key prefix.
+    fn child_of(&self, node: &CNode, key: &K::Owned) -> u64 {
+        let cap = self.ctx.cfg.inner_fanout;
+        let count = node.count.load(Ordering::Acquire).clamp(1, cap + 1);
+        let nkeys = count - 1;
+        let mut lo = 0usize;
+        let mut hi = nkeys;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match K::cmp_encoded(node.keys[mid].load(Ordering::Acquire), key) {
+                CmpOrdering::Less => lo = mid + 1,
+                _ => hi = mid,
+            }
+        }
+        node.children[lo].load(Ordering::Acquire)
+    }
+
+    /// Optimistic descent also returning the predecessor leaf (Algorithm 5's
+    /// `FindLeafAndPrevLeaf`).
+    fn traverse_with_prev(&self, key: &K::Owned) -> Result<(u64, Option<u64>), Abort> {
+        let mut enc = self.root.load(Ordering::Acquire);
+        let mut left: Option<u64> = None;
+        for _ in 0..MAX_DEPTH {
+            if enc == 0 {
+                return Err(Abort);
+            }
+            if enc_is_leaf(enc) {
+                let prev = match left {
+                    None => None,
+                    Some(l) => Some(self.rightmost_leaf(l)?),
+                };
+                return Ok((enc_leaf_off(enc), prev));
+            }
+            let node = unsafe { &*(enc as *const CNode) };
+            let cap = self.ctx.cfg.inner_fanout;
+            let count = node.count.load(Ordering::Acquire).clamp(1, cap + 1);
+            let nkeys = count - 1;
+            let mut lo = 0usize;
+            let mut hi = nkeys;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                match K::cmp_encoded(node.keys[mid].load(Ordering::Acquire), key) {
+                    CmpOrdering::Less => lo = mid + 1,
+                    _ => hi = mid,
+                }
+            }
+            if lo > 0 {
+                left = Some(node.children[lo - 1].load(Ordering::Acquire));
+            }
+            enc = node.children[lo].load(Ordering::Acquire);
+        }
+        Err(Abort)
+    }
+
+    fn rightmost_leaf(&self, mut enc: u64) -> Result<u64, Abort> {
+        for _ in 0..MAX_DEPTH {
+            if enc == 0 {
+                return Err(Abort);
+            }
+            if enc_is_leaf(enc) {
+                return Ok(enc_leaf_off(enc));
+            }
+            let node = unsafe { &*(enc as *const CNode) };
+            let cap = self.ctx.cfg.inner_fanout;
+            let count = node.count.load(Ordering::Acquire).clamp(1, cap + 1);
+            enc = node.children[count - 1].load(Ordering::Acquire);
+        }
+        Err(Abort)
+    }
+
+    // ------------------------------------------------------------- reads
+
+    /// Concurrent Find (Algorithm 1): fully speculative, retries on any
+    /// conflicting leaf writer.
+    pub fn get(&self, key: &K::Owned) -> Option<u64> {
+        self.lock.execute(|tx| {
+            let off = self.traverse(key)?;
+            let leaf = self.ctx.leaf(off);
+            let Some(v) = leaf.version() else {
+                return Err(Abort); // leaf locked by a writer
+            };
+            let result = leaf.find_slot::<K>(key).map(|slot| leaf.value(slot));
+            if !tx.validate() || leaf.version_changed(v) {
+                return Err(Abort);
+            }
+            Ok(result)
+        })
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: &K::Owned) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Range scan over `[lo, hi]`, speculative with global validation.
+    pub fn range(&self, lo: &K::Owned, hi: &K::Owned) -> Vec<(K::Owned, u64)> {
+        if lo > hi {
+            return Vec::new();
+        }
+        self.lock.execute(|tx| {
+            let mut out = Vec::new();
+            let mut cur = self.traverse(lo)?;
+            loop {
+                let leaf = self.ctx.leaf(cur);
+                let Some(v) = leaf.version() else {
+                    return Err(Abort);
+                };
+                leaf.touch_head();
+                leaf.touch_key_scan();
+                let mut past_hi = false;
+                for (slot, k) in leaf.collect_entries::<K>() {
+                    if k > *hi {
+                        past_hi = true;
+                    } else if k >= *lo {
+                        out.push((k, leaf.value(slot)));
+                    }
+                }
+                let next = leaf.next();
+                if leaf.version_changed(v) {
+                    return Err(Abort);
+                }
+                if past_hi || next.is_null() {
+                    break;
+                }
+                if out.len() > (1 << 26) {
+                    return Err(Abort); // runaway walk through torn state
+                }
+                cur = next.offset;
+            }
+            if !tx.validate() {
+                return Err(Abort);
+            }
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            Ok(out)
+        })
+    }
+
+    // ------------------------------------------------------------ writes
+
+    /// Speculative phase of a leaf write (Algorithm 2 step 1): traverse,
+    /// lock the leaf, validate.
+    fn lock_leaf_for_write(&self, key: &K::Owned) -> u64 {
+        self.lock.execute(|tx| {
+            let off = self.traverse(key)?;
+            let leaf = self.ctx.leaf(off);
+            let Some(v) = leaf.version() else {
+                return Err(Abort);
+            };
+            if !leaf.try_lock_version(v) {
+                return Err(Abort);
+            }
+            if !tx.validate() {
+                leaf.unlock_version();
+                return Err(Abort);
+            }
+            Ok(off)
+        })
+    }
+
+    /// Concurrent Insert (Algorithm 2). Returns false if the key exists.
+    pub fn insert(&self, key: &K::Owned, value: u64) -> bool {
+        let off = self.lock_leaf_for_write(key);
+        let leaf = self.ctx.leaf(off);
+        if leaf.find_slot::<K>(key).is_some() {
+            leaf.unlock_version();
+            return false;
+        }
+        if leaf.is_full() {
+            let (split_key, new_off) = self.split_locked_leaf(off);
+            let target = if *key > split_key { new_off } else { off };
+            self.ctx.insert_into_leaf::<K>(target, key, value);
+            self.publish_split(&split_key, off, new_off);
+            leaf.unlock_version();
+        } else {
+            self.ctx.insert_into_leaf::<K>(off, key, value);
+            leaf.unlock_version();
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Concurrent Update (Algorithm 8). Returns false if the key is absent.
+    pub fn update(&self, key: &K::Owned, value: u64) -> bool {
+        let off = self.lock_leaf_for_write(key);
+        let leaf = self.ctx.leaf(off);
+        let Some(slot) = leaf.find_slot::<K>(key) else {
+            leaf.unlock_version();
+            return false;
+        };
+        if leaf.is_full() {
+            let (split_key, new_off) = self.split_locked_leaf(off);
+            let target = if *key > split_key { new_off } else { off };
+            let tslot = self
+                .ctx
+                .leaf(target)
+                .find_slot::<K>(key)
+                .expect("key must survive its leaf's split");
+            self.ctx.update_in_leaf::<K>(target, tslot, value);
+            self.publish_split(&split_key, off, new_off);
+            leaf.unlock_version();
+        } else {
+            self.ctx.update_in_leaf::<K>(off, slot, value);
+            leaf.unlock_version();
+        }
+        true
+    }
+
+    /// Concurrent Delete (Algorithm 5). Returns false if the key is absent.
+    pub fn remove(&self, key: &K::Owned) -> bool {
+        let decision = self.lock.execute(|tx| {
+            let (off, prev) = self.traverse_with_prev(key)?;
+            let leaf = self.ctx.leaf(off);
+            let Some(v) = leaf.version() else {
+                return Err(Abort);
+            };
+            let dying = leaf.count() == 1 && !(prev.is_none() && leaf.next().is_null());
+            if dying {
+                // Lock the predecessor too: its next pointer will change.
+                if let Some(p) = prev {
+                    let pl = self.ctx.leaf(p);
+                    let Some(pv) = pl.version() else {
+                        return Err(Abort);
+                    };
+                    if !pl.try_lock_version(pv) {
+                        return Err(Abort);
+                    }
+                }
+                if !leaf.try_lock_version(v) {
+                    if let Some(p) = prev {
+                        self.ctx.leaf(p).unlock_version();
+                    }
+                    return Err(Abort);
+                }
+                if !tx.validate() {
+                    leaf.unlock_version();
+                    if let Some(p) = prev {
+                        self.ctx.leaf(p).unlock_version();
+                    }
+                    return Err(Abort);
+                }
+                Ok(WriteDecision::LeafEmpty { off, prev })
+            } else {
+                if !leaf.try_lock_version(v) {
+                    return Err(Abort);
+                }
+                if !tx.validate() {
+                    leaf.unlock_version();
+                    return Err(Abort);
+                }
+                Ok(WriteDecision::Leaf { off })
+            }
+        });
+
+        match decision {
+            WriteDecision::Leaf { off } => {
+                let leaf = self.ctx.leaf(off);
+                let Some(slot) = leaf.find_slot::<K>(key) else {
+                    leaf.unlock_version();
+                    return false;
+                };
+                let bm = leaf.bitmap() & !(1 << slot);
+                leaf.commit_bitmap(bm);
+                K::release_slot(&self.ctx.pool, leaf.key_off(slot));
+                leaf.unlock_version();
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+            WriteDecision::LeafEmpty { off, prev } => {
+                let leaf = self.ctx.leaf(off);
+                let Some(slot) = leaf.find_slot::<K>(key) else {
+                    leaf.unlock_version();
+                    if let Some(p) = prev {
+                        self.ctx.leaf(p).unlock_version();
+                    }
+                    return false;
+                };
+                let bm = leaf.bitmap() & !(1 << slot);
+                leaf.commit_bitmap(bm);
+                K::release_slot(&self.ctx.pool, leaf.key_off(slot));
+
+                // Inner nodes change inside an exclusive section (the paper
+                // does this inside the TSX transaction), making the leaf
+                // unreachable for new traversals.
+                {
+                    let _g = self.lock.write_lock();
+                    self.remove_from_parents(key, leaf_enc(off));
+                }
+                // Persistent unlink + deallocation outside (Algorithm 6).
+                let li = self.take_log();
+                self.ctx.delete_leaf(None, off, prev, li);
+                self.log_queue.push(li).ok();
+                if let Some(p) = prev {
+                    self.ctx.leaf(p).unlock_version();
+                }
+                // The deleted leaf's lock dies with it (unreachable).
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    fn take_log(&self) -> usize {
+        loop {
+            if let Some(i) = self.log_queue.pop() {
+                return i;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Persistent leaf split (Algorithm 3) under the already-held leaf lock.
+    fn split_locked_leaf(&self, off: u64) -> (K::Owned, u64) {
+        let li = self.take_log();
+        let mut no_groups = GroupMgr::new(0);
+        let (split_key, new_off) = self.ctx.split_leaf::<K>(&mut no_groups, off, li);
+        self.log_queue.push(li).ok();
+        (split_key, new_off)
+    }
+
+    /// Exclusive inner-node update after a split (Algorithm 2 step 3).
+    fn publish_split(&self, split_key: &K::Owned, old_off: u64, new_off: u64) {
+        let _g = self.lock.write_lock();
+        let key_enc = K::encode(split_key, &self.intern);
+        let old_enc = leaf_enc(old_off);
+        let new_enc = leaf_enc(new_off);
+        let root = self.root.load(Ordering::Relaxed);
+        if root == old_enc {
+            let node = self.alloc_node();
+            node.keys[0].store(key_enc, Ordering::Relaxed);
+            node.children[0].store(old_enc, Ordering::Relaxed);
+            node.children[1].store(new_enc, Ordering::Relaxed);
+            node.count.store(2, Ordering::Release);
+            self.root.store(node as *const CNode as u64, Ordering::Release);
+            return;
+        }
+        let root_node = unsafe { &*(root as *const CNode) };
+        if let Some((up_enc, right_enc)) =
+            self.insert_entry_rec(root_node, split_key, key_enc, old_enc, new_enc)
+        {
+            let node = self.alloc_node();
+            node.keys[0].store(up_enc, Ordering::Relaxed);
+            node.children[0].store(root, Ordering::Relaxed);
+            node.children[1].store(right_enc, Ordering::Relaxed);
+            node.count.store(2, Ordering::Release);
+            self.root.store(node as *const CNode as u64, Ordering::Release);
+        }
+    }
+
+    /// Recursive exclusive insert of `(key_enc, new_enc)` next to `old_enc`;
+    /// returns a pushed-up entry when a node splits.
+    fn insert_entry_rec(
+        &self,
+        node: &CNode,
+        nav_key: &K::Owned,
+        key_enc: u64,
+        old_enc: u64,
+        new_enc: u64,
+    ) -> Option<(u64, u64)> {
+        let count = node.count.load(Ordering::Relaxed);
+        let nkeys = count - 1;
+        let mut idx = 0usize;
+        while idx < nkeys {
+            if K::cmp_encoded(node.keys[idx].load(Ordering::Relaxed), nav_key)
+                != CmpOrdering::Less
+            {
+                break;
+            }
+            idx += 1;
+        }
+        let child = node.children[idx].load(Ordering::Relaxed);
+        if child == old_enc {
+            self.node_insert_at(node, idx, key_enc, new_enc);
+        } else {
+            assert!(!enc_is_leaf(child), "split target vanished from the index");
+            let child_node = unsafe { &*(child as *const CNode) };
+            let pushed =
+                self.insert_entry_rec(child_node, nav_key, key_enc, old_enc, new_enc)?;
+            self.node_insert_at(node, idx, pushed.0, pushed.1);
+        }
+        (node.count.load(Ordering::Relaxed) > self.ctx.cfg.inner_fanout)
+            .then(|| self.split_cnode(node))
+    }
+
+    /// Shifts arrays right and inserts `(key_enc, child_enc)` after `idx`.
+    /// Runs under the exclusive lock; optimistic readers observing the
+    /// mid-shift state are rejected by their validation.
+    fn node_insert_at(&self, node: &CNode, idx: usize, key_enc: u64, child_enc: u64) {
+        let count = node.count.load(Ordering::Relaxed);
+        let nkeys = count - 1;
+        for i in (idx..nkeys).rev() {
+            let k = node.keys[i].load(Ordering::Relaxed);
+            node.keys[i + 1].store(k, Ordering::Relaxed);
+        }
+        for i in (idx + 1..count).rev() {
+            let c = node.children[i].load(Ordering::Relaxed);
+            node.children[i + 1].store(c, Ordering::Relaxed);
+        }
+        node.keys[idx].store(key_enc, Ordering::Relaxed);
+        node.children[idx + 1].store(child_enc, Ordering::Relaxed);
+        node.count.store(count + 1, Ordering::Release);
+    }
+
+    /// Splits an over-full CNode, returning `(promoted_key_enc, right_enc)`.
+    fn split_cnode(&self, node: &CNode) -> (u64, u64) {
+        let count = node.count.load(Ordering::Relaxed);
+        let mid = count / 2; // left keeps children[..mid]
+        let promoted = node.keys[mid - 1].load(Ordering::Relaxed);
+        let right = self.alloc_node();
+        for i in mid..count {
+            let c = node.children[i].load(Ordering::Relaxed);
+            right.children[i - mid].store(c, Ordering::Relaxed);
+        }
+        for i in mid..count - 1 {
+            let k = node.keys[i].load(Ordering::Relaxed);
+            right.keys[i - mid].store(k, Ordering::Relaxed);
+        }
+        right.count.store(count - mid, Ordering::Release);
+        node.count.store(mid, Ordering::Release);
+        (promoted, right as *const CNode as u64)
+    }
+
+    /// Exclusive removal of a leaf's entry from the index (delete case 3).
+    fn remove_from_parents(&self, nav_key: &K::Owned, leaf: u64) {
+        let root = self.root.load(Ordering::Relaxed);
+        assert!(!enc_is_leaf(root), "cannot unlink the root leaf");
+        let root_node = unsafe { &*(root as *const CNode) };
+        self.remove_entry_rec(root_node, nav_key, leaf);
+        // Collapse single-child root chain.
+        loop {
+            let r = self.root.load(Ordering::Relaxed);
+            if enc_is_leaf(r) {
+                break;
+            }
+            let node = unsafe { &*(r as *const CNode) };
+            if node.count.load(Ordering::Relaxed) == 1 {
+                let only = node.children[0].load(Ordering::Relaxed);
+                self.root.store(only, Ordering::Release);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Returns true if `node` became empty and should be removed itself.
+    fn remove_entry_rec(&self, node: &CNode, nav_key: &K::Owned, leaf: u64) -> bool {
+        let count = node.count.load(Ordering::Relaxed);
+        let nkeys = count - 1;
+        let mut idx = 0usize;
+        while idx < nkeys {
+            if K::cmp_encoded(node.keys[idx].load(Ordering::Relaxed), nav_key)
+                != CmpOrdering::Less
+            {
+                break;
+            }
+            idx += 1;
+        }
+        let child = node.children[idx].load(Ordering::Relaxed);
+        let remove_child = if child == leaf {
+            true
+        } else if enc_is_leaf(child) {
+            false
+        } else {
+            let child_node = unsafe { &*(child as *const CNode) };
+            self.remove_entry_rec(child_node, nav_key, leaf)
+        };
+        if remove_child {
+            self.node_remove_at(node, idx);
+        }
+        node.count.load(Ordering::Relaxed) == 0
+    }
+
+    fn node_remove_at(&self, node: &CNode, idx: usize) {
+        let count = node.count.load(Ordering::Relaxed);
+        let nkeys = count - 1;
+        for i in idx + 1..count {
+            let c = node.children[i].load(Ordering::Relaxed);
+            node.children[i - 1].store(c, Ordering::Relaxed);
+        }
+        let kidx = idx.min(nkeys.saturating_sub(1));
+        for i in kidx + 1..nkeys {
+            let k = node.keys[i].load(Ordering::Relaxed);
+            node.keys[i - 1].store(k, Ordering::Relaxed);
+        }
+        node.count.store(count - 1, Ordering::Release);
+    }
+
+    // ------------------------------------------------------------- stats
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The pool this tree lives in.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.ctx.pool
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.ctx.cfg
+    }
+
+    /// Speculation statistics `(attempts, aborts, fallbacks, writes)`.
+    pub fn htm_stats(&self) -> (u64, u64, u64, u64) {
+        self.lock.stats().snapshot()
+    }
+
+    /// DRAM bytes held by the volatile index (inner nodes + interner).
+    pub fn dram_bytes(&self) -> usize {
+        let fanout = self.ctx.cfg.inner_fanout;
+        let per_node = std::mem::size_of::<CNode>() + (2 * fanout + 1) * 8;
+        self.nodes.lock().len() * per_node + self.intern.bytes()
+    }
+
+    /// Leaf offsets in list order (quiescent contexts: tests, stats).
+    pub fn leaf_offsets(&self) -> Vec<u64> {
+        let mut offs = Vec::new();
+        let mut cur = self.ctx.meta.head(&self.ctx.pool);
+        while !cur.is_null() {
+            offs.push(cur.offset);
+            cur = self.ctx.leaf(cur.offset).next();
+        }
+        offs
+    }
+
+    /// Structural consistency check (quiescent state only).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let offs = self.leaf_offsets();
+        let mut prev_max: Option<K::Owned> = None;
+        let mut total = 0usize;
+        for (i, &off) in offs.iter().enumerate() {
+            let leaf = self.ctx.leaf(off);
+            if leaf.version().is_none() {
+                return Err(format!("leaf {i} left locked"));
+            }
+            let entries = leaf.collect_entries::<K>();
+            if entries.is_empty() && offs.len() > 1 {
+                return Err(format!("leaf {i} is empty but linked"));
+            }
+            total += entries.len();
+            for (slot, k) in &entries {
+                if self.ctx.layout.fingerprints
+                    && leaf.fingerprint(*slot) != K::fingerprint(k)
+                {
+                    return Err(format!("leaf {i} slot {slot}: fingerprint mismatch"));
+                }
+                if self.get(k).is_none() {
+                    return Err(format!("leaf {i}: stored key not reachable via get"));
+                }
+                if let Some(pm) = &prev_max {
+                    if *k <= *pm {
+                        return Err(format!("leaf {i}: key order violates list order"));
+                    }
+                }
+            }
+            if let Some(max) = entries.iter().map(|(_, k)| k.clone()).max() {
+                prev_max = Some(max);
+            }
+        }
+        if total != self.len() {
+            return Err(format!("len {} != stored entries {}", self.len(), total));
+        }
+        Ok(())
+    }
+
+    /// Allocator-vs-tree agreement: every live block must be the metadata
+    /// block, a linked leaf, or a key blob owned by a valid slot.
+    pub fn leak_audit(&self) -> Result<(), String> {
+        let live = self.ctx.pool.live_blocks().map_err(|e| e.to_string())?;
+        let mut expected: HashSet<u64> = HashSet::new();
+        expected.insert(self.ctx.meta.off);
+        for off in self.leaf_offsets() {
+            expected.insert(off);
+            if K::IS_VAR {
+                let leaf = self.ctx.leaf(off);
+                let bm = leaf.bitmap();
+                for slot in 0..self.ctx.layout.m {
+                    if bm & (1 << slot) != 0 {
+                        let r = K::slot_ref(&self.ctx.pool, leaf.key_off(slot));
+                        if !r.is_null() {
+                            expected.insert(r.offset);
+                        }
+                    }
+                }
+            }
+        }
+        for (off, _) in &live {
+            if !expected.contains(off) {
+                return Err(format!("leaked block at {off:#x}"));
+            }
+        }
+        if expected.len() != live.len() {
+            return Err(format!(
+                "tree references {} blocks but only {} are live",
+                expected.len(),
+                live.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+// SAFETY: shared state is either atomic, Mutex-protected, or governed by the
+// SpecLock / per-leaf version-lock protocol documented above.
+unsafe impl<K: ConcKey> Send for ConcurrentTree<K> {}
+unsafe impl<K: ConcKey> Sync for ConcurrentTree<K> {}

@@ -1,0 +1,468 @@
+//! Amortized persistent memory allocation: leaf groups (§4.3, Appendix B).
+//!
+//! Persistent allocations are expensive, so the single-threaded FPTree
+//! allocates leaves in *groups*: a persistent linked list of blocks each
+//! holding `group_size` leaves, plus a **volatile** vector of currently free
+//! leaves. `GetLeaf` pops a free leaf (allocating a new group only when the
+//! vector is empty, Algorithm 10); `FreeLeaf` pushes a freed leaf back and
+//! deallocates a group once every leaf in it is free (Algorithm 12). Both
+//! use micro-logs so a crash can never leak a group (Algorithms 11 and 13).
+//!
+//! The group-list *tail* is kept volatile here (recomputed by walking the
+//! list at open); only the head is persistent. This removes the persistent
+//! tail updates of Algorithm 10 at the cost of re-walking on recovery — the
+//! recovery-time group walk happens anyway to rebuild the free vector.
+//!
+//! Group block layout: `[next: RawPPtr | pad to 64][leaf 0][leaf 1]...`.
+
+use std::collections::HashMap;
+
+use fptree_pmem::{PmemPool, RawPPtr};
+
+use crate::layout::LeafLayout;
+use crate::meta::TreeMeta;
+
+/// Byte offset of the first leaf within a group block.
+const GROUP_HEADER: u64 = 64;
+
+/// Volatile manager of the leaf-group structures.
+pub(crate) struct GroupMgr {
+    /// Leaves per group; 0/1 disables grouping entirely.
+    group_size: usize,
+    /// Zero fresh groups: required for variable-size keys (stale key
+    /// pointers in recycled memory must never look live to the recovery
+    /// audit); unnecessary for fixed keys, whose splits overwrite the whole
+    /// leaf before it becomes reachable.
+    sanitize: bool,
+    /// Free leaves, most recently freed last (Algorithm 10 pops the back).
+    free: Vec<u64>,
+    /// Group base offset → number of currently free leaves in it.
+    free_count: HashMap<u64, usize>,
+    /// Group list in order (head first); tail is `groups.last()`.
+    groups: Vec<u64>,
+}
+
+impl GroupMgr {
+    pub(crate) fn new(group_size: usize) -> GroupMgr {
+        Self::with_sanitize(group_size, true)
+    }
+
+    pub(crate) fn with_sanitize(group_size: usize, sanitize: bool) -> GroupMgr {
+        GroupMgr {
+            group_size,
+            sanitize,
+            free: Vec::new(),
+            free_count: HashMap::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Whether grouping is active.
+    pub(crate) fn enabled(&self) -> bool {
+        self.group_size > 1
+    }
+
+    /// Number of free (unused) leaves currently pooled.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn free_leaves(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of allocated groups.
+    pub(crate) fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn group_bytes(&self, layout: &LeafLayout) -> usize {
+        GROUP_HEADER as usize + self.group_size * layout.size
+    }
+
+    fn group_of(&self, layout: &LeafLayout, leaf: u64) -> Option<u64> {
+        let bytes = self.group_bytes(layout) as u64;
+        self.groups.iter().copied().find(|&g| leaf >= g + GROUP_HEADER && leaf < g + bytes)
+    }
+
+    fn leaves_of(&self, layout: &LeafLayout, group: u64) -> impl Iterator<Item = u64> + '_ {
+        let size = layout.size as u64;
+        (0..self.group_size as u64).map(move |i| group + GROUP_HEADER + i * size)
+    }
+
+    /// GetLeaf (Algorithm 10): returns a free leaf, persistently publishing
+    /// its address into the owner pointer at `dest_slot`.
+    ///
+    /// With grouping disabled this is a plain crash-safe allocation.
+    pub(crate) fn get_leaf(
+        &mut self,
+        pool: &PmemPool,
+        layout: &LeafLayout,
+        meta: &TreeMeta,
+        dest_slot: u64,
+    ) -> u64 {
+        if !self.enabled() {
+            return pool.allocate(dest_slot, layout.size).expect("pool exhausted: leaf");
+        }
+        if self.free.is_empty() {
+            self.allocate_group(pool, layout, meta);
+        }
+        let leaf = self.free.pop().expect("group allocation yielded no free leaves");
+        let group = self.group_of(layout, leaf).expect("free leaf outside any group");
+        *self.free_count.get_mut(&group).expect("group not registered") -= 1;
+        let p = RawPPtr::new(pool.file_id(), leaf);
+        pool.write_at(dest_slot, &p);
+        pool.persist(dest_slot, 16);
+        leaf
+    }
+
+    /// Allocates a fresh group, links it at the tail, and adds its leaves to
+    /// the free vector (Algorithm 10 lines 2–9, getleaf micro-log).
+    fn allocate_group(&mut self, pool: &PmemPool, layout: &LeafLayout, meta: &TreeMeta) {
+        let log = meta.getleaf_log();
+        let bytes = self.group_bytes(layout);
+        let group =
+            pool.allocate(log.ptr_slot(), bytes).expect("pool exhausted: leaf group");
+        if self.sanitize {
+            // The allocator recycles memory, and stale leaf contents (key
+            // pointers) must never be mistaken for live data by the audit.
+            pool.write_bytes(group, &vec![0u8; bytes]);
+            pool.persist(group, bytes);
+        } else {
+            // Fixed keys: only the group header (the next link) must be
+            // clean before linking.
+            pool.write_bytes(group, &[0u8; GROUP_HEADER as usize]);
+            pool.persist(group, GROUP_HEADER as usize);
+        }
+        self.link_group(pool, meta, group);
+        log.reset(pool);
+        self.register_group(layout, group, self.group_size);
+        for leaf in self.leaves_of(layout, group).collect::<Vec<_>>() {
+            self.free.push(leaf);
+        }
+    }
+
+    /// Appends `group` to the persistent group list (volatile tail).
+    fn link_group(&self, pool: &PmemPool, meta: &TreeMeta, group: u64) {
+        let p = RawPPtr::new(pool.file_id(), group);
+        match self.groups.last() {
+            None => meta.set_groups_head(pool, p),
+            Some(&tail) => {
+                pool.write_at(tail, &p); // group header starts with `next`
+                pool.persist(tail, 16);
+            }
+        }
+    }
+
+    fn register_group(&mut self, _layout: &LeafLayout, group: u64, free: usize) {
+        self.groups.push(group);
+        self.free_count.insert(group, free);
+    }
+
+    /// FreeLeaf (Algorithm 12): returns a leaf to the pool; deallocates its
+    /// group when the group becomes entirely free.
+    ///
+    /// With grouping disabled the caller deallocates through its own
+    /// micro-log instead (this must not be called).
+    pub(crate) fn free_leaf(
+        &mut self,
+        pool: &PmemPool,
+        layout: &LeafLayout,
+        meta: &TreeMeta,
+        leaf: u64,
+    ) {
+        assert!(self.enabled(), "free_leaf requires grouping");
+        let group = self.group_of(layout, leaf).expect("freed leaf outside any group");
+        let count = self.free_count.get_mut(&group).expect("group not registered");
+        if *count + 1 == self.group_size {
+            // Group entirely free: unlink and deallocate it.
+            let pos = self.groups.iter().position(|&g| g == group).expect("group in list");
+            let (lo, hi) = (group + GROUP_HEADER, group + self.group_bytes(layout) as u64);
+            self.free.retain(|&l| !(lo..hi).contains(&l));
+            let log = meta.freeleaf_log();
+            log.set_first(pool, RawPPtr::new(pool.file_id(), group));
+            if pos == 0 {
+                let next: RawPPtr = pool.read_at(group);
+                meta.set_groups_head(pool, next);
+            } else {
+                let prev = self.groups[pos - 1];
+                log.set_second(pool, RawPPtr::new(pool.file_id(), prev));
+                let next: RawPPtr = pool.read_at(group);
+                pool.write_at(prev, &next);
+                pool.persist(prev, 16);
+            }
+            pool.deallocate(log.first_slot());
+            log.reset(pool);
+            self.groups.remove(pos);
+            self.free_count.remove(&group);
+        } else {
+            *count += 1;
+            self.free.push(leaf);
+        }
+    }
+
+    /// Recovers the GetLeaf micro-log (Algorithm 11, volatile-tail variant):
+    /// a group that was allocated but not linked is linked at the end.
+    pub(crate) fn recover_getleaf(
+        pool: &PmemPool,
+        meta: &TreeMeta,
+        layout: &LeafLayout,
+        group_size: usize,
+    ) {
+        let log = meta.getleaf_log();
+        let p = log.ptr(pool);
+        if p.is_null() {
+            return;
+        }
+        // Walk the persistent list to see whether the group got linked.
+        let mut cur = meta.groups_head(pool);
+        let mut last: Option<u64> = None;
+        let mut linked = false;
+        while !cur.is_null() {
+            if cur.offset == p.offset {
+                linked = true;
+            }
+            last = Some(cur.offset);
+            cur = pool.read_at(cur.offset);
+        }
+        if !linked {
+            // Re-sanitize (the zeroing may not have completed) and link.
+            let bytes = GROUP_HEADER as usize + group_size * layout.size;
+            pool.write_bytes(p.offset, &vec![0u8; bytes]);
+            pool.persist(p.offset, bytes);
+            match last {
+                None => meta.set_groups_head(pool, p),
+                Some(tail) => {
+                    pool.write_at(tail, &p);
+                    pool.persist(tail, 16);
+                }
+            }
+        }
+        log.reset(pool);
+    }
+
+    /// Recovers the FreeLeaf micro-log (Algorithm 13): completes an
+    /// interrupted group unlink + deallocation, or rolls back.
+    pub(crate) fn recover_freeleaf(pool: &PmemPool, meta: &TreeMeta) {
+        let log = meta.freeleaf_log();
+        let cur = log.first(pool);
+        if cur.is_null() {
+            log.reset(pool);
+            return;
+        }
+        let prev = log.second(pool);
+        let head = meta.groups_head(pool);
+        if !prev.is_null() {
+            // Crashed between recording prev and deallocating: redo unlink.
+            let next: RawPPtr = pool.read_at(cur.offset);
+            pool.write_at(prev.offset, &next);
+            pool.persist(prev.offset, 16);
+            pool.deallocate(log.first_slot());
+        } else if head.offset == cur.offset {
+            // Head unlink not yet done.
+            let next: RawPPtr = pool.read_at(cur.offset);
+            meta.set_groups_head(pool, next);
+            pool.deallocate(log.first_slot());
+        } else {
+            let next: RawPPtr = pool.read_at(cur.offset);
+            if next.offset == head.offset {
+                // Head already moved past us: just deallocate.
+                pool.deallocate(log.first_slot());
+            }
+            // Else: rollback — the group stays linked and allocated; its
+            // free leaves are rediscovered by the rebuild walk.
+        }
+        log.reset(pool);
+    }
+
+    /// Rebuilds the volatile free vector and group registry by walking the
+    /// persistent group list; `in_tree` holds the leaf offsets reachable
+    /// from the leaf linked list.
+    pub(crate) fn rebuild(
+        &mut self,
+        pool: &PmemPool,
+        layout: &LeafLayout,
+        meta: &TreeMeta,
+        in_tree: &std::collections::HashSet<u64>,
+    ) {
+        self.free.clear();
+        self.free_count.clear();
+        self.groups.clear();
+        if !self.enabled() {
+            return;
+        }
+        let mut cur = meta.groups_head(pool);
+        while !cur.is_null() {
+            let group = cur.offset;
+            self.register_group(layout, group, 0);
+            let mut free_here = 0;
+            for leaf in self.leaves_of(layout, group).collect::<Vec<_>>() {
+                if !in_tree.contains(&leaf) {
+                    self.free.push(leaf);
+                    free_here += 1;
+                }
+            }
+            *self.free_count.get_mut(&group).expect("just registered") = free_here;
+            cur = pool.read_at(group);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeConfig;
+    use fptree_pmem::{PoolOptions, ROOT_SLOT};
+
+    fn setup(group_size: usize) -> (PmemPool, LeafLayout, TreeMeta, GroupMgr) {
+        let pool = PmemPool::create(PoolOptions::direct(8 << 20)).unwrap();
+        let cfg = TreeConfig::fptree().with_leaf_group_size(group_size);
+        let layout = LeafLayout::new(&cfg, 8);
+        let meta = TreeMeta::create(&pool, &cfg, 8, false, 1, ROOT_SLOT);
+        let mgr = GroupMgr::new(group_size);
+        (pool, layout, meta, mgr)
+    }
+
+    #[test]
+    fn get_leaf_amortizes_allocations() {
+        let (pool, layout, meta, mut mgr) = setup(8);
+        let dest = meta.head_slot();
+        pool.stats().reset();
+        let mut leaves = Vec::new();
+        for _ in 0..8 {
+            leaves.push(mgr.get_leaf(&pool, &layout, &meta, dest));
+        }
+        // 8 leaves from ONE allocation (the metadata block came earlier).
+        assert_eq!(pool.stats().snapshot().allocs, 1);
+        assert_eq!(mgr.group_count(), 1);
+        assert_eq!(mgr.free_leaves(), 0);
+        leaves.sort();
+        leaves.dedup();
+        assert_eq!(leaves.len(), 8);
+        // Ninth leaf triggers a second group.
+        mgr.get_leaf(&pool, &layout, &meta, dest);
+        assert_eq!(pool.stats().snapshot().allocs, 2);
+        assert_eq!(mgr.group_count(), 2);
+    }
+
+    #[test]
+    fn get_leaf_publishes_owner_pointer() {
+        let (pool, layout, meta, mut mgr) = setup(4);
+        let dest = meta.head_slot();
+        let leaf = mgr.get_leaf(&pool, &layout, &meta, dest);
+        let p: RawPPtr = pool.read_at(dest);
+        assert_eq!(p.offset, leaf);
+    }
+
+    #[test]
+    fn free_leaf_recycles_without_deallocating() {
+        let (pool, layout, meta, mut mgr) = setup(4);
+        let dest = meta.head_slot();
+        let a = mgr.get_leaf(&pool, &layout, &meta, dest);
+        let _b = mgr.get_leaf(&pool, &layout, &meta, dest);
+        pool.stats().reset();
+        mgr.free_leaf(&pool, &layout, &meta, a);
+        assert_eq!(pool.stats().snapshot().deallocs, 0);
+        let c = mgr.get_leaf(&pool, &layout, &meta, dest);
+        assert_eq!(c, a, "freed leaf must be recycled");
+    }
+
+    #[test]
+    fn fully_free_group_is_deallocated() {
+        let (pool, layout, meta, mut mgr) = setup(2);
+        let dest = meta.head_slot();
+        let a = mgr.get_leaf(&pool, &layout, &meta, dest);
+        let b = mgr.get_leaf(&pool, &layout, &meta, dest);
+        assert_eq!(mgr.group_count(), 1);
+        mgr.free_leaf(&pool, &layout, &meta, a);
+        pool.stats().reset();
+        mgr.free_leaf(&pool, &layout, &meta, b);
+        assert_eq!(pool.stats().snapshot().deallocs, 1, "group must be deallocated");
+        assert_eq!(mgr.group_count(), 0);
+        assert_eq!(mgr.free_leaves(), 0);
+        assert!(meta.groups_head(&pool).is_null());
+    }
+
+    #[test]
+    fn group_unlink_preserves_other_groups() {
+        let (pool, layout, meta, mut mgr) = setup(2);
+        let dest = meta.head_slot();
+        // Three groups worth of leaves.
+        let leaves: Vec<u64> =
+            (0..6).map(|_| mgr.get_leaf(&pool, &layout, &meta, dest)).collect();
+        assert_eq!(mgr.group_count(), 3);
+        // Free the middle group (leaves 2 and 3).
+        mgr.free_leaf(&pool, &layout, &meta, leaves[2]);
+        mgr.free_leaf(&pool, &layout, &meta, leaves[3]);
+        assert_eq!(mgr.group_count(), 2);
+        // Persistent list must still connect head to the last group.
+        let mut cur = meta.groups_head(&pool);
+        let mut seen = 0;
+        while !cur.is_null() {
+            seen += 1;
+            cur = pool.read_at(cur.offset);
+        }
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn rebuild_recovers_free_vector() {
+        let (pool, layout, meta, mut mgr) = setup(4);
+        let dest = meta.head_slot();
+        let used: Vec<u64> =
+            (0..6).map(|_| mgr.get_leaf(&pool, &layout, &meta, dest)).collect();
+        // Pretend only the first three are reachable from the tree.
+        let in_tree: std::collections::HashSet<u64> = used[..3].iter().copied().collect();
+        let mut fresh = GroupMgr::new(4);
+        fresh.rebuild(&pool, &layout, &meta, &in_tree);
+        assert_eq!(fresh.group_count(), 2);
+        // 8 leaves exist, 3 in tree -> 5 free.
+        assert_eq!(fresh.free_leaves(), 5);
+    }
+
+    #[test]
+    fn recover_getleaf_links_orphan_group() {
+        let (pool, layout, meta, mut mgr) = setup(2);
+        let dest = meta.head_slot();
+        let _ = mgr.get_leaf(&pool, &layout, &meta, dest); // one group linked
+        // Simulate a crash after allocation, before linking: allocate a block
+        // directly into the getleaf log.
+        let log = meta.getleaf_log();
+        let bytes = GROUP_HEADER as usize + 2 * layout.size;
+        let orphan = pool.allocate(log.ptr_slot(), bytes).unwrap();
+        GroupMgr::recover_getleaf(&pool, &meta, &layout, 2);
+        assert!(log.ptr(&pool).is_null());
+        // Walk: orphan must now be reachable.
+        let mut cur = meta.groups_head(&pool);
+        let mut found = false;
+        while !cur.is_null() {
+            if cur.offset == orphan {
+                found = true;
+            }
+            cur = pool.read_at(cur.offset);
+        }
+        assert!(found, "orphan group must be linked by recovery");
+    }
+
+    #[test]
+    fn recover_freeleaf_rolls_back_untouched_unlink() {
+        let (pool, layout, meta, mut mgr) = setup(2);
+        let dest = meta.head_slot();
+        let _ = mgr.get_leaf(&pool, &layout, &meta, dest);
+        let second_group_leaf = {
+            let _ = mgr.get_leaf(&pool, &layout, &meta, dest);
+            mgr.get_leaf(&pool, &layout, &meta, dest)
+        };
+        let group = mgr.group_of(&layout, second_group_leaf).unwrap();
+        // Crash right after logging the group, before any unlink step.
+        let log = meta.freeleaf_log();
+        log.set_first(&pool, RawPPtr::new(pool.file_id(), group));
+        GroupMgr::recover_freeleaf(&pool, &meta);
+        assert!(log.first(&pool).is_null());
+        // Group still linked (rollback).
+        let mut cur = meta.groups_head(&pool);
+        let mut count = 0;
+        while !cur.is_null() {
+            count += 1;
+            cur = pool.read_at(cur.offset);
+        }
+        assert_eq!(count, 2);
+    }
+}

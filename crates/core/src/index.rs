@@ -1,0 +1,198 @@
+//! Pluggable index traits.
+//!
+//! The paper's end-to-end experiments swap the index under memcached and
+//! under a prototype database's dictionary. These traits are that seam:
+//! every evaluated tree (FPTree, PTree, NV-Tree, wBTree, STXTree, hash map)
+//! implements them, directly for concurrent structures and through
+//! [`Locked`] for single-threaded ones (matching the paper's use of global
+//! locks around non-concurrent trees in memcached).
+
+use parking_lot::Mutex;
+
+/// A key-value index over fixed-size (u64) keys.
+pub trait U64Index: Send + Sync {
+    /// Inserts; false if the key already exists.
+    fn insert(&self, key: u64, value: u64) -> bool;
+    /// Point lookup.
+    fn get(&self, key: u64) -> Option<u64>;
+    /// Updates an existing key; false if absent.
+    fn update(&self, key: u64, value: u64) -> bool;
+    /// Removes; false if absent.
+    fn remove(&self, key: u64) -> bool;
+    /// Number of keys.
+    fn len(&self) -> usize;
+    /// True if empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Inclusive range scan, sorted. Unsupported indexes (hash) return None.
+    fn range(&self, lo: u64, hi: u64) -> Option<Vec<(u64, u64)>>;
+}
+
+/// A key-value index over variable-size (byte-string) keys.
+pub trait BytesIndex: Send + Sync {
+    /// Inserts; false if the key already exists.
+    fn insert(&self, key: &[u8], value: u64) -> bool;
+    /// Point lookup.
+    fn get(&self, key: &[u8]) -> Option<u64>;
+    /// Updates an existing key; false if absent.
+    fn update(&self, key: &[u8], value: u64) -> bool;
+    /// Removes; false if absent.
+    fn remove(&self, key: &[u8]) -> bool;
+    /// Number of keys.
+    fn len(&self) -> usize;
+    /// True if empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Global-lock adapter turning a single-threaded index into a shareable one.
+pub struct Locked<T>(pub Mutex<T>);
+
+impl<T> Locked<T> {
+    /// Wraps `inner` behind a global mutex.
+    pub fn new(inner: T) -> Self {
+        Locked(Mutex::new(inner))
+    }
+}
+
+impl U64Index for Locked<crate::FPTree> {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        self.0.lock().insert(&key, value)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        self.0.lock().get(&key)
+    }
+    fn update(&self, key: u64, value: u64) -> bool {
+        self.0.lock().update(&key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.lock().remove(&key)
+    }
+    fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+    fn range(&self, lo: u64, hi: u64) -> Option<Vec<(u64, u64)>> {
+        Some(self.0.lock().range(&lo, &hi))
+    }
+}
+
+impl BytesIndex for Locked<crate::FPTreeVar> {
+    fn insert(&self, key: &[u8], value: u64) -> bool {
+        self.0.lock().insert(&key.to_vec(), value)
+    }
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        self.0.lock().get(&key.to_vec())
+    }
+    fn update(&self, key: &[u8], value: u64) -> bool {
+        self.0.lock().update(&key.to_vec(), value)
+    }
+    fn remove(&self, key: &[u8]) -> bool {
+        self.0.lock().remove(&key.to_vec())
+    }
+    fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+}
+
+impl U64Index for crate::ConcurrentFPTree {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        ConcurrentFPTreeExt::insert(self, key, value)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        crate::ConcurrentTree::get(self, &key)
+    }
+    fn update(&self, key: u64, value: u64) -> bool {
+        crate::ConcurrentTree::update(self, &key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        crate::ConcurrentTree::remove(self, &key)
+    }
+    fn len(&self) -> usize {
+        crate::ConcurrentTree::len(self)
+    }
+    fn range(&self, lo: u64, hi: u64) -> Option<Vec<(u64, u64)>> {
+        Some(crate::ConcurrentTree::range(self, &lo, &hi))
+    }
+}
+
+/// Small helper to disambiguate the inherent methods.
+trait ConcurrentFPTreeExt {
+    fn insert(&self, key: u64, value: u64) -> bool;
+}
+
+impl ConcurrentFPTreeExt for crate::ConcurrentFPTree {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        crate::ConcurrentTree::insert(self, &key, value)
+    }
+}
+
+impl BytesIndex for crate::concurrent::ConcurrentFPTreeVar {
+    fn insert(&self, key: &[u8], value: u64) -> bool {
+        crate::ConcurrentTree::insert(self, &key.to_vec(), value)
+    }
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        crate::ConcurrentTree::get(self, &key.to_vec())
+    }
+    fn update(&self, key: &[u8], value: u64) -> bool {
+        crate::ConcurrentTree::update(self, &key.to_vec(), value)
+    }
+    fn remove(&self, key: &[u8]) -> bool {
+        crate::ConcurrentTree::remove(self, &key.to_vec())
+    }
+    fn len(&self) -> usize {
+        crate::ConcurrentTree::len(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeConfig;
+    use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+    use std::sync::Arc;
+
+    #[test]
+    fn locked_fptree_implements_u64_index() {
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(16 << 20)).unwrap());
+        let idx: Box<dyn U64Index> =
+            Box::new(Locked::new(crate::FPTree::create(pool, TreeConfig::fptree(), ROOT_SLOT)));
+        assert!(idx.insert(1, 10));
+        assert!(!idx.insert(1, 11));
+        assert_eq!(idx.get(1), Some(10));
+        assert!(idx.update(1, 12));
+        assert!(idx.remove(1));
+        assert!(idx.is_empty());
+        assert_eq!(idx.range(0, 10), Some(vec![]));
+    }
+
+    #[test]
+    fn concurrent_fptree_implements_u64_index() {
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(16 << 20)).unwrap());
+        let idx: Box<dyn U64Index> = Box::new(crate::ConcurrentFPTree::create(
+            pool,
+            TreeConfig::fptree_concurrent(),
+            ROOT_SLOT,
+        ));
+        assert!(idx.insert(5, 50));
+        assert_eq!(idx.get(5), Some(50));
+        assert_eq!(idx.range(0, 10), Some(vec![(5, 50)]));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn bytes_index_impls() {
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(32 << 20)).unwrap());
+        let idx: Box<dyn BytesIndex> = Box::new(Locked::new(crate::FPTreeVar::create(
+            pool,
+            TreeConfig::fptree_var(),
+            ROOT_SLOT,
+        )));
+        assert!(idx.insert(b"alpha", 1));
+        assert_eq!(idx.get(b"alpha"), Some(1));
+        assert!(idx.update(b"alpha", 2));
+        assert!(idx.remove(b"alpha"));
+        assert!(idx.is_empty());
+    }
+}

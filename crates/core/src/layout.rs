@@ -1,0 +1,207 @@
+//! Runtime-parameterized leaf node layout.
+//!
+//! Leaf nodes live in SCM and are addressed by byte offsets, so their layout
+//! is computed at tree-construction time from the [`TreeConfig`] — node-size
+//! sweeps (Table 1) and payload sweeps (Appendix A) reconfigure it without
+//! recompiling. Layout of an FPTree leaf (paper Figure 2):
+//!
+//! ```text
+//! | bitmap (8) | fingerprints (m) | pad | next PPtr (16) | lock (1) + pad | KV area |
+//! ```
+//!
+//! With m = 56 and fixed keys, bitmap + fingerprints exactly fill the first
+//! cache line — the leaf head a search must always read. The PTree variant
+//! drops fingerprints and splits the KV area into a key array followed by a
+//! value array (better locality for its linear key scans).
+
+use crate::config::TreeConfig;
+use fptree_pmem::CACHE_LINE;
+
+/// Byte offsets of every leaf field, precomputed from a [`TreeConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafLayout {
+    /// Entries per leaf (m).
+    pub m: usize,
+    /// Bytes per key slot: 8 for fixed u64 keys, 16 for a persistent pointer
+    /// to a variable-size key.
+    pub key_slot: usize,
+    /// Bytes reserved per value.
+    pub value_size: usize,
+    /// Whether a fingerprint array is present.
+    pub fingerprints: bool,
+    /// Whether keys and values form separate arrays (PTree).
+    pub split_arrays: bool,
+    /// Offset of the validity bitmap (always 0; 8-byte p-atomic word).
+    pub off_bitmap: usize,
+    /// Offset of the fingerprint array (m bytes; unused if disabled).
+    pub off_fps: usize,
+    /// Offset of the 16-byte persistent next pointer.
+    pub off_next: usize,
+    /// Offset of the one-byte transient lock.
+    pub off_lock: usize,
+    /// Offset of the KV area.
+    pub off_kv: usize,
+    /// Total leaf size, rounded up to a cache line.
+    pub size: usize,
+}
+
+impl LeafLayout {
+    /// Computes the layout for `cfg` with the given key slot width.
+    pub fn new(cfg: &TreeConfig, key_slot: usize) -> LeafLayout {
+        cfg.validate();
+        let m = cfg.leaf_capacity;
+        let off_bitmap = 0usize;
+        let off_fps = 8;
+        let fps_len = if cfg.fingerprints { m } else { 0 };
+        // Next pointer 8-byte aligned after the fingerprints.
+        let off_next = (off_fps + fps_len + 7) & !7;
+        let off_lock = off_next + 16;
+        // KV area 8-byte aligned after lock byte (+7 pad).
+        let off_kv = off_lock + 8;
+        let kv_len = m * (key_slot + cfg.value_size);
+        let size = (off_kv + kv_len + CACHE_LINE - 1) & !(CACHE_LINE - 1);
+        LeafLayout {
+            m,
+            key_slot,
+            value_size: cfg.value_size,
+            fingerprints: cfg.fingerprints,
+            split_arrays: cfg.split_arrays,
+            off_bitmap,
+            off_fps,
+            off_next,
+            off_lock,
+            off_kv,
+            size,
+        }
+    }
+
+    /// Byte offset of slot `i`'s key within the leaf.
+    #[inline]
+    pub fn key_off(&self, slot: usize) -> usize {
+        debug_assert!(slot < self.m);
+        if self.split_arrays {
+            self.off_kv + slot * self.key_slot
+        } else {
+            self.off_kv + slot * (self.key_slot + self.value_size)
+        }
+    }
+
+    /// Byte offset of slot `i`'s value within the leaf.
+    #[inline]
+    pub fn val_off(&self, slot: usize) -> usize {
+        debug_assert!(slot < self.m);
+        if self.split_arrays {
+            self.off_kv + self.m * self.key_slot + slot * self.value_size
+        } else {
+            self.off_kv + slot * (self.key_slot + self.value_size) + self.key_slot
+        }
+    }
+
+    /// Bytes of the leaf head a search always reads: bitmap plus, when
+    /// present, the fingerprint array.
+    #[inline]
+    pub fn head_len(&self) -> usize {
+        if self.fingerprints {
+            8 + self.m
+        } else {
+            8
+        }
+    }
+
+    /// Bitmask with the low `m` bits set: a full leaf's bitmap.
+    #[inline]
+    pub fn full_bitmap(&self) -> u64 {
+        if self.m == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.m) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_leaf_head_fills_one_cache_line() {
+        // m = 56 fixed-key FPTree: 8-byte bitmap + 56 fingerprints = 64 B.
+        let l = LeafLayout::new(&TreeConfig::fptree(), 8);
+        assert_eq!(l.head_len(), 64);
+        assert_eq!(l.off_next, 64);
+        assert_eq!(l.size % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn interleaved_offsets_do_not_overlap() {
+        let cfg = TreeConfig::fptree().with_leaf_capacity(16).with_value_size(24);
+        let l = LeafLayout::new(&cfg, 8);
+        let mut spans: Vec<(usize, usize)> = vec![
+            (l.off_bitmap, 8),
+            (l.off_fps, 16),
+            (l.off_next, 16),
+            (l.off_lock, 1),
+        ];
+        for i in 0..16 {
+            spans.push((l.key_off(i), 8));
+            spans.push((l.val_off(i), 24));
+        }
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {:?} {:?}", w[0], w[1]);
+        }
+        assert!(spans.last().unwrap().0 + spans.last().unwrap().1 <= l.size);
+    }
+
+    #[test]
+    fn split_arrays_group_keys_contiguously() {
+        let cfg = TreeConfig::ptree(); // m = 32, split arrays, no fps
+        let l = LeafLayout::new(&cfg, 8);
+        assert!(!l.fingerprints);
+        // Keys are adjacent.
+        assert_eq!(l.key_off(1) - l.key_off(0), 8);
+        // Values follow the complete key array.
+        assert_eq!(l.val_off(0), l.key_off(0) + 32 * 8);
+        assert_eq!(l.val_off(1) - l.val_off(0), 8);
+    }
+
+    #[test]
+    fn var_key_slots_are_sixteen_bytes() {
+        let l = LeafLayout::new(&TreeConfig::fptree_var(), 16);
+        assert_eq!(l.key_off(1) - l.key_off(0), 16 + 8);
+        assert_eq!(l.val_off(0) - l.key_off(0), 16);
+    }
+
+    #[test]
+    fn full_bitmap_handles_all_capacities() {
+        for m in [1usize, 8, 56, 63, 64] {
+            let cfg = TreeConfig::fptree().with_leaf_capacity(m);
+            let l = LeafLayout::new(&cfg, 8);
+            assert_eq!(l.full_bitmap().count_ones() as usize, m);
+        }
+    }
+
+    #[test]
+    fn key_offsets_are_eight_byte_aligned() {
+        for m in [3usize, 7, 56, 64] {
+            for &(fps, split) in &[(true, false), (false, true), (false, false)] {
+                let cfg = TreeConfig {
+                    leaf_capacity: m,
+                    inner_fanout: 16,
+                    value_size: 8,
+                    fingerprints: fps,
+                    split_arrays: split,
+                    leaf_group_size: 0,
+                };
+                for ks in [8usize, 16] {
+                    let l = LeafLayout::new(&cfg, ks);
+                    for i in 0..m {
+                        assert_eq!(l.key_off(i) % 8, 0);
+                        assert_eq!(l.val_off(i) % 8, 0);
+                    }
+                    assert_eq!(l.off_next % 8, 0);
+                }
+            }
+        }
+    }
+}

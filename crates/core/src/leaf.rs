@@ -1,0 +1,463 @@
+//! Typed accessors over a leaf node stored in SCM.
+//!
+//! A [`Leaf`] borrows the pool, the layout, and the leaf's base offset and
+//! exposes the paper's leaf fields (Figure 2): the p-atomic validity bitmap,
+//! the fingerprint array, the persistent `next` pointer, the transient lock
+//! byte, and the KV slots. Methods never persist implicitly — the tree
+//! algorithms call `persist` exactly where the paper does, which is what the
+//! crash-consistency tests verify.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use fptree_pmem::{PmemPool, RawPPtr};
+
+use crate::keys::KeyKind;
+use crate::layout::LeafLayout;
+
+/// A view over one leaf node in persistent memory.
+#[derive(Clone, Copy)]
+pub struct Leaf<'a> {
+    pub pool: &'a PmemPool,
+    pub layout: &'a LeafLayout,
+    /// Base offset of the leaf in the pool.
+    pub off: u64,
+}
+
+impl<'a> Leaf<'a> {
+    /// Creates a view; `off` must reference a leaf laid out by `layout`.
+    #[inline]
+    pub fn new(pool: &'a PmemPool, layout: &'a LeafLayout, off: u64) -> Self {
+        Leaf { pool, layout, off }
+    }
+
+    // ------------------------------------------------------------- bitmap
+
+    /// Reads the validity bitmap.
+    #[inline]
+    pub fn bitmap(&self) -> u64 {
+        self.pool.read_word(self.off + self.layout.off_bitmap as u64)
+    }
+
+    /// P-atomically writes and persists the bitmap — the commit point of
+    /// every leaf modification.
+    #[inline]
+    pub fn commit_bitmap(&self, bm: u64) {
+        let off = self.off + self.layout.off_bitmap as u64;
+        self.pool.write_word(off, bm);
+        self.pool.persist(off, 8);
+    }
+
+    /// Number of valid entries.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.bitmap().count_ones() as usize
+    }
+
+    /// True when every slot is occupied.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.bitmap() == self.layout.full_bitmap()
+    }
+
+    /// Index of the first free slot, if any.
+    #[inline]
+    pub fn first_zero_slot(&self) -> Option<usize> {
+        let free = !self.bitmap() & self.layout.full_bitmap();
+        if free == 0 {
+            None
+        } else {
+            Some(free.trailing_zeros() as usize)
+        }
+    }
+
+    // -------------------------------------------------------- fingerprints
+
+    /// Reads one fingerprint (layout must have fingerprints).
+    #[inline]
+    pub fn fingerprint(&self, slot: usize) -> u8 {
+        debug_assert!(self.layout.fingerprints);
+        self.pool.read_at(self.off + (self.layout.off_fps + slot) as u64)
+    }
+
+    /// Writes one fingerprint (not persisted: flushed with the KV slot).
+    #[inline]
+    pub fn set_fingerprint(&self, slot: usize, fp: u8) {
+        debug_assert!(self.layout.fingerprints);
+        self.pool.write_at(self.off + (self.layout.off_fps + slot) as u64, &fp);
+    }
+
+    /// Persists the fingerprint byte of `slot`.
+    #[inline]
+    pub fn persist_fingerprint(&self, slot: usize) {
+        self.pool.persist(self.off + (self.layout.off_fps + slot) as u64, 1);
+    }
+
+    /// Copies the whole fingerprint array into `buf` (length ≥ m).
+    #[inline]
+    pub fn read_fingerprints(&self, buf: &mut [u8]) {
+        debug_assert!(self.layout.fingerprints);
+        self.pool.read_bytes(self.off + self.layout.off_fps as u64, &mut buf[..self.layout.m]);
+    }
+
+    // ---------------------------------------------------------------- next
+
+    /// Reads the persistent next pointer.
+    #[inline]
+    pub fn next(&self) -> RawPPtr {
+        self.pool.read_at(self.off + self.layout.off_next as u64)
+    }
+
+    /// Writes and persists the next pointer.
+    #[inline]
+    pub fn set_next(&self, next: RawPPtr) {
+        let off = self.off + self.layout.off_next as u64;
+        self.pool.write_at(off, &next);
+        self.pool.persist(off, 16);
+    }
+
+    // ---------------------------------------------------------------- lock
+
+    /// The transient lock byte as an atomic (never persisted; recovery
+    /// resets it).
+    #[inline]
+    pub fn lock_ref(&self) -> &AtomicU8 {
+        self.pool.atomic_u8(self.off + self.layout.off_lock as u64)
+    }
+
+    /// Attempts to take the leaf lock (0 → 1).
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        self.lock_ref().compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed).is_ok()
+    }
+
+    /// True if some thread holds the leaf lock.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.lock_ref().load(Ordering::Acquire) != 0
+    }
+
+    /// Releases the leaf lock.
+    #[inline]
+    pub fn unlock(&self) {
+        self.lock_ref().store(0, Ordering::Release);
+    }
+
+    /// Forces the lock word to zero (recovery resets all leaf locks).
+    #[inline]
+    pub fn reset_lock(&self) {
+        self.vlock_ref().store(0, Ordering::Relaxed);
+    }
+
+    // ----------------------------------------------------- version lock
+    //
+    // The concurrent tree uses the 8-byte lock field as a per-leaf
+    // *sequence lock*: even = unlocked, odd = a writer holds the leaf.
+    // Optimistic readers snapshot an even version and re-check it after
+    // reading — our emulation of TSX detecting a conflicting leaf-lock
+    // write in the reader's read set (§5: "if many threads try to write
+    // the same lock, only one will succeed and the others will be
+    // aborted"). Like the paper's lock byte, it is transient: never
+    // persisted deliberately, reset on recovery.
+
+    /// The 8-byte transient version-lock word.
+    #[inline]
+    pub fn vlock_ref(&self) -> &std::sync::atomic::AtomicU64 {
+        self.pool.atomic_u64(self.off + self.layout.off_lock as u64)
+    }
+
+    /// Snapshot for an optimistic leaf read: `Some(version)` if unlocked.
+    #[inline]
+    pub fn version(&self) -> Option<u64> {
+        let v = self.vlock_ref().load(Ordering::Acquire);
+        (v & 1 == 0).then_some(v)
+    }
+
+    /// True if the version moved (or a writer holds the leaf) since `v`.
+    #[inline]
+    pub fn version_changed(&self, v: u64) -> bool {
+        std::sync::atomic::fence(Ordering::Acquire);
+        self.vlock_ref().load(Ordering::Acquire) != v
+    }
+
+    /// Attempts to lock the leaf given its observed unlocked version.
+    #[inline]
+    pub fn try_lock_version(&self, v: u64) -> bool {
+        self.vlock_ref()
+            .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases a version lock, publishing the new leaf state.
+    #[inline]
+    pub fn unlock_version(&self) {
+        self.vlock_ref().fetch_add(1, Ordering::Release);
+    }
+
+    // ------------------------------------------------------------ kv slots
+
+    /// Absolute pool offset of slot `i`'s key.
+    #[inline]
+    pub fn key_off(&self, slot: usize) -> u64 {
+        self.off + self.layout.key_off(slot) as u64
+    }
+
+    /// Absolute pool offset of slot `i`'s value.
+    #[inline]
+    pub fn val_off(&self, slot: usize) -> u64 {
+        self.off + self.layout.val_off(slot) as u64
+    }
+
+    /// Reads slot `i`'s logical value.
+    #[inline]
+    pub fn value(&self, slot: usize) -> u64 {
+        self.pool.read_word(self.val_off(slot))
+    }
+
+    /// Writes slot `i`'s value (first 8 bytes carry the logical value; any
+    /// remaining payload bytes are filled to model larger records).
+    pub fn set_value(&self, slot: usize, v: u64) {
+        let off = self.val_off(slot);
+        self.pool.write_word(off, v);
+        if self.layout.value_size > 8 {
+            // Payload body beyond the logical u64 (Appendix A experiments).
+            let filler = vec![0xA5u8; self.layout.value_size - 8];
+            self.pool.write_bytes(off + 8, &filler);
+        }
+    }
+
+    /// Persists slot `i`'s key+value region.
+    #[inline]
+    pub fn persist_slot(&self, slot: usize) {
+        if self.layout.split_arrays {
+            self.pool.persist(self.key_off(slot), self.layout.key_slot);
+            self.pool.persist(self.val_off(slot), self.layout.value_size);
+        } else {
+            self.pool
+                .persist(self.key_off(slot), self.layout.key_slot + self.layout.value_size);
+        }
+    }
+
+    // ---------------------------------------------------------- latencies
+
+    /// Charges the SCM read cost of the leaf head (bitmap + fingerprints) —
+    /// the first cache miss of every leaf access.
+    #[inline]
+    pub fn touch_head(&self) {
+        self.pool.touch_read(self.off, self.layout.head_len());
+    }
+
+    /// Charges the SCM read cost of probing slot `i`'s KV data.
+    #[inline]
+    pub fn touch_slot(&self, slot: usize) {
+        if self.layout.split_arrays {
+            self.pool.touch_read(self.key_off(slot), self.layout.key_slot);
+            self.pool.touch_read(self.val_off(slot), self.layout.value_size);
+        } else {
+            self.pool
+                .touch_read(self.key_off(slot), self.layout.key_slot + self.layout.value_size);
+        }
+    }
+
+    /// Charges the SCM read cost of a full linear key scan (the
+    /// no-fingerprint path: the whole key region streams through the cache).
+    #[inline]
+    pub fn touch_key_scan(&self) {
+        if self.layout.split_arrays {
+            self.pool
+                .touch_read(self.key_off(0), self.layout.m * self.layout.key_slot);
+        } else {
+            self.pool.touch_read(
+                self.key_off(0),
+                self.layout.m * (self.layout.key_slot + self.layout.value_size),
+            );
+        }
+    }
+
+    // -------------------------------------------------------------- search
+
+    /// Searches the leaf for `key`, returning its slot.
+    ///
+    /// With fingerprints: scan the fingerprint array and probe only matching
+    /// slots (expected one probe, §4.2). Without: linear scan of the key
+    /// area. Read latency is charged per the access pattern.
+    pub fn find_slot<K: KeyKind>(&self, key: &K::Owned) -> Option<usize> {
+        let bitmap = self.bitmap();
+        self.touch_head();
+        if self.layout.fingerprints {
+            let fp = K::fingerprint(key);
+            let mut fps = [0u8; crate::config::MAX_LEAF_CAPACITY];
+            self.read_fingerprints(&mut fps);
+            #[allow(clippy::needless_range_loop)] // slot indexes bitmap too
+            for slot in 0..self.layout.m {
+                if bitmap & (1 << slot) != 0 && fps[slot] == fp {
+                    self.touch_slot(slot);
+                    K::touch_key(self.pool, self.key_off(slot));
+                    if K::slot_matches(self.pool, self.key_off(slot), key) {
+                        return Some(slot);
+                    }
+                }
+            }
+            None
+        } else {
+            self.touch_key_scan();
+            for slot in 0..self.layout.m {
+                if bitmap & (1 << slot) != 0 {
+                    K::touch_key(self.pool, self.key_off(slot));
+                    if K::slot_matches(self.pool, self.key_off(slot), key) {
+                        self.touch_slot(slot);
+                        return Some(slot);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    /// Collects every valid `(slot, key)` pair (splits, scans, recovery).
+    pub fn collect_entries<K: KeyKind>(&self) -> Vec<(usize, K::Owned)> {
+        let bitmap = self.bitmap();
+        let mut out = Vec::with_capacity(bitmap.count_ones() as usize);
+        for slot in 0..self.layout.m {
+            if bitmap & (1 << slot) != 0 {
+                out.push((slot, K::read_slot(self.pool, self.key_off(slot))));
+            }
+        }
+        out
+    }
+
+    /// Largest key in the leaf (recovery: discriminator for inner rebuild).
+    pub fn max_key<K: KeyKind>(&self) -> Option<K::Owned> {
+        self.collect_entries::<K>().into_iter().map(|(_, k)| k).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeConfig;
+    use crate::keys::FixedKey;
+    use fptree_pmem::{PoolOptions, ROOT_SLOT};
+
+    fn setup() -> (PmemPool, LeafLayout, u64) {
+        let pool = PmemPool::create(PoolOptions::direct(1 << 20)).unwrap();
+        let layout = LeafLayout::new(&TreeConfig::fptree(), 8);
+        let off = pool.allocate(ROOT_SLOT, layout.size).unwrap();
+        // Zero the leaf region (allocator does not).
+        pool.write_bytes(off, &vec![0u8; layout.size]);
+        pool.persist(off, layout.size);
+        (pool, layout, off)
+    }
+
+    fn insert_fixed(leaf: &Leaf<'_>, slot: usize, key: u64, val: u64) {
+        use crate::keys::KeyKind;
+        FixedKey::write_slot(leaf.pool, leaf.key_off(slot), &key);
+        leaf.set_value(slot, val);
+        leaf.set_fingerprint(slot, FixedKey::fingerprint(&key));
+        leaf.persist_slot(slot);
+        leaf.persist_fingerprint(slot);
+        leaf.commit_bitmap(leaf.bitmap() | (1 << slot));
+    }
+
+    #[test]
+    fn bitmap_commit_roundtrip() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        assert_eq!(leaf.bitmap(), 0);
+        assert_eq!(leaf.count(), 0);
+        leaf.commit_bitmap(0b1011);
+        assert_eq!(leaf.bitmap(), 0b1011);
+        assert_eq!(leaf.count(), 3);
+        assert_eq!(leaf.first_zero_slot(), Some(2));
+        assert!(!leaf.is_full());
+        leaf.commit_bitmap(layout.full_bitmap());
+        assert!(leaf.is_full());
+        assert_eq!(leaf.first_zero_slot(), None);
+    }
+
+    #[test]
+    fn find_slot_uses_fingerprints() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        for (i, k) in [42u64, 7, 99, 1000].iter().enumerate() {
+            insert_fixed(&leaf, i, *k, k * 10);
+        }
+        pool.stats().reset();
+        let slot = leaf.find_slot::<FixedKey>(&99).unwrap();
+        assert_eq!(slot, 2);
+        assert_eq!(leaf.value(slot), 990);
+        // One head line + one slot probe: 2 lines charged in expectation.
+        let lines = pool.stats().snapshot().read_lines;
+        assert!(lines <= 4, "fingerprint search touched {lines} lines");
+        assert!(leaf.find_slot::<FixedKey>(&123456).is_none());
+    }
+
+    #[test]
+    fn linear_scan_without_fingerprints() {
+        let pool = PmemPool::create(PoolOptions::direct(1 << 20)).unwrap();
+        let layout = LeafLayout::new(&TreeConfig::ptree(), 8);
+        let off = pool.allocate(ROOT_SLOT, layout.size).unwrap();
+        pool.write_bytes(off, &vec![0u8; layout.size]);
+        let leaf = Leaf::new(&pool, &layout, off);
+        use crate::keys::KeyKind;
+        for (i, k) in [5u64, 3, 8].iter().enumerate() {
+            FixedKey::write_slot(&pool, leaf.key_off(i), k);
+            leaf.set_value(i, k + 100);
+            leaf.persist_slot(i);
+            leaf.commit_bitmap(leaf.bitmap() | (1 << i));
+        }
+        assert_eq!(leaf.find_slot::<FixedKey>(&3), Some(1));
+        assert_eq!(leaf.find_slot::<FixedKey>(&9), None);
+    }
+
+    #[test]
+    fn next_pointer_roundtrip() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        assert!(leaf.next().is_null());
+        let p = RawPPtr::new(pool.file_id(), 0x8000);
+        leaf.set_next(p);
+        assert_eq!(leaf.next(), p);
+    }
+
+    #[test]
+    fn lock_protocol() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        assert!(!leaf.is_locked());
+        assert!(leaf.try_lock());
+        assert!(leaf.is_locked());
+        assert!(!leaf.try_lock(), "second lock attempt must fail");
+        leaf.unlock();
+        assert!(leaf.try_lock());
+        leaf.reset_lock();
+        assert!(!leaf.is_locked());
+    }
+
+    #[test]
+    fn collect_and_max() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        assert!(leaf.max_key::<FixedKey>().is_none());
+        for (i, k) in [50u64, 10, 90, 30].iter().enumerate() {
+            insert_fixed(&leaf, i, *k, 0);
+        }
+        let entries = leaf.collect_entries::<FixedKey>();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(leaf.max_key::<FixedKey>(), Some(90));
+    }
+
+    #[test]
+    fn large_payload_fill() {
+        let pool = PmemPool::create(PoolOptions::direct(1 << 20)).unwrap();
+        let cfg = TreeConfig::fptree().with_value_size(112);
+        let layout = LeafLayout::new(&cfg, 8);
+        let off = pool.allocate(ROOT_SLOT, layout.size).unwrap();
+        pool.write_bytes(off, &vec![0u8; layout.size]);
+        let leaf = Leaf::new(&pool, &layout, off);
+        leaf.set_value(0, 77);
+        assert_eq!(leaf.value(0), 77);
+        // Padding bytes were written.
+        let b: u8 = pool.read_at(leaf.val_off(0) + 8);
+        assert_eq!(b, 0xA5);
+    }
+}

@@ -1,0 +1,57 @@
+//! # FPTree — a hybrid SCM-DRAM persistent and concurrent B+-Tree
+//!
+//! Rust reproduction of *Oukid et al., "FPTree: A Hybrid SCM-DRAM Persistent
+//! and Concurrent B-Tree for Storage Class Memory", SIGMOD 2016*.
+//!
+//! The FPTree keeps **leaf nodes in (simulated) storage class memory** and
+//! **inner nodes in DRAM**, rebuilt on recovery (Selective Persistence). Leaf
+//! lookups scan a one-byte-per-key **fingerprint** array first, bounding
+//! expected in-leaf key probes to one. The concurrent variant wraps inner
+//! work in (emulated) **hardware transactions** while persistent leaf work
+//! runs outside them under fine-grained leaf locks (Selective Concurrency).
+//! All persistent-memory management follows the paper's sound programming
+//! model: persistent pointers, a leak-preventing crash-safe allocator, and
+//! micro-logged structural operations.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+//! use fptree_core::{FPTree, TreeConfig};
+//!
+//! let pool = Arc::new(PmemPool::create(PoolOptions::direct(32 << 20)).unwrap());
+//! let mut tree = FPTree::create(Arc::clone(&pool), TreeConfig::fptree(), ROOT_SLOT);
+//! tree.insert(&42, 4200);
+//! assert_eq!(tree.get(&42), Some(4200));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Paper section |
+//! |---|---|
+//! | [`fingerprint`] | §4.2 Fingerprints (+ Figure 4 analysis) |
+//! | [`config`] / [`layout`] | Table 1 node sizing, Figure 2 leaf layout |
+//! | [`keys`] | Appendix C variable-size keys |
+//! | [`meta`] | §5 micro-logs |
+//! | [`single`] | §5 base operations + recovery, §4.3 leaf groups |
+//! | [`concurrent`] | §4.4 Selective Concurrency, Algorithms 1–8 |
+
+pub mod concurrent;
+pub mod config;
+pub mod fingerprint;
+pub mod index;
+mod groups;
+mod inner;
+pub mod keys;
+pub mod layout;
+pub mod leaf;
+pub mod meta;
+pub mod single;
+
+pub use concurrent::{ConcKey, ConcurrentFPTree, ConcurrentFPTreeVar, ConcurrentTree};
+pub use config::TreeConfig;
+pub use index::{BytesIndex, Locked, U64Index};
+pub use keys::{FixedKey, KeyKind, VarKey};
+pub use layout::LeafLayout;
+pub use single::{FPTree, FPTreeVar, MemoryUsage, SingleTree, TreeIter};

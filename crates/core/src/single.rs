@@ -1,0 +1,905 @@
+//! The single-threaded FPTree (and PTree), generic over the key kind.
+//!
+//! Implements the paper's base operations (§5) and recovery:
+//!
+//! * **Find** — traverse DRAM inner nodes, fingerprint-scan one SCM leaf.
+//! * **Insert** — write KV + fingerprint, persist, then commit with one
+//!   p-atomic bitmap write; leaf splits are made crash-atomic by a split
+//!   micro-log (Algorithms 3/4) and use amortized leaf-group allocation
+//!   (Algorithm 10) when enabled.
+//! * **Delete** — one p-atomic bitmap write; emptied leaves are unlinked
+//!   under a delete micro-log (Algorithms 6/7) and returned to their group
+//!   (Algorithm 12) or deallocated.
+//! * **Update** — an optimized insert-after-delete: both the insertion and
+//!   the deletion commit in the *same* p-atomic bitmap write (Algorithm 8);
+//!   variable-size keys move the key *pointer* instead of reallocating
+//!   (Algorithm 16).
+//! * **Recovery** — replay the micro-logs, audit variable-key slots for
+//!   leaks (Algorithm 17), rebuild the DRAM inner nodes from the leaf
+//!   linked list, reset leaf locks (Algorithm 9).
+//!
+//! Two deliberate deviations from the pseudo-code, both documented in
+//! DESIGN.md: (1) the last remaining leaf is never deleted, so traversal
+//! always finds a leaf; (2) after a split the new key is inserted into
+//! whichever half covers it (the paper's Algorithm 2 elides this choice).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use fptree_pmem::{PmemPool, RawPPtr};
+
+use crate::config::TreeConfig;
+use crate::groups::GroupMgr;
+use crate::inner::{build_from_leaves, InnerNode, Node};
+use crate::keys::KeyKind;
+use crate::layout::LeafLayout;
+use crate::leaf::Leaf;
+use crate::meta::{TreeMeta, STATUS_READY};
+
+/// Memory footprint report (Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryUsage {
+    /// Bytes in SCM: leaves (or their groups), key blobs, metadata block.
+    pub scm_bytes: u64,
+    /// Bytes in DRAM: inner nodes (plus the free-leaf vector).
+    pub dram_bytes: u64,
+    /// Number of leaves linked in the tree.
+    pub leaf_count: usize,
+    /// Number of inner nodes.
+    pub inner_count: usize,
+}
+
+/// Shared immutable context: pool, configuration, layout, metadata handle.
+pub(crate) struct Ctx {
+    pub pool: Arc<PmemPool>,
+    pub cfg: TreeConfig,
+    pub layout: LeafLayout,
+    pub meta: TreeMeta,
+}
+
+impl Ctx {
+    #[inline]
+    pub fn leaf(&self, off: u64) -> Leaf<'_> {
+        Leaf::new(&self.pool, &self.layout, off)
+    }
+
+    #[inline]
+    pub fn pptr(&self, off: u64) -> RawPPtr {
+        RawPPtr::new(self.pool.file_id(), off)
+    }
+
+    pub fn zero_leaf(&self, off: u64) {
+        self.pool.write_bytes(off, &vec![0u8; self.layout.size]);
+        self.pool.persist(off, self.layout.size);
+    }
+
+    /// Writes one KV into a leaf with a free slot and p-atomically commits
+    /// it (the non-split insert path of Algorithm 2 / 14).
+    pub fn insert_into_leaf<K: KeyKind>(&self, off: u64, key: &K::Owned, value: u64) {
+        let leaf = self.leaf(off);
+        let slot = leaf.first_zero_slot().expect("insert_into_leaf requires a free slot");
+        K::write_slot(&self.pool, leaf.key_off(slot), key);
+        leaf.set_value(slot, value);
+        if self.layout.fingerprints {
+            leaf.set_fingerprint(slot, K::fingerprint(key));
+        }
+        leaf.persist_slot(slot);
+        if self.layout.fingerprints {
+            leaf.persist_fingerprint(slot);
+        }
+        // Commit point: before this p-atomic write the entry is invisible.
+        leaf.commit_bitmap(leaf.bitmap() | (1 << slot));
+    }
+
+    /// In-place update (Algorithms 8 / 16): stage the new record in a free
+    /// slot, then one p-atomic bitmap write retires the old slot and
+    /// publishes the new one.
+    pub fn update_in_leaf<K: KeyKind>(&self, off: u64, old_slot: usize, value: u64) {
+        let leaf = self.leaf(off);
+        let new_slot = leaf.first_zero_slot().expect("update_in_leaf requires a free slot");
+        // The key moves by copying the slot bytes: fixed keys copy the key
+        // itself, variable keys copy the persistent pointer (no realloc).
+        let mut slot_bytes = vec![0u8; self.layout.key_slot];
+        self.pool.read_bytes(leaf.key_off(old_slot), &mut slot_bytes);
+        self.pool.write_bytes(leaf.key_off(new_slot), &slot_bytes);
+        leaf.set_value(new_slot, value);
+        if self.layout.fingerprints {
+            leaf.set_fingerprint(new_slot, leaf.fingerprint(old_slot));
+        }
+        leaf.persist_slot(new_slot);
+        if self.layout.fingerprints {
+            leaf.persist_fingerprint(new_slot);
+        }
+        let bm = (leaf.bitmap() & !(1 << old_slot)) | (1 << new_slot);
+        leaf.commit_bitmap(bm);
+        // The old slot no longer owns the key blob (Algorithm 16 line 16);
+        // until this reset, recovery's audit resolves the shared reference.
+        K::reset_slot(&self.pool, leaf.key_off(old_slot));
+    }
+
+    /// Splits a full leaf (Algorithm 3 + leaf groups), returning the split
+    /// key (max of the lower half) and the new right leaf.
+    pub fn split_leaf<K: KeyKind>(
+        &self,
+        groups: &mut GroupMgr,
+        off: u64,
+        log_idx: usize,
+    ) -> (K::Owned, u64) {
+        let log = self.meta.split_log(log_idx);
+        log.set_first(&self.pool, self.pptr(off));
+        let new_off = groups.get_leaf(&self.pool, &self.layout, &self.meta, log.second_slot());
+        let split_key = self.split_copy_commit::<K>(off, new_off);
+        log.reset(&self.pool);
+        (split_key, new_off)
+    }
+
+    /// The body of a leaf split, shared between the forward path and
+    /// recovery redo (Algorithm 3 lines 6–14).
+    fn split_copy_commit<K: KeyKind>(&self, old: u64, new: u64) -> K::Owned {
+        // Copy the entire leaf content, then persist it.
+        let mut buf = vec![0u8; self.layout.size];
+        self.pool.read_bytes(old, &mut buf);
+        buf[self.layout.off_lock..self.layout.off_lock + 8].fill(0); // transient lock word
+        self.pool.write_bytes(new, &buf);
+        self.pool.persist(new, self.layout.size);
+
+        // Choose the split: lower half stays, upper half moves.
+        let old_leaf = self.leaf(old);
+        let mut entries = old_leaf.collect_entries::<K>();
+        entries.sort_by(|a, b| a.1.cmp(&b.1));
+        let keep = entries.len().div_ceil(2);
+        let split_key = entries[keep - 1].1.clone();
+        let mut new_bm = 0u64;
+        for (slot, _) in &entries[keep..] {
+            new_bm |= 1 << slot;
+        }
+        let new_leaf = self.leaf(new);
+        new_leaf.commit_bitmap(new_bm);
+        old_leaf.commit_bitmap(self.layout.full_bitmap() ^ new_bm);
+        self.split_reset_dead_slots::<K>(old, new, new_bm);
+        old_leaf.set_next(self.pptr(new));
+        split_key
+    }
+
+    /// After a split, both leaves hold copies of every key slot; for
+    /// variable-size keys the *invalid* copies must be persistently nulled
+    /// so the recovery audit (Algorithm 17) can treat any non-null invalid
+    /// slot as a same-leaf question.
+    fn split_reset_dead_slots<K: KeyKind>(&self, old: u64, new: u64, new_bm: u64) {
+        if !K::IS_VAR {
+            return;
+        }
+        let old_leaf = self.leaf(old);
+        let new_leaf = self.leaf(new);
+        for slot in 0..self.layout.m {
+            if new_bm & (1 << slot) != 0 {
+                K::reset_slot(&self.pool, old_leaf.key_off(slot));
+            } else {
+                K::reset_slot(&self.pool, new_leaf.key_off(slot));
+            }
+        }
+    }
+
+    /// Replays split micro-log `log_idx` (Algorithm 4).
+    pub fn recover_split<K: KeyKind>(&self, log_idx: usize) {
+        let log = self.meta.split_log(log_idx);
+        let cur = log.first(&self.pool);
+        if cur.is_null() {
+            log.reset(&self.pool);
+            return;
+        }
+        let new = log.second(&self.pool);
+        if new.is_null() {
+            // Crashed before the new leaf was published: roll back.
+            log.reset(&self.pool);
+            return;
+        }
+        let old_leaf = self.leaf(cur.offset);
+        if old_leaf.bitmap() == self.layout.full_bitmap() {
+            // Crashed before the old bitmap was halved: redo everything
+            // (FindSplitKey is deterministic, so this is idempotent).
+            self.split_copy_commit::<K>(cur.offset, new.offset);
+        } else {
+            // Old bitmap already halved: redo the tail only.
+            let new_bm = self.leaf(new.offset).bitmap();
+            old_leaf.commit_bitmap(self.layout.full_bitmap() ^ new_bm);
+            self.split_reset_dead_slots::<K>(cur.offset, new.offset, new_bm);
+            old_leaf.set_next(self.pptr(new.offset));
+        }
+        log.reset(&self.pool);
+    }
+
+    /// Unlinks (and frees) an empty leaf (Algorithm 6 + FreeLeaf).
+    ///
+    /// `groups = None` during recovery's cleanup walk: in group mode the
+    /// leaf is simply left free-in-group (rediscovered by the group
+    /// rebuild); without groups it is deallocated either way.
+    pub fn delete_leaf(
+        &self,
+        groups: Option<&mut GroupMgr>,
+        off: u64,
+        prev: Option<u64>,
+        log_idx: usize,
+    ) {
+        let log = self.meta.delete_log(log_idx);
+        log.set_first(&self.pool, self.pptr(off));
+        let next = self.leaf(off).next();
+        if self.meta.head(&self.pool).offset == off {
+            self.meta.set_head(&self.pool, next);
+        } else {
+            let prev = prev.expect("non-head leaf must have a predecessor");
+            log.set_second(&self.pool, self.pptr(prev));
+            self.leaf(prev).set_next(next);
+        }
+        match groups {
+            Some(g) if g.enabled() => {
+                g.free_leaf(&self.pool, &self.layout, &self.meta, off);
+            }
+            _ if self.cfg.leaf_group_size > 1 => {
+                // Recovery cleanup in group mode: leave the leaf for the
+                // group rebuild to reclaim.
+            }
+            _ => {
+                self.pool.deallocate(log.first_slot());
+            }
+        }
+        log.reset(&self.pool);
+    }
+
+    /// Replays delete micro-log `log_idx` (Algorithm 7).
+    pub fn recover_delete(&self, log_idx: usize) {
+        let log = self.meta.delete_log(log_idx);
+        let cur = log.first(&self.pool);
+        if cur.is_null() {
+            log.reset(&self.pool);
+            return;
+        }
+        let prev = log.second(&self.pool);
+        let head = self.meta.head(&self.pool);
+        let group_mode = self.cfg.leaf_group_size > 1;
+        let finish = |log: &crate::meta::PairLog| {
+            if !group_mode {
+                self.pool.deallocate(log.first_slot());
+            }
+            log.reset(&self.pool);
+        };
+        if !prev.is_null() {
+            // Crashed between recording prev and finishing: redo the unlink.
+            let next = self.leaf(cur.offset).next();
+            self.leaf(prev.offset).set_next(next);
+            finish(&log);
+        } else if head.offset == cur.offset {
+            // Head unlink not yet done.
+            self.meta.set_head(&self.pool, self.leaf(cur.offset).next());
+            finish(&log);
+        } else if !head.is_null() && self.leaf(cur.offset).next().offset == head.offset {
+            // Head already moved past us: only the free remained.
+            finish(&log);
+        } else {
+            // Nothing structural happened: roll back. (The leaf may be
+            // empty; the rebuild walk unlinks empty leaves.)
+            log.reset(&self.pool);
+        }
+    }
+
+    /// Leak audit for one leaf (Algorithm 17): every invalid slot must hold
+    /// a null key pointer; a non-null one is either a duplicate of a valid
+    /// slot's key in this leaf (interrupted update → reset) or an orphan
+    /// blob (interrupted insert/delete → deallocate).
+    pub fn audit_leaf<K: KeyKind>(&self, off: u64) {
+        if !K::IS_VAR {
+            return;
+        }
+        let leaf = self.leaf(off);
+        let bm = leaf.bitmap();
+        let valid_refs: Vec<RawPPtr> = (0..self.layout.m)
+            .filter(|s| bm & (1 << s) != 0)
+            .map(|s| K::slot_ref(&self.pool, leaf.key_off(s)))
+            .collect();
+        for slot in 0..self.layout.m {
+            if bm & (1 << slot) != 0 {
+                continue;
+            }
+            let key_off = leaf.key_off(slot);
+            if !K::slot_nonnull(&self.pool, key_off) {
+                continue;
+            }
+            let r = K::slot_ref(&self.pool, key_off);
+            if valid_refs.contains(&r) {
+                K::reset_slot(&self.pool, key_off);
+            } else {
+                K::release_slot(&self.pool, key_off);
+            }
+        }
+    }
+}
+
+/// Sorted streaming iterator over a [`SingleTree`]'s entries.
+///
+/// Walks the persistent leaf list, buffering one leaf (sorted) at a time —
+/// O(leaf) memory regardless of tree size.
+pub struct TreeIter<'a, K: KeyKind> {
+    ctx: &'a Ctx,
+    next_leaf: u64,
+    buf: std::collections::VecDeque<(K::Owned, u64)>,
+}
+
+impl<K: KeyKind> Iterator for TreeIter<'_, K> {
+    type Item = (K::Owned, u64);
+
+    fn next(&mut self) -> Option<(K::Owned, u64)> {
+        loop {
+            if let Some(item) = self.buf.pop_front() {
+                return Some(item);
+            }
+            if self.next_leaf == 0 {
+                return None;
+            }
+            let leaf = self.ctx.leaf(self.next_leaf);
+            leaf.touch_head();
+            leaf.touch_key_scan();
+            let mut entries = leaf.collect_entries::<K>();
+            entries.sort_by(|a, b| a.1.cmp(&b.1));
+            self.buf.extend(entries.into_iter().map(|(slot, k)| {
+                let v = leaf.value(slot);
+                (k, v)
+            }));
+            let next = leaf.next();
+            self.next_leaf = if next.is_null() { 0 } else { next.offset };
+        }
+    }
+}
+
+/// Result of a mutating descent.
+enum Outcome<K: KeyKind> {
+    Done(bool),
+    Split { key: K::Owned, right: Node<K>, result: bool },
+}
+
+/// A single-threaded hybrid SCM-DRAM persistent B+-Tree.
+///
+/// `SingleTree<FixedKey>` with [`TreeConfig::fptree`] is the paper's FPTree;
+/// with [`TreeConfig::ptree`] it is the PTree; `SingleTree<VarKey>` are the
+/// variable-size-key variants.
+pub struct SingleTree<K: KeyKind> {
+    ctx: Ctx,
+    groups: GroupMgr,
+    root: Node<K>,
+    len: usize,
+}
+
+/// The paper's FPTree / PTree with fixed-size (u64) keys.
+pub type FPTree = SingleTree<crate::keys::FixedKey>;
+/// The paper's FPTree / PTree with variable-size (byte-string) keys.
+pub type FPTreeVar = SingleTree<crate::keys::VarKey>;
+
+impl<K: KeyKind> SingleTree<K> {
+    /// Creates a fresh tree, publishing its metadata block into the owner
+    /// pointer at `owner_slot` (use [`fptree_pmem::ROOT_SLOT`] for the
+    /// pool's primary object).
+    pub fn create(pool: Arc<PmemPool>, cfg: TreeConfig, owner_slot: u64) -> Self {
+        cfg.validate();
+        let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
+        let meta = TreeMeta::create(&pool, &cfg, K::SLOT_SIZE, K::IS_VAR, 1, owner_slot);
+        let ctx = Ctx { pool, cfg, layout, meta };
+        let mut groups = GroupMgr::with_sanitize(cfg.leaf_group_size, K::IS_VAR);
+        let head = groups.get_leaf(&ctx.pool, &ctx.layout, &meta, meta.head_slot());
+        ctx.zero_leaf(head);
+        meta.set_status(&ctx.pool, STATUS_READY);
+        SingleTree { ctx, groups, root: Node::Leaf(head), len: 0 }
+    }
+
+    /// Bulk-loads sorted, unique `(key, value)` entries at ~70% leaf fill —
+    /// how a warmed-up tree looks (Figure 8's fill factor), and much faster
+    /// than repeated inserts.
+    ///
+    /// All-or-nothing: the metadata stays in the INITIALIZING state until
+    /// the load completes, so a crash mid-load recovers to an empty tree
+    /// (partial leaves are reclaimed by the init-crash path of `open`).
+    pub fn bulk_load(
+        pool: Arc<PmemPool>,
+        cfg: TreeConfig,
+        owner_slot: u64,
+        entries: &[(K::Owned, u64)],
+    ) -> Self {
+        cfg.validate();
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires sorted unique keys"
+        );
+        if entries.is_empty() {
+            return Self::create(pool, cfg, owner_slot);
+        }
+        let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
+        let meta = TreeMeta::create(&pool, &cfg, K::SLOT_SIZE, K::IS_VAR, 1, owner_slot);
+        let ctx = Ctx { pool, cfg, layout, meta };
+        let mut groups = GroupMgr::with_sanitize(cfg.leaf_group_size, K::IS_VAR);
+
+        let per_leaf = (layout.m * 7 / 10).max(1);
+        let mut index_entries: Vec<(K::Owned, u64)> = Vec::new();
+        let mut prev: Option<u64> = None;
+        for chunk in entries.chunks(per_leaf) {
+            // The owner slot for each leaf is where its pointer will live:
+            // the list head for the first, the predecessor's next field for
+            // the rest — so the linked list forms as the allocator runs.
+            let dest = match prev {
+                None => meta.head_slot(),
+                Some(p) => p + ctx.layout.off_next as u64,
+            };
+            let off = groups.get_leaf(&ctx.pool, &ctx.layout, &meta, dest);
+            ctx.zero_leaf(off);
+            let leaf = ctx.leaf(off);
+            for (slot, (k, v)) in chunk.iter().enumerate() {
+                K::write_slot(&ctx.pool, leaf.key_off(slot), k);
+                leaf.set_value(slot, *v);
+                if layout.fingerprints {
+                    leaf.set_fingerprint(slot, K::fingerprint(k));
+                }
+            }
+            let bm = if chunk.len() == 64 { u64::MAX } else { (1u64 << chunk.len()) - 1 };
+            ctx.pool.write_word(off + layout.off_bitmap as u64, bm);
+            ctx.pool.persist(off, layout.size);
+            index_entries.push((chunk.last().expect("chunk nonempty").0.clone(), off));
+            prev = Some(off);
+        }
+        meta.set_status(&ctx.pool, STATUS_READY);
+        let root = build_from_leaves::<K>(index_entries, cfg.inner_fanout);
+        SingleTree { ctx, groups, root, len: entries.len() }
+    }
+
+    /// Sorted streaming iterator over all entries (leaf list order).
+    pub fn iter(&self) -> TreeIter<'_, K> {
+        TreeIter {
+            ctx: &self.ctx,
+            next_leaf: self.ctx.meta.head(&self.ctx.pool).offset,
+            buf: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Smallest key and its value.
+    pub fn first_key_value(&self) -> Option<(K::Owned, u64)> {
+        self.iter().next()
+    }
+
+    /// Largest key and its value.
+    pub fn last_key_value(&self) -> Option<(K::Owned, u64)> {
+        // The rightmost leaf holds the maximum (empty only if len == 0).
+        let off = self.root.rightmost_leaf();
+        let leaf = self.ctx.leaf(off);
+        let mut entries = leaf.collect_entries::<K>();
+        entries.sort_by(|a, b| a.1.cmp(&b.1));
+        entries.pop().map(|(slot, k)| (k, leaf.value(slot)))
+    }
+
+    /// Opens (recovers) the tree whose metadata is referenced by the owner
+    /// pointer at `owner_slot` — Algorithm 9: finish interrupted
+    /// initialization, replay micro-logs, audit, rebuild inner nodes.
+    pub fn open(pool: Arc<PmemPool>, owner_slot: u64) -> Self {
+        let owner: RawPPtr = pool.read_at(owner_slot);
+        assert!(!owner.is_null(), "no tree metadata at owner slot {owner_slot:#x}");
+        let meta = TreeMeta::open(&pool, owner.offset);
+        let (cfg, key_slot, var) = meta.stored_config(&pool);
+        assert_eq!(key_slot, K::SLOT_SIZE, "tree was created with a different key kind");
+        assert_eq!(var, K::IS_VAR, "tree was created with a different key kind");
+        let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
+        let ctx = Ctx { pool, cfg, layout, meta };
+        let mut groups = GroupMgr::with_sanitize(cfg.leaf_group_size, K::IS_VAR);
+
+        if meta.status(&ctx.pool) != STATUS_READY {
+            // Crashed during initialization or bulk load (Algorithm 9
+            // lines 1–2): reclaim any partially built leaf chain, then
+            // re-initialize to an empty tree.
+            GroupMgr::recover_getleaf(&ctx.pool, &meta, &layout, cfg.leaf_group_size);
+            if meta.head(&ctx.pool).is_null() {
+                groups.rebuild(&ctx.pool, &layout, &meta, &HashSet::new());
+                let head = groups.get_leaf(&ctx.pool, &layout, &meta, meta.head_slot());
+                ctx.zero_leaf(head);
+            } else {
+                let head = meta.head(&ctx.pool).offset;
+                if cfg.leaf_group_size <= 1 {
+                    // Without groups each chained leaf is an individual
+                    // allocation; deallocate the tail of a partial bulk
+                    // load through each predecessor's next field (which is
+                    // its owner pointer).
+                    let mut cur = head;
+                    loop {
+                        let next_slot = cur + layout.off_next as u64;
+                        let next: RawPPtr = ctx.pool.read_at(next_slot);
+                        if next.is_null() {
+                            break;
+                        }
+                        cur = next.offset;
+                        ctx.pool.deallocate(next_slot);
+                    }
+                }
+                // Group-mode partial leaves stay inside their (linked)
+                // groups and are reclaimed as free by the group rebuild.
+                ctx.zero_leaf(head);
+            }
+            meta.set_status(&ctx.pool, STATUS_READY);
+            let head = meta.head(&ctx.pool).offset;
+            groups.rebuild(&ctx.pool, &layout, &meta, &HashSet::from([head]));
+            return SingleTree { ctx, groups, root: Node::Leaf(head), len: 0 };
+        }
+
+        // Replay micro-logs (order matters: allocation logs first, so the
+        // split/delete replays see consistent group/leaf structures).
+        GroupMgr::recover_getleaf(&ctx.pool, &meta, &layout, cfg.leaf_group_size);
+        GroupMgr::recover_freeleaf(&ctx.pool, &meta);
+        for i in 0..meta.n_logs {
+            ctx.recover_split::<K>(i);
+        }
+        for i in 0..meta.n_logs {
+            ctx.recover_delete(i);
+        }
+
+        // Walk the leaf list: reset locks, audit, unlink empties, collect
+        // the discriminators for the inner rebuild.
+        let (entries, in_tree, len) = Self::rebuild_walk(&ctx);
+        groups.rebuild(&ctx.pool, &layout, &meta, &in_tree);
+        let root = if entries.is_empty() {
+            Node::Leaf(meta.head(&ctx.pool).offset)
+        } else {
+            build_from_leaves::<K>(entries, cfg.inner_fanout)
+        };
+        SingleTree { ctx, groups, root, len }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn rebuild_walk(ctx: &Ctx) -> (Vec<(K::Owned, u64)>, HashSet<u64>, usize) {
+        let mut entries = Vec::new();
+        let mut in_tree = HashSet::new();
+        let mut len = 0usize;
+        let mut prev: Option<u64> = None;
+        let mut cur = ctx.meta.head(&ctx.pool).offset;
+        assert_ne!(cur, 0, "initialized tree must have a head leaf");
+        loop {
+            let leaf = ctx.leaf(cur);
+            leaf.reset_lock();
+            ctx.audit_leaf::<K>(cur);
+            let next = leaf.next();
+            let count = leaf.count();
+            if count == 0 && !(prev.is_none() && next.is_null()) {
+                // Empty non-lone leaf: a rolled-back delete left it linked.
+                ctx.delete_leaf(None, cur, prev, 0);
+                if next.is_null() {
+                    break;
+                }
+                cur = next.offset;
+                continue;
+            }
+            in_tree.insert(cur);
+            if let Some(max) = leaf.max_key::<K>() {
+                entries.push((max, cur));
+            }
+            len += count;
+            prev = Some(cur);
+            if next.is_null() {
+                break;
+            }
+            cur = next.offset;
+        }
+        (entries, in_tree, len)
+    }
+
+    fn descend<F>(ctx: &Ctx, groups: &mut GroupMgr, node: &mut Node<K>, key: &K::Owned, f: &mut F) -> Outcome<K>
+    where
+        F: FnMut(&Ctx, &mut GroupMgr, u64) -> Outcome<K>,
+    {
+        match node {
+            Node::Leaf(off) => f(ctx, groups, *off),
+            Node::Inner(inner) => {
+                let idx = inner.child_index(key);
+                match Self::descend(ctx, groups, &mut inner.children[idx], key, f) {
+                    Outcome::Done(r) => Outcome::Done(r),
+                    Outcome::Split { key: sk, right, result } => {
+                        inner.keys.insert(idx, sk);
+                        inner.children.insert(idx + 1, right);
+                        if inner.children.len() > ctx.cfg.inner_fanout {
+                            let (up, new_right) = inner.split();
+                            Outcome::Split {
+                                key: up,
+                                right: Node::Inner(new_right),
+                                result,
+                            }
+                        } else {
+                            Outcome::Done(result)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_root_outcome(&mut self, outcome: Outcome<K>) -> bool {
+        match outcome {
+            Outcome::Done(r) => r,
+            Outcome::Split { key, right, result } => {
+                let old = std::mem::replace(&mut self.root, Node::Leaf(0));
+                self.root = Node::Inner(Box::new(InnerNode {
+                    keys: vec![key],
+                    children: vec![old, right],
+                }));
+                result
+            }
+        }
+    }
+
+    /// Inserts `key → value`. Returns false (without modifying anything) if
+    /// the key already exists.
+    pub fn insert(&mut self, key: &K::Owned, value: u64) -> bool {
+        let (ctx, groups, root) = (&self.ctx, &mut self.groups, &mut self.root);
+        let mut leaf_op = |ctx: &Ctx, groups: &mut GroupMgr, off: u64| -> Outcome<K> {
+            let leaf = ctx.leaf(off);
+            if leaf.find_slot::<K>(key).is_some() {
+                return Outcome::Done(false);
+            }
+            if leaf.is_full() {
+                let (split_key, new_off) = ctx.split_leaf::<K>(groups, off, 0);
+                let target = if *key > split_key { new_off } else { off };
+                ctx.insert_into_leaf::<K>(target, key, value);
+                Outcome::Split { key: split_key, right: Node::Leaf(new_off), result: true }
+            } else {
+                ctx.insert_into_leaf::<K>(off, key, value);
+                Outcome::Done(true)
+            }
+        };
+        let outcome = Self::descend(ctx, groups, root, key, &mut leaf_op);
+        let inserted = self.apply_root_outcome(outcome);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &K::Owned) -> Option<u64> {
+        let off = self.root.find_leaf(key);
+        let leaf = self.ctx.leaf(off);
+        leaf.find_slot::<K>(key).map(|slot| leaf.value(slot))
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: &K::Owned) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Updates the value of an existing key. Returns false if absent.
+    pub fn update(&mut self, key: &K::Owned, value: u64) -> bool {
+        let (ctx, groups, root) = (&self.ctx, &mut self.groups, &mut self.root);
+        let mut leaf_op = |ctx: &Ctx, groups: &mut GroupMgr, off: u64| -> Outcome<K> {
+            let leaf = ctx.leaf(off);
+            let Some(slot) = leaf.find_slot::<K>(key) else {
+                return Outcome::Done(false);
+            };
+            if leaf.is_full() {
+                let (split_key, new_off) = ctx.split_leaf::<K>(groups, off, 0);
+                let target = if *key > split_key { new_off } else { off };
+                let tslot = ctx
+                    .leaf(target)
+                    .find_slot::<K>(key)
+                    .expect("key must survive its leaf's split");
+                ctx.update_in_leaf::<K>(target, tslot, value);
+                Outcome::Split { key: split_key, right: Node::Leaf(new_off), result: true }
+            } else {
+                ctx.update_in_leaf::<K>(off, slot, value);
+                Outcome::Done(true)
+            }
+        };
+        let outcome = Self::descend(ctx, groups, root, key, &mut leaf_op);
+        self.apply_root_outcome(outcome)
+    }
+
+    /// Removes `key`. Returns false if absent.
+    pub fn remove(&mut self, key: &K::Owned) -> bool {
+        let (leaf_off, prev) = self.root.find_leaf_and_prev(key);
+        let leaf = self.ctx.leaf(leaf_off);
+        let Some(slot) = leaf.find_slot::<K>(key) else {
+            return false;
+        };
+        let bm = leaf.bitmap() & !(1 << slot);
+        leaf.commit_bitmap(bm);
+        K::release_slot(&self.ctx.pool, leaf.key_off(slot));
+        self.len -= 1;
+        if bm == 0 {
+            let is_only_leaf = prev.is_none() && leaf.next().is_null();
+            if !is_only_leaf {
+                self.ctx.delete_leaf(Some(&mut self.groups), leaf_off, prev, 0);
+                Self::remove_leaf_from_index(&mut self.root, key);
+                // Collapse a single-child root chain.
+                loop {
+                    match &mut self.root {
+                        Node::Inner(inner) if inner.children.len() == 1 => {
+                            let only = inner.children.pop().expect("one child");
+                            self.root = only;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Removes the (already unlinked) leaf covering `key` from the volatile
+    /// index. Returns true if the subtree became empty (cascades).
+    fn remove_leaf_from_index(node: &mut Node<K>, key: &K::Owned) -> bool {
+        match node {
+            Node::Leaf(_) => true,
+            Node::Inner(inner) => {
+                let idx = inner.child_index(key);
+                if Self::remove_leaf_from_index(&mut inner.children[idx], key) {
+                    inner.children.remove(idx);
+                    if inner.children.is_empty() {
+                        return true;
+                    }
+                    if !inner.keys.is_empty() {
+                        inner.keys.remove(idx.min(inner.keys.len() - 1));
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Range scan over `[lo, hi]` via the leaf linked list; results sorted.
+    pub fn range(&self, lo: &K::Owned, hi: &K::Owned) -> Vec<(K::Owned, u64)> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        let mut cur = self.root.find_leaf(lo);
+        loop {
+            let leaf = self.ctx.leaf(cur);
+            leaf.touch_head();
+            leaf.touch_key_scan();
+            let mut past_hi = false;
+            for (slot, k) in leaf.collect_entries::<K>() {
+                if k > *hi {
+                    past_hi = true;
+                } else if k >= *lo {
+                    out.push((k, leaf.value(slot)));
+                }
+            }
+            if past_hi {
+                break;
+            }
+            let next = leaf.next();
+            if next.is_null() {
+                break;
+            }
+            cur = next.offset;
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the volatile index (0 = a single leaf).
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+
+    /// The pool this tree lives in.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.ctx.pool
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.ctx.cfg
+    }
+
+    /// Leaf offsets in list order (tests, audits, stats).
+    pub fn leaf_offsets(&self) -> Vec<u64> {
+        let mut offs = Vec::new();
+        let mut cur = self.ctx.meta.head(&self.ctx.pool);
+        while !cur.is_null() {
+            offs.push(cur.offset);
+            cur = self.ctx.leaf(cur.offset).next();
+        }
+        offs
+    }
+
+    /// SCM/DRAM footprint (Figure 8).
+    pub fn memory_usage(&self) -> MemoryUsage {
+        let leaves = self.leaf_offsets();
+        let mut scm = TreeMeta::byte_size(self.ctx.meta.n_logs) as u64;
+        if self.groups.enabled() {
+            // Whole groups are SCM footprint, free leaves included.
+            scm += self.groups.group_count() as u64
+                * (64 + self.ctx.cfg.leaf_group_size * self.ctx.layout.size) as u64;
+        } else {
+            scm += leaves.len() as u64 * self.ctx.layout.size as u64;
+        }
+        if K::IS_VAR {
+            for &off in &leaves {
+                let leaf = self.ctx.leaf(off);
+                let bm = leaf.bitmap();
+                for slot in 0..self.ctx.layout.m {
+                    if bm & (1 << slot) != 0 {
+                        let r = K::slot_ref(&self.ctx.pool, leaf.key_off(slot));
+                        if !r.is_null() {
+                            scm += 8 + self.ctx.pool.read_word(r.offset);
+                        }
+                    }
+                }
+            }
+        }
+        let key_bytes = |k: &K::Owned| std::mem::size_of_val(k);
+        let (inner_count, dram) = self.root.dram_usage(key_bytes);
+        MemoryUsage {
+            scm_bytes: scm,
+            dram_bytes: dram as u64,
+            leaf_count: leaves.len(),
+            inner_count,
+        }
+    }
+
+    /// Structural consistency check (tests): leaf list sorted and connected,
+    /// fingerprints agree with keys, index routes every key to its leaf,
+    /// length matches.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let offs = self.leaf_offsets();
+        let mut prev_max: Option<K::Owned> = None;
+        let mut total = 0usize;
+        for (i, &off) in offs.iter().enumerate() {
+            let leaf = self.ctx.leaf(off);
+            let entries = leaf.collect_entries::<K>();
+            if entries.is_empty() && offs.len() > 1 {
+                return Err(format!("leaf {i} is empty but linked"));
+            }
+            total += entries.len();
+            let mut keys: Vec<&K::Owned> = entries.iter().map(|(_, k)| k).collect();
+            keys.sort();
+            keys.dedup();
+            if keys.len() != entries.len() {
+                return Err(format!("leaf {i} holds duplicate keys"));
+            }
+            for (slot, k) in &entries {
+                if self.ctx.layout.fingerprints
+                    && leaf.fingerprint(*slot) != K::fingerprint(k)
+                {
+                    return Err(format!("leaf {i} slot {slot}: fingerprint mismatch"));
+                }
+                if K::IS_VAR && K::slot_ref(&self.ctx.pool, leaf.key_off(*slot)).is_null() {
+                    return Err(format!("leaf {i} slot {slot}: valid slot with null key"));
+                }
+                if self.root.find_leaf(k) != off {
+                    return Err(format!("index routes a key of leaf {i} elsewhere"));
+                }
+                if let Some(pm) = &prev_max {
+                    if *k <= *pm {
+                        return Err(format!("leaf {i}: key order violates list order"));
+                    }
+                }
+            }
+            if let Some(max) = entries.iter().map(|(_, k)| k.clone()).max() {
+                prev_max = Some(max);
+            }
+            if K::IS_VAR {
+                let bm = leaf.bitmap();
+                for slot in 0..self.ctx.layout.m {
+                    if bm & (1 << slot) == 0
+                        && K::slot_nonnull(&self.ctx.pool, leaf.key_off(slot))
+                    {
+                        return Err(format!("leaf {i} slot {slot}: dead slot references a key"));
+                    }
+                }
+            }
+        }
+        if total != self.len {
+            return Err(format!("len {} != stored entries {}", self.len, total));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,117 @@
+//! Recovery-of-recovery torture: the recovery procedures themselves must be
+//! crash-safe (micro-log replay and cleanup are idempotent), so a crash
+//! *during* recovery followed by another recovery must converge.
+
+use std::sync::Arc;
+
+use fptree_core::keys::{FixedKey, VarKey};
+use fptree_core::{SingleTree, TreeConfig};
+use fptree_pmem::{crash_is_injected, PmemPool, PoolOptions, ROOT_SLOT};
+use proptest::prelude::*;
+
+fn crash_mid_workload<K: fptree_core::KeyKind>(
+    mk: &impl Fn(u64) -> K::Owned,
+    fuse: u64,
+    group: usize,
+) -> Vec<u8> {
+    let pool = Arc::new(PmemPool::create(PoolOptions::tracked(64 << 20)).expect("pool"));
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let cfg = TreeConfig::fptree()
+            .with_leaf_capacity(4)
+            .with_inner_fanout(4)
+            .with_leaf_group_size(group);
+        let mut t = SingleTree::<K>::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+        pool.set_crash_fuse(Some(fuse));
+        for i in 0..100u64 {
+            t.insert(&mk(i), i);
+            if i % 3 == 0 {
+                t.remove(&mk(i / 2));
+            }
+            if i % 7 == 0 {
+                t.update(&mk(i), i + 500);
+            }
+        }
+    }));
+    pool.set_crash_fuse(None);
+    if let Err(e) = &r {
+        assert!(crash_is_injected(e.as_ref()));
+    }
+    pool.crash_image(fuse ^ 0x5EED)
+}
+
+fn double_crash_recovers<K: fptree_core::KeyKind>(
+    mk: impl Fn(u64) -> K::Owned,
+    fuse1: u64,
+    fuse2: u64,
+    group: usize,
+) {
+    let image = crash_mid_workload::<K>(&mk, fuse1, group);
+
+    // First recovery attempt, itself crashed after `fuse2` events.
+    let pool = Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0)).expect("reopen"));
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.set_crash_fuse(Some(fuse2));
+        SingleTree::<K>::open(Arc::clone(&pool), ROOT_SLOT)
+    }));
+    pool.set_crash_fuse(None);
+    let first_recovery_crashed = match r {
+        Ok(t) => {
+            t.check_consistency().expect("recovered tree consistent");
+            false
+        }
+        Err(e) => {
+            assert!(crash_is_injected(e.as_ref()), "non-injected panic in recovery");
+            true
+        }
+    };
+
+    // Second recovery from whatever the first one left behind.
+    let image2 = pool.crash_image(fuse2 ^ 0xDEAD);
+    let pool2 = Arc::new(PmemPool::reopen(image2, PoolOptions::tracked(0)).expect("reopen2"));
+    let t = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT);
+    t.check_consistency().unwrap_or_else(|e| {
+        panic!("double-crash recovery inconsistent (fuse1 {fuse1}, fuse2 {fuse2}, first_crashed {first_recovery_crashed}): {e}")
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fixed_keys_double_crash(fuse1 in 20u64..1200, fuse2 in 1u64..120) {
+        double_crash_recovers::<FixedKey>(|k| k, fuse1, fuse2, 2);
+    }
+
+    #[test]
+    fn var_keys_double_crash(fuse1 in 20u64..1500, fuse2 in 1u64..150) {
+        double_crash_recovers::<VarKey>(
+            |k| format!("rk:{k:05}").into_bytes(),
+            fuse1,
+            fuse2,
+            2,
+        );
+    }
+
+    #[test]
+    fn fixed_keys_double_crash_no_groups(fuse1 in 20u64..1200, fuse2 in 1u64..120) {
+        double_crash_recovers::<FixedKey>(|k| k, fuse1, fuse2, 0);
+    }
+}
+
+/// Recovery is deterministic: recovering the same crash image twice must
+/// produce identical durable states.
+#[test]
+fn recovery_is_deterministic() {
+    let mk = |k: u64| k;
+    for fuse in [137u64, 419, 977] {
+        let image = crash_mid_workload::<FixedKey>(&mk, fuse, 2);
+        let snap = |img: Vec<u8>| -> Vec<(u64, u64)> {
+            let pool = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).expect("reopen"));
+            let t = SingleTree::<FixedKey>::open(Arc::clone(&pool), ROOT_SLOT);
+            t.range(&0, &u64::MAX)
+        };
+        let a = snap(image.clone());
+        let b = snap(image);
+        assert_eq!(a, b, "fuse {fuse}: recovery nondeterministic");
+    }
+}

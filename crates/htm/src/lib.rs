@@ -1,0 +1,396 @@
+//! Software emulation of HTM lock elision for Selective Concurrency.
+//!
+//! The FPTree handles concurrency of its *transient* part (DRAM inner nodes)
+//! with Intel TSX: base operations run inside hardware transactions guarded
+//! by a speculative spin mutex whose fallback is a global lock. Persistence
+//! primitives (CLFLUSH) abort transactions, so all persistent work happens
+//! *outside* the transaction under fine-grained leaf locks — that is the
+//! paper's Selective Concurrency (§4.4).
+//!
+//! TSX is not portable (and unavailable on most current hardware), so this
+//! crate emulates the observable semantics of *TSX lock elision around a
+//! single global lock* with a [`SpecLock`] — a sequence-lock:
+//!
+//! * an optimistic section reads the version counter, runs without taking
+//!   the lock, and **validates** the counter before its results are used —
+//!   exactly like a TSX transaction that aborts on conflict;
+//! * structural writers acquire the lock (version becomes odd) and bump it
+//!   on release, aborting all concurrent optimistic sections;
+//! * after [`MAX_RETRIES`] aborts an operation falls back to acquiring the
+//!   lock exclusively, mirroring the TSX retry-threshold fallback of the
+//!   Intel TBB `speculative_spin_mutex` the paper uses.
+//!
+//! The crucial deviation from real HTM: an optimistic section's *writes* are
+//! not buffered, so tree code must make any speculative write (e.g. a leaf
+//! lock acquired inside the section) idempotent/undoable and only commit
+//! side effects after a successful [`TxCtx::validate`]. The FPTree
+//! algorithms already have this shape (acquire leaf lock, validate, or undo
+//! and retry).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of optimistic attempts before falling back to the global lock.
+///
+/// Matches the spirit of TSX retry thresholds: a handful of retries, then
+/// serialize.
+pub const MAX_RETRIES: u32 = 16;
+
+/// Outcome of a speculative section body: abort and retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort;
+
+/// Statistics of a speculative lock (volatile, relaxed counters).
+#[derive(Debug, Default)]
+pub struct SpecStats {
+    /// Optimistic attempts started.
+    pub attempts: AtomicU64,
+    /// Aborts (explicit or failed validation).
+    pub aborts: AtomicU64,
+    /// Operations that exhausted retries and took the global lock.
+    pub fallbacks: AtomicU64,
+    /// Exclusive (writer) acquisitions.
+    pub writes: AtomicU64,
+}
+
+impl SpecStats {
+    fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain-integer snapshot `(attempts, aborts, fallbacks, writes)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.attempts.load(Ordering::Relaxed),
+            self.aborts.load(Ordering::Relaxed),
+            self.fallbacks.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A speculative global lock: seqlock emulation of TSX lock elision.
+///
+/// Version counter protocol: even = unlocked, odd = a writer holds the lock.
+/// Optimistic readers snapshot an even version and validate it unchanged;
+/// writers CAS even→odd and release with +1.
+///
+/// ```
+/// use fptree_htm::{Abort, SpecLock};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let lock = SpecLock::new();
+/// let data = AtomicU64::new(1);
+/// // An optimistic "transaction": read, validate, commit.
+/// let seen = lock.execute(|tx| {
+///     let v = data.load(Ordering::Relaxed);
+///     if !tx.validate() { return Err(Abort); }
+///     Ok(v)
+/// });
+/// assert_eq!(seen, 1);
+/// // A structural writer takes the lock, aborting overlapping readers.
+/// { let _guard = lock.write_lock(); data.store(2, Ordering::Relaxed); }
+/// ```
+#[derive(Debug)]
+pub struct SpecLock {
+    version: AtomicU64,
+    stats: SpecStats,
+}
+
+impl Default for SpecLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpecLock {
+    /// Creates an unlocked speculative lock.
+    pub const fn new() -> Self {
+        SpecLock {
+            version: AtomicU64::new(0),
+            stats: SpecStats {
+                attempts: AtomicU64::new(0),
+                aborts: AtomicU64::new(0),
+                fallbacks: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+            },
+        }
+    }
+
+    /// Abort/fallback statistics.
+    pub fn stats(&self) -> &SpecStats {
+        &self.stats
+    }
+
+    /// Begins an optimistic section: spins until no writer holds the lock
+    /// and returns the (even) version to validate against.
+    #[inline]
+    pub fn read_begin(&self) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let v = self.version.load(Ordering::Acquire);
+            if v & 1 == 0 {
+                return v;
+            }
+            spins += 1;
+            if spins > 64 {
+                // Oversubscribed host: the writer may be descheduled.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// True if no writer ran since `read_begin` returned `v`.
+    #[inline]
+    pub fn read_validate(&self, v: u64) -> bool {
+        std::sync::atomic::fence(Ordering::Acquire);
+        self.version.load(Ordering::Acquire) == v
+    }
+
+    /// Acquires the lock exclusively (the TSX fallback path / an explicit
+    /// writer transaction). All concurrent optimistic sections will abort.
+    pub fn write_lock(&self) -> WriteGuard<'_> {
+        SpecStats::bump(&self.stats.writes);
+        let mut backoff = 1u32;
+        loop {
+            let v = self.version.load(Ordering::Relaxed);
+            if v & 1 == 0
+                && self
+                    .version
+                    .compare_exchange_weak(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return WriteGuard { lock: self };
+            }
+            for _ in 0..backoff {
+                std::hint::spin_loop();
+            }
+            backoff = (backoff * 2).min(1024);
+        }
+    }
+
+    /// Runs `body` speculatively until it commits.
+    ///
+    /// `body` receives a [`TxCtx`]; it must call [`TxCtx::validate`] before
+    /// relying on anything it read (and before letting speculative side
+    /// effects like an acquired leaf lock stand), and may return
+    /// `Err(Abort)` to retry (e.g. target leaf already locked). After
+    /// [`MAX_RETRIES`] aborts the body runs under the global lock, where
+    /// `validate` is vacuously true.
+    #[inline]
+    pub fn execute<T>(&self, mut body: impl FnMut(&TxCtx<'_>) -> Result<T, Abort>) -> T {
+        for attempt in 0..MAX_RETRIES {
+            SpecStats::bump(&self.stats.attempts);
+            let v = self.read_begin();
+            let ctx = TxCtx { lock: self, version: v, exclusive: false };
+            match body(&ctx) {
+                Ok(t) => return t,
+                Err(Abort) => {
+                    SpecStats::bump(&self.stats.aborts);
+                    if attempt > 4 {
+                        // Let the conflicting writer run (oversubscription).
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+        SpecStats::bump(&self.stats.fallbacks);
+        loop {
+            let guard = self.write_lock();
+            let ctx = TxCtx { lock: self, version: 0, exclusive: true };
+            let r = body(&ctx);
+            drop(guard);
+            match r {
+                Ok(t) => return t,
+                // An abort under the global lock means the body observed its
+                // own precondition failure (e.g. leaf locked by a thread that
+                // is finishing persistent work outside any transaction) —
+                // release and retry; that thread does not need our lock to
+                // make progress, but it does need CPU time.
+                Err(Abort) => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+/// Context handed to a speculative section body.
+pub struct TxCtx<'a> {
+    lock: &'a SpecLock,
+    version: u64,
+    exclusive: bool,
+}
+
+impl TxCtx<'_> {
+    /// Validates the speculation. Must be checked before the body's result
+    /// or speculative side effects are allowed to stand.
+    #[inline]
+    pub fn validate(&self) -> bool {
+        self.exclusive || self.lock.read_validate(self.version)
+    }
+
+    /// True when running under the global fallback lock.
+    #[inline]
+    pub fn is_exclusive(&self) -> bool {
+        self.exclusive
+    }
+}
+
+/// Exclusive guard over a [`SpecLock`]; releasing bumps the version,
+/// aborting all optimistic sections that overlapped it.
+pub struct WriteGuard<'a> {
+    lock: &'a SpecLock,
+}
+
+impl Drop for WriteGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.version.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_validate_detects_writer() {
+        let lock = SpecLock::new();
+        let v = lock.read_begin();
+        assert!(lock.read_validate(v));
+        drop(lock.write_lock());
+        assert!(!lock.read_validate(v), "version moved by the writer");
+        let v2 = lock.read_begin();
+        assert_eq!(v2, v + 2);
+    }
+
+    #[test]
+    fn read_begin_waits_out_writer() {
+        let lock = Arc::new(SpecLock::new());
+        let guard = lock.write_lock();
+        let l2 = Arc::clone(&lock);
+        let h = std::thread::spawn(move || l2.read_begin());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(guard);
+        let v = h.join().unwrap();
+        assert_eq!(v & 1, 0);
+    }
+
+    #[test]
+    fn execute_retries_until_commit() {
+        let lock = SpecLock::new();
+        let mut tries = 0;
+        let out = lock.execute(|ctx| {
+            tries += 1;
+            if tries < 3 {
+                return Err(Abort);
+            }
+            assert!(ctx.validate());
+            Ok(tries)
+        });
+        assert_eq!(out, 3);
+        let (attempts, aborts, fallbacks, _) = lock.stats().snapshot();
+        assert_eq!(attempts, 3);
+        assert_eq!(aborts, 2);
+        assert_eq!(fallbacks, 0);
+    }
+
+    #[test]
+    fn execute_falls_back_to_global_lock() {
+        let lock = SpecLock::new();
+        let mut tries = 0u32;
+        let out = lock.execute(|ctx| {
+            tries += 1;
+            if !ctx.is_exclusive() {
+                return Err(Abort);
+            }
+            assert!(ctx.validate(), "exclusive mode always validates");
+            Ok("done")
+        });
+        assert_eq!(out, "done");
+        let (_, _, fallbacks, _) = lock.stats().snapshot();
+        assert_eq!(fallbacks, 1);
+        assert_eq!(tries, MAX_RETRIES + 1);
+    }
+
+    /// Seqlock-protected counter pair: readers must never observe a torn
+    /// (mismatched) state once validated.
+    #[test]
+    fn optimistic_readers_never_see_torn_writes() {
+        let lock = Arc::new(SpecLock::new());
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicU64::new(0));
+
+        let writer = {
+            let (lock, a, b, stop) = (lock.clone(), a.clone(), b.clone(), stop.clone());
+            std::thread::spawn(move || {
+                for i in 1..=20_000u64 {
+                    let _g = lock.write_lock();
+                    a.store(i, Ordering::Relaxed);
+                    b.store(i, Ordering::Relaxed);
+                }
+                stop.store(1, Ordering::Release);
+            })
+        };
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let (lock, a, b, stop) = (lock.clone(), a.clone(), b.clone(), stop.clone());
+                std::thread::spawn(move || {
+                    let mut validated = 0u64;
+                    // Keep reading until the writer finishes, then once more
+                    // (a single-core host may never schedule us mid-write).
+                    loop {
+                        let done = stop.load(Ordering::Acquire) == 1;
+                        let (x, y) = lock.execute(|ctx| {
+                            let x = a.load(Ordering::Relaxed);
+                            let y = b.load(Ordering::Relaxed);
+                            if !ctx.validate() {
+                                return Err(Abort);
+                            }
+                            Ok((x, y))
+                        });
+                        assert_eq!(x, y, "validated read observed a torn write");
+                        validated += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                    validated
+                })
+            })
+            .collect();
+
+        writer.join().unwrap();
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn write_lock_is_mutually_exclusive() {
+        let lock = Arc::new(SpecLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (lock, counter) = (lock.clone(), counter.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        let _g = lock.write_lock();
+                        // Non-atomic increment pattern under the lock.
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 80_000);
+    }
+}

@@ -1,0 +1,295 @@
+//! The cache core: memcached semantics over a pluggable index.
+//!
+//! The paper replaces memcached's hash table with the variable-size-key
+//! versions of the evaluated trees (§6.4), inserting the *full string key*
+//! (not its hash) and relying on the tree's own concurrency scheme instead
+//! of memcached's bucket locks. [`KvCache`] is that seam: SET/GET/DELETE
+//! over any [`BytesIndex`].
+
+use std::sync::Arc;
+
+use fptree_core::index::BytesIndex;
+
+use crate::lru::LruList;
+use crate::store::{Item, ItemStore};
+
+/// A memcached-style cache over a pluggable index, with memcached's
+/// globally locked LRU eviction when a capacity is set.
+///
+/// ```
+/// use std::sync::Arc;
+/// use fptree_kvcache::KvCache;
+/// use fptree_baselines::HashIndex;
+///
+/// let cache = KvCache::with_capacity(Arc::new(HashIndex::<Vec<u8>>::new(8)), 2);
+/// cache.set(b"a", 0, b"1".to_vec());
+/// cache.set(b"b", 0, b"2".to_vec());
+/// cache.set(b"c", 0, b"3".to_vec()); // evicts the LRU key "a"
+/// assert!(cache.get(b"a").is_none());
+/// assert_eq!(cache.get(b"c").unwrap().1, b"3");
+/// ```
+pub struct KvCache {
+    index: Arc<dyn BytesIndex>,
+    store: ItemStore,
+    lru: LruList,
+    max_items: Option<usize>,
+}
+
+impl KvCache {
+    /// Builds an unbounded cache over `index`.
+    pub fn new(index: Arc<dyn BytesIndex>) -> KvCache {
+        KvCache { index, store: ItemStore::new(64), lru: LruList::new(), max_items: None }
+    }
+
+    /// Builds a bounded cache: beyond `max_items`, SETs evict the least
+    /// recently used key (memcached semantics).
+    pub fn with_capacity(index: Arc<dyn BytesIndex>, max_items: usize) -> KvCache {
+        assert!(max_items > 0, "capacity must be positive");
+        KvCache {
+            index,
+            store: ItemStore::new(64),
+            lru: LruList::new(),
+            max_items: Some(max_items),
+        }
+    }
+
+    /// SET: stores `key → (flags, data)`, replacing any existing value and
+    /// evicting the LRU tail when over capacity.
+    pub fn set(&self, key: &[u8], flags: u32, data: Vec<u8>) {
+        let handle = self.store.put(Item { flags, data });
+        // Fast path: update in place; fall back to insert for new keys.
+        if let Some(old) = self.swap_handle(key, handle) {
+            self.store.remove(old);
+        }
+        if let Some(cap) = self.max_items {
+            let tracked = self.lru.touch(key);
+            if tracked > cap {
+                // Evict strictly LRU keys until back at capacity; skip the
+                // key just written (it is at the front by construction).
+                while self.lru.len() > cap {
+                    let Some(victim) = self.lru.evict() else { break };
+                    self.delete_evicted(&victim);
+                }
+            }
+        }
+    }
+
+    fn delete_evicted(&self, key: &[u8]) {
+        if let Some(handle) = self.index.get(key) {
+            if self.index.remove(key) {
+                self.store.remove(handle);
+            }
+        }
+    }
+
+    fn swap_handle(&self, key: &[u8], handle: u64) -> Option<u64> {
+        loop {
+            let old = self.index.get(key);
+            match old {
+                Some(h) => {
+                    if self.index.update(key, handle) {
+                        return Some(h);
+                    }
+                    // Key vanished between get and update: retry as insert.
+                }
+                None => {
+                    if self.index.insert(key, handle) {
+                        return None;
+                    }
+                    // Key appeared concurrently: retry as update.
+                }
+            }
+        }
+    }
+
+    /// GET: returns `(flags, data)` if present; refreshes LRU recency.
+    pub fn get(&self, key: &[u8]) -> Option<(u32, Vec<u8>)> {
+        let handle = self.index.get(key)?;
+        let item = self.store.get(handle).map(|i| (i.flags, i.data));
+        if item.is_some() && self.max_items.is_some() {
+            self.lru.touch(key);
+        }
+        item
+    }
+
+    /// DELETE: removes the key; true if it existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        match self.index.get(key) {
+            Some(handle) if self.index.remove(key) => {
+                self.store.remove(handle);
+                if self.max_items.is_some() {
+                    self.lru.remove(key);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fptree_baselines::HashIndex;
+
+    fn cache() -> KvCache {
+        KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(16)))
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let c = cache();
+        c.set(b"k1", 5, b"value-1".to_vec());
+        assert_eq!(c.get(b"k1"), Some((5, b"value-1".to_vec())));
+        assert_eq!(c.get(b"missing"), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn set_replaces_and_frees_old_item() {
+        let c = cache();
+        c.set(b"k", 0, b"old".to_vec());
+        c.set(b"k", 1, b"new".to_vec());
+        assert_eq!(c.get(b"k"), Some((1, b"new".to_vec())));
+        assert_eq!(c.len(), 1);
+        // The old item must have been freed (store holds exactly one).
+        assert_eq!(c.store.len(), 1);
+    }
+
+    #[test]
+    fn delete_semantics() {
+        let c = cache();
+        c.set(b"k", 0, b"v".to_vec());
+        assert!(c.delete(b"k"));
+        assert!(!c.delete(b"k"));
+        assert_eq!(c.get(b"k"), None);
+        assert!(c.is_empty());
+        assert_eq!(c.store.len(), 0);
+    }
+
+    #[test]
+    fn works_over_tree_indexes() {
+        use fptree_core::{Locked, TreeConfig};
+        use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
+        let c = KvCache::new(Arc::new(Locked::new(tree)));
+        for i in 0..500 {
+            c.set(format!("key:{i}").as_bytes(), i, format!("val-{i}").into_bytes());
+        }
+        for i in 0..500 {
+            let (f, v) = c.get(format!("key:{i}").as_bytes()).unwrap();
+            assert_eq!(f, i);
+            assert_eq!(v, format!("val-{i}").into_bytes());
+        }
+    }
+
+    #[test]
+    fn concurrent_set_get() {
+        let c = Arc::new(cache());
+        let handles: Vec<_> = (0..8)
+            .map(|t: u32| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..2000u32 {
+                        let key = format!("t{t}:{i}");
+                        c.set(key.as_bytes(), t, i.to_le_bytes().to_vec());
+                        let (f, v) = c.get(key.as_bytes()).unwrap();
+                        assert_eq!(f, t);
+                        assert_eq!(v, i.to_le_bytes().to_vec());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 16_000);
+    }
+}
+
+#[cfg(test)]
+mod lru_tests {
+    use super::*;
+    use fptree_baselines::HashIndex;
+
+    fn bounded(cap: usize) -> KvCache {
+        KvCache::with_capacity(Arc::new(HashIndex::<Vec<u8>>::new(4)), cap)
+    }
+
+    #[test]
+    fn eviction_keeps_capacity() {
+        let c = bounded(3);
+        for i in 0..10u32 {
+            c.set(format!("k{i}").as_bytes(), 0, vec![i as u8]);
+        }
+        assert_eq!(c.len(), 3);
+        // The three most recent survive.
+        assert!(c.get(b"k9").is_some());
+        assert!(c.get(b"k8").is_some());
+        assert!(c.get(b"k7").is_some());
+        assert!(c.get(b"k0").is_none());
+        // The store freed evicted items too.
+        assert_eq!(c.store.len(), 3);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let c = bounded(2);
+        c.set(b"a", 0, b"1".to_vec());
+        c.set(b"b", 0, b"2".to_vec());
+        assert!(c.get(b"a").is_some()); // a is now most recent
+        c.set(b"c", 0, b"3".to_vec()); // evicts b
+        assert!(c.get(b"a").is_some());
+        assert!(c.get(b"b").is_none());
+        assert!(c.get(b"c").is_some());
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let c = bounded(2);
+        c.set(b"a", 0, b"1".to_vec());
+        c.set(b"b", 0, b"2".to_vec());
+        c.set(b"a", 0, b"1b".to_vec()); // overwrite, still 2 keys
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(b"a").unwrap().1, b"1b".to_vec());
+        assert!(c.get(b"b").is_some());
+    }
+
+    #[test]
+    fn delete_untracks() {
+        let c = bounded(2);
+        c.set(b"a", 0, b"1".to_vec());
+        c.set(b"b", 0, b"2".to_vec());
+        assert!(c.delete(b"a"));
+        c.set(b"c", 0, b"3".to_vec()); // fits without eviction
+        assert_eq!(c.len(), 2);
+        assert!(c.get(b"b").is_some());
+        assert!(c.get(b"c").is_some());
+    }
+
+    #[test]
+    fn eviction_works_over_persistent_tree() {
+        use fptree_core::{Locked, TreeConfig};
+        use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
+        let c = KvCache::with_capacity(Arc::new(Locked::new(tree)), 50);
+        for i in 0..300u32 {
+            c.set(format!("key:{i:04}").as_bytes(), 0, vec![0u8; 8]);
+        }
+        assert_eq!(c.len(), 50);
+        assert!(c.get(b"key:0299").is_some());
+        assert!(c.get(b"key:0000").is_none());
+    }
+}

@@ -1,0 +1,22 @@
+//! memcached-style key-value cache with a pluggable index (paper §6.4).
+//!
+//! The paper integrates the evaluated trees into memcached by replacing its
+//! hash table with the variable-size-key tree variants (full string keys,
+//! values = item references) and measuring mc-benchmark SET/GET throughput.
+//! This crate provides the pieces: a sharded [`store::ItemStore`], the
+//! [`cache::KvCache`] core over any [`fptree_core::index::BytesIndex`], a
+//! memcached text-[`protocol`] implementation with a TCP [`server`]
+//! front-end, and the [`mcbench`] workload driver with a modeled network
+//! cost (see DESIGN.md §2 for the substitution argument).
+
+pub mod cache;
+pub mod lru;
+pub mod mcbench;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use cache::KvCache;
+pub use lru::LruList;
+pub use mcbench::{run as run_mcbench, McBenchConfig, McBenchResult};
+pub use store::{Item, ItemStore};

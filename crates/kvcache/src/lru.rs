@@ -1,0 +1,218 @@
+//! LRU eviction list with a global lock — memcached's design (the paper
+//! notes memcached "employs a locking mechanism on two levels: the first is
+//! global locks on the LRU lists of items"). Intrusive doubly-linked list
+//! over a slab, O(1) touch/insert/evict.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+struct Node {
+    key: Vec<u8>,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+struct LruState {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    index: HashMap<Vec<u8>, usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+/// A globally locked LRU list of cache keys.
+pub struct LruList {
+    state: Mutex<LruState>,
+}
+
+impl Default for LruList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LruList {
+    /// Creates an empty list.
+    pub fn new() -> LruList {
+        LruList {
+            state: Mutex::new(LruState {
+                nodes: Vec::new(),
+                free: Vec::new(),
+                index: HashMap::new(),
+                head: NIL,
+                tail: NIL,
+            }),
+        }
+    }
+
+    /// Marks `key` as most recently used, inserting it if new. Returns the
+    /// number of tracked keys.
+    pub fn touch(&self, key: &[u8]) -> usize {
+        let mut s = self.state.lock();
+        match s.index.get(key).copied() {
+            Some(idx) => move_to_front(&mut s, idx),
+            None => {
+                let idx = match s.free.pop() {
+                    Some(i) => {
+                        s.nodes[i] = Node { key: key.to_vec(), prev: NIL, next: NIL };
+                        i
+                    }
+                    None => {
+                        s.nodes.push(Node { key: key.to_vec(), prev: NIL, next: NIL });
+                        s.nodes.len() - 1
+                    }
+                };
+                s.index.insert(key.to_vec(), idx);
+                push_front(&mut s, idx);
+            }
+        }
+        s.index.len()
+    }
+
+    /// Removes `key` from the list (cache delete).
+    pub fn remove(&self, key: &[u8]) {
+        let mut s = self.state.lock();
+        if let Some(idx) = s.index.remove(key) {
+            unlink(&mut s, idx);
+            s.free.push(idx);
+        }
+    }
+
+    /// Pops the least recently used key, if any.
+    pub fn evict(&self) -> Option<Vec<u8>> {
+        let mut s = self.state.lock();
+        let idx = s.tail;
+        if idx == NIL {
+            return None;
+        }
+        unlink(&mut s, idx);
+        let key = std::mem::take(&mut s.nodes[idx].key);
+        s.index.remove(&key);
+        s.free.push(idx);
+        Some(key)
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.state.lock().index.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keys from most to least recently used (tests/inspection).
+    pub fn snapshot(&self) -> Vec<Vec<u8>> {
+        let s = self.state.lock();
+        let mut out = Vec::with_capacity(s.index.len());
+        let mut cur = s.head;
+        while cur != NIL {
+            out.push(s.nodes[cur].key.clone());
+            cur = s.nodes[cur].next;
+        }
+        out
+    }
+}
+
+fn unlink(s: &mut LruState, idx: usize) {
+    let (prev, next) = (s.nodes[idx].prev, s.nodes[idx].next);
+    if prev != NIL {
+        s.nodes[prev].next = next;
+    } else {
+        s.head = next;
+    }
+    if next != NIL {
+        s.nodes[next].prev = prev;
+    } else {
+        s.tail = prev;
+    }
+    s.nodes[idx].prev = NIL;
+    s.nodes[idx].next = NIL;
+}
+
+fn push_front(s: &mut LruState, idx: usize) {
+    s.nodes[idx].prev = NIL;
+    s.nodes[idx].next = s.head;
+    if s.head != NIL {
+        s.nodes[s.head].prev = idx;
+    }
+    s.head = idx;
+    if s.tail == NIL {
+        s.tail = idx;
+    }
+}
+
+fn move_to_front(s: &mut LruState, idx: usize) {
+    if s.head == idx {
+        return;
+    }
+    unlink(s, idx);
+    push_front(s, idx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_orders_by_recency() {
+        let l = LruList::new();
+        l.touch(b"a");
+        l.touch(b"b");
+        l.touch(b"c");
+        assert_eq!(l.snapshot(), vec![b"c".to_vec(), b"b".to_vec(), b"a".to_vec()]);
+        l.touch(b"a");
+        assert_eq!(l.snapshot(), vec![b"a".to_vec(), b"c".to_vec(), b"b".to_vec()]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn evict_pops_least_recent() {
+        let l = LruList::new();
+        for k in [b"a", b"b", b"c"] {
+            l.touch(k);
+        }
+        l.touch(b"a"); // b is now least recent... no: order c,b after a-touch -> lru is b
+        assert_eq!(l.evict(), Some(b"b".to_vec()));
+        assert_eq!(l.evict(), Some(b"c".to_vec()));
+        assert_eq!(l.evict(), Some(b"a".to_vec()));
+        assert_eq!(l.evict(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remove_and_slab_reuse() {
+        let l = LruList::new();
+        l.touch(b"x");
+        l.touch(b"y");
+        l.remove(b"x");
+        assert_eq!(l.len(), 1);
+        l.remove(b"x"); // idempotent
+        l.touch(b"z"); // reuses x's slab slot
+        assert_eq!(l.snapshot(), vec![b"z".to_vec(), b"y".to_vec()]);
+        assert_eq!(l.evict(), Some(b"y".to_vec()));
+        assert_eq!(l.evict(), Some(b"z".to_vec()));
+    }
+
+    #[test]
+    fn concurrent_touches_do_not_lose_keys() {
+        let l = std::sync::Arc::new(LruList::new());
+        let handles: Vec<_> = (0..4u8)
+            .map(|t| {
+                let l = std::sync::Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        l.touch(format!("{t}:{i}").as_bytes());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.len(), 2000);
+    }
+}

@@ -1,0 +1,149 @@
+//! mc-benchmark-style driver (Figure 13).
+//!
+//! The paper runs mc-benchmark (50 clients) against memcached over a
+//! 940 Mbit/s network and finds performance *network-bound*: concurrent
+//! indexes service requests in parallel and saturate the link (≤2–3%
+//! overhead vs. the hash table), while single-threaded trees become the
+//! bottleneck on SETs. We reproduce the bottleneck with a modeled
+//! per-request network cost (`net_ns`): each simulated client busy-waits
+//! that long per request, capping the per-client request rate exactly like
+//! a fixed-RTT link; server-side work is the real index operation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use fptree_pmem::busy_wait_ns;
+
+use crate::cache::KvCache;
+
+/// Workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct McBenchConfig {
+    /// Total SET requests (then the same number of GETs).
+    pub requests: usize,
+    /// Simulated concurrent clients (threads).
+    pub clients: usize,
+    /// Distinct keys (mc-benchmark uses a bounded random keyspace).
+    pub keyspace: usize,
+    /// Value payload size in bytes.
+    pub value_size: usize,
+    /// Modeled per-request network cost in nanoseconds (0 = none).
+    pub net_ns: u64,
+}
+
+impl Default for McBenchConfig {
+    fn default() -> Self {
+        McBenchConfig {
+            requests: 100_000,
+            clients: 50,
+            keyspace: 100_000,
+            value_size: 32,
+            net_ns: 8_000,
+        }
+    }
+}
+
+/// Result of one phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseResult {
+    /// Requests completed.
+    pub requests: usize,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Requests per second.
+    pub ops_per_sec: f64,
+}
+
+/// SET-phase + GET-phase results.
+#[derive(Debug, Clone, Copy)]
+pub struct McBenchResult {
+    pub set: PhaseResult,
+    pub get: PhaseResult,
+}
+
+/// Runs the SET-then-GET workload against `cache`.
+pub fn run(cache: &Arc<KvCache>, cfg: &McBenchConfig) -> McBenchResult {
+    let set = run_phase(cache, cfg, true);
+    let get = run_phase(cache, cfg, false);
+    McBenchResult { set, get }
+}
+
+fn run_phase(cache: &Arc<KvCache>, cfg: &McBenchConfig, is_set: bool) -> PhaseResult {
+    let next = Arc::new(AtomicU64::new(0));
+    let total = cfg.requests as u64;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.clients {
+            let cache = Arc::clone(cache);
+            let next = Arc::clone(&next);
+            scope.spawn(move || {
+                let payload = vec![0x42u8; cfg.value_size];
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    // mc-benchmark key shape: "memtier"-style counter key.
+                    let key = format!("key:{:012}", i as usize % cfg.keyspace);
+                    if cfg.net_ns > 0 {
+                        busy_wait_ns(cfg.net_ns);
+                    }
+                    if is_set {
+                        cache.set(key.as_bytes(), 0, payload.clone());
+                    } else {
+                        let _ = cache.get(key.as_bytes());
+                    }
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    PhaseResult {
+        requests: cfg.requests,
+        secs,
+        ops_per_sec: cfg.requests as f64 / secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fptree_baselines::HashIndex;
+
+    #[test]
+    fn runs_both_phases() {
+        let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(16))));
+        let cfg = McBenchConfig {
+            requests: 5000,
+            clients: 4,
+            keyspace: 1000,
+            value_size: 16,
+            net_ns: 0,
+        };
+        let r = run(&cache, &cfg);
+        assert_eq!(r.set.requests, 5000);
+        assert!(r.set.ops_per_sec > 0.0);
+        assert!(r.get.ops_per_sec > 0.0);
+        assert_eq!(cache.len(), 1000);
+    }
+
+    #[test]
+    fn network_model_caps_throughput() {
+        let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(16))));
+        let cfg = McBenchConfig {
+            requests: 2000,
+            clients: 2,
+            keyspace: 500,
+            value_size: 8,
+            net_ns: 100_000, // 100 µs per request
+        };
+        let r = run(&cache, &cfg);
+        // 2 clients at ≤10k req/s each.
+        assert!(
+            r.set.ops_per_sec < 25_000.0,
+            "modeled network should cap throughput, got {}",
+            r.set.ops_per_sec
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! memcached text protocol (the subset mc-benchmark exercises).
+//!
+//! `set <key> <flags> <exptime> <bytes>\r\n<data>\r\n` → `STORED\r\n`
+//! `get <key>\r\n` → `VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n`
+//! `delete <key>\r\n` → `DELETED\r\n` / `NOT_FOUND\r\n`
+
+use crate::cache::KvCache;
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    Set { key: Vec<u8>, flags: u32, data: Vec<u8> },
+    Get { key: Vec<u8> },
+    Delete { key: Vec<u8> },
+    Quit,
+}
+
+/// Protocol-level parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// More bytes are needed to complete the command.
+    Incomplete,
+    /// Malformed command line.
+    Bad(&'static str),
+}
+
+/// Parses one command from `buf`, returning it and the bytes consumed.
+pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
+    let line_end = find_crlf(buf).ok_or(ParseError::Incomplete)?;
+    let line = std::str::from_utf8(&buf[..line_end]).map_err(|_| ParseError::Bad("utf8"))?;
+    let mut parts = line.split_ascii_whitespace();
+    let verb = parts.next().ok_or(ParseError::Bad("empty command"))?;
+    match verb {
+        "set" => {
+            let key = parts.next().ok_or(ParseError::Bad("set: missing key"))?;
+            let flags: u32 =
+                parts.next().and_then(|s| s.parse().ok()).ok_or(ParseError::Bad("set: flags"))?;
+            let _exptime = parts.next().ok_or(ParseError::Bad("set: exptime"))?;
+            let bytes: usize =
+                parts.next().and_then(|s| s.parse().ok()).ok_or(ParseError::Bad("set: bytes"))?;
+            let data_start = line_end + 2;
+            if buf.len() < data_start + bytes + 2 {
+                return Err(ParseError::Incomplete);
+            }
+            if &buf[data_start + bytes..data_start + bytes + 2] != b"\r\n" {
+                return Err(ParseError::Bad("set: data not CRLF-terminated"));
+            }
+            Ok((
+                Command::Set {
+                    key: key.as_bytes().to_vec(),
+                    flags,
+                    data: buf[data_start..data_start + bytes].to_vec(),
+                },
+                data_start + bytes + 2,
+            ))
+        }
+        "get" => {
+            let key = parts.next().ok_or(ParseError::Bad("get: missing key"))?;
+            Ok((Command::Get { key: key.as_bytes().to_vec() }, line_end + 2))
+        }
+        "delete" => {
+            let key = parts.next().ok_or(ParseError::Bad("delete: missing key"))?;
+            Ok((Command::Delete { key: key.as_bytes().to_vec() }, line_end + 2))
+        }
+        "quit" => Ok((Command::Quit, line_end + 2)),
+        _ => Err(ParseError::Bad("unknown verb")),
+    }
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+/// Executes a command against the cache and renders the response bytes.
+pub fn execute(cache: &KvCache, cmd: &Command) -> Vec<u8> {
+    match cmd {
+        Command::Set { key, flags, data } => {
+            cache.set(key, *flags, data.clone());
+            b"STORED\r\n".to_vec()
+        }
+        Command::Get { key } => match cache.get(key) {
+            Some((flags, data)) => {
+                let mut out = format!(
+                    "VALUE {} {} {}\r\n",
+                    String::from_utf8_lossy(key),
+                    flags,
+                    data.len()
+                )
+                .into_bytes();
+                out.extend_from_slice(&data);
+                out.extend_from_slice(b"\r\nEND\r\n");
+                out
+            }
+            None => b"END\r\n".to_vec(),
+        },
+        Command::Delete { key } => {
+            if cache.delete(key) {
+                b"DELETED\r\n".to_vec()
+            } else {
+                b"NOT_FOUND\r\n".to_vec()
+            }
+        }
+        Command::Quit => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fptree_baselines::HashIndex;
+    use std::sync::Arc;
+
+    fn cache() -> KvCache {
+        KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(4)))
+    }
+
+    #[test]
+    fn parse_set() {
+        let buf = b"set mykey 7 0 5\r\nhello\r\n";
+        let (cmd, used) = parse(buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(
+            cmd,
+            Command::Set { key: b"mykey".to_vec(), flags: 7, data: b"hello".to_vec() }
+        );
+    }
+
+    #[test]
+    fn parse_get_delete_quit() {
+        assert_eq!(parse(b"get k\r\n").unwrap().0, Command::Get { key: b"k".to_vec() });
+        assert_eq!(
+            parse(b"delete k\r\n").unwrap().0,
+            Command::Delete { key: b"k".to_vec() }
+        );
+        assert_eq!(parse(b"quit\r\n").unwrap().0, Command::Quit);
+    }
+
+    #[test]
+    fn parse_incomplete() {
+        assert_eq!(parse(b"set k 0 0 5\r\nhel").unwrap_err(), ParseError::Incomplete);
+        assert_eq!(parse(b"get k").unwrap_err(), ParseError::Incomplete);
+    }
+
+    #[test]
+    fn parse_pipelined() {
+        let buf = b"set a 0 0 1\r\nx\r\nget a\r\n";
+        let (c1, used) = parse(buf).unwrap();
+        assert!(matches!(c1, Command::Set { .. }));
+        let (c2, used2) = parse(&buf[used..]).unwrap();
+        assert_eq!(c2, Command::Get { key: b"a".to_vec() });
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(parse(b"frobnicate\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(parse(b"set k x 0 5\r\n"), Err(ParseError::Bad(_))));
+    }
+
+    #[test]
+    fn execute_set_get_delete() {
+        let c = cache();
+        let (set, _) = parse(b"set k 3 0 2\r\nhi\r\n").unwrap();
+        assert_eq!(execute(&c, &set), b"STORED\r\n");
+        let (get, _) = parse(b"get k\r\n").unwrap();
+        assert_eq!(execute(&c, &get), b"VALUE k 3 2\r\nhi\r\nEND\r\n");
+        let (del, _) = parse(b"delete k\r\n").unwrap();
+        assert_eq!(execute(&c, &del), b"DELETED\r\n");
+        assert_eq!(execute(&c, &del), b"NOT_FOUND\r\n");
+        assert_eq!(execute(&c, &get), b"END\r\n");
+    }
+
+    #[test]
+    fn binary_safe_values() {
+        let c = cache();
+        let mut buf = b"set bin 0 0 4\r\n".to_vec();
+        buf.extend_from_slice(&[0, 255, 13, 10]); // includes CR LF bytes
+        buf.extend_from_slice(b"\r\n");
+        let (cmd, used) = parse(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        execute(&c, &cmd);
+        assert_eq!(c.get(b"bin").unwrap().1, vec![0, 255, 13, 10]);
+    }
+}

@@ -1,0 +1,200 @@
+//! TCP front-end: a thread-per-connection memcached-protocol server.
+//!
+//! Used by the examples and available to the benchmarks; the mc-benchmark
+//! harness defaults to in-process calls with a modeled network cost (see
+//! [`crate::mcbench`]) because the paper's finding under test is that the
+//! *network* is the bottleneck, not loopback throughput.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::cache::KvCache;
+use crate::protocol::{execute, parse, Command, ParseError};
+
+/// Handle to a running server; dropping does not stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    /// Address the server actually bound (useful with port 0).
+    pub addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signals the accept loop to stop and joins it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Starts a server for `cache` on `addr` (e.g. "127.0.0.1:0").
+pub fn serve(cache: Arc<KvCache>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &cache);
+            });
+        }
+    });
+    Ok(ServerHandle { addr, stop, join: Some(join) })
+}
+
+fn handle_connection(mut stream: TcpStream, cache: &KvCache) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut buf = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse(&buf) {
+            Ok((cmd, used)) => {
+                buf.drain(..used);
+                if matches!(cmd, Command::Quit) {
+                    return Ok(());
+                }
+                let resp = execute(cache, &cmd);
+                stream.write_all(&resp)?;
+            }
+            Err(ParseError::Incomplete) => {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Ok(()); // client hung up
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(ParseError::Bad(_)) => {
+                stream.write_all(b"ERROR\r\n")?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// A minimal blocking client for tests and examples.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, buf: Vec::new() })
+    }
+
+    /// SET; waits for `STORED`.
+    pub fn set(&mut self, key: &str, data: &[u8]) -> std::io::Result<()> {
+        let mut msg = format!("set {key} 0 0 {}\r\n", data.len()).into_bytes();
+        msg.extend_from_slice(data);
+        msg.extend_from_slice(b"\r\n");
+        self.stream.write_all(&msg)?;
+        self.read_line()?; // STORED
+        Ok(())
+    }
+
+    /// GET; returns the value if present.
+    pub fn get(&mut self, key: &str) -> std::io::Result<Option<Vec<u8>>> {
+        self.stream.write_all(format!("get {key}\r\n").as_bytes())?;
+        let header = self.read_line()?;
+        if header == b"END" {
+            return Ok(None);
+        }
+        // VALUE <key> <flags> <bytes>
+        let text = String::from_utf8_lossy(&header).to_string();
+        let bytes: usize = text
+            .split_ascii_whitespace()
+            .nth(3)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other("bad VALUE header"))?;
+        while self.buf.len() < bytes + 2 {
+            self.fill()?;
+        }
+        let data = self.buf[..bytes].to_vec();
+        self.buf.drain(..bytes + 2);
+        self.read_line()?; // END
+        Ok(Some(data))
+    }
+
+    fn read_line(&mut self) -> std::io::Result<Vec<u8>> {
+        loop {
+            if let Some(pos) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                let line = self.buf[..pos].to_vec();
+                self.buf.drain(..pos + 2);
+                return Ok(line);
+            }
+            self.fill()?;
+        }
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::other("connection closed"));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fptree_baselines::HashIndex;
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr).unwrap();
+        client.set("alpha", b"one").unwrap();
+        client.set("beta", b"two").unwrap();
+        assert_eq!(client.get("alpha").unwrap(), Some(b"one".to_vec()));
+        assert_eq!(client.get("beta").unwrap(), Some(b"two".to_vec()));
+        assert_eq!(client.get("gamma").unwrap(), None);
+        // Overwrite.
+        client.set("alpha", b"uno").unwrap();
+        assert_eq!(client.get("alpha").unwrap(), Some(b"uno".to_vec()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_clients() {
+        let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let addr = server.addr;
+        let handles: Vec<_> = (0..4)
+            .map(|t: u32| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    for i in 0..200 {
+                        let key = format!("t{t}k{i}");
+                        c.set(&key, format!("v{i}").as_bytes()).unwrap();
+                        assert_eq!(c.get(&key).unwrap(), Some(format!("v{i}").into_bytes()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 800);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,211 @@
+//! Persistent pointers.
+//!
+//! A restart gives the process a fresh address space, so virtual pointers
+//! stored in SCM are meaningless after recovery. The paper (§2 "Data
+//! recovery") uses 16-byte persistent pointers made of an 8-byte file id and
+//! an 8-byte offset into that file; the persistent allocator converts between
+//! persistent and volatile pointers. We reproduce that layout exactly.
+
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Offset value representing a null persistent pointer.
+///
+/// Offset 0 always falls inside the pool header, which is never handed out by
+/// the allocator, so 0 is unambiguous as "null" — and, crucially, a null
+/// pointer is all-zero bytes, so freshly zeroed persistent memory reads back
+/// as null pointers.
+pub const NULL_OFFSET: u64 = 0;
+
+/// An untyped persistent pointer: 8-byte file id + 8-byte offset.
+///
+/// `repr(C)` and all-`u64` so it is plain old data that can be stored in and
+/// read back from persistent memory byte-for-byte.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)]
+pub struct RawPPtr {
+    /// Identifies the pool ("file") this pointer refers to.
+    pub file_id: u64,
+    /// Byte offset within the pool.
+    pub offset: u64,
+}
+
+impl RawPPtr {
+    /// The null persistent pointer.
+    pub const NULL: RawPPtr = RawPPtr { file_id: 0, offset: NULL_OFFSET };
+
+    /// Creates a pointer into pool `file_id` at byte `offset`.
+    #[inline]
+    pub const fn new(file_id: u64, offset: u64) -> Self {
+        RawPPtr { file_id, offset }
+    }
+
+    /// Whether this is the null pointer.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.offset == NULL_OFFSET
+    }
+
+    /// Reinterprets as a typed pointer.
+    #[inline]
+    pub const fn typed<T>(self) -> PPtr<T> {
+        PPtr { raw: self, _marker: PhantomData }
+    }
+}
+
+impl fmt::Debug for RawPPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PPtr(null)")
+        } else {
+            write!(f, "PPtr(file={}, off={:#x})", self.file_id, self.offset)
+        }
+    }
+}
+
+/// A typed persistent pointer to a `T` stored in a pool.
+///
+/// The type parameter is a compile-time convenience only; the persistent
+/// representation is identical to [`RawPPtr`].
+#[repr(C)]
+pub struct PPtr<T> {
+    raw: RawPPtr,
+    _marker: PhantomData<T>,
+}
+
+impl<T> PPtr<T> {
+    /// The null typed pointer.
+    pub const NULL: PPtr<T> = PPtr { raw: RawPPtr::NULL, _marker: PhantomData };
+
+    /// Creates a typed pointer into pool `file_id` at byte `offset`.
+    #[inline]
+    pub const fn new(file_id: u64, offset: u64) -> Self {
+        PPtr { raw: RawPPtr::new(file_id, offset), _marker: PhantomData }
+    }
+
+    /// Whether this is the null pointer.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.raw.is_null()
+    }
+
+    /// The untyped form.
+    #[inline]
+    pub const fn raw(self) -> RawPPtr {
+        self.raw
+    }
+
+    /// Byte offset within the pool.
+    #[inline]
+    pub const fn offset(self) -> u64 {
+        self.raw.offset
+    }
+
+    /// Pool ("file") id.
+    #[inline]
+    pub const fn file_id(self) -> u64 {
+        self.raw.file_id
+    }
+
+    /// Pointer `count` elements of `T` further.
+    #[inline]
+    pub const fn add(self, count: u64) -> Self {
+        PPtr::new(self.raw.file_id, self.raw.offset + count * std::mem::size_of::<T>() as u64)
+    }
+
+    /// Pointer `bytes` bytes further, reinterpreted as a `U`.
+    #[inline]
+    pub const fn byte_add<U>(self, bytes: u64) -> PPtr<U> {
+        PPtr::new(self.raw.file_id, self.raw.offset + bytes)
+    }
+}
+
+// Manual impls: derive would bound them on `T`.
+impl<T> Clone for PPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PPtr<T> {}
+impl<T> PartialEq for PPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<T> Eq for PPtr<T> {}
+impl<T> Hash for PPtr<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state)
+    }
+}
+impl<T> fmt::Debug for PPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.raw)
+    }
+}
+impl<T> Default for PPtr<T> {
+    fn default() -> Self {
+        Self::NULL
+    }
+}
+
+/// Marker for plain-old-data types that may be stored in persistent memory.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, have no padding-dependent invariants violated
+/// by byte-wise copies, and tolerate arbitrary bit patterns being read back
+/// (recovery code must validate semantic invariants itself).
+pub unsafe trait Pod: Copy {}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => { $(unsafe impl Pod for $t {})* };
+}
+impl_pod!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+unsafe impl Pod for RawPPtr {}
+unsafe impl<T: 'static> Pod for PPtr<T> {}
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pptr_is_sixteen_bytes() {
+        assert_eq!(std::mem::size_of::<RawPPtr>(), 16);
+        assert_eq!(std::mem::size_of::<PPtr<u64>>(), 16);
+    }
+
+    #[test]
+    fn null_roundtrip() {
+        let p: PPtr<u64> = PPtr::NULL;
+        assert!(p.is_null());
+        assert!(p.raw().is_null());
+        assert_eq!(p, PPtr::default());
+    }
+
+    #[test]
+    fn zeroed_bytes_are_null() {
+        let bytes = [0u8; 16];
+        let p: RawPPtr = unsafe { std::ptr::read(bytes.as_ptr() as *const RawPPtr) };
+        assert!(p.is_null());
+    }
+
+    #[test]
+    fn add_advances_by_element_size() {
+        let p: PPtr<u64> = PPtr::new(1, 4096);
+        assert_eq!(p.add(3).offset(), 4096 + 24);
+        let q: PPtr<u8> = p.byte_add(5);
+        assert_eq!(q.offset(), 4101);
+    }
+
+    #[test]
+    fn typed_untyped_roundtrip() {
+        let raw = RawPPtr::new(7, 123);
+        let typed: PPtr<u32> = raw.typed();
+        assert_eq!(typed.raw(), raw);
+        assert_eq!(typed.offset(), 123);
+        assert_eq!(typed.file_id(), 7);
+    }
+}

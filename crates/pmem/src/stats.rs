@@ -1,0 +1,93 @@
+//! Volatile instrumentation counters for a pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing the persistence traffic of a pool.
+///
+/// All counters are volatile (they do not survive a restart) and updated with
+/// relaxed atomics, so they are cheap enough to leave enabled in benchmarks.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Cache lines written back to SCM by `persist` calls.
+    pub flushed_lines: AtomicU64,
+    /// Calls to `persist` (each models fence + flush(es) + fence).
+    pub persist_calls: AtomicU64,
+    /// Explicit memory fences.
+    pub fences: AtomicU64,
+    /// Cache lines charged with SCM read latency via `touch_read`.
+    pub read_lines: AtomicU64,
+    /// Successful persistent allocations.
+    pub allocs: AtomicU64,
+    /// Successful persistent deallocations.
+    pub deallocs: AtomicU64,
+    /// Net bytes currently allocated (user sizes, excluding block headers).
+    pub bytes_live: AtomicU64,
+    /// High-water mark of the bump cursor (total SCM footprint).
+    pub bump_high_water: AtomicU64,
+}
+
+impl PoolStats {
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn sub(counter: &AtomicU64, n: u64) {
+        counter.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters as plain integers.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            flushed_lines: self.flushed_lines.load(Ordering::Relaxed),
+            persist_calls: self.persist_calls.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            read_lines: self.read_lines.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            deallocs: self.deallocs.load(Ordering::Relaxed),
+            bytes_live: self.bytes_live.load(Ordering::Relaxed),
+            bump_high_water: self.bump_high_water.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.flushed_lines.store(0, Ordering::Relaxed);
+        self.persist_calls.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+        self.read_lines.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
+        self.deallocs.store(0, Ordering::Relaxed);
+        // bytes_live / bump_high_water track state, not traffic: keep them.
+    }
+}
+
+/// Plain-integer snapshot of [`PoolStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub flushed_lines: u64,
+    pub persist_calls: u64,
+    pub fences: u64,
+    pub read_lines: u64,
+    pub allocs: u64,
+    pub deallocs: u64,
+    pub bytes_live: u64,
+    pub bump_high_water: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_clears_traffic_but_not_state() {
+        let s = PoolStats::default();
+        PoolStats::add(&s.flushed_lines, 5);
+        PoolStats::add(&s.bytes_live, 100);
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.flushed_lines, 0);
+        assert_eq!(snap.bytes_live, 100);
+    }
+}

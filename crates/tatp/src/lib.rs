@@ -1,0 +1,11 @@
+//! Prototype database + TATP benchmark (paper §6.4, Figure 12).
+//!
+//! A dictionary-encoded columnar [`engine`] whose dictionary indexes are the
+//! pluggable trees under evaluation, plus the TATP schema, skewed
+//! (sequential-s_id) population, and read-only transaction mix in [`db`].
+
+pub mod db;
+pub mod engine;
+
+pub use db::{cf_key, run_mix, run_transaction, sf_key, TatpDb};
+pub use engine::{Column, Dictionary, IndexFactory, Table};

@@ -1,0 +1,11 @@
+//! Umbrella crate for the FPTree reproduction workspace.
+//!
+//! Re-exports every sub-crate so examples and integration tests can use a
+//! single dependency. See the README for the full map.
+
+pub use fptree_baselines as baselines;
+pub use fptree_core as core;
+pub use fptree_htm as htm;
+pub use fptree_kvcache as kvcache;
+pub use fptree_pmem as pmem;
+pub use fptree_tatp as tatp;

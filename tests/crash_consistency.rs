@@ -1,0 +1,216 @@
+//! Property-based crash-consistency tests (the paper's central claim:
+//! "the FPTree must be able to self-recover to a consistent state from any
+//! software crash or power failure scenario").
+//!
+//! proptest generates random operation schedules, a random crash point
+//! (counted in persistence events), and random survival seeds for unflushed
+//! 8-byte words; after recovery the tree must be structurally consistent,
+//! every *completed* operation must be durable, the in-flight operation must
+//! be atomic, and the allocator must agree with the tree on every live
+//! block (no persistent leaks).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fptree_suite::core::keys::{FixedKey, KeyKind, VarKey};
+use fptree_suite::core::{SingleTree, TreeConfig};
+use fptree_suite::pmem::{crash_is_injected, PmemPool, PoolOptions, RawPPtr, ROOT_SLOT};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u16),
+    Update(u16, u16),
+    Remove(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..200u16, any::<u16>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => (0..200u16, any::<u16>()).prop_map(|(k, v)| Op::Update(k, v)),
+        1 => (0..200u16).prop_map(Op::Remove),
+    ]
+}
+
+/// Generic over the key kind; drives ops, crashes, recovers, checks.
+fn crash_check<K: KeyKind>(
+    mk: impl Fn(u16) -> K::Owned,
+    ops: &[Op],
+    fuse: u64,
+    seed: u64,
+    group_size: usize,
+) {
+    let pool = Arc::new(PmemPool::create(PoolOptions::tracked(64 << 20)).expect("pool"));
+    // Completed operations and the model state they imply.
+    let completed = std::sync::Mutex::new(BTreeMap::<u16, u64>::new());
+    // Key of the operation executing when the crash fires: it may
+    // legitimately commit or not (atomicity, not durability, applies).
+    let in_flight = std::sync::Mutex::new(None::<u16>);
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let cfg = TreeConfig::fptree()
+            .with_leaf_capacity(4)
+            .with_inner_fanout(4)
+            .with_leaf_group_size(group_size);
+        let mut tree = SingleTree::<K>::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+        pool.set_crash_fuse(Some(fuse));
+        for op in ops {
+            *in_flight.lock().expect("in-flight") = Some(match op {
+                Op::Insert(k, _) | Op::Update(k, _) | Op::Remove(k) => *k,
+            });
+            match op {
+                Op::Insert(k, v) => {
+                    if tree.insert(&mk(*k), *v as u64) {
+                        completed.lock().expect("model").insert(*k, *v as u64);
+                    }
+                }
+                Op::Update(k, v) => {
+                    if tree.update(&mk(*k), *v as u64) {
+                        completed.lock().expect("model").insert(*k, *v as u64);
+                    }
+                }
+                Op::Remove(k) => {
+                    if tree.remove(&mk(*k)) {
+                        completed.lock().expect("model").remove(k);
+                    }
+                }
+            }
+        }
+    }));
+    pool.set_crash_fuse(None);
+    let crashed = match outcome {
+        Ok(()) => false,
+        Err(e) => {
+            assert!(crash_is_injected(e.as_ref()), "non-injected panic escaped");
+            true
+        }
+    };
+
+    let image = pool.crash_image(seed);
+    let pool2 = Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0)).expect("reopen"));
+    let tree = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT);
+    tree.check_consistency().expect("recovered tree consistent");
+
+    let model = completed.lock().expect("model");
+    let interrupted = *in_flight.lock().expect("in-flight");
+    if crashed {
+        // Every op whose call returned before the crash must be durable.
+        // The interrupted op's key is exempt: that operation may have
+        // committed or not (its call never returned).
+        for (k, v) in model.iter() {
+            if Some(*k) == interrupted {
+                continue;
+            }
+            assert_eq!(
+                tree.get(&mk(*k)),
+                Some(*v),
+                "completed op on key {k} lost after crash (fuse {fuse}, seed {seed})"
+            );
+        }
+        // Atomicity of the in-flight op: any extra key beyond the model must
+        // carry a value some operation actually wrote for that key.
+        for (k, v) in tree.range(&mk(0), &mk(u16::MAX)) {
+            let wrote_it = ops.iter().any(|op| match op {
+                Op::Insert(ok, ov) | Op::Update(ok, ov) => mk(*ok) == k && *ov as u64 == v,
+                Op::Remove(_) => false,
+            });
+            assert!(wrote_it, "phantom entry {k:?}={v} after crash");
+        }
+    } else {
+        assert_eq!(tree.len(), model.len(), "clean run must recover exactly");
+        for (k, v) in model.iter() {
+            assert_eq!(tree.get(&mk(*k)), Some(*v));
+        }
+    }
+
+    // No persistent leaks: every live block is reachable from the tree.
+    audit_leaks::<K>(&pool2, &tree);
+}
+
+/// Allocator-vs-tree reachability audit.
+fn audit_leaks<K: KeyKind>(pool: &Arc<PmemPool>, tree: &SingleTree<K>) {
+    let live = pool.live_blocks().expect("heap walk");
+    let mut reachable = std::collections::HashSet::new();
+    // Tree metadata block (from the root slot).
+    let owner: RawPPtr = pool.read_at(ROOT_SLOT);
+    reachable.insert(owner.offset);
+    // Leaf groups (group mode) by walking the persistent group list; the
+    // list head lives in the metadata block — reuse the tree's own
+    // accounting instead: every leaf offset and key blob.
+    let cfg = tree.config();
+    if cfg.leaf_group_size > 1 {
+        // Group blocks are the allocation unit: collect them by walking the
+        // group list stored in metadata (offset 48 within the block).
+        let ghead: RawPPtr = pool.read_at(owner.offset + 48);
+        let mut cur = ghead;
+        while !cur.is_null() {
+            reachable.insert(cur.offset);
+            cur = pool.read_at(cur.offset);
+        }
+    } else {
+        for off in tree.leaf_offsets() {
+            reachable.insert(off);
+        }
+    }
+    if K::IS_VAR {
+        for off in tree.leaf_offsets() {
+            // Valid slots own blobs: ask the pool for each slot pointer via
+            // the tree's consistency contract (checked above); here we use
+            // the public range to reach blob offsets indirectly — instead,
+            // conservatively accept blocks that any valid slot references.
+            let layout = fptree_suite::core::LeafLayout::new(cfg, K::SLOT_SIZE);
+            let bm = pool.read_at::<u64>(off);
+            for slot in 0..layout.m {
+                if bm & (1 << slot) != 0 {
+                    let p: RawPPtr = pool.read_at(off + layout.key_off(slot) as u64);
+                    if !p.is_null() {
+                        reachable.insert(p.offset);
+                    }
+                }
+            }
+        }
+    }
+    for (off, size) in &live {
+        assert!(
+            reachable.contains(off),
+            "persistent leak: block at {off:#x} ({size} B) unreachable from the tree"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fixed_keys_with_groups(
+        ops in proptest::collection::vec(op_strategy(), 20..120),
+        fuse in 50u64..2500,
+        seed in any::<u64>(),
+    ) {
+        crash_check::<FixedKey>(|k| k as u64, &ops, fuse, seed, 4);
+    }
+
+    #[test]
+    fn fixed_keys_without_groups(
+        ops in proptest::collection::vec(op_strategy(), 20..120),
+        fuse in 50u64..2500,
+        seed in any::<u64>(),
+    ) {
+        crash_check::<FixedKey>(|k| k as u64, &ops, fuse, seed, 0);
+    }
+
+    #[test]
+    fn var_keys(
+        ops in proptest::collection::vec(op_strategy(), 20..80),
+        fuse in 50u64..2500,
+        seed in any::<u64>(),
+    ) {
+        crash_check::<VarKey>(
+            |k| format!("key:{k:05}").into_bytes(),
+            &ops,
+            fuse,
+            seed,
+            2,
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Differential testing: every evaluated tree must implement identical map
+//! semantics. Random workloads run against all trees and a BTreeMap oracle.
+
+use std::collections::BTreeMap;
+
+use fptree_suite::core::TreeConfig;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u32),
+    Update(u32, u32),
+    Remove(u32),
+    Get(u32),
+    Range(u32, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..400u32, any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0..400u32, any::<u32>()).prop_map(|(k, v)| Op::Update(k, v)),
+        2 => (0..400u32).prop_map(Op::Remove),
+        3 => (0..400u32).prop_map(Op::Get),
+        1 => (0..400u32, 0..400u32).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+/// Tree-call adapter: one closure avoids multi-borrow issues.
+enum Call {
+    Insert(u64, u64),
+    Update(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+enum Resp {
+    Bool(bool),
+    Val(Option<u64>),
+    Scan(Option<Vec<(u64, u64)>>),
+}
+
+/// Runs the schedule against one tree through a single dispatch closure,
+/// checking against the oracle op by op.
+fn check(name: &str, ops: &[Op], mut run: impl FnMut(Call) -> Resp) {
+    let as_bool = |r: Resp| match r {
+        Resp::Bool(b) => b,
+        _ => panic!("expected bool"),
+    };
+    let mut oracle = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                let expect = !oracle.contains_key(&(*k as u64));
+                let got = as_bool(run(Call::Insert(*k as u64, *v as u64)));
+                assert_eq!(got, expect, "{name}: insert {k}");
+                if expect {
+                    oracle.insert(*k as u64, *v as u64);
+                }
+            }
+            Op::Update(k, v) => {
+                let expect = oracle.contains_key(&(*k as u64));
+                let got = as_bool(run(Call::Update(*k as u64, *v as u64)));
+                assert_eq!(got, expect, "{name}: update {k}");
+                if expect {
+                    oracle.insert(*k as u64, *v as u64);
+                }
+            }
+            Op::Remove(k) => {
+                let expect = oracle.remove(&(*k as u64)).is_some();
+                let got = as_bool(run(Call::Remove(*k as u64)));
+                assert_eq!(got, expect, "{name}: remove {k}");
+            }
+            Op::Get(k) => {
+                let got = match run(Call::Get(*k as u64)) {
+                    Resp::Val(v) => v,
+                    _ => panic!("expected val"),
+                };
+                assert_eq!(got, oracle.get(&(*k as u64)).copied(), "{name}: get {k}");
+            }
+            Op::Range(lo, hi) => {
+                let got = match run(Call::Range(*lo as u64, *hi as u64)) {
+                    Resp::Scan(s) => s,
+                    _ => panic!("expected scan"),
+                };
+                if let Some(got) = got {
+                    let expect: Vec<(u64, u64)> =
+                        oracle.range(*lo as u64..=*hi as u64).map(|(k, v)| (*k, *v)).collect();
+                    assert_eq!(got, expect, "{name}: range {lo}..={hi}");
+                }
+            }
+        }
+    }
+}
+
+fn small(cfg: TreeConfig) -> TreeConfig {
+    cfg.with_leaf_capacity(4).with_inner_fanout(4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_trees_agree(ops in proptest::collection::vec(op_strategy(), 50..250)) {
+        use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        use std::sync::Arc;
+
+        // FPTree (single-threaded, leaf groups).
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+            let mut t = fptree_suite::core::FPTree::create(
+                pool,
+                small(TreeConfig::fptree()).with_leaf_group_size(2),
+                ROOT_SLOT,
+            );
+            check("fptree", &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+            });
+            t.check_consistency().unwrap();
+        }
+        // PTree config.
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+            let mut t = fptree_suite::core::FPTree::create(
+                pool,
+                small(TreeConfig::ptree()),
+                ROOT_SLOT,
+            );
+            check("ptree", &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+            });
+        }
+        // Concurrent FPTree.
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+            let t = fptree_suite::core::ConcurrentFPTree::create(
+                pool,
+                small(TreeConfig::fptree_concurrent()),
+                ROOT_SLOT,
+            );
+            check("fptree-c", &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+            });
+            t.check_consistency().unwrap();
+        }
+        // wBTree.
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(128 << 20)).unwrap());
+            let mut t = fptree_suite::baselines::WBTreeFixed::create(pool, 4, 4, ROOT_SLOT);
+            check("wbtree", &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+            });
+            t.check_consistency().unwrap();
+        }
+        // NV-Tree.
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(128 << 20)).unwrap());
+            let t = fptree_suite::baselines::NVTree::<fptree_suite::core::FixedKey>::create(
+                pool, 8, 4, ROOT_SLOT,
+            );
+            check("nvtree", &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+            });
+            t.check_consistency().unwrap();
+        }
+        // STXTree.
+        {
+            let mut t = fptree_suite::baselines::StxTree::<u64>::with_capacities(4, 4);
+            check("stx", &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+            });
+        }
+    }
+
+    #[test]
+    fn var_key_trees_agree(ops in proptest::collection::vec(op_strategy(), 50..150)) {
+        use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        use std::sync::Arc;
+        let key = |k: u64| format!("key:{k:06}").into_bytes();
+
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(128 << 20)).unwrap());
+        let mut fp = fptree_suite::core::FPTreeVar::create(
+            pool,
+            small(TreeConfig::fptree_var()).with_leaf_group_size(2),
+            ROOT_SLOT,
+        );
+        check("fptree-var", &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(fp.insert(&key(k), v)),
+                Call::Update(k, v) => Resp::Bool(fp.update(&key(k), v)),
+                Call::Remove(k) => Resp::Bool(fp.remove(&key(k))),
+                Call::Get(k) => Resp::Val(fp.get(&key(k))),
+                Call::Range(lo, hi) => Resp::Scan({ let _ = (lo, hi); None }),
+            });
+        fp.check_consistency().unwrap();
+
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(128 << 20)).unwrap());
+        let mut wb = fptree_suite::baselines::WBTreeVar::create(pool, 4, 4, ROOT_SLOT);
+        check("wbtree-var", &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(wb.insert(&key(k), v)),
+                Call::Update(k, v) => Resp::Bool(wb.update(&key(k), v)),
+                Call::Remove(k) => Resp::Bool(wb.remove(&key(k))),
+                Call::Get(k) => Resp::Val(wb.get(&key(k))),
+                Call::Range(lo, hi) => Resp::Scan({ let _ = (lo, hi); None }),
+            });
+        wb.check_consistency().unwrap();
+    }
+}

@@ -1,0 +1,127 @@
+//! Fuzz-style property tests for the memcached text-protocol parser: no
+//! input may panic it, and rendering→parsing round-trips every command.
+
+use fptree_suite::kvcache::protocol::{execute, parse, Command, ParseError};
+use fptree_suite::kvcache::KvCache;
+use proptest::prelude::*;
+
+fn any_key() -> impl Strategy<Value = Vec<u8>> {
+    // memcached keys: printable, no whitespace/control, 1..=250 bytes.
+    proptest::collection::vec(0x21u8..0x7F, 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes never panic the parser.
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse(&bytes);
+    }
+
+    /// Arbitrary *line-shaped* garbage never panics and never parses as a
+    /// valid SET with mismatched framing.
+    #[test]
+    fn garbage_lines_are_rejected_or_incomplete(
+        mut line in "[ -~]{0,80}",
+    ) {
+        line.push_str("\r\n");
+        match parse(line.as_bytes()) {
+            Ok((cmd, used)) => {
+                // Only well-formed verbs may come out.
+                prop_assert!(used <= line.len());
+                match cmd {
+                    Command::Set { .. } | Command::Get { .. }
+                    | Command::Delete { .. } | Command::Quit => {}
+                }
+            }
+            Err(ParseError::Bad(_)) | Err(ParseError::Incomplete) => {}
+        }
+    }
+
+    /// SET rendering round-trips through the parser, including binary
+    /// payloads containing CR/LF.
+    #[test]
+    fn set_roundtrips(
+        key in any_key(),
+        flags in any::<u32>(),
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut msg = format!(
+            "set {} {} 0 {}\r\n",
+            String::from_utf8(key.clone()).expect("printable"),
+            flags,
+            data.len()
+        ).into_bytes();
+        msg.extend_from_slice(&data);
+        msg.extend_from_slice(b"\r\n");
+        let (cmd, used) = parse(&msg).expect("well-formed SET parses");
+        prop_assert_eq!(used, msg.len());
+        prop_assert_eq!(cmd, Command::Set { key, flags, data });
+    }
+
+    /// Executing any parsed command sequence against a cache neither panics
+    /// nor corrupts the cache (gets after sets return the latest data).
+    #[test]
+    fn command_sequences_execute_safely(
+        cmds in proptest::collection::vec(
+            (any_key(), proptest::collection::vec(any::<u8>(), 0..32), 0u8..3),
+            1..40,
+        )
+    ) {
+        let cache = KvCache::new(std::sync::Arc::new(
+            fptree_suite::baselines::HashIndex::<Vec<u8>>::new(4),
+        ));
+        let mut model = std::collections::HashMap::new();
+        for (key, data, kind) in cmds {
+            let cmd = match kind {
+                0 => {
+                    model.insert(key.clone(), data.clone());
+                    Command::Set { key, flags: 1, data }
+                }
+                1 => Command::Get { key },
+                _ => {
+                    model.remove(&key);
+                    Command::Delete { key }
+                }
+            };
+            let resp = execute(&cache, &cmd);
+            if let Command::Get { key } = &cmd {
+                match model.get(key) {
+                    Some(data) => {
+                        prop_assert!(resp.starts_with(b"VALUE "), "hit must render VALUE");
+                        prop_assert!(resp.ends_with(b"\r\nEND\r\n"));
+                        // The payload is embedded verbatim.
+                        prop_assert!(
+                            resp.windows(data.len().max(1)).any(|w| w == &data[..]) || data.is_empty()
+                        );
+                    }
+                    None => prop_assert_eq!(resp, b"END\r\n".to_vec()),
+                }
+            }
+        }
+    }
+}
+
+/// Incremental (byte-at-a-time) feeding reaches the same parse as one shot.
+#[test]
+fn incremental_parsing_matches_oneshot() {
+    let msgs: &[&[u8]] = &[
+        b"get alpha\r\n",
+        b"set beta 7 0 3\r\nxyz\r\n",
+        b"delete gamma\r\n",
+        b"quit\r\n",
+    ];
+    for msg in msgs {
+        let oneshot = parse(msg).expect("full parse");
+        // Feed byte by byte; must stay Incomplete until the very end.
+        for cut in 1..msg.len() {
+            match parse(&msg[..cut]) {
+                Err(ParseError::Incomplete) => {}
+                Ok((_, used)) => assert!(used <= cut),
+                Err(ParseError::Bad(e)) => panic!("prefix declared Bad({e}) at {cut}"),
+            }
+        }
+        assert_eq!(parse(msg).expect("reparse"), oneshot);
+    }
+}
