@@ -153,7 +153,9 @@ mod tests {
         let pool2 = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
         let indexes: Vec<Box<dyn U64Index>> = vec![
             Box::new(Locked::new(StxTree::<u64>::new())),
-            Box::new(Locked::new(WBTree::<FixedKey>::create(pool1, 16, 16, ROOT_SLOT))),
+            Box::new(Locked::new(WBTree::<FixedKey>::create(
+                pool1, 16, 16, ROOT_SLOT,
+            ))),
             Box::new(NVTreeC::<FixedKey>::create(pool2, 16, 16, ROOT_SLOT)),
         ];
         for idx in &indexes {

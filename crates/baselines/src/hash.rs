@@ -22,7 +22,10 @@ impl<K: Eq + Hash> HashIndex<K> {
     /// two).
     pub fn new(shards: usize) -> Self {
         let n = shards.next_power_of_two().max(1);
-        HashIndex { shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(), mask: n - 1 }
+        HashIndex {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
+        }
     }
 
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, u64>> {

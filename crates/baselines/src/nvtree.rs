@@ -70,7 +70,10 @@ fn leaf_size(cap: usize, key_slot: usize) -> usize {
 /// The volatile index over leaves.
 enum NvNode<K: KeyKind> {
     Leaf(u64),
-    Inner { keys: Vec<K::Owned>, children: Vec<NvNode<K>> },
+    Inner {
+        keys: Vec<K::Owned>,
+        children: Vec<NvNode<K>>,
+    },
 }
 
 /// An NV-Tree over simulated SCM. Thread-safe; [`NVTree`] and [`NVTreeC`]
@@ -110,7 +113,9 @@ impl<K: KeyKind> NVTreeC<K> {
     /// node fanout.
     pub fn create(pool: Arc<PmemPool>, cap: usize, fanout: usize, owner_slot: u64) -> Self {
         assert!(cap >= 4 && fanout >= 3);
-        let meta = pool.allocate(owner_slot, META_SIZE).expect("pool exhausted: nvtree meta");
+        let meta = pool
+            .allocate(owner_slot, META_SIZE)
+            .expect("pool exhausted: nvtree meta");
         pool.write_bytes(meta, &[0u8; META_SIZE]);
         pool.persist(meta, META_SIZE);
         pool.write_word(meta + M_CAP, cap as u64);
@@ -139,7 +144,11 @@ impl<K: KeyKind> NVTreeC<K> {
         let owner: RawPPtr = pool.read_at(owner_slot);
         assert!(!owner.is_null(), "no NV-Tree at owner slot");
         let meta = owner.offset;
-        assert_eq!(pool.read_word(meta + M_STATUS), READY, "NV-Tree not initialized");
+        assert_eq!(
+            pool.read_word(meta + M_STATUS),
+            READY,
+            "NV-Tree not initialized"
+        );
         assert_eq!(pool.read_word(meta + M_FLAGS) & FLAG_VAR != 0, K::IS_VAR);
         assert_eq!(pool.read_word(meta + M_KEY_SLOT) as usize, K::SLOT_SIZE);
         let cap = pool.read_word(meta + M_CAP) as usize;
@@ -170,7 +179,10 @@ impl<K: KeyKind> NVTreeC<K> {
     }
 
     fn alloc_leaf(&self, owner: u64) -> u64 {
-        let off = self.pool.allocate(owner, self.lsize()).expect("pool exhausted: nv leaf");
+        let off = self
+            .pool
+            .allocate(owner, self.lsize())
+            .expect("pool exhausted: nv leaf");
         self.pool.write_bytes(off, &vec![0u8; self.lsize()]);
         self.pool.persist(off, self.lsize());
         off
@@ -199,7 +211,8 @@ impl<K: KeyKind> NVTreeC<K> {
     }
 
     fn entry_value(&self, leaf: u64, i: usize) -> u64 {
-        self.pool.read_word(self.entry_off(leaf, i) + 8 + K::SLOT_SIZE as u64)
+        self.pool
+            .read_word(self.entry_off(leaf, i) + 8 + K::SLOT_SIZE as u64)
     }
 
     fn leaf_lock(&self, leaf: u64) -> &AtomicU64 {
@@ -390,9 +403,9 @@ impl<K: KeyKind> NVTreeC<K> {
                         self.unlock_leaf(leaf);
                         // fall through to reorganize
                     } else {
-                        let live = self.reverse_find(leaf, key).map(|i| {
-                            self.entry_flag(leaf, i) == E_LIVE
-                        });
+                        let live = self
+                            .reverse_find(leaf, key)
+                            .map(|i| self.entry_flag(leaf, i) == E_LIVE);
                         let exists = live.unwrap_or(false);
                         if exists != update {
                             self.unlock_leaf(leaf);
@@ -625,14 +638,15 @@ impl<K: KeyKind> NVTreeC<K> {
             return NvNode::Leaf(first.expect("leaf list is never empty"));
         }
         let chunk_size = (self.fanout / 2).max(2);
-        let mut level: Vec<(K::Owned, NvNode<K>)> =
-            entries.into_iter().map(|(k, off)| (k, NvNode::Leaf(off))).collect();
+        let mut level: Vec<(K::Owned, NvNode<K>)> = entries
+            .into_iter()
+            .map(|(k, off)| (k, NvNode::Leaf(off)))
+            .collect();
         while level.len() > 1 {
             let mut next = Vec::new();
             let mut iter = level.into_iter().peekable();
             while iter.peek().is_some() {
-                let chunk: Vec<(K::Owned, NvNode<K>)> =
-                    iter.by_ref().take(chunk_size).collect();
+                let chunk: Vec<(K::Owned, NvNode<K>)> = iter.by_ref().take(chunk_size).collect();
                 let max = chunk.last().expect("nonempty").0.clone();
                 let mut keys: Vec<K::Owned> = chunk.iter().map(|(k, _)| k.clone()).collect();
                 keys.pop();
@@ -844,7 +858,10 @@ mod tests {
             assert_eq!(t.get(&i), Some(i * 2), "get {i}");
         }
         t.check_consistency().unwrap();
-        assert!(t.rebuilds.load(Ordering::Relaxed) > 0, "sorted inserts must trigger rebuilds");
+        assert!(
+            t.rebuilds.load(Ordering::Relaxed) > 0,
+            "sorted inserts must trigger rebuilds"
+        );
     }
 
     #[test]

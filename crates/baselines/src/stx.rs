@@ -16,13 +16,23 @@ pub struct StxTree<K: Ord + Clone> {
 }
 
 enum Node<K> {
-    Inner { keys: Vec<K>, children: Vec<Node<K>> },
-    Leaf { keys: Vec<K>, vals: Vec<u64> },
+    Inner {
+        keys: Vec<K>,
+        children: Vec<Node<K>>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<u64>,
+    },
 }
 
 enum Outcome<K> {
     Done(bool),
-    Split { key: K, right: Node<K>, result: bool },
+    Split {
+        key: K,
+        right: Node<K>,
+        result: bool,
+    },
 }
 
 impl<K: Ord + Clone> StxTree<K> {
@@ -34,7 +44,15 @@ impl<K: Ord + Clone> StxTree<K> {
     /// Creates an empty tree with explicit node capacities.
     pub fn with_capacities(leaf_cap: usize, inner_cap: usize) -> Self {
         assert!(leaf_cap >= 2 && inner_cap >= 3);
-        StxTree { root: Node::Leaf { keys: Vec::new(), vals: Vec::new() }, leaf_cap, inner_cap, len: 0 }
+        StxTree {
+            root: Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+            },
+            leaf_cap,
+            inner_cap,
+            len: 0,
+        }
     }
 
     /// Number of keys.
@@ -55,12 +73,22 @@ impl<K: Ord + Clone> StxTree<K> {
                 self.len += r as usize;
                 r
             }
-            Outcome::Split { key: up, right, result } => {
+            Outcome::Split {
+                key: up,
+                right,
+                result,
+            } => {
                 let old = std::mem::replace(
                     &mut self.root,
-                    Node::Leaf { keys: Vec::new(), vals: Vec::new() },
+                    Node::Leaf {
+                        keys: Vec::new(),
+                        vals: Vec::new(),
+                    },
                 );
-                self.root = Node::Inner { keys: vec![up], children: vec![old, right] };
+                self.root = Node::Inner {
+                    keys: vec![up],
+                    children: vec![old, right],
+                };
                 self.len += result as usize;
                 result
             }
@@ -75,33 +103,35 @@ impl<K: Ord + Clone> StxTree<K> {
         inner_cap: usize,
     ) -> Outcome<K> {
         match node {
-            Node::Leaf { keys, vals } => {
-                match keys.binary_search(key) {
-                    Ok(_) => Outcome::Done(false),
-                    Err(pos) => {
-                        keys.insert(pos, key.clone());
-                        vals.insert(pos, value);
-                        if keys.len() > leaf_cap {
-                            let mid = keys.len() / 2;
-                            let rk = keys.split_off(mid);
-                            let rv = vals.split_off(mid);
-                            let up = keys.last().expect("left half nonempty").clone();
-                            Outcome::Split {
-                                key: up,
-                                right: Node::Leaf { keys: rk, vals: rv },
-                                result: true,
-                            }
-                        } else {
-                            Outcome::Done(true)
+            Node::Leaf { keys, vals } => match keys.binary_search(key) {
+                Ok(_) => Outcome::Done(false),
+                Err(pos) => {
+                    keys.insert(pos, key.clone());
+                    vals.insert(pos, value);
+                    if keys.len() > leaf_cap {
+                        let mid = keys.len() / 2;
+                        let rk = keys.split_off(mid);
+                        let rv = vals.split_off(mid);
+                        let up = keys.last().expect("left half nonempty").clone();
+                        Outcome::Split {
+                            key: up,
+                            right: Node::Leaf { keys: rk, vals: rv },
+                            result: true,
                         }
+                    } else {
+                        Outcome::Done(true)
                     }
                 }
-            }
+            },
             Node::Inner { keys, children } => {
                 let idx = keys.partition_point(|k| k < key);
                 match Self::insert_rec(&mut children[idx], key, value, leaf_cap, inner_cap) {
                     Outcome::Done(r) => Outcome::Done(r),
-                    Outcome::Split { key: up, right, result } => {
+                    Outcome::Split {
+                        key: up,
+                        right,
+                        result,
+                    } => {
                         keys.insert(idx, up);
                         children.insert(idx + 1, right);
                         if children.len() > inner_cap {
@@ -112,7 +142,10 @@ impl<K: Ord + Clone> StxTree<K> {
                             let rc = children.split_off(mid + 1);
                             Outcome::Split {
                                 key: up2,
-                                right: Node::Inner { keys: rk, children: rc },
+                                right: Node::Inner {
+                                    keys: rk,
+                                    children: rc,
+                                },
                                 result,
                             }
                         } else {
@@ -256,7 +289,10 @@ impl<K: Ord + Clone> StxTree<K> {
             .map(|chunk| {
                 let keys: Vec<K> = chunk.iter().map(|(k, _)| k.clone()).collect();
                 let vals: Vec<u64> = chunk.iter().map(|(_, v)| *v).collect();
-                (keys.last().expect("chunk nonempty").clone(), Node::Leaf { keys, vals })
+                (
+                    keys.last().expect("chunk nonempty").clone(),
+                    Node::Leaf { keys, vals },
+                )
             })
             .collect();
         while level.len() > 1 {
@@ -269,7 +305,13 @@ impl<K: Ord + Clone> StxTree<K> {
                     let children: Vec<Node<K>> = chunk
                         .iter_mut()
                         .map(|(_, n)| {
-                            std::mem::replace(n, Node::Leaf { keys: vec![], vals: vec![] })
+                            std::mem::replace(
+                                n,
+                                Node::Leaf {
+                                    keys: vec![],
+                                    vals: vec![],
+                                },
+                            )
                         })
                         .collect();
                     (max, Node::Inner { keys, children })
@@ -277,7 +319,12 @@ impl<K: Ord + Clone> StxTree<K> {
                 .collect();
         }
         let root = level.pop().expect("one root").1;
-        StxTree { root, leaf_cap, inner_cap, len }
+        StxTree {
+            root,
+            leaf_cap,
+            inner_cap,
+            len,
+        }
     }
 
     /// Approximate DRAM footprint in bytes.
@@ -349,8 +396,7 @@ mod tests {
         }
         assert_eq!(t.len(), model.len());
         let scan = t.range(&500, &1500);
-        let expect: Vec<(u64, u64)> =
-            model.range(500..=1500).map(|(k, v)| (*k, *v)).collect();
+        let expect: Vec<(u64, u64)> = model.range(500..=1500).map(|(k, v)| (*k, *v)).collect();
         assert_eq!(scan, expect);
     }
 

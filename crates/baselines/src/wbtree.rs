@@ -62,7 +62,14 @@ impl NodeLayout {
         let off_next = off_slots + slots_len;
         let off_entries = off_next + 16;
         let size = (off_entries + cap * (key_slot + 8) + 63) & !63;
-        NodeLayout { cap, key_slot, off_slots, off_next, off_entries, size }
+        NodeLayout {
+            cap,
+            key_slot,
+            off_slots,
+            off_next,
+            off_entries,
+            size,
+        }
     }
 
     fn key_off(&self, slot: usize) -> usize {
@@ -115,7 +122,9 @@ impl<'a> WNode<'a> {
     }
 
     fn slot(&self, i: usize) -> usize {
-        let s: u8 = self.pool.read_at(self.off + (self.l.off_slots + 1 + i) as u64);
+        let s: u8 = self
+            .pool
+            .read_at(self.off + (self.l.off_slots + 1 + i) as u64);
         (s as usize).min(self.l.cap - 1)
     }
 
@@ -126,8 +135,10 @@ impl<'a> WNode<'a> {
         for (i, &s) in slots.iter().enumerate() {
             buf[1 + i] = s as u8;
         }
-        self.pool.write_bytes(self.off + self.l.off_slots as u64, &buf);
-        self.pool.persist(self.off + self.l.off_slots as u64, buf.len());
+        self.pool
+            .write_bytes(self.off + self.l.off_slots as u64, &buf);
+        self.pool
+            .persist(self.off + self.l.off_slots as u64, buf.len());
     }
 
     fn next(&self) -> RawPPtr {
@@ -148,7 +159,8 @@ impl<'a> WNode<'a> {
     }
 
     fn set_value(&self, slot: usize, v: u64) {
-        self.pool.write_word(self.off + self.l.val_off(slot) as u64, v);
+        self.pool
+            .write_word(self.off + self.l.val_off(slot) as u64, v);
     }
 
     fn persist_entry(&self, slot: usize) {
@@ -259,14 +271,10 @@ pub type WBTreeVar = WBTree<fptree_core::keys::VarKey>;
 impl<K: KeyKind> WBTree<K> {
     /// Creates a fresh tree with the given node capacities (entries per
     /// leaf/inner node), publishing metadata into `owner_slot`.
-    pub fn create(
-        pool: Arc<PmemPool>,
-        leaf_cap: usize,
-        inner_cap: usize,
-        owner_slot: u64,
-    ) -> Self {
-        let meta =
-            pool.allocate(owner_slot, META_SIZE).expect("pool exhausted: wbtree meta");
+    pub fn create(pool: Arc<PmemPool>, leaf_cap: usize, inner_cap: usize, owner_slot: u64) -> Self {
+        let meta = pool
+            .allocate(owner_slot, META_SIZE)
+            .expect("pool exhausted: wbtree meta");
         pool.write_bytes(meta, &vec![0u8; META_SIZE]);
         pool.persist(meta, META_SIZE);
         pool.write_word(meta + M_LEAF_CAP, leaf_cap as u64);
@@ -276,7 +284,14 @@ impl<K: KeyKind> WBTree<K> {
         pool.persist(meta, 72);
         let leaf_l = NodeLayout::new(leaf_cap, K::SLOT_SIZE);
         let inner_l = NodeLayout::new(inner_cap, K::SLOT_SIZE);
-        let tree = WBTree { pool, meta, leaf_l, inner_l, len: 0, _marker: Default::default() };
+        let tree = WBTree {
+            pool,
+            meta,
+            leaf_l,
+            inner_l,
+            len: 0,
+            _marker: Default::default(),
+        };
         // First leaf, owner = root pointer; also the list head.
         let root = tree.alloc_node(meta + M_ROOT, true);
         let head = RawPPtr::new(tree.pool.file_id(), root);
@@ -294,15 +309,24 @@ impl<K: KeyKind> WBTree<K> {
         let owner: RawPPtr = pool.read_at(owner_slot);
         assert!(!owner.is_null(), "no wBTree at owner slot");
         let meta = owner.offset;
-        assert_eq!(pool.read_word(meta + M_STATUS), READY, "wBTree not initialized");
+        assert_eq!(
+            pool.read_word(meta + M_STATUS),
+            READY,
+            "wBTree not initialized"
+        );
         let flags = pool.read_word(meta + M_FLAGS);
         assert_eq!(flags & FLAG_VAR != 0, K::IS_VAR, "key-kind mismatch");
         assert_eq!(pool.read_word(meta + M_KEY_SLOT) as usize, K::SLOT_SIZE);
         let leaf_l = NodeLayout::new(pool.read_word(meta + M_LEAF_CAP) as usize, K::SLOT_SIZE);
-        let inner_l =
-            NodeLayout::new(pool.read_word(meta + M_INNER_CAP) as usize, K::SLOT_SIZE);
-        let mut tree =
-            WBTree { pool, meta, leaf_l, inner_l, len: 0, _marker: Default::default() };
+        let inner_l = NodeLayout::new(pool.read_word(meta + M_INNER_CAP) as usize, K::SLOT_SIZE);
+        let mut tree = WBTree {
+            pool,
+            meta,
+            leaf_l,
+            inner_l,
+            len: 0,
+            _marker: Default::default(),
+        };
         tree.recover();
         tree.len = tree.count_entries();
         tree
@@ -311,7 +335,11 @@ impl<K: KeyKind> WBTree<K> {
     fn node(&self, off: u64) -> WNode<'_> {
         // The leaf flag word tells us which layout applies.
         let is_leaf = self.pool.read_word(off + 8) & 1 == 1;
-        WNode { pool: &self.pool, l: if is_leaf { self.leaf_l } else { self.inner_l }, off }
+        WNode {
+            pool: &self.pool,
+            l: if is_leaf { self.leaf_l } else { self.inner_l },
+            off,
+        }
     }
 
     fn root_off(&self) -> u64 {
@@ -326,10 +354,17 @@ impl<K: KeyKind> WBTree<K> {
     /// Allocates and zero-initializes a node, publishing it to `owner`.
     fn alloc_node(&self, owner: u64, leaf: bool) -> u64 {
         let l = if leaf { self.leaf_l } else { self.inner_l };
-        let off = self.pool.allocate(owner, l.size).expect("pool exhausted: wbtree node");
+        let off = self
+            .pool
+            .allocate(owner, l.size)
+            .expect("pool exhausted: wbtree node");
         self.pool.write_bytes(off, &vec![0u8; l.size]);
         self.pool.persist(off, l.size);
-        let n = WNode { pool: &self.pool, l, off };
+        let n = WNode {
+            pool: &self.pool,
+            l,
+            off,
+        };
         n.set_leaf_flag(leaf);
         off
     }
@@ -344,7 +379,8 @@ impl<K: KeyKind> WBTree<K> {
             node.touch_head();
             if node.is_leaf() {
                 return node.find_exact::<K>(key).map(|(_, slot)| {
-                    self.pool.touch_read(node.key_off(slot), node.l.key_slot + 8);
+                    self.pool
+                        .touch_read(node.key_off(slot), node.l.key_slot + 8);
                     node.value(slot)
                 });
             }
@@ -491,7 +527,9 @@ impl<K: KeyKind> WBTree<K> {
         let node_log = self.meta + M_NODE_LOG;
         self.pool.write_at(node_log, &self.pptr(node.off));
         self.pool.persist(node_log, 16);
-        let slot = node.first_zero().expect("preemptive split guarantees a free slot");
+        let slot = node
+            .first_zero()
+            .expect("preemptive split guarantees a free slot");
         K::write_slot(&self.pool, node.key_off(slot), key);
         node.set_value(slot, value);
         node.persist_entry(slot);
@@ -530,7 +568,10 @@ impl<K: KeyKind> WBTree<K> {
         // The single entry is the rightmost: its router is never compared,
         // so the old root's largest entry key is sufficient.
         let old = self.node(old_root);
-        let last = old.sorted_entries::<K>().pop().expect("a full root has entries");
+        let last = old
+            .sorted_entries::<K>()
+            .pop()
+            .expect("a full root has entries");
         let max = last.1;
         K::write_slot(&self.pool, n.key_off(0), &max);
         n.set_value(0, old_root);
@@ -645,10 +686,12 @@ impl<K: KeyKind> WBTree<K> {
         lower_max: &K::Owned,
     ) {
         let find = |target: u64, key: Option<&K::Owned>| -> Option<(usize, usize)> {
-            (0..parent.count()).map(|i| (i, parent.slot(i))).find(|&(_, s)| {
-                parent.value(s) == target
-                    && key.is_none_or(|k| K::slot_matches(&self.pool, parent.key_off(s), k))
-            })
+            (0..parent.count())
+                .map(|i| (i, parent.slot(i)))
+                .find(|&(_, s)| {
+                    parent.value(s) == target
+                        && key.is_none_or(|k| K::slot_matches(&self.pool, parent.key_off(s), k))
+                })
         };
         // Step A: ensure (lower_max → child).
         if find(child_off, Some(lower_max)).is_none() {
@@ -657,14 +700,17 @@ impl<K: KeyKind> WBTree<K> {
         // Step B: route the sibling. Retarget the old router if it still
         // points at the child.
         if find(sib_off, None).is_none() {
-            let old = (0..parent.count()).map(|i| (i, parent.slot(i))).find(|&(_, s)| {
-                parent.value(s) == child_off
-                    && !K::slot_matches(&self.pool, parent.key_off(s), lower_max)
-            });
+            let old = (0..parent.count())
+                .map(|i| (i, parent.slot(i)))
+                .find(|&(_, s)| {
+                    parent.value(s) == child_off
+                        && !K::slot_matches(&self.pool, parent.key_off(s), lower_max)
+                });
             match old {
                 Some((_, slot)) => {
                     parent.set_value(slot, sib_off);
-                    self.pool.persist(parent.off + parent.l.val_off(slot) as u64, 8);
+                    self.pool
+                        .persist(parent.off + parent.l.val_off(slot) as u64, 8);
                 }
                 None => {
                     // Crash window after a re-key delete: reinsert directly
@@ -716,7 +762,8 @@ impl<K: KeyKind> WBTree<K> {
                 // Not installed yet: the old root is still current.
                 let old_root = self.root_off();
                 // Re-zero (the entry write may be partial) and redo.
-                self.pool.write_bytes(root_log.offset, &vec![0u8; self.inner_l.size]);
+                self.pool
+                    .write_bytes(root_log.offset, &vec![0u8; self.inner_l.size]);
                 self.pool.persist(root_log.offset, self.inner_l.size);
                 new_root.set_leaf_flag(false);
                 self.install_root(root_log.offset, old_root);
@@ -768,7 +815,8 @@ impl<K: KeyKind> WBTree<K> {
         }
         if !split_cur.is_null() || !split_new.is_null() {
             self.pool.write_at(self.meta + M_SPLIT_LOG, &RawPPtr::NULL);
-            self.pool.write_at(self.meta + M_SPLIT_LOG + 16, &RawPPtr::NULL);
+            self.pool
+                .write_at(self.meta + M_SPLIT_LOG + 16, &RawPPtr::NULL);
             self.pool.persist(self.meta + M_SPLIT_LOG, 32);
         }
     }

@@ -38,7 +38,12 @@ fn bench_insert(c: &mut Criterion) {
     for kind in TreeKind::fig7_set() {
         g.bench_function(kind.name(), |b| {
             b.iter_batched(
-                || (AnyTree::build(kind, 512, LATENCY, 8), shuffled_keys(2000, 43)),
+                || {
+                    (
+                        AnyTree::build(kind, 512, LATENCY, 8),
+                        shuffled_keys(2000, 43),
+                    )
+                },
                 |(mut t, keys)| {
                     for &k in &keys {
                         t.insert(k, k);

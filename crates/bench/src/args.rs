@@ -41,7 +41,10 @@ impl Args {
 
     /// Value of `--name`, parsed, or `default`.
     pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.values.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Raw string value of `--name`.

@@ -72,8 +72,7 @@ struct Setup {
 impl Setup {
     fn new(tree: &'static str, subscribers: u64, latency: u64) -> Setup {
         let needs_pool = tree != "STXTree";
-        let pool_mb =
-            ((subscribers as usize * 9 * 4000) / (1 << 20) + 512).next_power_of_two();
+        let pool_mb = ((subscribers as usize * 9 * 4000) / (1 << 20) + 512).next_power_of_two();
         let pool = needs_pool.then(|| {
             Arc::new(
                 PmemPool::create(
@@ -88,7 +87,12 @@ impl Setup {
             .as_ref()
             .map(|p| p.allocate(ROOT_SLOT, 64 * 16).expect("directory"))
             .unwrap_or(0);
-        Setup { tree, pool, dir, next_slot: Cell::new(0) }
+        Setup {
+            tree,
+            pool,
+            dir,
+            next_slot: Cell::new(0),
+        }
     }
 
     fn make_index(&self, _name: &str) -> Arc<dyn U64Index> {
@@ -145,8 +149,7 @@ impl Setup {
                 let pool2 = Arc::new(
                     PmemPool::reopen(
                         img,
-                        PoolOptions::direct(0)
-                            .with_latency(LatencyProfile::from_total(latency)),
+                        PoolOptions::direct(0).with_latency(LatencyProfile::from_total(latency)),
                     )
                     .expect("reopen"),
                 );

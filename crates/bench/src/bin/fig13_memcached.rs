@@ -19,8 +19,9 @@ use fptree_core::{Locked, SingleTree, TreeConfig};
 use fptree_kvcache::{run_mcbench, KvCache, McBenchConfig};
 use fptree_pmem::{LatencyProfile, PmemPool, PoolOptions, ROOT_SLOT};
 
-const INDEXES: [&str; 7] =
-    ["FPTree", "FPTreeC", "PTree", "NV-TreeC", "wBTree", "STXTree", "HashMap"];
+const INDEXES: [&str; 7] = [
+    "FPTree", "FPTreeC", "PTree", "NV-TreeC", "wBTree", "STXTree", "HashMap",
+];
 
 fn main() {
     let args = Args::parse();
@@ -90,10 +91,15 @@ fn build_index(name: &str, requests: usize, latency: u64) -> Arc<dyn BytesIndex>
             ROOT_SLOT,
         ))),
         "NV-TreeC" => Arc::new(NVTreeC::<VarKey>::create(pool(), 32, 128, ROOT_SLOT)),
-        "wBTree" => {
-            Arc::new(adapters::Locked::new(WBTree::<VarKey>::create(pool(), 64, 32, ROOT_SLOT)))
-        }
-        "STXTree" => Arc::new(adapters::Locked::new(StxTree::<Vec<u8>>::with_capacities(8, 8))),
+        "wBTree" => Arc::new(adapters::Locked::new(WBTree::<VarKey>::create(
+            pool(),
+            64,
+            32,
+            ROOT_SLOT,
+        ))),
+        "STXTree" => Arc::new(adapters::Locked::new(StxTree::<Vec<u8>>::with_capacities(
+            8, 8,
+        ))),
         "HashMap" => Arc::new(HashIndex::<Vec<u8>>::new(1024)),
         other => panic!("unknown index {other}"),
     }

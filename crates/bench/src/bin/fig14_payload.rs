@@ -39,11 +39,15 @@ fn main() {
             "fig14_payload",
             &format!("Figure 14: {op} avg µs/op vs payload size @{latency}ns"),
         );
-        for kind in [TreeKind::FPTree, TreeKind::PTree, TreeKind::NVTree, TreeKind::WBTree] {
+        for kind in [
+            TreeKind::FPTree,
+            TreeKind::PTree,
+            TreeKind::NVTree,
+            TreeKind::WBTree,
+        ] {
             let mut row = Row::new(kind.name());
             for &payload in &PAYLOADS {
-                let pool_mb =
-                    (scale * (4000 + payload * 40) / (1 << 20) + 128).next_power_of_two();
+                let pool_mb = (scale * (4000 + payload * 40) / (1 << 20) + 128).next_power_of_two();
                 // NV-Tree / wBTree take fixed layouts; payload modeling via
                 // value_size applies to the FPTree family. For the others
                 // the value is always 8 bytes plus their own padding, so we
@@ -95,7 +99,9 @@ fn run(
 }
 
 fn concurrent(args: &Args, scale: usize, latency: u64, out: Option<&str>) {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let threads: usize = args.get("threads", (cores * 2).min(44));
     let warm = shuffled_keys(scale, 23);
     let extra = shuffled_keys(scale, 24);

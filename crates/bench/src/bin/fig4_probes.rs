@@ -25,7 +25,10 @@ fn main() {
         report.push(
             Row::new(format!("m={m}"))
                 .field("FPTree(paper)", expected_probes_fptree(m, FP_DOMAIN))
-                .field("FPTree(perkey)", expected_probes_fptree_perkey(m, FP_DOMAIN))
+                .field(
+                    "FPTree(perkey)",
+                    expected_probes_fptree_perkey(m, FP_DOMAIN),
+                )
                 .field("FPTree(meas)", measured)
                 .field("wBTree", expected_probes_wbtree(m))
                 .field("NV-Tree", expected_probes_nvtree(m)),

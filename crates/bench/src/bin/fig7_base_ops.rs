@@ -16,6 +16,7 @@ fn main() {
     let args = Args::parse();
     let scale: usize = args.get("scale", 50_000);
     let var_keys = args.get_str("keys") == Some("var");
+    let verbose = args.flag("verbose");
     let out = args.get_str("out");
     let latencies: Vec<u64> = args
         .get_str("latencies")
@@ -33,7 +34,11 @@ fn main() {
                 "fig7_base_ops",
                 &format!(
                     "Figure 7 {}: {op} avg µs/op vs SCM latency (scale {scale})",
-                    if var_keys { "g–j (var keys)" } else { "a–d (fixed keys)" }
+                    if var_keys {
+                        "g–j (var keys)"
+                    } else {
+                        "a–d (fixed keys)"
+                    }
                 ),
             )
         })
@@ -45,9 +50,9 @@ fn main() {
     for &latency in &latencies {
         for kind in TreeKind::fig7_set() {
             let timings = if var_keys {
-                run_var(kind, pool_mb, latency, &warm, &extra)
+                run_var(kind, pool_mb, latency, &warm, &extra, verbose)
             } else {
-                run_fixed(kind, pool_mb, latency, &warm, &extra)
+                run_fixed(kind, pool_mb, latency, &warm, &extra, verbose)
             };
             results.push((kind, latency, timings));
             eprintln!(
@@ -86,7 +91,12 @@ fn main() {
             .iter()
             .find(|(k, l, _)| *k == TreeKind::FPTree && *l == latency)
             .expect("fptree measured");
-        for kind in [TreeKind::PTree, TreeKind::NVTree, TreeKind::WBTree, TreeKind::Stx] {
+        for kind in [
+            TreeKind::PTree,
+            TreeKind::NVTree,
+            TreeKind::WBTree,
+            TreeKind::Stx,
+        ] {
             let other = results
                 .iter()
                 .find(|(k, l, _)| *k == kind && *l == latency)
@@ -107,8 +117,12 @@ fn run_fixed(
     latency: u64,
     warm: &[u64],
     extra: &[u64],
+    verbose: bool,
 ) -> [f64; 4] {
     let mut t = AnyTree::build(kind, pool_mb, latency, 8);
+    if verbose {
+        fptree_bench::enable_pool_checker(t.pool());
+    }
     for &k in warm {
         t.insert(k, k);
     }
@@ -133,6 +147,9 @@ fn run_fixed(
             t.remove(k);
         }
     });
+    if verbose {
+        fptree_bench::print_pool_counters(&format!("{} @{latency}ns", kind.name()), t.pool());
+    }
     [find / n, insert / n, update / n, delete / n]
 }
 
@@ -142,8 +159,12 @@ fn run_var(
     latency: u64,
     warm: &[u64],
     extra: &[u64],
+    verbose: bool,
 ) -> [f64; 4] {
     let mut t = AnyTreeVar::build(kind, pool_mb * 2, latency);
+    if verbose {
+        fptree_bench::enable_pool_checker(t.pool());
+    }
     let warm_keys: Vec<Vec<u8>> = warm.iter().map(|&k| string_key(k)).collect();
     let extra_keys: Vec<Vec<u8>> = extra.iter().map(|&k| string_key(k)).collect();
     for k in &warm_keys {
@@ -170,6 +191,9 @@ fn run_var(
             t.remove(k);
         }
     });
+    if verbose {
+        fptree_bench::print_pool_counters(&format!("{} @{latency}ns", kind.name()), t.pool());
+    }
     [find / n, insert / n, update / n, delete / n]
 }
 

@@ -36,7 +36,11 @@ fn main() {
             "fig7_recovery",
             &format!(
                 "Figure 7 {}: recovery time (ms) vs tree size @{latency}ns",
-                if var_keys { "k–l (var keys)" } else { "e–f (fixed keys)" }
+                if var_keys {
+                    "k–l (var keys)"
+                } else {
+                    "e–f (fixed keys)"
+                }
             ),
         );
         for &size in &sizes {
@@ -63,9 +67,10 @@ fn pool_mb_for(n: usize) -> usize {
 fn measure_fixed(keys: &[u64], latency: u64) -> Vec<(&'static str, f64)> {
     let mut rows = Vec::new();
     // FPTree (leaf groups: better recovery locality) and PTree.
-    for (name, cfg) in
-        [("FPTree", TreeConfig::fptree()), ("PTree", TreeConfig::ptree())]
-    {
+    for (name, cfg) in [
+        ("FPTree", TreeConfig::fptree()),
+        ("PTree", TreeConfig::ptree()),
+    ] {
         let pool = pool_with(pool_mb_for(keys.len()), latency);
         let mut t = SingleTree::<FixedKey>::create(Arc::clone(&pool), cfg, ROOT_SLOT);
         for &k in keys {
@@ -130,9 +135,10 @@ fn measure_fixed(keys: &[u64], latency: u64) -> Vec<(&'static str, f64)> {
 fn measure_var(keys: &[u64], latency: u64) -> Vec<(&'static str, f64)> {
     let mut rows = Vec::new();
     let skeys: Vec<Vec<u8>> = keys.iter().map(|&k| string_key(k)).collect();
-    for (name, cfg) in
-        [("FPTreeVar", TreeConfig::fptree_var()), ("PTreeVar", TreeConfig::ptree_var())]
-    {
+    for (name, cfg) in [
+        ("FPTreeVar", TreeConfig::fptree_var()),
+        ("PTreeVar", TreeConfig::ptree_var()),
+    ] {
         let pool = pool_with(pool_mb_for(keys.len()) * 2, latency);
         let mut t = SingleTree::<VarKey>::create(Arc::clone(&pool), cfg, ROOT_SLOT);
         for k in &skeys {

@@ -14,8 +14,10 @@ fn main() {
     let keys = shuffled_keys(scale, 8);
     let pool_mb = (scale * 6000 / (1 << 20) + 256).next_power_of_two();
 
-    let mut report =
-        Report::new("fig8_memory", &format!("Figure 8a: memory at {scale} fixed keys"));
+    let mut report = Report::new(
+        "fig8_memory",
+        &format!("Figure 8a: memory at {scale} fixed keys"),
+    );
     for kind in TreeKind::fig7_set() {
         let mut t = AnyTree::build(kind, pool_mb, 90, 8);
         for &k in &keys {
@@ -32,8 +34,10 @@ fn main() {
     }
     report.emit(out);
 
-    let mut report =
-        Report::new("fig8_memory_var", &format!("Figure 8b: memory at {scale} var keys"));
+    let mut report = Report::new(
+        "fig8_memory_var",
+        &format!("Figure 8b: memory at {scale} var keys"),
+    );
     for kind in TreeKind::fig7_set() {
         let mut t = AnyTreeVar::build(kind, pool_mb * 2, 90);
         for &k in &keys {

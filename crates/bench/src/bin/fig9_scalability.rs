@@ -41,8 +41,11 @@ fn main() {
     let scale: usize = args.get("scale", 200_000);
     let latency: u64 = args.get("latency", 85);
     let var_keys = args.get_str("keys") == Some("var");
+    let verbose = args.flag("verbose");
     let out = args.get_str("out");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let max_threads: usize = if args.get_str("threads-max") == Some("2x") {
         cores * 2
     } else {
@@ -68,14 +71,17 @@ fn main() {
         );
         let mut speedup = Report::new(
             "fig9_speedup",
-            &format!("{tree_name}{} speedup over 1 thread", if var_keys { "Var" } else { "" }),
+            &format!(
+                "{tree_name}{} speedup over 1 thread",
+                if var_keys { "Var" } else { "" }
+            ),
         );
         let mut base: Vec<f64> = Vec::new();
         for &n_threads in &threads {
             let mut tp_row = Row::new(format!("{n_threads}T"));
             let mut sp_row = Row::new(format!("{n_threads}T"));
             for (i, (op, opname)) in OPS.iter().enumerate() {
-                let mops = run_one(tree_name, var_keys, scale, latency, n_threads, *op);
+                let mops = run_one(tree_name, var_keys, scale, latency, n_threads, *op, verbose);
                 if n_threads == 1 {
                     base.push(mops);
                 }
@@ -98,20 +104,24 @@ fn run_one(
     latency: u64,
     n_threads: usize,
     op: Op,
+    verbose: bool,
 ) -> f64 {
     let pool_mb = (scale * 5000 / (1 << 20) + 256).next_power_of_two();
     let pool = Arc::new(
         PmemPool::create(
-            PoolOptions::direct(pool_mb << 20)
-                .with_latency(LatencyProfile::from_total(latency)),
+            PoolOptions::direct(pool_mb << 20).with_latency(LatencyProfile::from_total(latency)),
         )
         .expect("pool"),
     );
+    if verbose {
+        pool.enable_durability_checker();
+    }
+    let report_pool = Arc::clone(&pool);
     let warm = shuffled_keys(scale, 11);
     let extra = shuffled_keys(scale, 12);
 
     // A closure-based op runner per tree type keeps this readable.
-    match (tree, var_keys) {
+    let mops = match (tree, var_keys) {
         ("FPTreeC", false) => {
             let t = ConcurrentFPTree::create(pool, TreeConfig::fptree_concurrent(), ROOT_SLOT);
             for &k in &warm {
@@ -143,11 +153,8 @@ fn run_one(
             })
         }
         ("FPTreeC", true) => {
-            let t = ConcurrentFPTreeVar::create(
-                pool,
-                TreeConfig::fptree_concurrent_var(),
-                ROOT_SLOT,
-            );
+            let t =
+                ConcurrentFPTreeVar::create(pool, TreeConfig::fptree_concurrent_var(), ROOT_SLOT);
             let wk: Vec<Vec<u8>> = warm.iter().map(|&k| string_key(k)).collect();
             let ek: Vec<Vec<u8>> = extra.iter().map(|&k| string_key(k)).collect();
             for k in &wk {
@@ -235,7 +242,11 @@ fn run_one(
             })
         }
         other => panic!("unknown tree {other:?}"),
+    };
+    if verbose {
+        fptree_bench::print_pool_counters(&format!("{tree} {n_threads}T"), Some(&report_pool));
     }
+    mops
 }
 
 /// Runs `total` indexed operations across `n_threads` via a shared work

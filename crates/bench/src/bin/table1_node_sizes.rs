@@ -31,7 +31,9 @@ fn main() {
     let mut best = (0.0f64, 0usize, 0usize);
     for leaf in [16usize, 32, 56, 64] {
         for inner in [64usize, 512, 4096] {
-            let cfg = TreeConfig::fptree().with_leaf_capacity(leaf).with_inner_fanout(inner);
+            let cfg = TreeConfig::fptree()
+                .with_leaf_capacity(leaf)
+                .with_inner_fanout(inner);
             let ops = bench_single(cfg, &keys, &probe, latency);
             if ops > best.0 {
                 best = (ops, leaf, inner);
@@ -49,7 +51,9 @@ fn main() {
     let mut best = (0.0f64, 0usize, 0usize);
     for leaf in [16usize, 32, 64] {
         for inner in [64usize, 512, 4096] {
-            let cfg = TreeConfig::ptree().with_leaf_capacity(leaf).with_inner_fanout(inner);
+            let cfg = TreeConfig::ptree()
+                .with_leaf_capacity(leaf)
+                .with_inner_fanout(inner);
             let ops = bench_single(cfg, &keys, &probe, latency);
             if ops > best.0 {
                 best = (ops, leaf, inner);

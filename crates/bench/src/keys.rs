@@ -7,7 +7,9 @@ pub fn shuffled_keys(n: usize, seed: u64) -> Vec<u64> {
     // Feistel-free approach: multiply by an odd constant (a bijection over
     // u64) and add a seed offset; uniqueness is preserved.
     const ODD: u64 = 0x9E37_79B9_7F4A_7C15;
-    (0..n as u64).map(|i| (i.wrapping_add(seed)).wrapping_mul(ODD)).collect()
+    (0..n as u64)
+        .map(|i| (i.wrapping_add(seed)).wrapping_mul(ODD))
+        .collect()
 }
 
 /// 16-byte string key for the variable-size-key experiments (paper: 16-byte

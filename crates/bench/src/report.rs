@@ -14,7 +14,10 @@ pub struct Row {
 impl Row {
     /// Creates a row.
     pub fn new(label: impl Into<String>) -> Row {
-        Row { label: label.into(), fields: Vec::new() }
+        Row {
+            label: label.into(),
+            fields: Vec::new(),
+        }
     }
 
     /// Adds a field (builder style).
@@ -36,7 +39,11 @@ pub struct Report {
 impl Report {
     /// Creates an empty report.
     pub fn new(experiment: &str, title: &str) -> Report {
-        Report { experiment: experiment.to_string(), title: title.to_string(), rows: Vec::new() }
+        Report {
+            experiment: experiment.to_string(),
+            title: title.to_string(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -51,9 +58,18 @@ impl Report {
             out.push_str("(no rows)\n");
             return out;
         }
-        let cols: Vec<&str> = self.rows[0].fields.iter().map(|(n, _)| n.as_str()).collect();
-        let label_w =
-            self.rows.iter().map(|r| r.label.len()).max().unwrap_or(5).max("label".len());
+        let cols: Vec<&str> = self.rows[0]
+            .fields
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(5)
+            .max("label".len());
         out.push_str(&format!("{:label_w$}", "label"));
         for c in &cols {
             out.push_str(&format!("  {c:>12}"));
@@ -83,16 +99,52 @@ impl Report {
                 .open(path)
                 .expect("open --out file");
             for r in &self.rows {
-                let mut obj = serde_json::Map::new();
-                obj.insert("experiment".into(), self.experiment.clone().into());
-                obj.insert("label".into(), r.label.clone().into());
-                for (k, v) in &r.fields {
-                    obj.insert(k.clone(), (*v).into());
-                }
-                writeln!(f, "{}", serde_json::Value::Object(obj)).expect("write --out");
+                writeln!(f, "{}", self.json_line(r)).expect("write --out");
             }
         }
     }
+
+    /// Renders one row as a JSON object line (hand-rolled: the offline build
+    /// carries no serde).
+    fn json_line(&self, r: &Row) -> String {
+        let mut line = String::from("{");
+        push_json_str(&mut line, "experiment");
+        line.push(':');
+        push_json_str(&mut line, &self.experiment);
+        line.push(',');
+        push_json_str(&mut line, "label");
+        line.push(':');
+        push_json_str(&mut line, &r.label);
+        for (k, v) in &r.fields {
+            line.push(',');
+            push_json_str(&mut line, k);
+            line.push(':');
+            if v.is_finite() {
+                line.push_str(&format!("{v}"));
+            } else {
+                line.push_str("null");
+            }
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -102,7 +154,11 @@ mod tests {
     #[test]
     fn renders_aligned_table() {
         let mut r = Report::new("test", "Test table");
-        r.push(Row::new("fptree").field("ops", 1234567.0).field("us", 1.234));
+        r.push(
+            Row::new("fptree")
+                .field("ops", 1234567.0)
+                .field("us", 1.234),
+        );
         r.push(Row::new("wb").field("ops", 1.0).field("us", 2.0));
         let s = r.render();
         assert!(s.contains("Test table"));
@@ -118,9 +174,19 @@ mod tests {
         r.push(Row::new("a").field("x", 1.5));
         r.emit(dir.to_str());
         let content = std::fs::read_to_string(&dir).unwrap();
-        let v: serde_json::Value = serde_json::from_str(content.lines().next().unwrap()).unwrap();
-        assert_eq!(v["experiment"], "exp");
-        assert_eq!(v["x"], 1.5);
+        let line = content.lines().next().unwrap();
+        assert_eq!(line, r#"{"experiment":"exp","label":"a","x":1.5}"#);
         let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let mut r = Report::new("e\"x", "t");
+        r.push(Row::new("a\\b\nc").field("nan", f64::NAN));
+        let line = r.json_line(&r.rows[0]);
+        assert_eq!(
+            line,
+            r#"{"experiment":"e\"x","label":"a\\b\nc","nan":null}"#
+        );
     }
 }

@@ -40,7 +40,13 @@ impl TreeKind {
 
     /// The single-threaded comparison set of Figure 7.
     pub fn fig7_set() -> [TreeKind; 5] {
-        [TreeKind::FPTree, TreeKind::PTree, TreeKind::NVTree, TreeKind::WBTree, TreeKind::Stx]
+        [
+            TreeKind::FPTree,
+            TreeKind::PTree,
+            TreeKind::NVTree,
+            TreeKind::WBTree,
+            TreeKind::Stx,
+        ]
     }
 }
 
@@ -197,7 +203,11 @@ impl AnyTreeVar {
         match kind {
             TreeKind::FPTree => {
                 let pool = make_pool(pool_mb, latency_ns);
-                AnyTreeVar::FP(SingleTree::create(pool, TreeConfig::fptree_var(), ROOT_SLOT))
+                AnyTreeVar::FP(SingleTree::create(
+                    pool,
+                    TreeConfig::fptree_var(),
+                    ROOT_SLOT,
+                ))
             }
             TreeKind::PTree => {
                 let pool = make_pool(pool_mb, latency_ns);
@@ -291,6 +301,17 @@ impl AnyTreeVar {
                 let stats = t.pool().alloc_stats().expect("walk");
                 (stats.live_bytes, t.dram_bytes() as u64)
             }
+        }
+    }
+
+    /// The backing pool, if any.
+    pub fn pool(&self) -> Option<&Arc<PmemPool>> {
+        match self {
+            AnyTreeVar::FP(t) => Some(t.pool()),
+            AnyTreeVar::NV(t) => Some(t.pool()),
+            AnyTreeVar::WB(t) => Some(t.pool()),
+            AnyTreeVar::Stx(_) => None,
+            AnyTreeVar::FPC(t) => Some(t.pool()),
         }
     }
 }

@@ -49,7 +49,8 @@ fn main() {
     if !rest.is_empty() {
         let line = rest.join(" ");
         if execute(&pool, &mut tree, &line, &path) {
-            pool.save(&path).unwrap_or_else(|e| fail(&format!("saving pool: {e}")));
+            pool.save(&path)
+                .unwrap_or_else(|e| fail(&format!("saving pool: {e}")));
         }
         return;
     }
@@ -73,7 +74,8 @@ fn main() {
             execute(&pool, &mut tree, line, &path);
         }
     }
-    pool.save(&path).unwrap_or_else(|e| fail(&format!("saving pool: {e}")));
+    pool.save(&path)
+        .unwrap_or_else(|e| fail(&format!("saving pool: {e}")));
     say!("saved {} keys to {path}", tree.len());
 }
 
@@ -133,20 +135,35 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
             false
         }
         ("del", Some(k)) => {
-            say!("{}", if tree.remove(&k.as_bytes().to_vec()) { "deleted" } else { "(not found)" });
+            say!(
+                "{}",
+                if tree.remove(&k.as_bytes().to_vec()) {
+                    "deleted"
+                } else {
+                    "(not found)"
+                }
+            );
             true
         }
         ("range", Some(lo)) => {
             let hi = rest.first().copied().unwrap_or("\u{10FFFF}");
             for (k, handle) in tree.range(&lo.as_bytes().to_vec(), &hi.as_bytes().to_vec()) {
-                say!("{} -> {:?}", String::from_utf8_lossy(&k), load_value(pool, handle));
+                say!(
+                    "{} -> {:?}",
+                    String::from_utf8_lossy(&k),
+                    load_value(pool, handle)
+                );
             }
             false
         }
         ("scan", n) => {
             let limit: usize = n.and_then(|s| s.parse().ok()).unwrap_or(20);
             for (k, handle) in tree.iter().take(limit) {
-                say!("{} -> {:?}", String::from_utf8_lossy(&k), load_value(pool, handle));
+                say!(
+                    "{} -> {:?}",
+                    String::from_utf8_lossy(&k),
+                    load_value(pool, handle)
+                );
             }
             false
         }
@@ -156,8 +173,16 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
             say!("keys:         {}", tree.len());
             say!("height:       {}", tree.height());
             say!("leaves:       {}", mu.leaf_count);
-            say!("inner nodes:  {} ({} B DRAM)", mu.inner_count, mu.dram_bytes);
-            say!("SCM in use:   {} B across {} blocks", alloc.live_bytes, alloc.live_blocks);
+            say!(
+                "inner nodes:  {} ({} B DRAM)",
+                mu.inner_count,
+                mu.dram_bytes
+            );
+            say!(
+                "SCM in use:   {} B across {} blocks",
+                alloc.live_bytes,
+                alloc.live_blocks
+            );
             say!("pool file:    {path} ({} B capacity)", pool.capacity());
             false
         }

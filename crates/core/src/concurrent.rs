@@ -224,9 +224,16 @@ impl<K: ConcKey> ConcurrentTree<K> {
         let mut cfg = cfg;
         cfg.leaf_group_size = 0;
         cfg.validate();
+        let checked = Arc::clone(&pool);
+        let _op = checked.begin_checked_op("tree_create");
         let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
         let meta = TreeMeta::create(&pool, &cfg, K::SLOT_SIZE, K::IS_VAR, N_LOGS, owner_slot);
-        let ctx = Ctx { pool, cfg, layout, meta };
+        let ctx = Ctx {
+            pool,
+            cfg,
+            layout,
+            meta,
+        };
         let head = ctx
             .pool
             .allocate(meta.head_slot(), layout.size)
@@ -241,14 +248,28 @@ impl<K: ConcKey> ConcurrentTree<K> {
     /// Opens (recovers) a concurrent tree: Algorithm 9 — replay micro-logs,
     /// audit, rebuild inner nodes, reset leaf locks, rebuild log queues.
     pub fn open(pool: Arc<PmemPool>, owner_slot: u64) -> Self {
+        let checked = Arc::clone(&pool);
+        let _op = checked.begin_checked_op("tree_open");
         let owner: RawPPtr = pool.read_at(owner_slot);
-        assert!(!owner.is_null(), "no tree metadata at owner slot {owner_slot:#x}");
+        assert!(
+            !owner.is_null(),
+            "no tree metadata at owner slot {owner_slot:#x}"
+        );
         let meta = TreeMeta::open(&pool, owner.offset);
         let (cfg, key_slot, var) = meta.stored_config(&pool);
-        assert_eq!(key_slot, K::SLOT_SIZE, "tree was created with a different key kind");
+        assert_eq!(
+            key_slot,
+            K::SLOT_SIZE,
+            "tree was created with a different key kind"
+        );
         assert_eq!(var, K::IS_VAR, "tree was created with a different key kind");
         let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
-        let ctx = Ctx { pool, cfg, layout, meta };
+        let ctx = Ctx {
+            pool,
+            cfg,
+            layout,
+            meta,
+        };
 
         if meta.status(&ctx.pool) != STATUS_READY {
             if meta.head(&ctx.pool).is_null() {
@@ -329,12 +350,15 @@ impl<K: ConcKey> ConcurrentTree<K> {
         self.nodes.lock().clear();
         self.intern.clear();
         if entries.is_empty() {
-            self.root.store(leaf_enc(ctx.meta.head(&ctx.pool).offset), Ordering::Release);
+            self.root
+                .store(leaf_enc(ctx.meta.head(&ctx.pool).offset), Ordering::Release);
             return;
         }
         let fanout = ctx.cfg.inner_fanout;
-        let mut level: Vec<(K::Owned, u64)> =
-            entries.into_iter().map(|(k, off)| (k, leaf_enc(off))).collect();
+        let mut level: Vec<(K::Owned, u64)> = entries
+            .into_iter()
+            .map(|(k, off)| (k, leaf_enc(off)))
+            .collect();
         while level.len() > 1 {
             let mut next_level = Vec::new();
             for chunk in level.chunks(fanout) {
@@ -377,6 +401,9 @@ impl<K: ConcKey> ConcurrentTree<K> {
             if enc_is_leaf(enc) {
                 return Ok(enc_leaf_off(enc));
             }
+            // SAFETY: non-leaf encodings are addresses of CNodes owned by
+            // `self.nodes`, which only drops them on tree drop or under the
+            // exclusive rebuild lock.
             let node = unsafe { &*(enc as *const CNode) };
             enc = self.child_of(node, key);
         }
@@ -416,6 +443,8 @@ impl<K: ConcKey> ConcurrentTree<K> {
                 };
                 return Ok((enc_leaf_off(enc), prev));
             }
+            // SAFETY: as in `traverse` — CNodes live in `self.nodes` until
+            // drop/rebuild.
             let node = unsafe { &*(enc as *const CNode) };
             let cap = self.ctx.cfg.inner_fanout;
             let count = node.count.load(Ordering::Acquire).clamp(1, cap + 1);
@@ -445,6 +474,8 @@ impl<K: ConcKey> ConcurrentTree<K> {
             if enc_is_leaf(enc) {
                 return Ok(enc_leaf_off(enc));
             }
+            // SAFETY: as in `traverse` — CNodes live in `self.nodes` until
+            // drop/rebuild.
             let node = unsafe { &*(enc as *const CNode) };
             let cap = self.ctx.cfg.inner_fanout;
             let count = node.count.load(Ordering::Acquire).clamp(1, cap + 1);
@@ -544,6 +575,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
 
     /// Concurrent Insert (Algorithm 2). Returns false if the key exists.
     pub fn insert(&self, key: &K::Owned, value: u64) -> bool {
+        let _op = self.ctx.pool.begin_checked_op("insert");
         let off = self.lock_leaf_for_write(key);
         let leaf = self.ctx.leaf(off);
         if leaf.find_slot::<K>(key).is_some() {
@@ -566,6 +598,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
 
     /// Concurrent Update (Algorithm 8). Returns false if the key is absent.
     pub fn update(&self, key: &K::Owned, value: u64) -> bool {
+        let _op = self.ctx.pool.begin_checked_op("update");
         let off = self.lock_leaf_for_write(key);
         let leaf = self.ctx.leaf(off);
         let Some(slot) = leaf.find_slot::<K>(key) else {
@@ -592,6 +625,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
 
     /// Concurrent Delete (Algorithm 5). Returns false if the key is absent.
     pub fn remove(&self, key: &K::Owned) -> bool {
+        let _op = self.ctx.pool.begin_checked_op("remove");
         let decision = self.lock.execute(|tx| {
             let (off, prev) = self.traverse_with_prev(key)?;
             let leaf = self.ctx.leaf(off);
@@ -715,9 +749,12 @@ impl<K: ConcKey> ConcurrentTree<K> {
             node.children[0].store(old_enc, Ordering::Relaxed);
             node.children[1].store(new_enc, Ordering::Relaxed);
             node.count.store(2, Ordering::Release);
-            self.root.store(node as *const CNode as u64, Ordering::Release);
+            self.root
+                .store(node as *const CNode as u64, Ordering::Release);
             return;
         }
+        // SAFETY: the root is not a leaf here; CNodes live in `self.nodes`
+        // until drop/rebuild, and we hold the exclusive lock.
         let root_node = unsafe { &*(root as *const CNode) };
         if let Some((up_enc, right_enc)) =
             self.insert_entry_rec(root_node, split_key, key_enc, old_enc, new_enc)
@@ -727,7 +764,8 @@ impl<K: ConcKey> ConcurrentTree<K> {
             node.children[0].store(root, Ordering::Relaxed);
             node.children[1].store(right_enc, Ordering::Relaxed);
             node.count.store(2, Ordering::Release);
-            self.root.store(node as *const CNode as u64, Ordering::Release);
+            self.root
+                .store(node as *const CNode as u64, Ordering::Release);
         }
     }
 
@@ -745,8 +783,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
         let nkeys = count - 1;
         let mut idx = 0usize;
         while idx < nkeys {
-            if K::cmp_encoded(node.keys[idx].load(Ordering::Relaxed), nav_key)
-                != CmpOrdering::Less
+            if K::cmp_encoded(node.keys[idx].load(Ordering::Relaxed), nav_key) != CmpOrdering::Less
             {
                 break;
             }
@@ -757,9 +794,10 @@ impl<K: ConcKey> ConcurrentTree<K> {
             self.node_insert_at(node, idx, key_enc, new_enc);
         } else {
             assert!(!enc_is_leaf(child), "split target vanished from the index");
+            // SAFETY: checked non-leaf; CNodes live in `self.nodes` until
+            // drop/rebuild, and we hold the exclusive lock.
             let child_node = unsafe { &*(child as *const CNode) };
-            let pushed =
-                self.insert_entry_rec(child_node, nav_key, key_enc, old_enc, new_enc)?;
+            let pushed = self.insert_entry_rec(child_node, nav_key, key_enc, old_enc, new_enc)?;
             self.node_insert_at(node, idx, pushed.0, pushed.1);
         }
         (node.count.load(Ordering::Relaxed) > self.ctx.cfg.inner_fanout)
@@ -808,6 +846,8 @@ impl<K: ConcKey> ConcurrentTree<K> {
     fn remove_from_parents(&self, nav_key: &K::Owned, leaf: u64) {
         let root = self.root.load(Ordering::Relaxed);
         assert!(!enc_is_leaf(root), "cannot unlink the root leaf");
+        // SAFETY: checked non-leaf; CNodes live in `self.nodes` until
+        // drop/rebuild, and we hold the exclusive lock.
         let root_node = unsafe { &*(root as *const CNode) };
         self.remove_entry_rec(root_node, nav_key, leaf);
         // Collapse single-child root chain.
@@ -816,6 +856,8 @@ impl<K: ConcKey> ConcurrentTree<K> {
             if enc_is_leaf(r) {
                 break;
             }
+            // SAFETY: checked non-leaf; CNodes live in `self.nodes` until
+            // drop/rebuild, and we hold the exclusive lock.
             let node = unsafe { &*(r as *const CNode) };
             if node.count.load(Ordering::Relaxed) == 1 {
                 let only = node.children[0].load(Ordering::Relaxed);
@@ -832,8 +874,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
         let nkeys = count - 1;
         let mut idx = 0usize;
         while idx < nkeys {
-            if K::cmp_encoded(node.keys[idx].load(Ordering::Relaxed), nav_key)
-                != CmpOrdering::Less
+            if K::cmp_encoded(node.keys[idx].load(Ordering::Relaxed), nav_key) != CmpOrdering::Less
             {
                 break;
             }
@@ -845,6 +886,8 @@ impl<K: ConcKey> ConcurrentTree<K> {
         } else if enc_is_leaf(child) {
             false
         } else {
+            // SAFETY: checked non-leaf; CNodes live in `self.nodes` until
+            // drop/rebuild, and we hold the exclusive lock.
             let child_node = unsafe { &*(child as *const CNode) };
             self.remove_entry_rec(child_node, nav_key, leaf)
         };
@@ -930,9 +973,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
             }
             total += entries.len();
             for (slot, k) in &entries {
-                if self.ctx.layout.fingerprints
-                    && leaf.fingerprint(*slot) != K::fingerprint(k)
-                {
+                if self.ctx.layout.fingerprints && leaf.fingerprint(*slot) != K::fingerprint(k) {
                     return Err(format!("leaf {i} slot {slot}: fingerprint mismatch"));
                 }
                 if self.get(k).is_none() {

@@ -75,17 +75,26 @@ impl TreeConfig {
 
     /// Variable-size-key FPTree (paper: inner 2048, leaf 56).
     pub fn fptree_var() -> Self {
-        TreeConfig { inner_fanout: 2048, ..Self::fptree() }
+        TreeConfig {
+            inner_fanout: 2048,
+            ..Self::fptree()
+        }
     }
 
     /// Variable-size-key concurrent FPTree (paper: inner 64, leaf 64).
     pub fn fptree_concurrent_var() -> Self {
-        TreeConfig { inner_fanout: 64, ..Self::fptree_concurrent() }
+        TreeConfig {
+            inner_fanout: 64,
+            ..Self::fptree_concurrent()
+        }
     }
 
     /// Variable-size-key PTree (paper: inner 256, leaf 32).
     pub fn ptree_var() -> Self {
-        TreeConfig { inner_fanout: 256, ..Self::ptree() }
+        TreeConfig {
+            inner_fanout: 256,
+            ..Self::ptree()
+        }
     }
 
     /// Sets the leaf capacity.
@@ -121,7 +130,10 @@ impl TreeConfig {
         );
         assert!(self.inner_fanout >= 3, "inner fanout must be at least 3");
         assert!(self.value_size >= 8, "value size must hold a u64");
-        assert!(self.value_size.is_multiple_of(8), "value size must be 8-byte aligned");
+        assert!(
+            self.value_size.is_multiple_of(8),
+            "value size must be 8-byte aligned"
+        );
     }
 }
 

@@ -32,7 +32,7 @@ pub fn fingerprint_bytes(key: &[u8]) -> u8 {
     // Xor-fold 64 -> 8 bits.
     let h = h ^ (h >> 32);
     let h = h ^ (h >> 16);
-    
+
     (h ^ (h >> 8)) as u8
 }
 
@@ -129,8 +129,10 @@ mod tests {
             buckets[fingerprint_u64(k) as usize] += 1;
         }
         let expected = samples as f64 / 256.0;
-        let chi2: f64 =
-            buckets.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+        let chi2: f64 = buckets
+            .iter()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
         // 255 dof: mean 255, stddev ~22.6; 400 is a generous 6-sigma bound.
         assert!(chi2 < 400.0, "chi2 = {chi2}");
     }
@@ -144,8 +146,10 @@ mod tests {
             buckets[fingerprint_bytes(key.as_bytes()) as usize] += 1;
         }
         let expected = samples as f64 / 256.0;
-        let chi2: f64 =
-            buckets.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+        let chi2: f64 = buckets
+            .iter()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
         assert!(chi2 < 400.0, "chi2 = {chi2}");
     }
 
@@ -154,9 +158,14 @@ mod tests {
         assert_eq!(fingerprint_u64(42), fingerprint_u64(42));
         assert_eq!(fingerprint_bytes(b"hello"), fingerprint_bytes(b"hello"));
         // Individual collisions are legal; wholesale collapse is not.
-        let distinct: std::collections::HashSet<u8> =
-            (0..100u64).map(|i| fingerprint_bytes(format!("k{i}").as_bytes())).collect();
-        assert!(distinct.len() > 50, "only {} distinct fingerprints", distinct.len());
+        let distinct: std::collections::HashSet<u8> = (0..100u64)
+            .map(|i| fingerprint_bytes(format!("k{i}").as_bytes()))
+            .collect();
+        assert!(
+            distinct.len() > 50,
+            "only {} distinct fingerprints",
+            distinct.len()
+        );
     }
 
     /// Empirical probe counts must track the analytical expectation: insert

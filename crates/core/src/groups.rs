@@ -79,7 +79,10 @@ impl GroupMgr {
 
     fn group_of(&self, layout: &LeafLayout, leaf: u64) -> Option<u64> {
         let bytes = self.group_bytes(layout) as u64;
-        self.groups.iter().copied().find(|&g| leaf >= g + GROUP_HEADER && leaf < g + bytes)
+        self.groups
+            .iter()
+            .copied()
+            .find(|&g| leaf >= g + GROUP_HEADER && leaf < g + bytes)
     }
 
     fn leaves_of(&self, layout: &LeafLayout, group: u64) -> impl Iterator<Item = u64> + '_ {
@@ -99,16 +102,26 @@ impl GroupMgr {
         dest_slot: u64,
     ) -> u64 {
         if !self.enabled() {
-            return pool.allocate(dest_slot, layout.size).expect("pool exhausted: leaf");
+            return pool
+                .allocate(dest_slot, layout.size)
+                .expect("pool exhausted: leaf");
         }
         if self.free.is_empty() {
             self.allocate_group(pool, layout, meta);
         }
-        let leaf = self.free.pop().expect("group allocation yielded no free leaves");
-        let group = self.group_of(layout, leaf).expect("free leaf outside any group");
-        *self.free_count.get_mut(&group).expect("group not registered") -= 1;
+        let leaf = self
+            .free
+            .pop()
+            .expect("group allocation yielded no free leaves");
+        let group = self
+            .group_of(layout, leaf)
+            .expect("free leaf outside any group");
+        *self
+            .free_count
+            .get_mut(&group)
+            .expect("group not registered") -= 1;
         let p = RawPPtr::new(pool.file_id(), leaf);
-        pool.write_at(dest_slot, &p);
+        pool.write_publish_at(dest_slot, &p);
         pool.persist(dest_slot, 16);
         leaf
     }
@@ -118,8 +131,9 @@ impl GroupMgr {
     fn allocate_group(&mut self, pool: &PmemPool, layout: &LeafLayout, meta: &TreeMeta) {
         let log = meta.getleaf_log();
         let bytes = self.group_bytes(layout);
-        let group =
-            pool.allocate(log.ptr_slot(), bytes).expect("pool exhausted: leaf group");
+        let group = pool
+            .allocate(log.ptr_slot(), bytes)
+            .expect("pool exhausted: leaf group");
         if self.sanitize {
             // The allocator recycles memory, and stale leaf contents (key
             // pointers) must never be mistaken for live data by the audit.
@@ -145,7 +159,7 @@ impl GroupMgr {
         match self.groups.last() {
             None => meta.set_groups_head(pool, p),
             Some(&tail) => {
-                pool.write_at(tail, &p); // group header starts with `next`
+                pool.write_publish_at(tail, &p); // group header starts with `next`
                 pool.persist(tail, 16);
             }
         }
@@ -169,12 +183,24 @@ impl GroupMgr {
         leaf: u64,
     ) {
         assert!(self.enabled(), "free_leaf requires grouping");
-        let group = self.group_of(layout, leaf).expect("freed leaf outside any group");
-        let count = self.free_count.get_mut(&group).expect("group not registered");
+        let group = self
+            .group_of(layout, leaf)
+            .expect("freed leaf outside any group");
+        let count = self
+            .free_count
+            .get_mut(&group)
+            .expect("group not registered");
         if *count + 1 == self.group_size {
             // Group entirely free: unlink and deallocate it.
-            let pos = self.groups.iter().position(|&g| g == group).expect("group in list");
-            let (lo, hi) = (group + GROUP_HEADER, group + self.group_bytes(layout) as u64);
+            let pos = self
+                .groups
+                .iter()
+                .position(|&g| g == group)
+                .expect("group in list");
+            let (lo, hi) = (
+                group + GROUP_HEADER,
+                group + self.group_bytes(layout) as u64,
+            );
             self.free.retain(|&l| !(lo..hi).contains(&l));
             let log = meta.freeleaf_log();
             log.set_first(pool, RawPPtr::new(pool.file_id(), group));
@@ -185,7 +211,7 @@ impl GroupMgr {
                 let prev = self.groups[pos - 1];
                 log.set_second(pool, RawPPtr::new(pool.file_id(), prev));
                 let next: RawPPtr = pool.read_at(group);
-                pool.write_at(prev, &next);
+                pool.write_publish_at(prev, &next);
                 pool.persist(prev, 16);
             }
             pool.deallocate(log.first_slot());
@@ -230,7 +256,7 @@ impl GroupMgr {
             match last {
                 None => meta.set_groups_head(pool, p),
                 Some(tail) => {
-                    pool.write_at(tail, &p);
+                    pool.write_publish_at(tail, &p);
                     pool.persist(tail, 16);
                 }
             }
@@ -252,7 +278,7 @@ impl GroupMgr {
         if !prev.is_null() {
             // Crashed between recording prev and deallocating: redo unlink.
             let next: RawPPtr = pool.read_at(cur.offset);
-            pool.write_at(prev.offset, &next);
+            pool.write_publish_at(prev.offset, &next);
             pool.persist(prev.offset, 16);
             pool.deallocate(log.first_slot());
         } else if head.offset == cur.offset {
@@ -374,7 +400,11 @@ mod tests {
         mgr.free_leaf(&pool, &layout, &meta, a);
         pool.stats().reset();
         mgr.free_leaf(&pool, &layout, &meta, b);
-        assert_eq!(pool.stats().snapshot().deallocs, 1, "group must be deallocated");
+        assert_eq!(
+            pool.stats().snapshot().deallocs,
+            1,
+            "group must be deallocated"
+        );
         assert_eq!(mgr.group_count(), 0);
         assert_eq!(mgr.free_leaves(), 0);
         assert!(meta.groups_head(&pool).is_null());
@@ -385,8 +415,9 @@ mod tests {
         let (pool, layout, meta, mut mgr) = setup(2);
         let dest = meta.head_slot();
         // Three groups worth of leaves.
-        let leaves: Vec<u64> =
-            (0..6).map(|_| mgr.get_leaf(&pool, &layout, &meta, dest)).collect();
+        let leaves: Vec<u64> = (0..6)
+            .map(|_| mgr.get_leaf(&pool, &layout, &meta, dest))
+            .collect();
         assert_eq!(mgr.group_count(), 3);
         // Free the middle group (leaves 2 and 3).
         mgr.free_leaf(&pool, &layout, &meta, leaves[2]);
@@ -406,8 +437,9 @@ mod tests {
     fn rebuild_recovers_free_vector() {
         let (pool, layout, meta, mut mgr) = setup(4);
         let dest = meta.head_slot();
-        let used: Vec<u64> =
-            (0..6).map(|_| mgr.get_leaf(&pool, &layout, &meta, dest)).collect();
+        let used: Vec<u64> = (0..6)
+            .map(|_| mgr.get_leaf(&pool, &layout, &meta, dest))
+            .collect();
         // Pretend only the first three are reachable from the tree.
         let in_tree: std::collections::HashSet<u64> = used[..3].iter().copied().collect();
         let mut fresh = GroupMgr::new(4);
@@ -422,8 +454,8 @@ mod tests {
         let (pool, layout, meta, mut mgr) = setup(2);
         let dest = meta.head_slot();
         let _ = mgr.get_leaf(&pool, &layout, &meta, dest); // one group linked
-        // Simulate a crash after allocation, before linking: allocate a block
-        // directly into the getleaf log.
+                                                           // Simulate a crash after allocation, before linking: allocate a block
+                                                           // directly into the getleaf log.
         let log = meta.getleaf_log();
         let bytes = GROUP_HEADER as usize + 2 * layout.size;
         let orphan = pool.allocate(log.ptr_slot(), bytes).unwrap();

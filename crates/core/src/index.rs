@@ -156,8 +156,11 @@ mod tests {
     #[test]
     fn locked_fptree_implements_u64_index() {
         let pool = Arc::new(PmemPool::create(PoolOptions::direct(16 << 20)).unwrap());
-        let idx: Box<dyn U64Index> =
-            Box::new(Locked::new(crate::FPTree::create(pool, TreeConfig::fptree(), ROOT_SLOT)));
+        let idx: Box<dyn U64Index> = Box::new(Locked::new(crate::FPTree::create(
+            pool,
+            TreeConfig::fptree(),
+            ROOT_SLOT,
+        )));
         assert!(idx.insert(1, 10));
         assert!(!idx.insert(1, 11));
         assert_eq!(idx.get(1), Some(10));

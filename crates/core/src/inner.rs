@@ -38,7 +38,13 @@ impl<K: KeyKind> InnerNode<K> {
         let right_keys = self.keys.split_off(mid + 1);
         self.keys.pop(); // `up` moves to the parent
         let right_children = self.children.split_off(mid + 1);
-        (up, Box::new(InnerNode { keys: right_keys, children: right_children }))
+        (
+            up,
+            Box::new(InnerNode {
+                keys: right_keys,
+                children: right_children,
+            }),
+        )
     }
 }
 
@@ -146,9 +152,14 @@ pub(crate) fn build_from_leaves<K: KeyKind>(
     entries: Vec<(K::Owned, u64)>,
     fanout: usize,
 ) -> Node<K> {
-    assert!(!entries.is_empty(), "cannot build an index over zero leaves");
-    let mut level: Vec<(K::Owned, Node<K>)> =
-        entries.into_iter().map(|(k, off)| (k, Node::Leaf(off))).collect();
+    assert!(
+        !entries.is_empty(),
+        "cannot build an index over zero leaves"
+    );
+    let mut level: Vec<(K::Owned, Node<K>)> = entries
+        .into_iter()
+        .map(|(k, off)| (k, Node::Leaf(off)))
+        .collect();
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len() / fanout + 1);
         let mut iter = level.into_iter().peekable();
@@ -205,11 +216,7 @@ mod tests {
                 // lives in leaf i at offset 1000*i.
                 for k in 1..=(10 * n) {
                     let expect = 1000 * ((k - 1) / 10);
-                    assert_eq!(
-                        root.find_leaf(&k),
-                        expect,
-                        "fanout={fanout} n={n} key={k}"
-                    );
+                    assert_eq!(root.find_leaf(&k), expect, "fanout={fanout} n={n} key={k}");
                 }
                 // Keys beyond the max route to the last leaf.
                 assert_eq!(root.find_leaf(&(10 * n + 5)), 1000 * (n - 1));

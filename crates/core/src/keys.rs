@@ -213,7 +213,7 @@ impl KeyKind for VarKey {
     }
 
     fn reset_slot(pool: &PmemPool, slot_off: u64) {
-        pool.write_at(slot_off, &RawPPtr::NULL);
+        pool.write_publish_at(slot_off, &RawPPtr::NULL);
         pool.persist(slot_off, 16);
     }
 

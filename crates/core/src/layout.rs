@@ -134,7 +134,9 @@ mod tests {
 
     #[test]
     fn interleaved_offsets_do_not_overlap() {
-        let cfg = TreeConfig::fptree().with_leaf_capacity(16).with_value_size(24);
+        let cfg = TreeConfig::fptree()
+            .with_leaf_capacity(16)
+            .with_value_size(24);
         let l = LeafLayout::new(&cfg, 8);
         let mut spans: Vec<(usize, usize)> = vec![
             (l.off_bitmap, 8),

@@ -17,7 +17,9 @@ use crate::layout::LeafLayout;
 /// A view over one leaf node in persistent memory.
 #[derive(Clone, Copy)]
 pub struct Leaf<'a> {
+    /// The pool holding the leaf.
     pub pool: &'a PmemPool,
+    /// Node layout the leaf was written with.
     pub layout: &'a LeafLayout,
     /// Base offset of the leaf in the pool.
     pub off: u64,
@@ -35,7 +37,8 @@ impl<'a> Leaf<'a> {
     /// Reads the validity bitmap.
     #[inline]
     pub fn bitmap(&self) -> u64 {
-        self.pool.read_word(self.off + self.layout.off_bitmap as u64)
+        self.pool
+            .read_word(self.off + self.layout.off_bitmap as u64)
     }
 
     /// P-atomically writes and persists the bitmap — the commit point of
@@ -43,7 +46,7 @@ impl<'a> Leaf<'a> {
     #[inline]
     pub fn commit_bitmap(&self, bm: u64) {
         let off = self.off + self.layout.off_bitmap as u64;
-        self.pool.write_word(off, bm);
+        self.pool.write_publish_word(off, bm);
         self.pool.persist(off, 8);
     }
 
@@ -76,27 +79,33 @@ impl<'a> Leaf<'a> {
     #[inline]
     pub fn fingerprint(&self, slot: usize) -> u8 {
         debug_assert!(self.layout.fingerprints);
-        self.pool.read_at(self.off + (self.layout.off_fps + slot) as u64)
+        self.pool
+            .read_at(self.off + (self.layout.off_fps + slot) as u64)
     }
 
     /// Writes one fingerprint (not persisted: flushed with the KV slot).
     #[inline]
     pub fn set_fingerprint(&self, slot: usize, fp: u8) {
         debug_assert!(self.layout.fingerprints);
-        self.pool.write_at(self.off + (self.layout.off_fps + slot) as u64, &fp);
+        self.pool
+            .write_at(self.off + (self.layout.off_fps + slot) as u64, &fp);
     }
 
     /// Persists the fingerprint byte of `slot`.
     #[inline]
     pub fn persist_fingerprint(&self, slot: usize) {
-        self.pool.persist(self.off + (self.layout.off_fps + slot) as u64, 1);
+        self.pool
+            .persist(self.off + (self.layout.off_fps + slot) as u64, 1);
     }
 
     /// Copies the whole fingerprint array into `buf` (length ≥ m).
     #[inline]
     pub fn read_fingerprints(&self, buf: &mut [u8]) {
         debug_assert!(self.layout.fingerprints);
-        self.pool.read_bytes(self.off + self.layout.off_fps as u64, &mut buf[..self.layout.m]);
+        self.pool.read_bytes(
+            self.off + self.layout.off_fps as u64,
+            &mut buf[..self.layout.m],
+        );
     }
 
     // ---------------------------------------------------------------- next
@@ -111,7 +120,7 @@ impl<'a> Leaf<'a> {
     #[inline]
     pub fn set_next(&self, next: RawPPtr) {
         let off = self.off + self.layout.off_next as u64;
-        self.pool.write_at(off, &next);
+        self.pool.write_publish_at(off, &next);
         self.pool.persist(off, 16);
     }
 
@@ -127,7 +136,9 @@ impl<'a> Leaf<'a> {
     /// Attempts to take the leaf lock (0 → 1).
     #[inline]
     pub fn try_lock(&self) -> bool {
-        self.lock_ref().compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed).is_ok()
+        self.lock_ref()
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
     }
 
     /// True if some thread holds the leaf lock.
@@ -230,10 +241,13 @@ impl<'a> Leaf<'a> {
     pub fn persist_slot(&self, slot: usize) {
         if self.layout.split_arrays {
             self.pool.persist(self.key_off(slot), self.layout.key_slot);
-            self.pool.persist(self.val_off(slot), self.layout.value_size);
-        } else {
             self.pool
-                .persist(self.key_off(slot), self.layout.key_slot + self.layout.value_size);
+                .persist(self.val_off(slot), self.layout.value_size);
+        } else {
+            self.pool.persist(
+                self.key_off(slot),
+                self.layout.key_slot + self.layout.value_size,
+            );
         }
     }
 
@@ -250,11 +264,15 @@ impl<'a> Leaf<'a> {
     #[inline]
     pub fn touch_slot(&self, slot: usize) {
         if self.layout.split_arrays {
-            self.pool.touch_read(self.key_off(slot), self.layout.key_slot);
-            self.pool.touch_read(self.val_off(slot), self.layout.value_size);
-        } else {
             self.pool
-                .touch_read(self.key_off(slot), self.layout.key_slot + self.layout.value_size);
+                .touch_read(self.key_off(slot), self.layout.key_slot);
+            self.pool
+                .touch_read(self.val_off(slot), self.layout.value_size);
+        } else {
+            self.pool.touch_read(
+                self.key_off(slot),
+                self.layout.key_slot + self.layout.value_size,
+            );
         }
     }
 
@@ -327,7 +345,10 @@ impl<'a> Leaf<'a> {
 
     /// Largest key in the leaf (recovery: discriminator for inner rebuild).
     pub fn max_key<K: KeyKind>(&self) -> Option<K::Owned> {
-        self.collect_entries::<K>().into_iter().map(|(_, k)| k).max()
+        self.collect_entries::<K>()
+            .into_iter()
+            .map(|(_, k)| k)
+            .max()
     }
 }
 

@@ -37,11 +37,14 @@
 //! | [`single`] | §5 base operations + recovery, §4.3 leaf groups |
 //! | [`concurrent`] | §4.4 Selective Concurrency, Algorithms 1–8 |
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
 pub mod concurrent;
 pub mod config;
 pub mod fingerprint;
-pub mod index;
 mod groups;
+pub mod index;
 mod inner;
 pub mod keys;
 pub mod layout;

@@ -107,7 +107,10 @@ impl TreeMeta {
     /// Opens an existing metadata block at `off` (from the owner pointer).
     pub fn open(pool: &PmemPool, off: u64) -> TreeMeta {
         let n_logs = pool.read_word(off + M_NLOGS) as usize;
-        assert!(n_logs >= 1, "metadata block has no micro-logs — wrong offset?");
+        assert!(
+            n_logs >= 1,
+            "metadata block has no micro-logs — wrong offset?"
+        );
         TreeMeta { off, n_logs }
     }
 
@@ -133,7 +136,7 @@ impl TreeMeta {
 
     /// Persists a new status.
     pub fn set_status(&self, pool: &PmemPool, status: u64) {
-        pool.write_word(self.off + M_STATUS, status);
+        pool.write_publish_word(self.off + M_STATUS, status);
         pool.persist(self.off + M_STATUS, 8);
     }
 
@@ -144,7 +147,7 @@ impl TreeMeta {
 
     /// Persists the leaf-list head.
     pub fn set_head(&self, pool: &PmemPool, head: RawPPtr) {
-        pool.write_at(self.off + M_HEAD, &head);
+        pool.write_publish_at(self.off + M_HEAD, &head);
         pool.persist(self.off + M_HEAD, 16);
     }
 
@@ -161,7 +164,7 @@ impl TreeMeta {
 
     /// Persists the group-list head.
     pub fn set_groups_head(&self, pool: &PmemPool, head: RawPPtr) {
-        pool.write_at(self.off + M_GROUPS_HEAD, &head);
+        pool.write_publish_at(self.off + M_GROUPS_HEAD, &head);
         pool.persist(self.off + M_GROUPS_HEAD, 16);
     }
 
@@ -172,24 +175,32 @@ impl TreeMeta {
 
     /// The GetLeaf micro-log (Algorithm 10).
     pub fn getleaf_log(&self) -> PtrLog {
-        PtrLog { base: self.off + M_GETLEAF_LOG }
+        PtrLog {
+            base: self.off + M_GETLEAF_LOG,
+        }
     }
 
     /// The FreeLeaf micro-log (Algorithm 12).
     pub fn freeleaf_log(&self) -> PairLog {
-        PairLog { base: self.off + M_FREELEAF_LOG }
+        PairLog {
+            base: self.off + M_FREELEAF_LOG,
+        }
     }
 
     /// Split micro-log `i` (`PCurrentLeaf`, `PNewLeaf`).
     pub fn split_log(&self, i: usize) -> PairLog {
         assert!(i < self.n_logs);
-        PairLog { base: self.off + M_LOGS + (i as u64) * 64 }
+        PairLog {
+            base: self.off + M_LOGS + (i as u64) * 64,
+        }
     }
 
     /// Delete micro-log `i` (`PCurrentLeaf`, `PPrevLeaf`).
     pub fn delete_log(&self, i: usize) -> PairLog {
         assert!(i < self.n_logs);
-        PairLog { base: self.off + M_LOGS + ((self.n_logs + i) as u64) * 64 }
+        PairLog {
+            base: self.off + M_LOGS + ((self.n_logs + i) as u64) * 64,
+        }
     }
 }
 
@@ -212,7 +223,7 @@ impl PtrLog {
 
     /// Resets the log.
     pub fn reset(&self, pool: &PmemPool) {
-        pool.write_at(self.base, &RawPPtr::NULL);
+        pool.write_publish_at(self.base, &RawPPtr::NULL);
         pool.persist(self.base, 16);
     }
 }
@@ -240,13 +251,13 @@ impl PairLog {
 
     /// Persists the first pointer (the log's commit record).
     pub fn set_first(&self, pool: &PmemPool, p: RawPPtr) {
-        pool.write_at(self.base, &p);
+        pool.write_publish_at(self.base, &p);
         pool.persist(self.base, 16);
     }
 
     /// Persists the second pointer.
     pub fn set_second(&self, pool: &PmemPool, p: RawPPtr) {
-        pool.write_at(self.base + 16, &p);
+        pool.write_publish_at(self.base + 16, &p);
         pool.persist(self.base + 16, 16);
     }
 
@@ -264,8 +275,9 @@ impl PairLog {
 
     /// Resets both pointers (end of the logged operation).
     pub fn reset(&self, pool: &PmemPool) {
-        pool.write_at(self.base, &RawPPtr::NULL);
-        pool.write_at(self.base + 16, &RawPPtr::NULL);
+        // One 32-byte publish: both halves are retired together and the
+        // shared persist below is their only ordering point.
+        pool.write_publish_at(self.base, &[RawPPtr::NULL, RawPPtr::NULL]);
         pool.persist(self.base, 32);
     }
 }

@@ -77,7 +77,9 @@ impl Ctx {
     /// it (the non-split insert path of Algorithm 2 / 14).
     pub fn insert_into_leaf<K: KeyKind>(&self, off: u64, key: &K::Owned, value: u64) {
         let leaf = self.leaf(off);
-        let slot = leaf.first_zero_slot().expect("insert_into_leaf requires a free slot");
+        let slot = leaf
+            .first_zero_slot()
+            .expect("insert_into_leaf requires a free slot");
         K::write_slot(&self.pool, leaf.key_off(slot), key);
         leaf.set_value(slot, value);
         if self.layout.fingerprints {
@@ -96,11 +98,14 @@ impl Ctx {
     /// publishes the new one.
     pub fn update_in_leaf<K: KeyKind>(&self, off: u64, old_slot: usize, value: u64) {
         let leaf = self.leaf(off);
-        let new_slot = leaf.first_zero_slot().expect("update_in_leaf requires a free slot");
+        let new_slot = leaf
+            .first_zero_slot()
+            .expect("update_in_leaf requires a free slot");
         // The key moves by copying the slot bytes: fixed keys copy the key
         // itself, variable keys copy the persistent pointer (no realloc).
         let mut slot_bytes = vec![0u8; self.layout.key_slot];
-        self.pool.read_bytes(leaf.key_off(old_slot), &mut slot_bytes);
+        self.pool
+            .read_bytes(leaf.key_off(old_slot), &mut slot_bytes);
         self.pool.write_bytes(leaf.key_off(new_slot), &slot_bytes);
         leaf.set_value(new_slot, value);
         if self.layout.fingerprints {
@@ -353,7 +358,11 @@ impl<K: KeyKind> Iterator for TreeIter<'_, K> {
 /// Result of a mutating descent.
 enum Outcome<K: KeyKind> {
     Done(bool),
-    Split { key: K::Owned, right: Node<K>, result: bool },
+    Split {
+        key: K::Owned,
+        right: Node<K>,
+        result: bool,
+    },
 }
 
 /// A single-threaded hybrid SCM-DRAM persistent B+-Tree.
@@ -379,14 +388,26 @@ impl<K: KeyKind> SingleTree<K> {
     /// pool's primary object).
     pub fn create(pool: Arc<PmemPool>, cfg: TreeConfig, owner_slot: u64) -> Self {
         cfg.validate();
+        let checked = Arc::clone(&pool);
+        let _op = checked.begin_checked_op("tree_create");
         let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
         let meta = TreeMeta::create(&pool, &cfg, K::SLOT_SIZE, K::IS_VAR, 1, owner_slot);
-        let ctx = Ctx { pool, cfg, layout, meta };
+        let ctx = Ctx {
+            pool,
+            cfg,
+            layout,
+            meta,
+        };
         let mut groups = GroupMgr::with_sanitize(cfg.leaf_group_size, K::IS_VAR);
         let head = groups.get_leaf(&ctx.pool, &ctx.layout, &meta, meta.head_slot());
         ctx.zero_leaf(head);
         meta.set_status(&ctx.pool, STATUS_READY);
-        SingleTree { ctx, groups, root: Node::Leaf(head), len: 0 }
+        SingleTree {
+            ctx,
+            groups,
+            root: Node::Leaf(head),
+            len: 0,
+        }
     }
 
     /// Bulk-loads sorted, unique `(key, value)` entries at ~70% leaf fill —
@@ -410,9 +431,16 @@ impl<K: KeyKind> SingleTree<K> {
         if entries.is_empty() {
             return Self::create(pool, cfg, owner_slot);
         }
+        let checked = Arc::clone(&pool);
+        let _op = checked.begin_checked_op("bulk_load");
         let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
         let meta = TreeMeta::create(&pool, &cfg, K::SLOT_SIZE, K::IS_VAR, 1, owner_slot);
-        let ctx = Ctx { pool, cfg, layout, meta };
+        let ctx = Ctx {
+            pool,
+            cfg,
+            layout,
+            meta,
+        };
         let mut groups = GroupMgr::with_sanitize(cfg.leaf_group_size, K::IS_VAR);
 
         let per_leaf = (layout.m * 7 / 10).max(1);
@@ -436,7 +464,11 @@ impl<K: KeyKind> SingleTree<K> {
                     leaf.set_fingerprint(slot, K::fingerprint(k));
                 }
             }
-            let bm = if chunk.len() == 64 { u64::MAX } else { (1u64 << chunk.len()) - 1 };
+            let bm = if chunk.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk.len()) - 1
+            };
             ctx.pool.write_word(off + layout.off_bitmap as u64, bm);
             ctx.pool.persist(off, layout.size);
             index_entries.push((chunk.last().expect("chunk nonempty").0.clone(), off));
@@ -444,7 +476,12 @@ impl<K: KeyKind> SingleTree<K> {
         }
         meta.set_status(&ctx.pool, STATUS_READY);
         let root = build_from_leaves::<K>(index_entries, cfg.inner_fanout);
-        SingleTree { ctx, groups, root, len: entries.len() }
+        SingleTree {
+            ctx,
+            groups,
+            root,
+            len: entries.len(),
+        }
     }
 
     /// Sorted streaming iterator over all entries (leaf list order).
@@ -475,14 +512,28 @@ impl<K: KeyKind> SingleTree<K> {
     /// pointer at `owner_slot` — Algorithm 9: finish interrupted
     /// initialization, replay micro-logs, audit, rebuild inner nodes.
     pub fn open(pool: Arc<PmemPool>, owner_slot: u64) -> Self {
+        let checked = Arc::clone(&pool);
+        let _op = checked.begin_checked_op("tree_open");
         let owner: RawPPtr = pool.read_at(owner_slot);
-        assert!(!owner.is_null(), "no tree metadata at owner slot {owner_slot:#x}");
+        assert!(
+            !owner.is_null(),
+            "no tree metadata at owner slot {owner_slot:#x}"
+        );
         let meta = TreeMeta::open(&pool, owner.offset);
         let (cfg, key_slot, var) = meta.stored_config(&pool);
-        assert_eq!(key_slot, K::SLOT_SIZE, "tree was created with a different key kind");
+        assert_eq!(
+            key_slot,
+            K::SLOT_SIZE,
+            "tree was created with a different key kind"
+        );
         assert_eq!(var, K::IS_VAR, "tree was created with a different key kind");
         let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
-        let ctx = Ctx { pool, cfg, layout, meta };
+        let ctx = Ctx {
+            pool,
+            cfg,
+            layout,
+            meta,
+        };
         let mut groups = GroupMgr::with_sanitize(cfg.leaf_group_size, K::IS_VAR);
 
         if meta.status(&ctx.pool) != STATUS_READY {
@@ -519,7 +570,12 @@ impl<K: KeyKind> SingleTree<K> {
             meta.set_status(&ctx.pool, STATUS_READY);
             let head = meta.head(&ctx.pool).offset;
             groups.rebuild(&ctx.pool, &layout, &meta, &HashSet::from([head]));
-            return SingleTree { ctx, groups, root: Node::Leaf(head), len: 0 };
+            return SingleTree {
+                ctx,
+                groups,
+                root: Node::Leaf(head),
+                len: 0,
+            };
         }
 
         // Replay micro-logs (order matters: allocation logs first, so the
@@ -542,7 +598,12 @@ impl<K: KeyKind> SingleTree<K> {
         } else {
             build_from_leaves::<K>(entries, cfg.inner_fanout)
         };
-        SingleTree { ctx, groups, root, len }
+        SingleTree {
+            ctx,
+            groups,
+            root,
+            len,
+        }
     }
 
     #[allow(clippy::type_complexity)]
@@ -582,7 +643,13 @@ impl<K: KeyKind> SingleTree<K> {
         (entries, in_tree, len)
     }
 
-    fn descend<F>(ctx: &Ctx, groups: &mut GroupMgr, node: &mut Node<K>, key: &K::Owned, f: &mut F) -> Outcome<K>
+    fn descend<F>(
+        ctx: &Ctx,
+        groups: &mut GroupMgr,
+        node: &mut Node<K>,
+        key: &K::Owned,
+        f: &mut F,
+    ) -> Outcome<K>
     where
         F: FnMut(&Ctx, &mut GroupMgr, u64) -> Outcome<K>,
     {
@@ -592,7 +659,11 @@ impl<K: KeyKind> SingleTree<K> {
                 let idx = inner.child_index(key);
                 match Self::descend(ctx, groups, &mut inner.children[idx], key, f) {
                     Outcome::Done(r) => Outcome::Done(r),
-                    Outcome::Split { key: sk, right, result } => {
+                    Outcome::Split {
+                        key: sk,
+                        right,
+                        result,
+                    } => {
                         inner.keys.insert(idx, sk);
                         inner.children.insert(idx + 1, right);
                         if inner.children.len() > ctx.cfg.inner_fanout {
@@ -628,6 +699,8 @@ impl<K: KeyKind> SingleTree<K> {
     /// Inserts `key → value`. Returns false (without modifying anything) if
     /// the key already exists.
     pub fn insert(&mut self, key: &K::Owned, value: u64) -> bool {
+        let checked = Arc::clone(&self.ctx.pool);
+        let _op = checked.begin_checked_op("insert");
         let (ctx, groups, root) = (&self.ctx, &mut self.groups, &mut self.root);
         let mut leaf_op = |ctx: &Ctx, groups: &mut GroupMgr, off: u64| -> Outcome<K> {
             let leaf = ctx.leaf(off);
@@ -638,7 +711,11 @@ impl<K: KeyKind> SingleTree<K> {
                 let (split_key, new_off) = ctx.split_leaf::<K>(groups, off, 0);
                 let target = if *key > split_key { new_off } else { off };
                 ctx.insert_into_leaf::<K>(target, key, value);
-                Outcome::Split { key: split_key, right: Node::Leaf(new_off), result: true }
+                Outcome::Split {
+                    key: split_key,
+                    right: Node::Leaf(new_off),
+                    result: true,
+                }
             } else {
                 ctx.insert_into_leaf::<K>(off, key, value);
                 Outcome::Done(true)
@@ -666,6 +743,8 @@ impl<K: KeyKind> SingleTree<K> {
 
     /// Updates the value of an existing key. Returns false if absent.
     pub fn update(&mut self, key: &K::Owned, value: u64) -> bool {
+        let checked = Arc::clone(&self.ctx.pool);
+        let _op = checked.begin_checked_op("update");
         let (ctx, groups, root) = (&self.ctx, &mut self.groups, &mut self.root);
         let mut leaf_op = |ctx: &Ctx, groups: &mut GroupMgr, off: u64| -> Outcome<K> {
             let leaf = ctx.leaf(off);
@@ -680,7 +759,11 @@ impl<K: KeyKind> SingleTree<K> {
                     .find_slot::<K>(key)
                     .expect("key must survive its leaf's split");
                 ctx.update_in_leaf::<K>(target, tslot, value);
-                Outcome::Split { key: split_key, right: Node::Leaf(new_off), result: true }
+                Outcome::Split {
+                    key: split_key,
+                    right: Node::Leaf(new_off),
+                    result: true,
+                }
             } else {
                 ctx.update_in_leaf::<K>(off, slot, value);
                 Outcome::Done(true)
@@ -692,6 +775,7 @@ impl<K: KeyKind> SingleTree<K> {
 
     /// Removes `key`. Returns false if absent.
     pub fn remove(&mut self, key: &K::Owned) -> bool {
+        let _op = self.ctx.pool.begin_checked_op("remove");
         let (leaf_off, prev) = self.root.find_leaf_and_prev(key);
         let leaf = self.ctx.leaf(leaf_off);
         let Some(slot) = leaf.find_slot::<K>(key) else {
@@ -704,7 +788,8 @@ impl<K: KeyKind> SingleTree<K> {
         if bm == 0 {
             let is_only_leaf = prev.is_none() && leaf.next().is_null();
             if !is_only_leaf {
-                self.ctx.delete_leaf(Some(&mut self.groups), leaf_off, prev, 0);
+                self.ctx
+                    .delete_leaf(Some(&mut self.groups), leaf_off, prev, 0);
                 Self::remove_leaf_from_index(&mut self.root, key);
                 // Collapse a single-child root chain.
                 loop {
@@ -866,9 +951,7 @@ impl<K: KeyKind> SingleTree<K> {
                 return Err(format!("leaf {i} holds duplicate keys"));
             }
             for (slot, k) in &entries {
-                if self.ctx.layout.fingerprints
-                    && leaf.fingerprint(*slot) != K::fingerprint(k)
-                {
+                if self.ctx.layout.fingerprints && leaf.fingerprint(*slot) != K::fingerprint(k) {
                     return Err(format!("leaf {i} slot {slot}: fingerprint mismatch"));
                 }
                 if K::IS_VAR && K::slot_ref(&self.ctx.pool, leaf.key_off(*slot)).is_null() {
@@ -889,8 +972,7 @@ impl<K: KeyKind> SingleTree<K> {
             if K::IS_VAR {
                 let bm = leaf.bitmap();
                 for slot in 0..self.ctx.layout.m {
-                    if bm & (1 << slot) == 0
-                        && K::slot_nonnull(&self.ctx.pool, leaf.key_off(slot))
+                    if bm & (1 << slot) == 0 && K::slot_nonnull(&self.ctx.pool, leaf.key_off(slot))
                     {
                         return Err(format!("leaf {i} slot {slot}: dead slot references a key"));
                     }

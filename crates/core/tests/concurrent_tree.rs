@@ -13,7 +13,9 @@ fn pool(mb: usize) -> Arc<PmemPool> {
 }
 
 fn small_cfg() -> TreeConfig {
-    TreeConfig::fptree_concurrent().with_leaf_capacity(4).with_inner_fanout(4)
+    TreeConfig::fptree_concurrent()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4)
 }
 
 #[test]
@@ -61,7 +63,10 @@ fn range_scan_single_thread() {
     }
     let r = t.range(&100, &200);
     let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
-    let expect: Vec<u64> = (0..500).step_by(5).filter(|k| (100..=200).contains(k)).collect();
+    let expect: Vec<u64> = (0..500)
+        .step_by(5)
+        .filter(|k| (100..=200).contains(k))
+        .collect();
     assert_eq!(keys, expect);
 }
 
@@ -85,7 +90,9 @@ fn drain_and_refill() {
 
 #[test]
 fn var_keys_single_thread() {
-    let cfg = TreeConfig::fptree_concurrent_var().with_leaf_capacity(4).with_inner_fanout(4);
+    let cfg = TreeConfig::fptree_concurrent_var()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4);
     let t = ConcurrentFPTreeVar::create(pool(64), cfg, ROOT_SLOT);
     for i in 0..600u64 {
         assert!(t.insert(&format!("user:{i:05}").into_bytes(), i));
@@ -234,7 +241,9 @@ fn concurrent_readers_during_writes_never_see_garbage() {
 
 #[test]
 fn concurrent_var_key_stress() {
-    let cfg = TreeConfig::fptree_concurrent_var().with_leaf_capacity(8).with_inner_fanout(8);
+    let cfg = TreeConfig::fptree_concurrent_var()
+        .with_leaf_capacity(8)
+        .with_inner_fanout(8);
     let t = Arc::new(ConcurrentFPTreeVar::create(pool(256), cfg, ROOT_SLOT));
     let threads = 6u64;
     let handles: Vec<_> = (0..threads)
@@ -320,7 +329,10 @@ fn crash_recovery_concurrent_tree() {
                 .unwrap_or_else(|e| panic!("fuse {fuse} seed {seed}: {e}"));
             // Values must remain bound to their keys.
             for (k, v) in t2.range(&0, &1000) {
-                assert!(v == k || v == k + 100, "fuse {fuse}: key {k} has foreign value {v}");
+                assert!(
+                    v == k || v == k + 100,
+                    "fuse {fuse}: key {k} has foreign value {v}"
+                );
             }
         }
     }
@@ -379,7 +391,9 @@ fn agrees_with_single_threaded_tree() {
     let tc = ConcurrentFPTree::create(pc, small_cfg(), ROOT_SLOT);
     let mut ts = fptree_core::FPTree::create(
         ps,
-        TreeConfig::fptree().with_leaf_capacity(4).with_inner_fanout(4),
+        TreeConfig::fptree()
+            .with_leaf_capacity(4)
+            .with_inner_fanout(4),
         ROOT_SLOT,
     );
     let mut rng = StdRng::seed_from_u64(99);

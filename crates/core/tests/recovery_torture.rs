@@ -60,7 +60,10 @@ fn double_crash_recovers<K: fptree_core::KeyKind>(
             false
         }
         Err(e) => {
-            assert!(crash_is_injected(e.as_ref()), "non-injected panic in recovery");
+            assert!(
+                crash_is_injected(e.as_ref()),
+                "non-injected panic in recovery"
+            );
             true
         }
     };

@@ -17,7 +17,10 @@ fn tracked_pool(mb: usize) -> Arc<PmemPool> {
 
 fn small_cfg() -> TreeConfig {
     // Tiny nodes exercise splits and multi-level indexes quickly.
-    TreeConfig::fptree().with_leaf_capacity(4).with_inner_fanout(4).with_leaf_group_size(4)
+    TreeConfig::fptree()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4)
+        .with_leaf_group_size(4)
 }
 
 #[test]
@@ -84,7 +87,9 @@ fn update_changes_value_in_place() {
 #[test]
 fn update_on_full_leaf_splits() {
     let pool = direct_pool(8);
-    let cfg = TreeConfig::fptree().with_leaf_capacity(4).with_inner_fanout(8);
+    let cfg = TreeConfig::fptree()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(8);
     let mut t = FPTree::create(pool, cfg, ROOT_SLOT);
     for i in 0..4u64 {
         t.insert(&i, i);
@@ -145,7 +150,10 @@ fn range_scans() {
         t.insert(&i, i);
     }
     let r = t.range(&100, &200);
-    let expect: Vec<u64> = (0..1000).step_by(3).filter(|k| (100..=200).contains(k)).collect();
+    let expect: Vec<u64> = (0..1000)
+        .step_by(3)
+        .filter(|k| (100..=200).contains(k))
+        .collect();
     assert_eq!(r.iter().map(|(k, _)| *k).collect::<Vec<_>>(), expect);
     assert!(t.range(&2000, &3000).is_empty());
     assert!(t.range(&200, &100).is_empty(), "inverted range is empty");
@@ -167,7 +175,9 @@ fn ptree_config_works_without_fingerprints() {
 #[test]
 fn var_keys_roundtrip() {
     let pool = direct_pool(64);
-    let cfg = TreeConfig::fptree_var().with_leaf_capacity(4).with_inner_fanout(4);
+    let cfg = TreeConfig::fptree_var()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4);
     let mut t = FPTreeVar::create(pool, cfg, ROOT_SLOT);
     for i in 0..500u64 {
         let key = format!("user:{i:06}").into_bytes();
@@ -197,7 +207,9 @@ fn var_keys_roundtrip() {
 #[test]
 fn var_keys_no_blob_leak_after_churn() {
     let pool = direct_pool(64);
-    let cfg = TreeConfig::fptree_var().with_leaf_capacity(4).with_inner_fanout(4);
+    let cfg = TreeConfig::fptree_var()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4);
     let mut t = FPTreeVar::create(Arc::clone(&pool), cfg, ROOT_SLOT);
     for round in 0..3u64 {
         for i in 0..200u64 {
@@ -250,7 +262,9 @@ fn clean_reopen_recovers_everything() {
 #[test]
 fn clean_reopen_var_keys() {
     let pool = tracked_pool(64);
-    let cfg = TreeConfig::fptree_var().with_leaf_capacity(4).with_inner_fanout(4);
+    let cfg = TreeConfig::fptree_var()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4);
     let mut t = FPTreeVar::create(Arc::clone(&pool), cfg, ROOT_SLOT);
     for i in 0..300u64 {
         t.insert(&format!("key:{i:05}").into_bytes(), i);
@@ -279,10 +293,7 @@ fn crash_at_every_point_var_keys() {
     crash_torture::<fptree_core::VarKey>(|i| format!("key{i:05}").into_bytes(), 120);
 }
 
-fn crash_torture<K: fptree_core::KeyKind>(
-    mk: impl Fn(u64) -> K::Owned,
-    max_fuse: u64,
-) {
+fn crash_torture<K: fptree_core::KeyKind>(mk: impl Fn(u64) -> K::Owned, max_fuse: u64) {
     // A workload whose tail mixes splits, updates, deletes, leaf deletes.
     let run = |pool: &Arc<PmemPool>, upto: usize| -> (SingleTree<K>, Vec<(K::Owned, u64)>) {
         let cfg = TreeConfig::fptree()
@@ -354,7 +365,11 @@ fn crash_torture<K: fptree_core::KeyKind>(
             let all = t2.range(&t2_min::<K>(&mk), &t2_max::<K>(&mk));
             for (k, v) in &all {
                 let i = v % 100;
-                assert_eq!(*k, mk(i), "fuse {fuse} seed {seed}: value bound to wrong key");
+                assert_eq!(
+                    *k,
+                    mk(i),
+                    "fuse {fuse} seed {seed}: value bound to wrong key"
+                );
             }
         }
     }
@@ -429,7 +444,9 @@ fn open_asserts_key_kind_match() {
 #[test]
 fn var_key_range_scans_are_sorted_lexicographically() {
     let pool = direct_pool(64);
-    let cfg = TreeConfig::fptree_var().with_leaf_capacity(4).with_inner_fanout(4);
+    let cfg = TreeConfig::fptree_var()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4);
     let mut t = FPTreeVar::create(pool, cfg, ROOT_SLOT);
     let mut model = std::collections::BTreeMap::new();
     for i in (0..400u64).rev() {
@@ -440,8 +457,7 @@ fn var_key_range_scans_are_sorted_lexicographically() {
     let lo = b"id:0050".to_vec();
     let hi = b"id:0199".to_vec();
     let got = t.range(&lo, &hi);
-    let expect: Vec<(Vec<u8>, u64)> =
-        model.range(lo..=hi).map(|(k, v)| (k.clone(), *v)).collect();
+    let expect: Vec<(Vec<u8>, u64)> = model.range(lo..=hi).map(|(k, v)| (k.clone(), *v)).collect();
     assert_eq!(got, expect);
     // Full scan covers everything in order.
     let all = t.range(&Vec::new(), &b"zzzz".to_vec());
@@ -452,7 +468,9 @@ fn var_key_range_scans_are_sorted_lexicographically() {
 #[test]
 fn mixed_key_lengths_coexist() {
     let pool = direct_pool(64);
-    let cfg = TreeConfig::fptree_var().with_leaf_capacity(4).with_inner_fanout(4);
+    let cfg = TreeConfig::fptree_var()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4);
     let mut t = FPTreeVar::create(pool, cfg, ROOT_SLOT);
     let keys: Vec<Vec<u8>> = vec![
         b"".to_vec(),
@@ -523,7 +541,9 @@ fn reopen_preserves_config() {
 #[test]
 fn height_grows_logarithmically() {
     let pool = direct_pool(64);
-    let cfg = TreeConfig::fptree().with_leaf_capacity(4).with_inner_fanout(4);
+    let cfg = TreeConfig::fptree()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4);
     let mut t = FPTree::create(pool, cfg, ROOT_SLOT);
     assert_eq!(t.height(), 0);
     for i in 0..4096u64 {
@@ -558,7 +578,9 @@ fn bulk_load_matches_incremental_build() {
 fn bulk_load_survives_restart() {
     let entries: Vec<(u64, u64)> = (0..2000u64).map(|i| (i, i + 7)).collect();
     let pool = tracked_pool(64);
-    let cfg = TreeConfig::fptree().with_leaf_capacity(8).with_inner_fanout(8);
+    let cfg = TreeConfig::fptree()
+        .with_leaf_capacity(8)
+        .with_inner_fanout(8);
     let t = FPTree::bulk_load(Arc::clone(&pool), cfg, ROOT_SLOT, &entries);
     drop(t);
     let img = pool.clean_image();
@@ -597,7 +619,10 @@ fn interrupted_bulk_load_recovers_empty_without_leaks() {
             let img = pool.crash_image(fuse);
             let pool2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
             let t = FPTree::open(Arc::clone(&pool2), ROOT_SLOT);
-            assert!(t.is_empty(), "group {group} fuse {fuse}: partial load visible");
+            assert!(
+                t.is_empty(),
+                "group {group} fuse {fuse}: partial load visible"
+            );
             t.check_consistency().unwrap();
             // Leak audit: only the metadata block, group blocks (group
             // mode), or the single head leaf may be live.
@@ -625,7 +650,10 @@ fn iterator_streams_in_order() {
     }
     let collected: Vec<(u64, u64)> = t.iter().collect();
     assert_eq!(collected.len(), 1500);
-    assert!(collected.windows(2).all(|w| w[0].0 < w[1].0), "iterator out of order");
+    assert!(
+        collected.windows(2).all(|w| w[0].0 < w[1].0),
+        "iterator out of order"
+    );
     assert_eq!(collected.first(), Some(&(0, 1)));
     assert_eq!(collected.last(), Some(&(1499 * 7, 1499 * 7 + 1)));
     // Iterator agrees with range.

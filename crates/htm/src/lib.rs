@@ -183,7 +183,11 @@ impl SpecLock {
         for attempt in 0..MAX_RETRIES {
             SpecStats::bump(&self.stats.attempts);
             let v = self.read_begin();
-            let ctx = TxCtx { lock: self, version: v, exclusive: false };
+            let ctx = TxCtx {
+                lock: self,
+                version: v,
+                exclusive: false,
+            };
             match body(&ctx) {
                 Ok(t) => return t,
                 Err(Abort) => {
@@ -200,7 +204,11 @@ impl SpecLock {
         SpecStats::bump(&self.stats.fallbacks);
         loop {
             let guard = self.write_lock();
-            let ctx = TxCtx { lock: self, version: 0, exclusive: true };
+            let ctx = TxCtx {
+                lock: self,
+                version: 0,
+                exclusive: true,
+            };
             let r = body(&ctx);
             drop(guard);
             match r {

@@ -38,7 +38,12 @@ pub struct KvCache {
 impl KvCache {
     /// Builds an unbounded cache over `index`.
     pub fn new(index: Arc<dyn BytesIndex>) -> KvCache {
-        KvCache { index, store: ItemStore::new(64), lru: LruList::new(), max_items: None }
+        KvCache {
+            index,
+            store: ItemStore::new(64),
+            lru: LruList::new(),
+            max_items: None,
+        }
     }
 
     /// Builds a bounded cache: beyond `max_items`, SETs evict the least
@@ -67,7 +72,9 @@ impl KvCache {
                 // Evict strictly LRU keys until back at capacity; skip the
                 // key just written (it is at the front by construction).
                 while self.lru.len() > cap {
-                    let Some(victim) = self.lru.evict() else { break };
+                    let Some(victim) = self.lru.evict() else {
+                        break;
+                    };
                     self.delete_evicted(&victim);
                 }
             }
@@ -185,7 +192,11 @@ mod tests {
         let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
         let c = KvCache::new(Arc::new(Locked::new(tree)));
         for i in 0..500 {
-            c.set(format!("key:{i}").as_bytes(), i, format!("val-{i}").into_bytes());
+            c.set(
+                format!("key:{i}").as_bytes(),
+                i,
+                format!("val-{i}").into_bytes(),
+            );
         }
         for i in 0..500 {
             let (f, v) = c.get(format!("key:{i}").as_bytes()).unwrap();

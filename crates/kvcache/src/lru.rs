@@ -56,11 +56,19 @@ impl LruList {
             None => {
                 let idx = match s.free.pop() {
                     Some(i) => {
-                        s.nodes[i] = Node { key: key.to_vec(), prev: NIL, next: NIL };
+                        s.nodes[i] = Node {
+                            key: key.to_vec(),
+                            prev: NIL,
+                            next: NIL,
+                        };
                         i
                     }
                     None => {
-                        s.nodes.push(Node { key: key.to_vec(), prev: NIL, next: NIL });
+                        s.nodes.push(Node {
+                            key: key.to_vec(),
+                            prev: NIL,
+                            next: NIL,
+                        });
                         s.nodes.len() - 1
                     }
                 };
@@ -163,9 +171,15 @@ mod tests {
         l.touch(b"a");
         l.touch(b"b");
         l.touch(b"c");
-        assert_eq!(l.snapshot(), vec![b"c".to_vec(), b"b".to_vec(), b"a".to_vec()]);
+        assert_eq!(
+            l.snapshot(),
+            vec![b"c".to_vec(), b"b".to_vec(), b"a".to_vec()]
+        );
         l.touch(b"a");
-        assert_eq!(l.snapshot(), vec![b"a".to_vec(), b"c".to_vec(), b"b".to_vec()]);
+        assert_eq!(
+            l.snapshot(),
+            vec![b"a".to_vec(), b"c".to_vec(), b"b".to_vec()]
+        );
         assert_eq!(l.len(), 3);
     }
 

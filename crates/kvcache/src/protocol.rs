@@ -9,9 +9,17 @@ use crate::cache::KvCache;
 /// A parsed client command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    Set { key: Vec<u8>, flags: u32, data: Vec<u8> },
-    Get { key: Vec<u8> },
-    Delete { key: Vec<u8> },
+    Set {
+        key: Vec<u8>,
+        flags: u32,
+        data: Vec<u8>,
+    },
+    Get {
+        key: Vec<u8>,
+    },
+    Delete {
+        key: Vec<u8>,
+    },
     Quit,
 }
 
@@ -33,11 +41,15 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
     match verb {
         "set" => {
             let key = parts.next().ok_or(ParseError::Bad("set: missing key"))?;
-            let flags: u32 =
-                parts.next().and_then(|s| s.parse().ok()).ok_or(ParseError::Bad("set: flags"))?;
+            let flags: u32 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError::Bad("set: flags"))?;
             let _exptime = parts.next().ok_or(ParseError::Bad("set: exptime"))?;
-            let bytes: usize =
-                parts.next().and_then(|s| s.parse().ok()).ok_or(ParseError::Bad("set: bytes"))?;
+            let bytes: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError::Bad("set: bytes"))?;
             let data_start = line_end + 2;
             if buf.len() < data_start + bytes + 2 {
                 return Err(ParseError::Incomplete);
@@ -56,11 +68,21 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
         }
         "get" => {
             let key = parts.next().ok_or(ParseError::Bad("get: missing key"))?;
-            Ok((Command::Get { key: key.as_bytes().to_vec() }, line_end + 2))
+            Ok((
+                Command::Get {
+                    key: key.as_bytes().to_vec(),
+                },
+                line_end + 2,
+            ))
         }
         "delete" => {
             let key = parts.next().ok_or(ParseError::Bad("delete: missing key"))?;
-            Ok((Command::Delete { key: key.as_bytes().to_vec() }, line_end + 2))
+            Ok((
+                Command::Delete {
+                    key: key.as_bytes().to_vec(),
+                },
+                line_end + 2,
+            ))
         }
         "quit" => Ok((Command::Quit, line_end + 2)),
         _ => Err(ParseError::Bad("unknown verb")),
@@ -121,13 +143,20 @@ mod tests {
         assert_eq!(used, buf.len());
         assert_eq!(
             cmd,
-            Command::Set { key: b"mykey".to_vec(), flags: 7, data: b"hello".to_vec() }
+            Command::Set {
+                key: b"mykey".to_vec(),
+                flags: 7,
+                data: b"hello".to_vec()
+            }
         );
     }
 
     #[test]
     fn parse_get_delete_quit() {
-        assert_eq!(parse(b"get k\r\n").unwrap().0, Command::Get { key: b"k".to_vec() });
+        assert_eq!(
+            parse(b"get k\r\n").unwrap().0,
+            Command::Get { key: b"k".to_vec() }
+        );
         assert_eq!(
             parse(b"delete k\r\n").unwrap().0,
             Command::Delete { key: b"k".to_vec() }
@@ -137,7 +166,10 @@ mod tests {
 
     #[test]
     fn parse_incomplete() {
-        assert_eq!(parse(b"set k 0 0 5\r\nhel").unwrap_err(), ParseError::Incomplete);
+        assert_eq!(
+            parse(b"set k 0 0 5\r\nhel").unwrap_err(),
+            ParseError::Incomplete
+        );
         assert_eq!(parse(b"get k").unwrap_err(), ParseError::Incomplete);
     }
 

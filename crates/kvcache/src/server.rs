@@ -52,7 +52,11 @@ pub fn serve(cache: Arc<KvCache>, addr: &str) -> std::io::Result<ServerHandle> {
             });
         }
     });
-    Ok(ServerHandle { addr, stop, join: Some(join) })
+    Ok(ServerHandle {
+        addr,
+        stop,
+        join: Some(join),
+    })
 }
 
 fn handle_connection(mut stream: TcpStream, cache: &KvCache) -> std::io::Result<()> {
@@ -95,7 +99,10 @@ impl Client {
     pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, buf: Vec::new() })
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
     }
 
     /// SET; waits for `STORED`.

@@ -32,7 +32,14 @@ impl ItemStore {
     pub fn new(shards: usize) -> ItemStore {
         let n = shards.next_power_of_two().max(1);
         ItemStore {
-            shards: (0..n).map(|_| Mutex::new(Shard { slots: Vec::new(), free: Vec::new() })).collect(),
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        slots: Vec::new(),
+                        free: Vec::new(),
+                    })
+                })
+                .collect(),
             mask: n as u64 - 1,
         }
     }
@@ -86,10 +93,13 @@ impl ItemStore {
 
     /// Number of live items.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| {
-            let g = s.lock();
-            g.slots.iter().filter(|x| x.is_some()).count()
-        }).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                g.slots.iter().filter(|x| x.is_some()).count()
+            })
+            .sum()
     }
 
     /// True if no items are stored.
@@ -106,7 +116,10 @@ mod tests {
     #[test]
     fn put_get_remove_roundtrip() {
         let s = ItemStore::new(4);
-        let h = s.put(Item { flags: 7, data: b"hello".to_vec() });
+        let h = s.put(Item {
+            flags: 7,
+            data: b"hello".to_vec(),
+        });
         assert_ne!(h, 0);
         assert_eq!(s.get(h).unwrap().data, b"hello");
         assert_eq!(s.get(h).unwrap().flags, 7);
@@ -122,7 +135,10 @@ mod tests {
         let s = ItemStore::new(2);
         let mut handles = Vec::new();
         for i in 0..100u32 {
-            handles.push(s.put(Item { flags: i, data: vec![i as u8] }));
+            handles.push(s.put(Item {
+                flags: i,
+                data: vec![i as u8],
+            }));
         }
         let mut uniq = handles.clone();
         uniq.sort();
@@ -133,7 +149,10 @@ mod tests {
             s.remove(*h);
         }
         assert!(s.is_empty());
-        let h = s.put(Item { flags: 0, data: vec![] });
+        let h = s.put(Item {
+            flags: 0,
+            data: vec![],
+        });
         assert!(s.get(h).is_some());
     }
 
@@ -145,7 +164,12 @@ mod tests {
                 let s = Arc::clone(&s);
                 std::thread::spawn(move || {
                     (0..1000)
-                        .map(|i| s.put(Item { flags: t, data: vec![i as u8] }))
+                        .map(|i| {
+                            s.put(Item {
+                                flags: t,
+                                data: vec![i as u8],
+                            })
+                        })
                         .collect::<Vec<u64>>()
                 })
             })

@@ -180,7 +180,11 @@ impl AllocHeader {
                 let block = pool.read_word(LOG_BLOCK);
                 let dest = pool.read_word(LOG_DEST);
                 let tag = pool.read_word(block + HDR_TAG);
-                assert_eq!(tag & BLOCK_MAGIC_MASK, BLOCK_MAGIC, "freed block header corrupt");
+                assert_eq!(
+                    tag & BLOCK_MAGIC_MASK,
+                    BLOCK_MAGIC,
+                    "freed block header corrupt"
+                );
                 let class = (tag & !BLOCK_MAGIC_MASK) as usize;
                 let head_off = OFF_FREE_HEADS + class as u64 * 8;
                 if pool.read_word(head_off) != block {
@@ -202,14 +206,14 @@ impl AllocHeader {
 fn reset_log(pool: &PmemPool) {
     // Only the commit word needs clearing: operand words are never trusted
     // unless `op` is durable and non-NONE.
-    pool.write_word(LOG_OP, OP_NONE);
+    pool.write_publish_word(LOG_OP, OP_NONE);
     pool.persist(LOG_OP, 8);
 }
 
 /// Persists the log operands, then commits by persisting the op word.
 fn commit_log(pool: &PmemPool, op: u64) {
     pool.persist(OFF_LOG, 32);
-    pool.write_word(LOG_OP, op);
+    pool.write_publish_word(LOG_OP, op);
     pool.persist(LOG_OP, 8);
 }
 
@@ -228,7 +232,7 @@ fn write_dest(pool: &PmemPool, dest: u64, user_off: u64) {
     } else {
         RawPPtr::new(pool.file_id(), user_off)
     };
-    pool.write_at(dest, &pptr);
+    pool.write_publish_at(dest, &pptr);
     pool.persist(dest, 16);
 }
 
@@ -241,6 +245,7 @@ impl PmemPool {
     pub fn allocate(&self, dest_off: u64, size: usize) -> Result<u64, AllocError> {
         let class = class_for(size)?;
         let _guard = self.alloc_lock.lock();
+        let _op = self.begin_checked_op("alloc");
 
         // Phase 1: intent — operands first, then the op commit word.
         self.write_word(LOG_DEST, dest_off);
@@ -291,11 +296,19 @@ impl PmemPool {
     /// persistent pointer at `dest_off`, persistently nulling that pointer.
     pub fn deallocate(&self, dest_off: u64) {
         let _guard = self.alloc_lock.lock();
+        let _op = self.begin_checked_op("dealloc");
         let pptr: RawPPtr = self.read_at(dest_off);
-        assert!(!pptr.is_null(), "deallocate through a null persistent pointer");
+        assert!(
+            !pptr.is_null(),
+            "deallocate through a null persistent pointer"
+        );
         let block = pptr.offset - BLOCK_HEADER_SIZE;
         let tag = self.read_word(block + HDR_TAG);
-        assert_eq!(tag & BLOCK_MAGIC_MASK, BLOCK_MAGIC, "deallocate of a non-block");
+        assert_eq!(
+            tag & BLOCK_MAGIC_MASK,
+            BLOCK_MAGIC,
+            "deallocate of a non-block"
+        );
         let class = (tag & !BLOCK_MAGIC_MASK) as usize;
         let user_size = self.read_word(block + HDR_USER_SIZE);
 
@@ -454,7 +467,10 @@ mod tests {
         let small = p.allocate(slot, 64).unwrap();
         p.deallocate(slot);
         let large = p.allocate(slot, 4096).unwrap();
-        assert_ne!(small, large, "a 4 KiB request must not land on a 64 B block");
+        assert_ne!(
+            small, large,
+            "a 4 KiB request must not land on a 64 B block"
+        );
     }
 
     #[test]
@@ -569,9 +585,16 @@ mod tests {
                 let owner: RawPPtr = p2.read_at(slot);
                 let live = p2.live_blocks().unwrap();
                 if owner.is_null() {
-                    assert!(live.is_empty(), "fuse={fuse} seed={seed}: freed block still live");
+                    assert!(
+                        live.is_empty(),
+                        "fuse={fuse} seed={seed}: freed block still live"
+                    );
                 } else {
-                    assert_eq!(live.len(), 1, "fuse={fuse} seed={seed}: owner set but block gone");
+                    assert_eq!(
+                        live.len(),
+                        1,
+                        "fuse={fuse} seed={seed}: owner set but block gone"
+                    );
                     assert_eq!(live[0].0, owner.offset);
                 }
                 if !crashed {

@@ -30,7 +30,10 @@ pub struct LatencyProfile {
 impl LatencyProfile {
     /// No injected latency: SCM behaves exactly like DRAM (the paper's 90 ns
     /// ext4-DAX configuration).
-    pub const DRAM: LatencyProfile = LatencyProfile { read_ns: 0, write_ns: 0 };
+    pub const DRAM: LatencyProfile = LatencyProfile {
+        read_ns: 0,
+        write_ns: 0,
+    };
 
     /// Builds a profile from a total SCM latency in nanoseconds, e.g. 650.
     ///
@@ -38,7 +41,10 @@ impl LatencyProfile {
     /// write asymmetry can be modeled by adjusting `write_ns` afterwards.
     pub fn from_total(total_ns: u64) -> Self {
         let extra = total_ns.saturating_sub(DRAM_BASELINE_NS);
-        LatencyProfile { read_ns: extra, write_ns: extra }
+        LatencyProfile {
+            read_ns: extra,
+            write_ns: extra,
+        }
     }
 
     /// True if no delay would ever be injected.
@@ -115,7 +121,10 @@ mod tests {
 
     #[test]
     fn delay_scales_with_lines() {
-        let p = LatencyProfile { read_ns: 50_000, write_ns: 0 };
+        let p = LatencyProfile {
+            read_ns: 50_000,
+            write_ns: 0,
+        };
         let t = Instant::now();
         p.delay_read(4);
         assert!(t.elapsed().as_nanos() >= 200_000);

@@ -27,21 +27,31 @@
 //!
 //! Benchmarks use [`PoolMode::Direct`] where stores hit the backing memory
 //! immediately and `persist` only costs (emulated) latency and bookkeeping.
+//!
+//! The [`check`] module adds a pmemcheck-style **durability checker** on
+//! top of tracked mode: an event trace of stores / publishes / flushes /
+//! fences, analyzed per *checked operation* for missing flushes, unordered
+//! commit records, torn publishes and redundant flush traffic.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
 
 mod alloc;
+pub mod check;
 mod latency;
 mod pool;
 mod pptr;
 mod stats;
 
 pub use alloc::{AllocError, AllocStats, BLOCK_HEADER_SIZE};
+pub use check::{CheckedOp, DurabilityReport, Violation, ViolationKind};
 pub use latency::{busy_wait_ns, LatencyProfile};
 pub use pool::{
     crash_is_injected, CrashPanic, PmemPool, PoolMode, PoolOptions, CACHE_LINE, ROOT_SLOT,
     USER_BASE,
 };
 pub use pptr::{PPtr, Pod, RawPPtr, NULL_OFFSET};
-pub use stats::PoolStats;
+pub use stats::{PoolStats, StatsSnapshot};
 
 /// Result alias for pool construction / allocation failures.
 pub type Result<T> = std::result::Result<T, AllocError>;

@@ -19,13 +19,14 @@
 
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::alloc::{AllocError, AllocHeader};
+use crate::check::{self, CheckedOp, CheckerState, DurabilityReport};
 use crate::latency::LatencyProfile;
 use crate::pptr::{PPtr, Pod};
 use crate::stats::PoolStats;
@@ -88,17 +89,32 @@ pub struct PoolOptions {
     pub latency: LatencyProfile,
     /// Pool ("file") identifier baked into persistent pointers.
     pub file_id: u64,
+    /// Enables the durability checker from construction, so pool/allocator
+    /// initialization and recovery run under it too (see [`crate::check`]).
+    pub checker: bool,
 }
 
 impl PoolOptions {
     /// Direct-mode pool with no injected latency — the common test setup.
     pub fn direct(size: usize) -> Self {
-        PoolOptions { size, mode: PoolMode::Direct, latency: LatencyProfile::DRAM, file_id: 1 }
+        PoolOptions {
+            size,
+            mode: PoolMode::Direct,
+            latency: LatencyProfile::DRAM,
+            file_id: 1,
+            checker: false,
+        }
     }
 
     /// Tracked-mode pool for crash simulation.
     pub fn tracked(size: usize) -> Self {
-        PoolOptions { size, mode: PoolMode::Tracked, latency: LatencyProfile::DRAM, file_id: 1 }
+        PoolOptions {
+            size,
+            mode: PoolMode::Tracked,
+            latency: LatencyProfile::DRAM,
+            file_id: 1,
+            checker: false,
+        }
     }
 
     /// Sets the latency profile.
@@ -110,6 +126,12 @@ impl PoolOptions {
     /// Sets the file id.
     pub fn with_file_id(mut self, file_id: u64) -> Self {
         self.file_id = file_id;
+        self
+    }
+
+    /// Enables the persist-order durability checker from the first write.
+    pub fn with_checker(mut self) -> Self {
+        self.checker = true;
         self
     }
 }
@@ -160,6 +182,12 @@ pub struct PmemPool {
     fuse: AtomicI64,
     pub(crate) alloc_lock: Mutex<()>,
     stats: PoolStats,
+    /// Fast-path gate for the durability checker (one relaxed load per
+    /// write/persist when disabled).
+    checker_enabled: AtomicBool,
+    /// Durability-checker trace and report. Lock order: never taken while
+    /// holding `overlay` (each hook takes exactly one of the two).
+    checker: Mutex<CheckerState>,
 }
 
 // SAFETY: interior mutability is through raw pointers into `buf`; the access
@@ -176,14 +204,17 @@ impl PmemPool {
             return Err(AllocError::PoolTooSmall);
         }
         let pool = Self::from_bytes(vec![0u8; opts.size], opts);
-        pool.write_word(OFF_MAGIC, MAGIC);
-        pool.write_word(OFF_LEN, opts.size as u64);
-        pool.write_word(OFF_FILE_ID, opts.file_id);
-        pool.write_word(OFF_ROOT, 0);
-        pool.persist(OFF_MAGIC, 32);
-        AllocHeader::init(&pool);
-        pool.write_word(OFF_INIT, INIT_DONE);
-        pool.persist(OFF_INIT, 8);
+        {
+            let _op = pool.begin_checked_op("pool_create");
+            pool.write_word(OFF_MAGIC, MAGIC);
+            pool.write_word(OFF_LEN, opts.size as u64);
+            pool.write_word(OFF_FILE_ID, opts.file_id);
+            pool.write_word(OFF_ROOT, 0);
+            pool.persist(OFF_MAGIC, 32);
+            AllocHeader::init(&pool);
+            pool.write_word(OFF_INIT, INIT_DONE);
+            pool.persist(OFF_INIT, 8);
+        }
         Ok(pool)
     }
 
@@ -201,7 +232,10 @@ impl PmemPool {
         }
         // The image records its own file id; pointers inside it refer to it.
         pool.file_id = pool.read_word(OFF_FILE_ID);
-        AllocHeader::recover(&pool);
+        {
+            let _op = pool.begin_checked_op("alloc_recover");
+            AllocHeader::recover(&pool);
+        }
         Ok(pool)
     }
 
@@ -224,6 +258,8 @@ impl PmemPool {
             fuse: AtomicI64::new(-1),
             alloc_lock: Mutex::new(()),
             stats: PoolStats::default(),
+            checker_enabled: AtomicBool::new(opts.checker),
+            checker: Mutex::new(CheckerState::default()),
         }
     }
 
@@ -273,7 +309,9 @@ impl PmemPool {
     #[inline]
     fn check(&self, off: u64, len: usize) {
         assert!(
-            (off as usize).checked_add(len).is_some_and(|end| end <= self.len),
+            (off as usize)
+                .checked_add(len)
+                .is_some_and(|end| end <= self.len),
             "pmem access out of bounds: off={off:#x} len={len} cap={:#x}",
             self.len
         );
@@ -285,7 +323,8 @@ impl PmemPool {
     /// panics with [`CrashPanic`] after `events` more persistence events
     /// (writes and persists each count as one).
     pub fn set_crash_fuse(&self, events: Option<u64>) {
-        self.fuse.store(events.map_or(-1, |e| e as i64), Ordering::SeqCst);
+        self.fuse
+            .store(events.map_or(-1, |e| e as i64), Ordering::SeqCst);
     }
 
     /// Decrements the fuse; fires the injected crash at zero. `pre` events
@@ -308,10 +347,30 @@ impl PmemPool {
     /// Writes raw bytes at `off`. In tracked mode the data lands in the
     /// simulated cache and is *not durable* until `persist`ed.
     pub fn write_bytes(&self, off: u64, src: &[u8]) {
+        self.write_bytes_inner(off, src, false);
+    }
+
+    fn write_bytes_inner(&self, off: u64, src: &[u8], publish: bool) {
         self.check(off, src.len());
+        if self.checker_enabled.load(Ordering::Relaxed) {
+            let op = check::current_op(self as *const PmemPool as usize);
+            if self
+                .checker
+                .lock()
+                .record_store(off, src.len(), publish, op)
+            {
+                PoolStats::add(&self.stats.checker_events, 1);
+            }
+        }
         match self.mode {
+            // SAFETY: `check` bounds-checked [off, off+len); `base` points at
+            // `len` bytes; `src` cannot alias `buf` (it is a fresh &[u8]).
             PoolMode::Direct => unsafe {
-                std::ptr::copy_nonoverlapping(src.as_ptr(), self.base().add(off as usize), src.len());
+                std::ptr::copy_nonoverlapping(
+                    src.as_ptr(),
+                    self.base().add(off as usize),
+                    src.len(),
+                );
             },
             PoolMode::Tracked => {
                 let mut ov = self.overlay.lock();
@@ -336,10 +395,41 @@ impl PmemPool {
     /// Writes a POD value at `off`.
     #[inline]
     pub fn write_at<T: Pod>(&self, off: u64, val: &T) {
+        // SAFETY: T: Pod guarantees no padding and a stable byte
+        // representation, so viewing the value as bytes is defined.
         let bytes = unsafe {
             std::slice::from_raw_parts(val as *const T as *const u8, std::mem::size_of::<T>())
         };
         self.write_bytes(off, bytes);
+    }
+
+    /// Writes a POD value at `off`, marking it as a *publish* (commit
+    /// record) for the durability checker: a p-atomic store that makes
+    /// previously written state reachable or valid. The checker verifies
+    /// its durability is ordered strictly after its operands'
+    /// (see [`crate::check`]). Identical to [`write_at`](Self::write_at)
+    /// when the checker is disabled.
+    #[inline]
+    pub fn write_publish_at<T: Pod>(&self, off: u64, val: &T) {
+        // SAFETY: T: Pod guarantees no padding and a stable byte
+        // representation, so viewing the value as bytes is defined.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(val as *const T as *const u8, std::mem::size_of::<T>())
+        };
+        self.write_bytes_inner(off, bytes, true);
+    }
+
+    /// P-atomic 8-byte *publish* write (see
+    /// [`write_publish_at`](Self::write_publish_at)): the flag/commit-word
+    /// flavor used for allocator log opcodes, leaf bitmaps and status words.
+    #[inline]
+    pub fn write_publish_word(&self, off: u64, val: u64) {
+        assert_eq!(
+            off % PATOMIC_SIZE as u64,
+            0,
+            "p-atomic write must be 8-byte aligned"
+        );
+        self.write_publish_at(off, &val);
     }
 
     /// Writes a POD value through a typed persistent pointer.
@@ -353,14 +443,22 @@ impl PmemPool {
     /// can never tear it (the paper's p-atomicity assumption).
     #[inline]
     pub fn write_word(&self, off: u64, val: u64) {
-        assert_eq!(off % PATOMIC_SIZE as u64, 0, "p-atomic write must be 8-byte aligned");
+        assert_eq!(
+            off % PATOMIC_SIZE as u64,
+            0,
+            "p-atomic write must be 8-byte aligned"
+        );
         self.write_at(off, &val);
     }
 
     /// Reads the 8-byte word at `off` (must be aligned).
     #[inline]
     pub fn read_word(&self, off: u64) -> u64 {
-        assert_eq!(off % PATOMIC_SIZE as u64, 0, "p-atomic read must be 8-byte aligned");
+        assert_eq!(
+            off % PATOMIC_SIZE as u64,
+            0,
+            "p-atomic read must be 8-byte aligned"
+        );
         self.read_at(off)
     }
 
@@ -370,8 +468,14 @@ impl PmemPool {
     /// (a CPU always sees its own cache).
     pub fn read_bytes(&self, off: u64, buf: &mut [u8]) {
         self.check(off, buf.len());
+        // SAFETY: `check` bounds-checked the source range, and `buf` is a
+        // distinct borrow so the copy cannot overlap the pool buffer.
         unsafe {
-            std::ptr::copy_nonoverlapping(self.base().add(off as usize), buf.as_mut_ptr(), buf.len());
+            std::ptr::copy_nonoverlapping(
+                self.base().add(off as usize),
+                buf.as_mut_ptr(),
+                buf.len(),
+            );
         }
         if self.mode == PoolMode::Tracked {
             let ov = self.overlay.lock();
@@ -393,11 +497,16 @@ impl PmemPool {
     pub fn read_at<T: Pod>(&self, off: u64) -> T {
         self.check(off, std::mem::size_of::<T>());
         match self.mode {
+            // SAFETY: `check` bounds-checked the range, and T: Pod means any
+            // byte pattern is a valid T (read_unaligned handles alignment).
             PoolMode::Direct => unsafe {
                 std::ptr::read_unaligned(self.base().add(off as usize) as *const T)
             },
             PoolMode::Tracked => {
                 let mut val = std::mem::MaybeUninit::<T>::uninit();
+                // SAFETY: the slice covers exactly the size_of::<T>() bytes
+                // of `val`; u8 has no validity requirements, so exposing
+                // uninitialized memory for overwriting is sound here.
                 let buf = unsafe {
                     std::slice::from_raw_parts_mut(
                         val.as_mut_ptr() as *mut u8,
@@ -405,6 +514,8 @@ impl PmemPool {
                     )
                 };
                 self.read_bytes(off, buf);
+                // SAFETY: read_bytes filled every byte, and T: Pod makes any
+                // byte pattern a valid T.
                 unsafe { val.assume_init() }
             }
         }
@@ -441,6 +552,16 @@ impl PmemPool {
                 line_off += CACHE_LINE as u64;
             }
         }
+        if self.checker_enabled.load(Ordering::Relaxed) {
+            // Recorded only after `fuse_tick`: a persist interrupted by an
+            // injected crash never flushed anything.
+            let (redundant, unwritten, recorded) = self.checker.lock().record_flush(off, len);
+            PoolStats::add(&self.stats.checker_redundant_flushes, redundant);
+            PoolStats::add(&self.stats.checker_unwritten_flushes, unwritten);
+            if recorded {
+                PoolStats::add(&self.stats.checker_events, 1);
+            }
+        }
         PoolStats::add(&self.stats.persist_calls, 1);
         PoolStats::add(&self.stats.flushed_lines, lines);
         let write_ns = self.write_ns.load(Ordering::Relaxed);
@@ -452,6 +573,9 @@ impl PmemPool {
     fn flush_line_to_durable(&self, line_off: u64, line: &DirtyLine) {
         for i in 0..CACHE_LINE {
             if line.dirty & (1 << i) != 0 {
+                // SAFETY: overlay lines are created only by bounds-checked
+                // writes, so line_off + i is within the buffer; the overlay
+                // mutex (held by the caller) serializes these plain stores.
                 unsafe {
                     *self.base().add(line_off as usize + i) = line.data[i];
                 }
@@ -462,7 +586,64 @@ impl PmemPool {
     /// Memory fence (ordering only; our simulator is sequentially consistent
     /// per-pool, so this is bookkeeping).
     pub fn fence(&self) {
+        if self.checker_enabled.load(Ordering::Relaxed) && self.checker.lock().record_fence() {
+            PoolStats::add(&self.stats.checker_events, 1);
+        }
         PoolStats::add(&self.stats.fences, 1);
+    }
+
+    // ------------------------------------------------- durability checker
+
+    /// Turns on the persist-order durability checker (see [`crate::check`]).
+    /// Once enabled it stays enabled for the pool's lifetime.
+    pub fn enable_durability_checker(&self) {
+        self.checker_enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the durability checker is recording.
+    pub fn durability_checker_enabled(&self) -> bool {
+        self.checker_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Opens a *checked operation*: until the returned guard drops, stores
+    /// and publishes issued by this thread are attributed to the operation,
+    /// and on close the checker's detectors run over its event window
+    /// (no-op while the checker is disabled). Operations nest; see
+    /// [`crate::check`] for the event model and the detector rules.
+    pub fn begin_checked_op(&self, label: &'static str) -> CheckedOp<'_> {
+        if !self.checker_enabled.load(Ordering::Relaxed) {
+            return CheckedOp::new(self, None);
+        }
+        let id = self.checker.lock().begin_op(label);
+        check::push_op(self as *const PmemPool as usize, id);
+        CheckedOp::new(self, Some(id))
+    }
+
+    /// Closes a checked operation (guard drop path).
+    pub(crate) fn finish_checked_op(&self, id: u64, aborted: bool) {
+        check::pop_op(self as *const PmemPool as usize, id);
+        let found = self.checker.lock().end_op(id, aborted);
+        if !aborted {
+            PoolStats::add(&self.stats.checker_ops, 1);
+            PoolStats::add(&self.stats.checker_violations, found);
+        }
+    }
+
+    /// Snapshot of the checker's accumulated report.
+    pub fn durability_report(&self) -> DurabilityReport {
+        self.checker.lock().report()
+    }
+
+    /// Takes and resets the checker's accumulated report.
+    pub fn take_durability_report(&self) -> DurabilityReport {
+        self.checker.lock().take_report()
+    }
+
+    /// Panics with a rendered report if any durability violation was found.
+    #[track_caller]
+    pub fn assert_durability_clean(&self) {
+        let report = self.durability_report();
+        assert!(report.is_clean(), "{}", report.render());
     }
 
     /// Charges SCM read latency for the cache lines covering `[off, off+len)`.
@@ -490,6 +671,9 @@ impl PmemPool {
     #[inline]
     pub fn atomic_u8(&self, off: u64) -> &AtomicU8 {
         self.check(off, 1);
+        // SAFETY: the byte is in bounds, lives in UnsafeCell storage, and
+        // AtomicU8 has the same layout as u8; concurrent access through the
+        // returned reference is what atomics are for.
         unsafe { &*(self.base().add(off as usize) as *const AtomicU8) }
     }
 
@@ -498,6 +682,9 @@ impl PmemPool {
     pub fn atomic_u64(&self, off: u64) -> &AtomicU64 {
         self.check(off, 8);
         assert_eq!(off % 8, 0, "atomic u64 must be 8-byte aligned");
+        // SAFETY: the 8 bytes are in bounds and 8-byte aligned (asserted;
+        // the buffer base is allocator-aligned well past 8), live in
+        // UnsafeCell storage, and AtomicU64 is layout-compatible with u64.
         unsafe { &*(self.base().add(off as usize) as *const AtomicU64) }
     }
 
@@ -526,10 +713,7 @@ impl PmemPool {
 
     /// Loads a pool previously [`save`](Self::save)d, running allocator
     /// recovery (equivalent to [`reopen`](Self::reopen) from a file).
-    pub fn load(
-        path: impl AsRef<std::path::Path>,
-        opts: PoolOptions,
-    ) -> std::io::Result<PmemPool> {
+    pub fn load(path: impl AsRef<std::path::Path>, opts: PoolOptions) -> std::io::Result<PmemPool> {
         let bytes = std::fs::read(path)?;
         Self::reopen(bytes, opts).map_err(std::io::Error::other)
     }
@@ -545,6 +729,8 @@ impl PmemPool {
     /// is considered durable (direct mode cannot lose data).
     pub fn crash_image(&self, seed: u64) -> Vec<u8> {
         let mut image = vec![0u8; self.len];
+        // SAFETY: both buffers are exactly `len` bytes and cannot overlap
+        // (`image` is freshly allocated).
         unsafe {
             std::ptr::copy_nonoverlapping(self.base() as *const u8, image.as_mut_ptr(), self.len);
         }
@@ -578,6 +764,8 @@ impl PmemPool {
     /// Durable image with *all* pending data flushed (a clean shutdown).
     pub fn clean_image(&self) -> Vec<u8> {
         let mut image = vec![0u8; self.len];
+        // SAFETY: both buffers are exactly `len` bytes and cannot overlap
+        // (`image` is freshly allocated).
         unsafe {
             std::ptr::copy_nonoverlapping(self.base() as *const u8, image.as_mut_ptr(), self.len);
         }
@@ -659,8 +847,8 @@ mod tests {
         pool.write_at(USER_BASE, &1u64);
         pool.persist(USER_BASE, 8);
         pool.write_at(USER_BASE + 8, &2u64); // never persisted
-        // Across seeds, the unflushed word must sometimes be lost and
-        // sometimes survive; the flushed one must always survive.
+                                             // Across seeds, the unflushed word must sometimes be lost and
+                                             // sometimes survive; the flushed one must always survive.
         let mut lost = false;
         let mut kept = false;
         for seed in 0..32 {

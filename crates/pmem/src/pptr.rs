@@ -33,7 +33,10 @@ pub struct RawPPtr {
 
 impl RawPPtr {
     /// The null persistent pointer.
-    pub const NULL: RawPPtr = RawPPtr { file_id: 0, offset: NULL_OFFSET };
+    pub const NULL: RawPPtr = RawPPtr {
+        file_id: 0,
+        offset: NULL_OFFSET,
+    };
 
     /// Creates a pointer into pool `file_id` at byte `offset`.
     #[inline]
@@ -50,7 +53,10 @@ impl RawPPtr {
     /// Reinterprets as a typed pointer.
     #[inline]
     pub const fn typed<T>(self) -> PPtr<T> {
-        PPtr { raw: self, _marker: PhantomData }
+        PPtr {
+            raw: self,
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -76,12 +82,18 @@ pub struct PPtr<T> {
 
 impl<T> PPtr<T> {
     /// The null typed pointer.
-    pub const NULL: PPtr<T> = PPtr { raw: RawPPtr::NULL, _marker: PhantomData };
+    pub const NULL: PPtr<T> = PPtr {
+        raw: RawPPtr::NULL,
+        _marker: PhantomData,
+    };
 
     /// Creates a typed pointer into pool `file_id` at byte `offset`.
     #[inline]
     pub const fn new(file_id: u64, offset: u64) -> Self {
-        PPtr { raw: RawPPtr::new(file_id, offset), _marker: PhantomData }
+        PPtr {
+            raw: RawPPtr::new(file_id, offset),
+            _marker: PhantomData,
+        }
     }
 
     /// Whether this is the null pointer.
@@ -111,7 +123,10 @@ impl<T> PPtr<T> {
     /// Pointer `count` elements of `T` further.
     #[inline]
     pub const fn add(self, count: u64) -> Self {
-        PPtr::new(self.raw.file_id, self.raw.offset + count * std::mem::size_of::<T>() as u64)
+        PPtr::new(
+            self.raw.file_id,
+            self.raw.offset + count * std::mem::size_of::<T>() as u64,
+        )
     }
 
     /// Pointer `bytes` bytes further, reinterpreted as a `U`.
@@ -160,11 +175,20 @@ impl<T> Default for PPtr<T> {
 pub unsafe trait Pod: Copy {}
 
 macro_rules! impl_pod {
-    ($($t:ty),*) => { $(unsafe impl Pod for $t {})* };
+    ($($t:ty),*) => {
+        // SAFETY: primitive integers are Copy, padding-free, and every bit
+        // pattern is a valid value.
+        $(unsafe impl Pod for $t {})*
+    };
 }
 impl_pod!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+// SAFETY: repr(C), two u64 fields, no padding; any bit pattern is a valid
+// (if semantically unchecked) pointer value.
 unsafe impl Pod for RawPPtr {}
+// SAFETY: same layout as RawPPtr (PhantomData is zero-sized); the type
+// parameter never appears in the representation.
 unsafe impl<T: 'static> Pod for PPtr<T> {}
+// SAFETY: an array of Pod elements is itself padding-free and bit-valid.
 unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
 
 #[cfg(test)]
@@ -188,6 +212,7 @@ mod tests {
     #[test]
     fn zeroed_bytes_are_null() {
         let bytes = [0u8; 16];
+        // SAFETY: RawPPtr is Pod, and `bytes` is 16 readable bytes.
         let p: RawPPtr = unsafe { std::ptr::read(bytes.as_ptr() as *const RawPPtr) };
         assert!(p.is_null());
     }

@@ -24,6 +24,16 @@ pub struct PoolStats {
     pub bytes_live: AtomicU64,
     /// High-water mark of the bump cursor (total SCM footprint).
     pub bump_high_water: AtomicU64,
+    /// Checked operations analyzed by the durability checker.
+    pub checker_ops: AtomicU64,
+    /// Trace events recorded by the durability checker.
+    pub checker_events: AtomicU64,
+    /// Durability-protocol violations found by the checker.
+    pub checker_violations: AtomicU64,
+    /// Checker warning: flushes of lines with nothing unflushed on them.
+    pub checker_redundant_flushes: AtomicU64,
+    /// Checker warning: flushes of lines never written to.
+    pub checker_unwritten_flushes: AtomicU64,
 }
 
 impl PoolStats {
@@ -48,6 +58,11 @@ impl PoolStats {
             deallocs: self.deallocs.load(Ordering::Relaxed),
             bytes_live: self.bytes_live.load(Ordering::Relaxed),
             bump_high_water: self.bump_high_water.load(Ordering::Relaxed),
+            checker_ops: self.checker_ops.load(Ordering::Relaxed),
+            checker_events: self.checker_events.load(Ordering::Relaxed),
+            checker_violations: self.checker_violations.load(Ordering::Relaxed),
+            checker_redundant_flushes: self.checker_redundant_flushes.load(Ordering::Relaxed),
+            checker_unwritten_flushes: self.checker_unwritten_flushes.load(Ordering::Relaxed),
         }
     }
 
@@ -59,6 +74,11 @@ impl PoolStats {
         self.read_lines.store(0, Ordering::Relaxed);
         self.allocs.store(0, Ordering::Relaxed);
         self.deallocs.store(0, Ordering::Relaxed);
+        self.checker_ops.store(0, Ordering::Relaxed);
+        self.checker_events.store(0, Ordering::Relaxed);
+        self.checker_violations.store(0, Ordering::Relaxed);
+        self.checker_redundant_flushes.store(0, Ordering::Relaxed);
+        self.checker_unwritten_flushes.store(0, Ordering::Relaxed);
         // bytes_live / bump_high_water track state, not traffic: keep them.
     }
 }
@@ -66,14 +86,32 @@ impl PoolStats {
 /// Plain-integer snapshot of [`PoolStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
+    /// Cache lines written back to SCM by `persist` calls.
     pub flushed_lines: u64,
+    /// Calls to `persist`.
     pub persist_calls: u64,
+    /// Explicit memory fences.
     pub fences: u64,
+    /// Cache lines charged with SCM read latency.
     pub read_lines: u64,
+    /// Successful persistent allocations.
     pub allocs: u64,
+    /// Successful persistent deallocations.
     pub deallocs: u64,
+    /// Net bytes currently allocated.
     pub bytes_live: u64,
+    /// High-water mark of the bump cursor.
     pub bump_high_water: u64,
+    /// Checked operations analyzed by the durability checker.
+    pub checker_ops: u64,
+    /// Trace events recorded by the durability checker.
+    pub checker_events: u64,
+    /// Durability-protocol violations found by the checker.
+    pub checker_violations: u64,
+    /// Checker warning: flushes of clean lines.
+    pub checker_redundant_flushes: u64,
+    /// Checker warning: flushes of never-written lines.
+    pub checker_unwritten_flushes: u64,
 }
 
 #[cfg(test)]

@@ -62,14 +62,21 @@ fn verify(pool: &PmemPool, base: u64) {
                 "owner slot {i} references a non-live block {:#x}",
                 p.offset
             );
-            assert!(owned.insert(p.offset), "two slots own block {:#x}", p.offset);
+            assert!(
+                owned.insert(p.offset),
+                "two slots own block {:#x}",
+                p.offset
+            );
         }
     }
     for (off, _) in &live {
         if *off == base {
             continue; // the slot-holder block itself
         }
-        assert!(owned.contains(off), "leak: live block {off:#x} has no owner");
+        assert!(
+            owned.contains(off),
+            "leak: live block {off:#x} has no owner"
+        );
     }
 }
 
@@ -137,5 +144,9 @@ proptest! {
 }
 
 fn off_max(spans: &[(u64, usize)]) -> u64 {
-    spans.iter().map(|&(o, s)| o + s as u64).max().unwrap_or(USER_BASE)
+    spans
+        .iter()
+        .map(|&(o, s)| o + s as u64)
+        .max()
+        .unwrap_or(USER_BASE)
 }

@@ -51,17 +51,34 @@ impl TatpDb {
             subscriber: Table::new(
                 "subscriber",
                 "s_id",
-                &["sub_nbr", "bit_1", "hex_1", "byte2_1", "msc_location", "vlr_location"],
+                &[
+                    "sub_nbr",
+                    "bit_1",
+                    "hex_1",
+                    "byte2_1",
+                    "msc_location",
+                    "vlr_location",
+                ],
                 factory,
             ),
-            access_info: Table::new("access_info", "ai_key", &["data1", "data2", "data3", "data4"], factory),
+            access_info: Table::new(
+                "access_info",
+                "ai_key",
+                &["data1", "data2", "data3", "data4"],
+                factory,
+            ),
             special_facility: Table::new(
                 "special_facility",
                 "sf_key",
                 &["is_active", "error_cntrl", "data_a", "data_b"],
                 factory,
             ),
-            call_forwarding: Table::new("call_forwarding", "cf_key", &["end_time", "numberx"], factory),
+            call_forwarding: Table::new(
+                "call_forwarding",
+                "cf_key",
+                &["end_time", "numberx"],
+                factory,
+            ),
             subscribers,
         };
         let mut rng = StdRng::seed_from_u64(seed);
@@ -166,7 +183,12 @@ impl TatpDb {
     /// data), leaving the dictionary indexes untouched. Index-side recovery
     /// time is measured separately by reopening the trees from their pool.
     pub fn rebuild_decodes(&self) {
-        for t in [&self.subscriber, &self.access_info, &self.special_facility, &self.call_forwarding] {
+        for t in [
+            &self.subscriber,
+            &self.access_info,
+            &self.special_facility,
+            &self.call_forwarding,
+        ] {
             t.pk.dict.rebuild_decode();
             for c in &t.columns {
                 c.dict.rebuild_decode();

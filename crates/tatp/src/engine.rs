@@ -24,7 +24,10 @@ pub struct Dictionary {
 impl Dictionary {
     /// Creates an empty dictionary over `index`.
     pub fn new(index: Arc<dyn U64Index>) -> Dictionary {
-        Dictionary { index, decode: RwLock::new(Vec::new()) }
+        Dictionary {
+            index,
+            decode: RwLock::new(Vec::new()),
+        }
     }
 
     /// Encodes `value`, assigning a fresh code on first sight (load phase).
@@ -136,11 +139,19 @@ pub struct Table {
 
 impl Table {
     /// Creates a table with the given non-PK column names.
-    pub fn new(name: &str, pk_name: &str, column_names: &[&str], factory: &IndexFactory<'_>) -> Table {
+    pub fn new(
+        name: &str,
+        pk_name: &str,
+        column_names: &[&str],
+        factory: &IndexFactory<'_>,
+    ) -> Table {
         Table {
             name: name.to_string(),
             pk: Column::new(pk_name, factory),
-            columns: column_names.iter().map(|c| Column::new(c, factory)).collect(),
+            columns: column_names
+                .iter()
+                .map(|c| Column::new(c, factory))
+                .collect(),
         }
     }
 

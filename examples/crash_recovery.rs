@@ -17,8 +17,7 @@ fn main() {
         // Tracked mode: stores sit in a simulated CPU cache until
         // explicitly persisted; a crash loses unflushed data at 8-byte
         // granularity.
-        let pool =
-            Arc::new(PmemPool::create(PoolOptions::tracked(64 << 20)).expect("pool"));
+        let pool = Arc::new(PmemPool::create(PoolOptions::tracked(64 << 20)).expect("pool"));
 
         // Arm the crash fuse: the pool will panic (simulated power failure)
         // after a pseudo-random number of persistence events.
@@ -53,10 +52,10 @@ fn main() {
         // Materialize what SCM contains after the failure (unflushed 8-byte
         // words are randomly lost) and recover.
         let image = pool.crash_image(round);
-        let pool2 =
-            Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0)).expect("reopen"));
+        let pool2 = Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0)).expect("reopen"));
         let tree = FPTreeVar::open(Arc::clone(&pool2), ROOT_SLOT);
-        tree.check_consistency().expect("recovered tree is consistent");
+        tree.check_consistency()
+            .expect("recovered tree is consistent");
 
         // Leak audit: every live allocator block must be reachable from the
         // tree (metadata, leaf groups, key blobs) — the paper's §2 claim.

@@ -19,10 +19,15 @@ use fptree_suite::pmem::{LatencyProfile, PmemPool, PoolOptions, ROOT_SLOT};
 const N: usize = 20_000;
 
 fn main() {
-    println!("{:>10} {:>14} {:>14} {:>14}", "latency", "FPTree µs/get", "PTree µs/get", "wBTree µs/get");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "latency", "FPTree µs/get", "PTree µs/get", "wBTree µs/get"
+    );
     for total_ns in [90u64, 160, 250, 360, 450, 550, 650] {
         let latency = LatencyProfile::from_total(total_ns);
-        let keys: Vec<u64> = (0..N as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let keys: Vec<u64> = (0..N as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
 
         let mut times = Vec::new();
         for which in ["fptree", "ptree", "wbtree"] {

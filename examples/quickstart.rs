@@ -28,7 +28,11 @@ fn main() {
 
     // 4. Sorted range scans via the persistent leaf list.
     let range = tree.range(&100, &110);
-    println!("range [100, 110] -> {} entries, first = {:?}", range.len(), range.first());
+    println!(
+        "range [100, 110] -> {} entries, first = {:?}",
+        range.len(),
+        range.first()
+    );
 
     // 5. Simulate a restart: snapshot the durable image, reopen, recover.
     //    Inner nodes are rebuilt from the SCM leaf list (Selective
@@ -54,6 +58,8 @@ fn main() {
     );
     assert_eq!(recovered.get(&123), Some(777));
     assert_eq!(recovered.get(&124), None);
-    recovered.check_consistency().expect("consistent after recovery");
+    recovered
+        .check_consistency()
+        .expect("consistent after recovery");
     println!("consistency check passed");
 }

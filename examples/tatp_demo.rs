@@ -59,5 +59,8 @@ fn main() {
     for i in 0..slots {
         std::hint::black_box(FPTree::open(Arc::clone(&pool2), dir + i * 16));
     }
-    println!("restart: {slots} dictionary indexes recovered in {:?}", t.elapsed());
+    println!(
+        "restart: {slots} dictionary indexes recovered in {:?}",
+        t.elapsed()
+    );
 }

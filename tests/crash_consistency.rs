@@ -40,7 +40,8 @@ fn crash_check<K: KeyKind>(
     seed: u64,
     group_size: usize,
 ) {
-    let pool = Arc::new(PmemPool::create(PoolOptions::tracked(64 << 20)).expect("pool"));
+    let pool =
+        Arc::new(PmemPool::create(PoolOptions::tracked(64 << 20).with_checker()).expect("pool"));
     // Completed operations and the model state they imply.
     let completed = std::sync::Mutex::new(BTreeMap::<u16, u64>::new());
     // Key of the operation executing when the crash fires: it may
@@ -86,8 +87,13 @@ fn crash_check<K: KeyKind>(
         }
     };
 
+    // Every completed operation must also have followed the durability
+    // protocol (the crash-interrupted one is discarded unanalyzed).
+    pool.assert_durability_clean();
+
     let image = pool.crash_image(seed);
-    let pool2 = Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0)).expect("reopen"));
+    let pool2 =
+        Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0).with_checker()).expect("reopen"));
     let tree = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT);
     tree.check_consistency().expect("recovered tree consistent");
 
@@ -125,6 +131,10 @@ fn crash_check<K: KeyKind>(
 
     // No persistent leaks: every live block is reachable from the tree.
     audit_leaks::<K>(&pool2, &tree);
+
+    // Recovery itself (allocator log replay, micro-log replay, re-init)
+    // must follow the durability protocol too.
+    pool2.assert_durability_clean();
 }
 
 /// Allocator-vs-tree reachability audit.

@@ -84,8 +84,10 @@ fn check(name: &str, ops: &[Op], mut run: impl FnMut(Call) -> Resp) {
                     _ => panic!("expected scan"),
                 };
                 if let Some(got) = got {
-                    let expect: Vec<(u64, u64)> =
-                        oracle.range(*lo as u64..=*hi as u64).map(|(k, v)| (*k, *v)).collect();
+                    let expect: Vec<(u64, u64)> = oracle
+                        .range(*lo as u64..=*hi as u64)
+                        .map(|(k, v)| (*k, *v))
+                        .collect();
                     assert_eq!(got, expect, "{name}: range {lo}..={hi}");
                 }
             }

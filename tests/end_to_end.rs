@@ -49,7 +49,10 @@ fn bytes_indexes() -> Vec<(&'static str, Arc<dyn BytesIndex>)> {
                 ROOT_SLOT,
             ))),
         ),
-        ("stx-var", Arc::new(adapters::Locked::new(StxTree::<Vec<u8>>::new()))),
+        (
+            "stx-var",
+            Arc::new(adapters::Locked::new(StxTree::<Vec<u8>>::new())),
+        ),
         ("hash", Arc::new(HashIndex::<Vec<u8>>::new(16))),
     ]
 }
@@ -84,8 +87,13 @@ fn mcbench_runs_over_concurrent_fptree() {
         ROOT_SLOT,
     ));
     let cache = Arc::new(KvCache::new(index));
-    let cfg =
-        McBenchConfig { requests: 4000, clients: 4, keyspace: 2000, value_size: 16, net_ns: 0 };
+    let cfg = McBenchConfig {
+        requests: 4000,
+        clients: 4,
+        keyspace: 2000,
+        value_size: 16,
+        net_ns: 0,
+    };
     let r = run_mcbench(&cache, &cfg);
     assert!(r.set.ops_per_sec > 0.0 && r.get.ops_per_sec > 0.0);
     assert_eq!(cache.len(), 2000);
@@ -95,7 +103,10 @@ fn mcbench_runs_over_concurrent_fptree() {
 fn tatp_runs_over_every_u64_index() {
     type Factory = Box<dyn Fn(&str) -> Arc<dyn U64Index>>;
     let factories: Vec<(&str, Factory)> = vec![
-        ("stx", Box::new(|_| Arc::new(adapters::Locked::new(StxTree::<u64>::new())))),
+        (
+            "stx",
+            Box::new(|_| Arc::new(adapters::Locked::new(StxTree::<u64>::new()))),
+        ),
         ("fptree", {
             let p = pool(256);
             let dir = p.allocate(ROOT_SLOT, 64 * 16).unwrap();
@@ -155,7 +166,10 @@ fn tatp_runs_over_every_u64_index() {
         let db = TatpDb::populate(300, &*factory, 11);
         // Every subscriber reachable.
         for s in 1..=300u64 {
-            assert!(db.get_subscriber_data(s).is_some(), "{name}: subscriber {s}");
+            assert!(
+                db.get_subscriber_data(s).is_some(),
+                "{name}: subscriber {s}"
+            );
         }
         let tps = run_mix(&db, 2, 4000, 3);
         assert!(tps > 0.0, "{name}");

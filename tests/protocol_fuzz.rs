@@ -1,8 +1,10 @@
 //! Fuzz-style property tests for the memcached text-protocol parser: no
 //! input may panic it, and rendering→parsing round-trips every command.
 
+use fptree_suite::core::{FPTreeVar, Locked, TreeConfig};
 use fptree_suite::kvcache::protocol::{execute, parse, Command, ParseError};
 use fptree_suite::kvcache::KvCache;
+use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
 use proptest::prelude::*;
 
 fn any_key() -> impl Strategy<Value = Vec<u8>> {
@@ -100,6 +102,39 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The same command mix executed against a *pool-backed* FPTree index
+    /// under the durability checker: every store the cache triggers in SCM
+    /// must follow the persist-order protocol.
+    #[test]
+    fn pool_backed_commands_are_durability_clean(
+        cmds in proptest::collection::vec(
+            (any_key(), proptest::collection::vec(any::<u8>(), 0..32), 0u8..3),
+            1..40,
+        )
+    ) {
+        let pool = std::sync::Arc::new(
+            PmemPool::create(PoolOptions::tracked(16 << 20).with_checker()).expect("pool"),
+        );
+        let tree =
+            FPTreeVar::create(std::sync::Arc::clone(&pool), TreeConfig::fptree_var(), ROOT_SLOT);
+        let cache = KvCache::new(std::sync::Arc::new(Locked::new(tree)));
+        for (key, data, kind) in cmds {
+            let cmd = match kind {
+                0 => Command::Set { key, flags: 1, data },
+                1 => Command::Get { key },
+                _ => Command::Delete { key },
+            };
+            let _ = execute(&cache, &cmd);
+        }
+        let report = pool.take_durability_report();
+        prop_assert!(report.events_recorded > 0, "checker saw no events");
+        prop_assert!(report.is_clean(), "durability violations:\n{}", report.render());
     }
 }
 

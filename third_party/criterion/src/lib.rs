@@ -1,0 +1,215 @@
+//! Offline drop-in for the subset of `criterion` this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors tiny API-compatible shims for its external dependencies (see
+//! `third_party/README.md`). This harness keeps the `criterion_group!` /
+//! `criterion_main!` / `Criterion` / `BenchmarkGroup` / `Bencher` surface the
+//! bench targets compile against, but replaces the statistical machinery
+//! with a simple best-of-N wall-clock measurement printed to stdout.
+//!
+//! When the binary is invoked with `--test` (as `cargo test` does for bench
+//! targets with `harness = false`) each benchmark runs exactly one iteration
+//! as a smoke test, so `cargo test` stays fast.
+
+use std::time::Instant;
+
+/// Per-iteration measurement context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Best observed per-iteration time in nanoseconds.
+    best_ns: f64,
+}
+
+/// Controls how `iter_batched` amortises setup cost (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh batch per iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping the best mean over a few samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let samples = if self.iters == 1 { 1 } else { 3 };
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+        }
+    }
+
+    /// Measures `routine` over inputs produced by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let samples = if self.iters == 1 { 1 } else { 3 };
+        for _ in 0..samples {
+            let mut total_ns = 0.0;
+            for _ in 0..self.iters {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total_ns += start.elapsed().as_nanos() as f64;
+            }
+            let ns = total_ns / self.iters as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {} // ignore unknown harness flags
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let iters = if self.test_mode { 1 } else { 50 };
+        let mut b = Bencher {
+            iters,
+            best_ns: f64::INFINITY,
+        };
+        f(&mut b);
+        if b.best_ns.is_finite() {
+            println!("bench: {id:<40} {:>14.1} ns/iter", b.best_ns);
+        } else {
+            println!("bench: {id:<40} (no measurement)");
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.c.run_one(&full, &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimiser from eliding a value (re-export convenience).
+pub fn black_box<T>(v: T) -> T {
+    std::hint::black_box(v)
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("only".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+}

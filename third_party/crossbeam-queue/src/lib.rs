@@ -1,0 +1,109 @@
+//! Offline drop-in for the subset of `crossbeam-queue` this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors tiny API-compatible shims for its external dependencies (see
+//! `third_party/README.md`). The real `ArrayQueue` is a lock-free MPMC ring
+//! buffer; this shim keeps the exact API and semantics (bounded, FIFO,
+//! `push` fails with the rejected value when full) but uses a mutexed
+//! `VecDeque` internally. The FPTree concurrent code only uses the queue as
+//! a free-list of write-ahead-log slots, so the lock is not on a measured
+//! hot path.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct ArrayQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    cap: usize,
+}
+
+impl<T> ArrayQueue<T> {
+    /// Creates an empty queue with room for `cap` elements.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero (same as the real crate).
+    pub fn new(cap: usize) -> ArrayQueue<T> {
+        assert!(cap > 0, "capacity must be non-zero");
+        ArrayQueue {
+            inner: Mutex::new(VecDeque::with_capacity(cap)),
+            cap,
+        }
+    }
+
+    /// Attempts to enqueue `value`, returning it back if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() == self.cap {
+            Err(value)
+        } else {
+            q.push_back(value);
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest element, or `None` if empty.
+    pub fn pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True if the queue holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity given at construction.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_bounded() {
+        let q = ArrayQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_drain_preserves_elements() {
+        let q = Arc::new(ArrayQueue::new(64));
+        for i in 0..64u64 {
+            q.push(i).unwrap();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<u64>>());
+    }
+}

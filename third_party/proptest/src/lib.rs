@@ -1,0 +1,720 @@
+//! Offline drop-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors tiny API-compatible shims for its external dependencies (see
+//! `third_party/README.md`). This crate keeps the `proptest!` macro surface —
+//! strategies (`any`, integer ranges, tuples, `prop_oneof!`, `prop_map`,
+//! `collection::vec`, simple string-regex patterns), `ProptestConfig`,
+//! `prop_assert!` / `prop_assert_eq!` — but replaces the engine with a
+//! deterministic generator and **no shrinking**: a failing case reports its
+//! case index and seed instead of a minimised input.
+//!
+//! Case generation is seeded from the test name (override with the
+//! `PROPTEST_RNG_SEED` env var), so runs are reproducible; the case count
+//! honours `ProptestConfig { cases }` and the `PROPTEST_CASES` env var, like
+//! the real crate.
+
+/// Test execution: config, RNG, error type, and the case-loop runner.
+pub mod test_runner {
+    /// Run-time configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for compatibility; forking is not supported.
+        pub fork: bool,
+        /// Accepted for compatibility; per-case timeouts are not supported.
+        pub timeout: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 256,
+                fork: false,
+                timeout: 0,
+            }
+        }
+    }
+
+    /// Deterministic splitmix64 generator driving all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform sample in the inclusive `i128` interval `[lo, hi]`.
+        pub fn sample_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo + 1) as u128;
+            let wide = (self.next_u64() as u128) << 64 | self.next_u64() as u128;
+            lo + (wide % span) as i128
+        }
+    }
+
+    /// A failed property case (produced by `prop_assert!` and friends).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError { msg: reason.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `f` for the configured number of cases, panicking on the first
+    /// failure with the case index and seed (there is no shrinking).
+    pub fn run<F>(cfg: ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(cfg.cases)
+            .max(1);
+        let base = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| fnv1a(name));
+        for case in 0..cases {
+            let seed = base.wrapping_add((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::new(seed);
+            if let Err(e) = f(&mut rng) {
+                panic!(
+                    "proptest property '{name}' failed at case {case}/{cases} \
+                     (rng seed {seed:#x}): {e}"
+                );
+            }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real crate there is no value tree / shrinking: `generate`
+    /// produces one concrete value per call.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Integer types usable as range strategies and with [`any`].
+    pub trait IntValue: Copy {
+        /// Widens to `i128`.
+        fn to_i128(self) -> i128;
+        /// Narrows from `i128` (caller guarantees fit).
+        fn from_i128(v: i128) -> Self;
+        /// Full-domain uniform sample, for [`any`].
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_int_value {
+        ($($t:ty),*) => {$(
+            impl IntValue for $t {
+                fn to_i128(self) -> i128 { self as i128 }
+                fn from_i128(v: i128) -> Self { v as $t }
+                fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+            }
+
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    <$t>::from_i128(
+                        rng.sample_i128(self.start.to_i128(), self.end.to_i128() - 1),
+                    )
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    <$t>::from_i128(
+                        rng.sample_i128(self.start().to_i128(), self.end().to_i128()),
+                    )
+                }
+            }
+        )*};
+    }
+    impl_int_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Types with a canonical "any value" strategy (see [`any`]).
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    <$t as IntValue>::arbitrary(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy generating any value of `T` (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Returns a strategy generating unconstrained values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Weighted choice between boxed alternative strategies
+    /// (built by the [`prop_oneof!`](crate::prop_oneof) macro).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union from `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    /// Boxes one `prop_oneof!` arm (helper for the macro; performs the
+    /// unsize coercion that an `as`-cast cannot express).
+    pub fn weighted<T>(
+        w: u32,
+        s: impl Strategy<Value = T> + 'static,
+    ) -> (u32, Box<dyn Strategy<Value = T>>) {
+        (w, Box::new(s))
+    }
+
+    // ---- string-regex strategies -------------------------------------------
+
+    /// One parsed regex atom: a character alternative with a repeat count.
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the small regex subset used by the workspace's tests:
+    /// literal characters, `[...]` classes with ranges, and the quantifiers
+    /// `{m}`, `{m,n}`, `*`, `+`, `?`. Anything else panics loudly.
+    fn parse_pattern(pat: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut it = pat.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = it.next().unwrap_or_else(|| panic!("unclosed [ in {pat:?}"));
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && it.peek() != Some(&']') => {
+                                let lo = prev.take().expect("range start");
+                                let hi = it.next().expect("range end");
+                                // `lo` was already pushed as a literal; extend
+                                // with the rest of the range.
+                                for u in (lo as u32 + 1)..=(hi as u32) {
+                                    set.push(char::from_u32(u).expect("valid range char"));
+                                }
+                            }
+                            '\\' => {
+                                let e = it.next().expect("escape");
+                                let e = match e {
+                                    'n' => '\n',
+                                    't' => '\t',
+                                    'r' => '\r',
+                                    other => other,
+                                };
+                                set.push(e);
+                                prev = Some(e);
+                            }
+                            other => {
+                                set.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    set
+                }
+                '\\' => {
+                    let e = it.next().expect("escape");
+                    vec![match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    }]
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    panic!(
+                        "regex feature {c:?} not supported by the offline proptest shim: {pat:?}"
+                    )
+                }
+                other => vec![other],
+            };
+            let (min, max) = match it.peek() {
+                Some('{') => {
+                    it.next();
+                    let mut digits = String::new();
+                    let mut min = None;
+                    loop {
+                        match it.next().expect("unclosed { quantifier") {
+                            '}' => break,
+                            ',' => min = Some(digits.split_off(0).parse::<usize>().expect("{m,")),
+                            d => digits.push(d),
+                        }
+                    }
+                    match (min, digits.is_empty()) {
+                        (None, false) => {
+                            let n = digits.parse().expect("{m}");
+                            (n, n)
+                        }
+                        (Some(m), false) => (m, digits.parse().expect("{m,n}")),
+                        (Some(m), true) => (m, m + 16),
+                        (None, true) => panic!("empty {{}} quantifier in {pat:?}"),
+                    }
+                }
+                Some('*') => {
+                    it.next();
+                    (0, 16)
+                }
+                Some('+') => {
+                    it.next();
+                    (1, 16)
+                }
+                Some('?') => {
+                    it.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom { chars, min, max });
+        }
+        atoms
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in parse_pattern(self) {
+                let n = rng.sample_i128(atom.min as i128, atom.max as i128) as usize;
+                for _ in 0..n {
+                    let i = rng.sample_i128(0, atom.chars.len() as i128 - 1) as usize;
+                    out.push(atom.chars[i]);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size interval for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    /// Strategy generating `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.sample_i128(self.size.lo as i128, self.size.hi_incl as i128) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: `proptest! { #[test] fn p(x in strat) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` inside [`proptest!`] into a case-loop test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run($cfg, stringify!($name), |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                let mut __proptest_body =
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    };
+                __proptest_body()
+            });
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: binds `name in strategy` parameters from the case RNG.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $name:ident in $strat:expr $(,)?) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident, mut $name:ident in $strat:expr, $($rest:tt)+) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+    ($rng:ident, $name:ident in $strat:expr $(,)?) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)+) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+}
+
+/// Weighted (or unweighted) choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$( $crate::strategy::weighted($w as u32, $s) ),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$( $crate::strategy::weighted(1u32, $s) ),+])
+    };
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`", __l, __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`: {}", __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the enclosing property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?} != {:?}`", __l, __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?} != {:?}`: {}", __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn kind() -> impl Strategy<Value = u8> {
+        prop_oneof![
+            3 => (0u8..10).prop_map(|v| v),
+            1 => Just(42u8),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 1usize..=4, z in any::<u16>()) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            let _ = z;
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u8..5, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7, "len {}", v.len());
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn regex_subset_generates_printable(mut s in "[ -~]{0,8}") {
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            s.push('!'); // `mut` binding works
+        }
+
+        #[test]
+        fn oneof_hits_all_arms(picks in crate::collection::vec(kind(), 64)) {
+            prop_assert!(picks.iter().all(|&p| p < 10 || p == 42));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u32..4, any::<u8>()).prop_map(|(a, b)| (a, b))) {
+            prop_assert!(pair.0 < 4);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let err = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                ProptestConfig {
+                    cases: 4,
+                    ..ProptestConfig::default()
+                },
+                "always_fails",
+                |_rng| Err(TestCaseError::fail("boom")),
+            );
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(
+            msg.contains("always_fails") && msg.contains("boom"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn proptest_cases_env_is_honoured() {
+        // Can't mutate the env safely in parallel tests; just check default.
+        let cfg = ProptestConfig::default();
+        assert_eq!(cfg.cases, 256);
+    }
+}
