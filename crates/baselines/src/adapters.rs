@@ -43,6 +43,9 @@ impl U64Index for Locked<StxTree<u64>> {
     fn range(&self, lo: u64, hi: u64) -> Option<Vec<(u64, u64)>> {
         Some(self.0.lock().range(&lo, &hi))
     }
+    fn scan_from(&self, start: u64, count: usize) -> Option<Vec<(u64, u64)>> {
+        Some(self.0.lock().scan_from(&start, count))
+    }
 }
 
 impl BytesIndex for Locked<StxTree<Vec<u8>>> {
@@ -60,6 +63,9 @@ impl BytesIndex for Locked<StxTree<Vec<u8>>> {
     }
     fn len(&self) -> usize {
         self.0.lock().len()
+    }
+    fn scan_from(&self, start: &[u8], count: usize) -> Option<Vec<(Vec<u8>, u64)>> {
+        Some(self.0.lock().scan_from(&start.to_vec(), count))
     }
 }
 
@@ -82,6 +88,9 @@ impl U64Index for Locked<WBTree<FixedKey>> {
     fn range(&self, lo: u64, hi: u64) -> Option<Vec<(u64, u64)>> {
         Some(self.0.lock().range(&lo, &hi))
     }
+    fn scan_from(&self, start: u64, count: usize) -> Option<Vec<(u64, u64)>> {
+        Some(self.0.lock().scan_from(&start, count))
+    }
 }
 
 impl BytesIndex for Locked<WBTree<VarKey>> {
@@ -99,6 +108,9 @@ impl BytesIndex for Locked<WBTree<VarKey>> {
     }
     fn len(&self) -> usize {
         self.0.lock().len()
+    }
+    fn scan_from(&self, start: &[u8], count: usize) -> Option<Vec<(Vec<u8>, u64)>> {
+        Some(self.0.lock().scan_from(&start.to_vec(), count))
     }
 }
 
@@ -121,6 +133,9 @@ impl U64Index for NVTreeC<FixedKey> {
     fn range(&self, lo: u64, hi: u64) -> Option<Vec<(u64, u64)>> {
         Some(NVTreeC::range(self, &lo, &hi))
     }
+    fn scan_from(&self, start: u64, count: usize) -> Option<Vec<(u64, u64)>> {
+        Some(NVTreeC::scan_from(self, &start, count))
+    }
 }
 
 impl BytesIndex for NVTreeC<VarKey> {
@@ -138,6 +153,9 @@ impl BytesIndex for NVTreeC<VarKey> {
     }
     fn len(&self) -> usize {
         NVTreeC::len(self)
+    }
+    fn scan_from(&self, start: &[u8], count: usize) -> Option<Vec<(Vec<u8>, u64)>> {
+        Some(NVTreeC::scan_from(self, &start.to_vec(), count))
     }
 }
 
@@ -170,6 +188,38 @@ mod tests {
             assert_eq!(idx.len(), 499);
             let r = idx.range(10, 12).unwrap();
             assert_eq!(r, vec![(10, 20), (11, 22), (12, 24)]);
+            let s = idx.scan_from(10, 3).unwrap();
+            assert_eq!(s, vec![(10, 20), (11, 22), (12, 24)]);
+            // The deleted key 8 is skipped, not counted.
+            let s = idx.scan_from(7, 3).unwrap();
+            assert_eq!(s, vec![(7, 70), (9, 18), (10, 20)]);
+        }
+    }
+
+    #[test]
+    fn bytes_adapters_scan_in_order() {
+        let pool1 = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let pool2 = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let indexes: Vec<Box<dyn BytesIndex>> = vec![
+            Box::new(Locked::new(StxTree::<Vec<u8>>::new())),
+            Box::new(Locked::new(WBTree::<VarKey>::create(
+                pool1, 16, 16, ROOT_SLOT,
+            ))),
+            Box::new(NVTreeC::<VarKey>::create(pool2, 16, 16, ROOT_SLOT)),
+        ];
+        for idx in &indexes {
+            for i in (0..200u64).rev() {
+                assert!(idx.insert(format!("k{i:04}").as_bytes(), i));
+            }
+            let s = idx.scan_from(b"k0100", 3).unwrap();
+            let keys: Vec<_> = s
+                .iter()
+                .map(|(k, _)| String::from_utf8_lossy(k).into_owned())
+                .collect();
+            assert_eq!(keys, ["k0100", "k0101", "k0102"]);
+            assert_eq!(s[0].1, 100);
+            assert_eq!(idx.scan_from(b"k0199", 10).unwrap().len(), 1);
+            assert_eq!(idx.scan_from(b"z", 10).unwrap(), vec![]);
         }
     }
 }

@@ -330,6 +330,37 @@ impl<K: KeyKind> NVTreeC<K> {
         out
     }
 
+    /// Ordered scan: up to `count` entries with keys `>= start`, in key
+    /// order (quiescent contexts). Leaves are key-ordered along the list,
+    /// entries within a leaf are not — each leaf batch is sorted before it
+    /// is appended, so the walk can stop as soon as `count` is reached.
+    pub fn scan_from(&self, start: &K::Owned, count: usize) -> Vec<(K::Owned, u64)> {
+        let inner = self.inner.read();
+        let mut out: Vec<(K::Owned, u64)> = Vec::new();
+        if count == 0 {
+            return out;
+        }
+        let mut cur = Self::find_leaf(&inner, start);
+        loop {
+            let mut batch: Vec<(K::Owned, u64)> = self
+                .live_entries(cur)
+                .into_iter()
+                .filter(|(k, _)| k >= start)
+                .collect();
+            batch.sort_by(|a, b| a.0.cmp(&b.0));
+            out.extend(batch);
+            if out.len() >= count {
+                out.truncate(count);
+                return out;
+            }
+            let next = self.next_of(cur);
+            if next.is_null() {
+                return out;
+            }
+            cur = next.offset;
+        }
+    }
+
     fn find_leaf(node: &NvNode<K>, key: &K::Owned) -> u64 {
         let mut n = node;
         loop {

@@ -275,6 +275,40 @@ impl<K: Ord + Clone> StxTree<K> {
         }
     }
 
+    /// Ordered scan: up to `count` entries with keys `>= start`, in key
+    /// order (count-capped counterpart of [`StxTree::range`]).
+    pub fn scan_from(&self, start: &K, count: usize) -> Vec<(K, u64)> {
+        let mut out = Vec::new();
+        Self::scan_rec(&self.root, start, count, &mut out);
+        out
+    }
+
+    fn scan_rec(node: &Node<K>, start: &K, count: usize, out: &mut Vec<(K, u64)>) {
+        if out.len() >= count {
+            return;
+        }
+        match node {
+            Node::Leaf { keys, vals } => {
+                let from = keys.partition_point(|k| k < start);
+                for i in from..keys.len() {
+                    if out.len() >= count {
+                        return;
+                    }
+                    out.push((keys[i].clone(), vals[i]));
+                }
+            }
+            Node::Inner { keys, children } => {
+                let from = keys.partition_point(|k| k < start);
+                for child in &children[from..] {
+                    if out.len() >= count {
+                        return;
+                    }
+                    Self::scan_rec(child, start, count, out);
+                }
+            }
+        }
+    }
+
     /// Bulk-builds from sorted unique `(key, value)` pairs — the "full
     /// rebuild after restart" baseline of the recovery experiments.
     pub fn bulk_load(entries: Vec<(K, u64)>, leaf_cap: usize, inner_cap: usize) -> Self {
@@ -397,6 +431,9 @@ mod tests {
         assert_eq!(t.len(), model.len());
         let scan = t.range(&500, &1500);
         let expect: Vec<(u64, u64)> = model.range(500..=1500).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(scan, expect);
+        let scan = t.scan_from(&500, 37);
+        let expect: Vec<(u64, u64)> = model.range(500..).take(37).map(|(k, v)| (*k, *v)).collect();
         assert_eq!(scan, expect);
     }
 

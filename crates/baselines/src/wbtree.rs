@@ -429,6 +429,39 @@ impl<K: KeyKind> WBTree<K> {
         out
     }
 
+    /// Ordered scan via the leaf list: up to `count` entries with keys
+    /// `>= start`, in key order.
+    pub fn scan_from(&self, start: &K::Owned, count: usize) -> Vec<(K::Owned, u64)> {
+        let mut out = Vec::new();
+        if count == 0 {
+            return out;
+        }
+        let mut node = self.node(self.root_off());
+        loop {
+            node.touch_head();
+            if node.is_leaf() {
+                break;
+            }
+            let (_, child) = node.route::<K>(start);
+            node = self.node(child);
+        }
+        loop {
+            for (slot, k) in node.sorted_entries::<K>() {
+                if k >= *start {
+                    out.push((k, node.value(slot)));
+                    if out.len() >= count {
+                        return out;
+                    }
+                }
+            }
+            let next = node.next();
+            if next.is_null() {
+                return out;
+            }
+            node = self.node(next.offset);
+        }
+    }
+
     /// The pool this tree lives in.
     pub fn pool(&self) -> &Arc<PmemPool> {
         &self.pool

@@ -1,0 +1,74 @@
+//! Range-scan latency: both FPTree variants against the STX and wBTree
+//! baselines across range lengths.
+//!
+//! Each tree is warmed with `--scale` shuffled keys, then timed over
+//! `scan_from(start, len)` calls at rotating start keys for each range
+//! length. FPTree gathers each unsorted leaf through the bitmap and sorts
+//! it into a stack buffer; sorted-leaf trees (STX, wBTree) pay no per-leaf
+//! sort, which is exactly the trade-off this figure quantifies.
+
+use std::time::Instant;
+
+use fptree_bench::{shuffled_keys, AnyTree, Args, Report, Row, TreeKind};
+
+/// Range lengths measured (keys per scan).
+const RANGE_LENS: [usize; 3] = [10, 100, 1000];
+
+fn main() {
+    let args = Args::parse();
+    let scale: usize = args.get("scale", 50_000);
+    let latency: u64 = args.get("latency", 90);
+    let out = args.get_str("out");
+
+    let kinds = [
+        TreeKind::FPTree,
+        TreeKind::FPTreeC,
+        TreeKind::Stx,
+        TreeKind::WBTree,
+    ];
+
+    let pool_mb = (scale * 4000 / (1 << 20) + 128).next_power_of_two();
+    let warm = shuffled_keys(scale, 1);
+
+    let mut report = Report::new(
+        "fig_scan",
+        &format!("Range scan avg µs/scan vs range length (scale {scale}, {latency} ns SCM)"),
+    );
+
+    for kind in kinds {
+        let mut t = AnyTree::build(kind, pool_mb, latency, 8);
+        for &k in &warm {
+            t.insert(k, k);
+        }
+        let mut row = Row::new(kind.name());
+        for len in RANGE_LENS {
+            // Rotate starts through the key space; keys are 0..scale so a
+            // start leaves at least `len` successors when it is small enough.
+            let scans = (2_000 / len).max(8);
+            let stride = (scale.saturating_sub(len)).max(1) / scans;
+            let mut produced = 0usize;
+            let elapsed = time(|| {
+                for i in 0..scans {
+                    let start = (i * stride) as u64;
+                    produced += std::hint::black_box(t.scan_from(start, len)).len();
+                }
+            });
+            assert!(
+                produced >= scans * len.min(scale / 2),
+                "{} produced {produced} entries over {scans} scans of {len}",
+                kind.name()
+            );
+            row = row.field(&format!("len{len}"), elapsed / scans as f64);
+        }
+        report.push(row);
+        eprintln!("{} done", kind.name());
+    }
+    report.emit(out);
+}
+
+/// Runs `f` and returns elapsed microseconds.
+fn time(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e6
+}

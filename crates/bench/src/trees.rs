@@ -147,6 +147,17 @@ impl AnyTree {
         }
     }
 
+    /// Ordered range scan: up to `count` pairs with keys `>= start`.
+    pub fn scan_from(&self, start: u64, count: usize) -> Vec<(u64, u64)> {
+        match self {
+            AnyTree::FP(t) => t.scan(start..).take(count).collect(),
+            AnyTree::NV(t) => t.scan_from(&start, count),
+            AnyTree::WB(t) => t.scan_from(&start, count),
+            AnyTree::Stx(t, _) => t.scan_from(&start, count),
+            AnyTree::FPC(t) => t.scan(start..).take(count).collect(),
+        }
+    }
+
     /// `(scm_bytes, dram_bytes)` footprint (Figure 8).
     pub fn memory(&self) -> (u64, u64) {
         match self {
@@ -281,6 +292,18 @@ impl AnyTreeVar {
         }
     }
 
+    /// Ordered range scan: up to `count` pairs with keys `>= start`.
+    pub fn scan_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+        let key = start.to_vec();
+        match self {
+            AnyTreeVar::FP(t) => t.scan(key..).take(count).collect(),
+            AnyTreeVar::NV(t) => t.scan_from(&key, count),
+            AnyTreeVar::WB(t) => t.scan_from(&key, count),
+            AnyTreeVar::Stx(t) => t.scan_from(&key, count),
+            AnyTreeVar::FPC(t) => t.scan(key..).take(count).collect(),
+        }
+    }
+
     /// `(scm_bytes, dram_bytes)` footprint.
     pub fn memory(&self) -> (u64, u64) {
         match self {
@@ -341,6 +364,16 @@ mod tests {
             assert!(t.remove(8));
             assert_eq!(t.get(7), Some(70));
             assert_eq!(t.get(8), None);
+            let s = t.scan_from(100, 5);
+            let expect: Vec<_> = (100..105).map(|i| (i, i + 1)).collect();
+            assert_eq!(s, expect, "{:?} scan_from", kind);
+            // Scan over the deleted key 8: skipped, not counted.
+            assert_eq!(
+                t.scan_from(7, 3),
+                vec![(7, 70), (9, 10), (10, 11)],
+                "{:?} scan over hole",
+                kind
+            );
         }
     }
 

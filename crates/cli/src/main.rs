@@ -56,8 +56,8 @@ fn main() {
     }
 
     say!("fptree shell — {} keys loaded from {path}", tree.len());
-    say!("commands: put <k> <v> | get <k> | del <k> | update <k> <v> | range <lo> <hi>");
-    say!("          scan [n] | stats | check | save | help | quit");
+    say!("commands: put <k> <v> | get <k> | del <k> | update <k> <v> | range <lo> [hi]");
+    say!("          scan [key] [n] | stats | check | save | help | quit");
     let stdin = std::io::stdin();
     loop {
         print!("fptree> ");
@@ -146,19 +146,45 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
             true
         }
         ("range", Some(lo)) => {
-            let hi = rest.first().copied().unwrap_or("\u{10FFFF}");
-            for (k, handle) in tree.range(&lo.as_bytes().to_vec(), &hi.as_bytes().to_vec()) {
-                say!(
-                    "{} -> {:?}",
-                    String::from_utf8_lossy(&k),
-                    load_value(pool, handle)
-                );
+            // Stream through the scan iterator: entries print as the leaf
+            // chain is walked, without collecting the range up front.
+            let lo = lo.as_bytes().to_vec();
+            match rest.first() {
+                Some(hi) => {
+                    for (k, handle) in tree.scan(lo..=hi.as_bytes().to_vec()) {
+                        say!(
+                            "{} -> {:?}",
+                            String::from_utf8_lossy(&k),
+                            load_value(pool, handle)
+                        );
+                    }
+                }
+                None => {
+                    for (k, handle) in tree.scan(lo..) {
+                        say!(
+                            "{} -> {:?}",
+                            String::from_utf8_lossy(&k),
+                            load_value(pool, handle)
+                        );
+                    }
+                }
             }
             false
         }
         ("scan", n) => {
-            let limit: usize = n.and_then(|s| s.parse().ok()).unwrap_or(20);
-            for (k, handle) in tree.iter().take(limit) {
+            // `scan <key> [n]` starts at a key; `scan [n]` from the head.
+            let (start, limit) = match (n, rest.first()) {
+                (Some(s), lim) if s.parse::<usize>().is_err() => (
+                    Some(s.as_bytes().to_vec()),
+                    lim.and_then(|s| s.parse().ok()).unwrap_or(20),
+                ),
+                (lim, _) => (None, lim.and_then(|s| s.parse().ok()).unwrap_or(20)),
+            };
+            let iter: Box<dyn Iterator<Item = (Vec<u8>, u64)>> = match start {
+                Some(s) => Box::new(tree.scan(s..)),
+                None => Box::new(tree.iter()),
+            };
+            for (k, handle) in iter.take(limit) {
                 say!(
                     "{} -> {:?}",
                     String::from_utf8_lossy(&k),
@@ -205,8 +231,8 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
             say!("get <k>           point lookup");
             say!("update <k> <v...> update existing");
             say!("del <k>           delete");
-            say!("range <lo> [hi]   sorted scan of [lo, hi]");
-            say!("scan [n]          first n entries");
+            say!("range <lo> [hi]   sorted scan of [lo, hi] ([lo, end) if no hi)");
+            say!("scan [key] [n]    n entries in key order, from key or the head");
             say!("stats             tree + pool statistics");
             say!("check             structural consistency check");
             say!("save              write the pool file now");

@@ -45,6 +45,7 @@ use crate::groups::GroupMgr;
 use crate::keys::{FixedKey, KeyKind, VarKey};
 use crate::layout::LeafLayout;
 use crate::meta::{TreeMeta, STATUS_READY};
+use crate::scan::{ConcScan, ScanBounds};
 use crate::single::Ctx;
 
 /// Traversal depth bound: a torn optimistic read can cycle; anything deeper
@@ -198,8 +199,8 @@ enum WriteDecision {
 /// assert_eq!(tree.get(&1001), Some(1));
 /// ```
 pub struct ConcurrentTree<K: ConcKey> {
-    ctx: Ctx,
-    lock: SpecLock,
+    pub(crate) ctx: Ctx,
+    pub(crate) lock: SpecLock,
     root: AtomicU64,
     /// Every CNode ever allocated; freed only on drop/rebuild. Boxed so
     /// node addresses stay stable while the Vec grows (optimistic readers
@@ -392,7 +393,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
     /// Optimistic descent to the leaf covering `key`. Every load is a valid
     /// word even mid-update; logical inconsistencies surface as a wrong
     /// leaf, caught by the caller's validation.
-    fn traverse(&self, key: &K::Owned) -> Result<u64, Abort> {
+    pub(crate) fn traverse(&self, key: &K::Owned) -> Result<u64, Abort> {
         let mut enc = self.root.load(Ordering::Acquire);
         for _ in 0..MAX_DEPTH {
             if enc == 0 {
@@ -508,47 +509,21 @@ impl<K: ConcKey> ConcurrentTree<K> {
         self.get(key).is_some()
     }
 
-    /// Range scan over `[lo, hi]`, speculative with global validation.
+    /// Ordered streaming scan over `range`: seqlock-validated leaf-chain
+    /// iteration (see [`crate::scan`] for the validation protocol).
+    ///
+    /// Non-blocking for writers. Keys come out in strictly increasing
+    /// order; every emitted entry existed in the tree at some point during
+    /// the scan, and any key untouched by concurrent writers for the whole
+    /// scan appears exactly once.
+    pub fn scan<R: std::ops::RangeBounds<K::Owned>>(&self, range: R) -> ConcScan<'_, K> {
+        ConcScan::new(self, ScanBounds::new(range))
+    }
+
+    /// Range scan over `[lo, hi]`; results sorted. A convenience collect
+    /// over [`ConcurrentTree::scan`].
     pub fn range(&self, lo: &K::Owned, hi: &K::Owned) -> Vec<(K::Owned, u64)> {
-        if lo > hi {
-            return Vec::new();
-        }
-        self.lock.execute(|tx| {
-            let mut out = Vec::new();
-            let mut cur = self.traverse(lo)?;
-            loop {
-                let leaf = self.ctx.leaf(cur);
-                let Some(v) = leaf.version() else {
-                    return Err(Abort);
-                };
-                leaf.touch_head();
-                leaf.touch_key_scan();
-                let mut past_hi = false;
-                for (slot, k) in leaf.collect_entries::<K>() {
-                    if k > *hi {
-                        past_hi = true;
-                    } else if k >= *lo {
-                        out.push((k, leaf.value(slot)));
-                    }
-                }
-                let next = leaf.next();
-                if leaf.version_changed(v) {
-                    return Err(Abort);
-                }
-                if past_hi || next.is_null() {
-                    break;
-                }
-                if out.len() > (1 << 26) {
-                    return Err(Abort); // runaway walk through torn state
-                }
-                cur = next.offset;
-            }
-            if !tx.validate() {
-                return Err(Abort);
-            }
-            out.sort_by(|a, b| a.0.cmp(&b.0));
-            Ok(out)
-        })
+        self.scan(lo.clone()..=hi.clone()).collect()
     }
 
     // ------------------------------------------------------------ writes

@@ -27,6 +27,12 @@ pub trait U64Index: Send + Sync {
     }
     /// Inclusive range scan, sorted. Unsupported indexes (hash) return None.
     fn range(&self, lo: u64, hi: u64) -> Option<Vec<(u64, u64)>>;
+    /// Ordered scan of up to `count` entries starting at `start`
+    /// (inclusive). Unsupported indexes (hash) return None.
+    fn scan_from(&self, start: u64, count: usize) -> Option<Vec<(u64, u64)>> {
+        let _ = (start, count);
+        None
+    }
 }
 
 /// A key-value index over variable-size (byte-string) keys.
@@ -44,6 +50,12 @@ pub trait BytesIndex: Send + Sync {
     /// True if empty.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+    /// Ordered scan of up to `count` entries starting at `start`
+    /// (inclusive), sorted by key. Unsupported indexes (hash) return None.
+    fn scan_from(&self, start: &[u8], count: usize) -> Option<Vec<(Vec<u8>, u64)>> {
+        let _ = (start, count);
+        None
     }
 }
 
@@ -76,6 +88,9 @@ impl U64Index for Locked<crate::FPTree> {
     fn range(&self, lo: u64, hi: u64) -> Option<Vec<(u64, u64)>> {
         Some(self.0.lock().range(&lo, &hi))
     }
+    fn scan_from(&self, start: u64, count: usize) -> Option<Vec<(u64, u64)>> {
+        Some(self.0.lock().scan(start..).take(count).collect())
+    }
 }
 
 impl BytesIndex for Locked<crate::FPTreeVar> {
@@ -93,6 +108,9 @@ impl BytesIndex for Locked<crate::FPTreeVar> {
     }
     fn len(&self) -> usize {
         self.0.lock().len()
+    }
+    fn scan_from(&self, start: &[u8], count: usize) -> Option<Vec<(Vec<u8>, u64)>> {
+        Some(self.0.lock().scan(start.to_vec()..).take(count).collect())
     }
 }
 
@@ -114,6 +132,13 @@ impl U64Index for crate::ConcurrentFPTree {
     }
     fn range(&self, lo: u64, hi: u64) -> Option<Vec<(u64, u64)>> {
         Some(crate::ConcurrentTree::range(self, &lo, &hi))
+    }
+    fn scan_from(&self, start: u64, count: usize) -> Option<Vec<(u64, u64)>> {
+        Some(
+            crate::ConcurrentTree::scan(self, start..)
+                .take(count)
+                .collect(),
+        )
     }
 }
 
@@ -143,6 +168,13 @@ impl BytesIndex for crate::concurrent::ConcurrentFPTreeVar {
     }
     fn len(&self) -> usize {
         crate::ConcurrentTree::len(self)
+    }
+    fn scan_from(&self, start: &[u8], count: usize) -> Option<Vec<(Vec<u8>, u64)>> {
+        Some(
+            crate::ConcurrentTree::scan(self, start.to_vec()..)
+                .take(count)
+                .collect(),
+        )
     }
 }
 
@@ -181,6 +213,7 @@ mod tests {
         assert!(idx.insert(5, 50));
         assert_eq!(idx.get(5), Some(50));
         assert_eq!(idx.range(0, 10), Some(vec![(5, 50)]));
+        assert_eq!(idx.scan_from(0, 8), Some(vec![(5, 50)]));
         assert_eq!(idx.len(), 1);
     }
 
@@ -194,8 +227,15 @@ mod tests {
         )));
         assert!(idx.insert(b"alpha", 1));
         assert_eq!(idx.get(b"alpha"), Some(1));
+        assert!(idx.insert(b"beta", 2));
+        assert_eq!(
+            idx.scan_from(b"a", 10),
+            Some(vec![(b"alpha".to_vec(), 1), (b"beta".to_vec(), 2)])
+        );
+        assert_eq!(idx.scan_from(b"b", 10), Some(vec![(b"beta".to_vec(), 2)]));
         assert!(idx.update(b"alpha", 2));
         assert!(idx.remove(b"alpha"));
+        assert!(idx.remove(b"beta"));
         assert!(idx.is_empty());
     }
 }

@@ -36,6 +36,7 @@
 //! | [`meta`] | §5 micro-logs |
 //! | [`single`] | §5 base operations + recovery, §4.3 leaf groups |
 //! | [`concurrent`] | §4.4 Selective Concurrency, Algorithms 1–8 |
+//! | [`scan`] | ordered range scans over the unsorted leaf chain |
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -50,6 +51,7 @@ pub mod keys;
 pub mod layout;
 pub mod leaf;
 pub mod meta;
+pub mod scan;
 pub mod single;
 
 pub use concurrent::{ConcKey, ConcurrentFPTree, ConcurrentFPTreeVar, ConcurrentTree};
@@ -57,4 +59,5 @@ pub use config::TreeConfig;
 pub use index::{BytesIndex, Locked, U64Index};
 pub use keys::{FixedKey, KeyKind, VarKey};
 pub use layout::LeafLayout;
+pub use scan::{ConcScan, Scan, ScanBounds};
 pub use single::{FPTree, FPTreeVar, MemoryUsage, SingleTree, TreeIter};

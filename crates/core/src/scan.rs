@@ -1,0 +1,403 @@
+//! Ordered range scans over the persistent leaf chain.
+//!
+//! FPTree leaves keep entries unsorted behind fingerprints (§4.1), so an
+//! ordered scan has to *produce* order: seek to the first relevant leaf via
+//! the transient inner nodes, then walk the persistent `next` chain, sorting
+//! each leaf's bitmap-masked live entries into a fixed stack buffer
+//! ([`MAX_LEAF_CAPACITY`] slots, of which only the configured leaf capacity
+//! is ever used) before handing them out one by one.
+//!
+//! Two iterators share that machinery:
+//!
+//! * [`Scan`] — the single-threaded variant; the tree is externally
+//!   synchronized (`&self` with no concurrent writers), so leaf reads need
+//!   no validation.
+//! * [`ConcScan`] — the concurrent variant. Each leaf read is validated
+//!   against the leaf's 8-byte sequence lock, and leaf-to-leaf hops are
+//!   validated *hand-over-hand*: after reading leaf `M` reached through
+//!   `L.next`, the reader re-checks `L`'s version. Unlinking `M` always
+//!   locks `L` (the unlink rewrites `L.next` under `L`'s lock), so an
+//!   unchanged `L` proves `M` was `L`'s live successor for the whole read —
+//!   a recycled leaf can never be mistaken for a chain member. On any
+//!   version conflict the hop is retried a bounded number of times, then
+//!   the scan re-seeks from the root by the last emitted key inside a
+//!   globally validated speculative section (the same protocol as `get`).
+//!   A monotonic emission filter (only keys strictly greater than the last
+//!   yielded key) keeps the output sorted and duplicate-free across
+//!   re-seeks, so scans never block writers and never observe torn leaves.
+
+use std::ops::{Bound, RangeBounds};
+
+use fptree_htm::Abort;
+
+use crate::concurrent::{ConcKey, ConcurrentTree};
+use crate::config::MAX_LEAF_CAPACITY;
+use crate::inner::Node;
+use crate::keys::KeyKind;
+use crate::single::Ctx;
+
+/// Bounded retries of a leaf-chain hop before the scan falls back to a
+/// re-seek from the root (mirrors the HTM retry-then-fallback shape).
+const HOP_RETRIES: u32 = 8;
+
+/// Owned, clonable form of a `RangeBounds` over tree keys.
+#[derive(Debug, Clone)]
+pub struct ScanBounds<K: KeyKind> {
+    lo: Bound<K::Owned>,
+    hi: Bound<K::Owned>,
+}
+
+impl<K: KeyKind> ScanBounds<K> {
+    /// Captures `range` by cloning its endpoint keys.
+    pub fn new<R: RangeBounds<K::Owned>>(range: R) -> Self {
+        fn own<T: Clone>(b: Bound<&T>) -> Bound<T> {
+            match b {
+                Bound::Included(x) => Bound::Included(x.clone()),
+                Bound::Excluded(x) => Bound::Excluded(x.clone()),
+                Bound::Unbounded => Bound::Unbounded,
+            }
+        }
+        ScanBounds {
+            lo: own(range.start_bound()),
+            hi: own(range.end_bound()),
+        }
+    }
+
+    /// The key to seek the leaf search for, `None` for an unbounded start
+    /// (scan from the head leaf).
+    fn seek_key(&self) -> Option<&K::Owned> {
+        match &self.lo {
+            Bound::Included(k) | Bound::Excluded(k) => Some(k),
+            Bound::Unbounded => None,
+        }
+    }
+
+    /// True if `k` satisfies the lower bound.
+    fn above_lo(&self, k: &K::Owned) -> bool {
+        match &self.lo {
+            Bound::Included(lo) => k >= lo,
+            Bound::Excluded(lo) => k > lo,
+            Bound::Unbounded => true,
+        }
+    }
+
+    /// True if `k` lies beyond the upper bound (terminates the walk).
+    fn past_hi(&self, k: &K::Owned) -> bool {
+        match &self.hi {
+            Bound::Included(hi) => k > hi,
+            Bound::Excluded(hi) => k >= hi,
+            Bound::Unbounded => false,
+        }
+    }
+
+    /// True if no key can satisfy both bounds.
+    fn is_empty(&self) -> bool {
+        match (&self.lo, &self.hi) {
+            (Bound::Included(l), Bound::Included(h)) => l > h,
+            (Bound::Included(l), Bound::Excluded(h))
+            | (Bound::Excluded(l), Bound::Included(h))
+            | (Bound::Excluded(l), Bound::Excluded(h)) => l >= h,
+            _ => false,
+        }
+    }
+}
+
+/// One leaf's worth of sorted entries in a fixed-capacity buffer.
+///
+/// Sized by the compile-time bitmap limit [`MAX_LEAF_CAPACITY`]; only the
+/// configured `leaf_capacity` slots (`TreeConfig::scan_buffer_slots`) are
+/// ever occupied, which `TreeConfig::validate` guarantees fits.
+struct LeafBuf<K: KeyKind> {
+    slots: [Option<(K::Owned, u64)>; MAX_LEAF_CAPACITY],
+    len: usize,
+    pos: usize,
+}
+
+impl<K: KeyKind> LeafBuf<K> {
+    fn new() -> Self {
+        LeafBuf {
+            slots: std::array::from_fn(|_| None),
+            len: 0,
+            pos: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.slots[..self.len] {
+            *s = None;
+        }
+        self.len = 0;
+        self.pos = 0;
+    }
+
+    /// Insertion-sorts `(key, val)` into the buffer (leaves are tiny, so a
+    /// shift beats allocating and sorting a `Vec`).
+    fn insert(&mut self, key: K::Owned, val: u64) {
+        debug_assert!(self.pos == 0, "insert after draining started");
+        debug_assert!(self.len < MAX_LEAF_CAPACITY, "leaf wider than bitmap");
+        let mut i = self.len;
+        while i > 0 {
+            match &self.slots[i - 1] {
+                Some((k, _)) if *k > key => i -= 1,
+                _ => break,
+            }
+        }
+        for j in (i..self.len).rev() {
+            self.slots[j + 1] = self.slots[j].take();
+        }
+        self.slots[i] = Some((key, val));
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(K::Owned, u64)> {
+        if self.pos == self.len {
+            return None;
+        }
+        let item = self.slots[self.pos].take();
+        self.pos += 1;
+        item
+    }
+}
+
+// ------------------------------------------------------- single-threaded
+
+/// Sorted streaming iterator over a range of a `SingleTree`.
+///
+/// Seeks the first leaf through the transient inner nodes, then walks the
+/// persistent leaf chain, buffering one sorted leaf at a time — O(leaf)
+/// memory regardless of range length.
+pub struct Scan<'a, K: KeyKind> {
+    ctx: &'a Ctx,
+    bounds: ScanBounds<K>,
+    buf: LeafBuf<K>,
+    /// Next leaf offset to gather; 0 when the chain walk is finished.
+    next_leaf: u64,
+}
+
+impl<'a, K: KeyKind> Scan<'a, K> {
+    pub(crate) fn new(ctx: &'a Ctx, root: &Node<K>, bounds: ScanBounds<K>) -> Self {
+        let next_leaf = if bounds.is_empty() {
+            0
+        } else {
+            match bounds.seek_key() {
+                Some(k) => root.find_leaf(k),
+                None => ctx.meta.head(&ctx.pool).offset,
+            }
+        };
+        Scan {
+            ctx,
+            bounds,
+            buf: LeafBuf::new(),
+            next_leaf,
+        }
+    }
+}
+
+impl<K: KeyKind> Iterator for Scan<'_, K> {
+    type Item = (K::Owned, u64);
+
+    fn next(&mut self) -> Option<(K::Owned, u64)> {
+        loop {
+            if let Some(item) = self.buf.pop() {
+                return Some(item);
+            }
+            if self.next_leaf == 0 {
+                return None;
+            }
+            let leaf = self.ctx.leaf(self.next_leaf);
+            leaf.touch_head();
+            leaf.touch_key_scan();
+            self.buf.clear();
+            let mut past_hi = false;
+            for (slot, k) in leaf.collect_entries::<K>() {
+                if self.bounds.past_hi(&k) {
+                    past_hi = true;
+                } else if self.bounds.above_lo(&k) {
+                    self.buf.insert(k, leaf.value(slot));
+                }
+            }
+            let next = leaf.next();
+            self.next_leaf = if past_hi || next.is_null() {
+                0
+            } else {
+                next.offset
+            };
+        }
+    }
+}
+
+// ------------------------------------------------------------ concurrent
+
+/// Where the concurrent scan resumes after draining its buffer.
+enum Cursor {
+    /// Re-seek from the root by the last emitted key (or the lower bound).
+    Seek,
+    /// Hop through `anchor.next` to `next_off`; `anchor` is the already
+    /// validated predecessor `(offset, version)` pair.
+    Hop {
+        anchor_off: u64,
+        anchor_ver: u64,
+        next_off: u64,
+    },
+    /// Chain exhausted or upper bound passed.
+    Done,
+}
+
+/// Sorted streaming iterator over a range of a `ConcurrentTree`.
+///
+/// Non-blocking for writers: every leaf read is an optimistic section
+/// validated against the leaf's sequence lock (hops additionally re-check
+/// the predecessor, see the module docs); conflicts retry a bounded number
+/// of times and then re-seek by key. Entries are emitted in strictly
+/// increasing key order; each emitted entry was present in the tree at some
+/// point during the scan (no torn or recycled leaf is ever observed).
+pub struct ConcScan<'a, K: ConcKey> {
+    tree: &'a ConcurrentTree<K>,
+    bounds: ScanBounds<K>,
+    buf: LeafBuf<K>,
+    cursor: Cursor,
+    /// Last key handed out; the monotonic emission floor.
+    last: Option<K::Owned>,
+}
+
+impl<'a, K: ConcKey> ConcScan<'a, K> {
+    pub(crate) fn new(tree: &'a ConcurrentTree<K>, bounds: ScanBounds<K>) -> Self {
+        let cursor = if bounds.is_empty() {
+            Cursor::Done
+        } else {
+            Cursor::Seek
+        };
+        ConcScan {
+            tree,
+            bounds,
+            buf: LeafBuf::new(),
+            cursor,
+            last: None,
+        }
+    }
+
+    /// True if `k` should be emitted: inside the bounds and strictly above
+    /// the monotonic floor.
+    fn accepts(&self, k: &K::Owned) -> bool {
+        self.bounds.above_lo(k) && self.last.as_ref().is_none_or(|l| k > l)
+    }
+
+    /// Gathers one leaf into `buf` (no validation — the caller validates
+    /// before committing). Returns `(past_hi, next_offset)`.
+    fn gather(&mut self, off: u64) -> (bool, u64) {
+        let leaf = self.tree.ctx.leaf(off);
+        leaf.touch_head();
+        leaf.touch_key_scan();
+        self.buf.clear();
+        let mut past_hi = false;
+        for (slot, k) in leaf.collect_entries::<K>() {
+            if self.bounds.past_hi(&k) {
+                past_hi = true;
+            } else if self.accepts(&k) {
+                self.buf.insert(k, leaf.value(slot));
+            }
+        }
+        let next = leaf.next();
+        (past_hi, if next.is_null() { 0 } else { next.offset })
+    }
+
+    /// Re-seek from the root inside a globally validated speculative
+    /// section (the `get` protocol): traverse by the resume key, snapshot
+    /// the leaf version, gather, then validate both the global lock and the
+    /// leaf version before the gather is allowed to stand.
+    fn step_seek(&mut self) {
+        // Split borrows: the closure needs `&mut self` for `gather` but the
+        // resume key is cloned out first.
+        let resume = self
+            .last
+            .clone()
+            .or_else(|| self.bounds.seek_key().cloned());
+        let tree = self.tree;
+        let (off, ver, past_hi, next_off) = tree.lock.execute(|tx| {
+            let off = match &resume {
+                Some(k) => tree.traverse(k)?,
+                None => tree.ctx.meta.head(&tree.ctx.pool).offset,
+            };
+            let leaf = tree.ctx.leaf(off);
+            let Some(ver) = leaf.version() else {
+                return Err(Abort); // leaf locked by a writer (or dying)
+            };
+            let (past_hi, next_off) = self.gather(off);
+            if !tx.validate() || leaf.version_changed(ver) {
+                self.buf.clear();
+                return Err(Abort);
+            }
+            Ok((off, ver, past_hi, next_off))
+        });
+        self.cursor = if past_hi || next_off == 0 {
+            Cursor::Done
+        } else {
+            Cursor::Hop {
+                anchor_off: off,
+                anchor_ver: ver,
+                next_off,
+            }
+        };
+    }
+
+    /// Follow the persistent chain from the validated anchor. Retries a
+    /// bounded number of times on version conflict or chain splice, then
+    /// degrades to a re-seek.
+    fn step_hop(&mut self, anchor_off: u64, anchor_ver: u64, next_off: u64) {
+        for attempt in 0..HOP_RETRIES {
+            let leaf = self.tree.ctx.leaf(next_off);
+            if let Some(ver) = leaf.version() {
+                let (past_hi, succ) = self.gather(next_off);
+                // Hand-over-hand: the anchor unchanged proves
+                // `anchor.next == next_off` held for this whole read, so the
+                // leaf we just gathered was the live successor — not a
+                // deleted-and-recycled block (unlinking it would have bumped
+                // the anchor's version). Its own version unchanged proves
+                // the gather was not torn by a writer.
+                let anchor = self.tree.ctx.leaf(anchor_off);
+                if !anchor.version_changed(anchor_ver) && !leaf.version_changed(ver) {
+                    self.cursor = if past_hi || succ == 0 {
+                        Cursor::Done
+                    } else {
+                        Cursor::Hop {
+                            anchor_off: next_off,
+                            anchor_ver: ver,
+                            next_off: succ,
+                        }
+                    };
+                    return;
+                }
+                self.buf.clear();
+            }
+            if attempt > 2 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // Conflict persisted: splice or hot writer — re-seek by key.
+        self.cursor = Cursor::Seek;
+    }
+}
+
+impl<K: ConcKey> Iterator for ConcScan<'_, K> {
+    type Item = (K::Owned, u64);
+
+    fn next(&mut self) -> Option<(K::Owned, u64)> {
+        loop {
+            if let Some((k, v)) = self.buf.pop() {
+                self.last = Some(k.clone());
+                return Some((k, v));
+            }
+            match self.cursor {
+                Cursor::Done => return None,
+                Cursor::Seek => self.step_seek(),
+                Cursor::Hop {
+                    anchor_off,
+                    anchor_ver,
+                    next_off,
+                } => self.step_hop(anchor_off, anchor_ver, next_off),
+            }
+        }
+    }
+}

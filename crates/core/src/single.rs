@@ -35,6 +35,7 @@ use crate::keys::KeyKind;
 use crate::layout::LeafLayout;
 use crate::leaf::Leaf;
 use crate::meta::{TreeMeta, STATUS_READY};
+use crate::scan::{Scan, ScanBounds};
 
 /// Memory footprint report (Figure 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -322,38 +323,8 @@ impl Ctx {
 /// Sorted streaming iterator over a [`SingleTree`]'s entries.
 ///
 /// Walks the persistent leaf list, buffering one leaf (sorted) at a time —
-/// O(leaf) memory regardless of tree size.
-pub struct TreeIter<'a, K: KeyKind> {
-    ctx: &'a Ctx,
-    next_leaf: u64,
-    buf: std::collections::VecDeque<(K::Owned, u64)>,
-}
-
-impl<K: KeyKind> Iterator for TreeIter<'_, K> {
-    type Item = (K::Owned, u64);
-
-    fn next(&mut self) -> Option<(K::Owned, u64)> {
-        loop {
-            if let Some(item) = self.buf.pop_front() {
-                return Some(item);
-            }
-            if self.next_leaf == 0 {
-                return None;
-            }
-            let leaf = self.ctx.leaf(self.next_leaf);
-            leaf.touch_head();
-            leaf.touch_key_scan();
-            let mut entries = leaf.collect_entries::<K>();
-            entries.sort_by(|a, b| a.1.cmp(&b.1));
-            self.buf.extend(entries.into_iter().map(|(slot, k)| {
-                let v = leaf.value(slot);
-                (k, v)
-            }));
-            let next = leaf.next();
-            self.next_leaf = if next.is_null() { 0 } else { next.offset };
-        }
-    }
-}
+/// O(leaf) memory regardless of tree size. A full-range [`Scan`].
+pub type TreeIter<'a, K> = Scan<'a, K>;
 
 /// Result of a mutating descent.
 enum Outcome<K: KeyKind> {
@@ -486,11 +457,14 @@ impl<K: KeyKind> SingleTree<K> {
 
     /// Sorted streaming iterator over all entries (leaf list order).
     pub fn iter(&self) -> TreeIter<'_, K> {
-        TreeIter {
-            ctx: &self.ctx,
-            next_leaf: self.ctx.meta.head(&self.ctx.pool).offset,
-            buf: std::collections::VecDeque::new(),
-        }
+        self.scan(..)
+    }
+
+    /// Ordered streaming scan over `range`: seeks the first leaf via the
+    /// transient inner nodes, then walks the persistent leaf chain, sorting
+    /// one leaf at a time (see [`crate::scan`]).
+    pub fn scan<R: std::ops::RangeBounds<K::Owned>>(&self, range: R) -> Scan<'_, K> {
+        Scan::new(&self.ctx, &self.root, ScanBounds::new(range))
     }
 
     /// Smallest key and its value.
@@ -828,35 +802,9 @@ impl<K: KeyKind> SingleTree<K> {
     }
 
     /// Range scan over `[lo, hi]` via the leaf linked list; results sorted.
+    /// A convenience collect over [`SingleTree::scan`].
     pub fn range(&self, lo: &K::Owned, hi: &K::Owned) -> Vec<(K::Owned, u64)> {
-        let mut out = Vec::new();
-        if lo > hi {
-            return out;
-        }
-        let mut cur = self.root.find_leaf(lo);
-        loop {
-            let leaf = self.ctx.leaf(cur);
-            leaf.touch_head();
-            leaf.touch_key_scan();
-            let mut past_hi = false;
-            for (slot, k) in leaf.collect_entries::<K>() {
-                if k > *hi {
-                    past_hi = true;
-                } else if k >= *lo {
-                    out.push((k, leaf.value(slot)));
-                }
-            }
-            if past_hi {
-                break;
-            }
-            let next = leaf.next();
-            if next.is_null() {
-                break;
-            }
-            cur = next.offset;
-        }
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        out
+        self.scan(lo.clone()..=hi.clone()).collect()
     }
 
     /// Number of keys.

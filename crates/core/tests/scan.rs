@@ -1,0 +1,312 @@
+//! Tests for the ordered range-scan subsystem: bound handling on the
+//! single-threaded trees, and seqlock-validated scans racing writers on
+//! the concurrent tree.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fptree_core::concurrent::{ConcurrentFPTree, ConcurrentTree};
+use fptree_core::keys::FixedKey;
+use fptree_core::{FPTree, FPTreeVar, TreeConfig};
+use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+use rand::prelude::*;
+
+fn pool(mb: usize) -> Arc<PmemPool> {
+    Arc::new(PmemPool::create(PoolOptions::direct(mb << 20)).unwrap())
+}
+
+fn small_cfg() -> TreeConfig {
+    TreeConfig::fptree()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4)
+        .with_leaf_group_size(4)
+}
+
+fn conc_cfg() -> TreeConfig {
+    TreeConfig::fptree_concurrent()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4)
+}
+
+/// Every bound combination agrees with `BTreeMap::range` on a tree whose
+/// keys land mid-leaf, at leaf boundaries, and past the ends.
+#[test]
+fn single_tree_bounds_match_btreemap() {
+    let mut t = FPTree::create(pool(32), small_cfg(), ROOT_SLOT);
+    let mut model = BTreeMap::new();
+    // Sparse keys so probe points fall between keys too.
+    for i in 0..400u64 {
+        let k = i * 3;
+        assert!(t.insert(&k, k + 1));
+        model.insert(k, k + 1);
+    }
+    let probes = [0u64, 1, 2, 3, 29, 30, 31, 597, 598, 1196, 1197, 2000];
+    for &lo in &probes {
+        for &hi in &probes {
+            for (lo_b, hi_b) in [
+                (Bound::Included(lo), Bound::Included(hi)),
+                (Bound::Included(lo), Bound::Excluded(hi)),
+                (Bound::Excluded(lo), Bound::Included(hi)),
+                (Bound::Excluded(lo), Bound::Excluded(hi)),
+                (Bound::Included(lo), Bound::Unbounded),
+                (Bound::Unbounded, Bound::Excluded(hi)),
+            ] {
+                let got: Vec<(u64, u64)> = t.scan((lo_b, hi_b)).collect();
+                // BTreeMap::range panics on inverted bounds; the tree scan
+                // must simply yield nothing there.
+                let inverted = lo > hi
+                    || (lo == hi
+                        && matches!(lo_b, Bound::Excluded(_))
+                        && matches!(hi_b, Bound::Excluded(_)));
+                let want: Vec<(u64, u64)> = if inverted
+                    && !matches!(lo_b, Bound::Unbounded)
+                    && !matches!(hi_b, Bound::Unbounded)
+                {
+                    Vec::new()
+                } else {
+                    model.range((lo_b, hi_b)).map(|(k, v)| (*k, *v)).collect()
+                };
+                assert_eq!(got, want, "bounds {lo_b:?}..{hi_b:?}");
+            }
+        }
+    }
+    let all: Vec<(u64, u64)> = t.scan(..).collect();
+    assert_eq!(all.len(), 400);
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn single_tree_scan_skips_deleted_and_sees_updates() {
+    let mut t = FPTree::create(pool(32), small_cfg(), ROOT_SLOT);
+    for i in 0..200u64 {
+        t.insert(&i, i);
+    }
+    for i in (0..200u64).step_by(3) {
+        t.remove(&i);
+    }
+    for i in 0..200u64 {
+        t.update(&i, i + 1000);
+    }
+    let got: Vec<(u64, u64)> = t.scan(50..150).collect();
+    let want: Vec<(u64, u64)> = (50..150)
+        .filter(|i| i % 3 != 0)
+        .map(|i| (i, i + 1000))
+        .collect();
+    assert_eq!(got, want);
+    assert!(t.scan(..0u64).next().is_none());
+    assert!(t.scan(500u64..).next().is_none());
+    #[allow(clippy::reversed_empty_ranges)]
+    let empty: Vec<_> = t.scan(100u64..50).collect();
+    assert!(empty.is_empty());
+}
+
+#[test]
+fn var_key_scan_is_byte_ordered() {
+    let mut t = FPTreeVar::create(pool(64), TreeConfig::fptree_var(), ROOT_SLOT);
+    let mut model = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..500u64 {
+        // Mixed-length keys: byte order differs from insertion order.
+        let len = rng.gen_range(1..=12);
+        let mut k = format!("{i:x}").into_bytes();
+        k.resize(len.max(k.len()), b'a' + (i % 26) as u8);
+        if t.insert(&k, i) {
+            model.insert(k, i);
+        }
+    }
+    let lo = b"3".to_vec();
+    let hi = b"c".to_vec();
+    let got: Vec<(Vec<u8>, u64)> = t.scan(lo.clone()..hi.clone()).collect();
+    let want: Vec<(Vec<u8>, u64)> = model.range(lo..hi).map(|(k, v)| (k.clone(), *v)).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn scan_on_empty_tree() {
+    let t = FPTree::create(pool(16), small_cfg(), ROOT_SLOT);
+    assert!(t.scan(..).next().is_none());
+    let c = ConcurrentFPTree::create(pool(16), conc_cfg(), ROOT_SLOT);
+    assert!(c.scan(..).next().is_none());
+}
+
+/// Quiescent concurrent scans are exactly the model, for every bound shape.
+#[test]
+fn concurrent_scan_quiescent_matches_model() {
+    let t = ConcurrentFPTree::create(pool(32), conc_cfg(), ROOT_SLOT);
+    let mut model = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..3000 {
+        let k = rng.gen_range(0..4000u64);
+        match rng.gen_range(0..3) {
+            0 => {
+                t.insert(&k, k);
+                model.entry(k).or_insert(k);
+            }
+            1 => {
+                t.update(&k, k + 9);
+                model.entry(k).and_modify(|v| *v = k + 9);
+            }
+            _ => {
+                t.remove(&k);
+                model.remove(&k);
+            }
+        }
+    }
+    for (lo, hi) in [(0u64, 4000u64), (100, 200), (3999, 4000), (777, 777)] {
+        let got: Vec<(u64, u64)> = t.scan(lo..hi).collect();
+        let want: Vec<(u64, u64)> = model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want, "range {lo}..{hi}");
+    }
+    let got: Vec<(u64, u64)> = t.scan(..).collect();
+    let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, want);
+}
+
+/// The acceptance fuzz: writer threads insert/update/remove volatile keys
+/// (forcing splits and deletes to race the scans) while scanner threads
+/// stream ranges. Every scan must be strictly sorted, stay inside its
+/// bounds, include every *stable* key (never touched by writers) exactly
+/// once with its committed value, and contain no key that was never
+/// inserted. Afterwards a quiescent scan must equal the final model.
+#[test]
+fn concurrent_scans_race_writers() {
+    const STABLE_STRIDE: u64 = 3; // keys where k % 3 == 0 are never written
+    const KEYSPACE: u64 = 6000;
+    let t = Arc::new(ConcurrentFPTree::create(pool(128), conc_cfg(), ROOT_SLOT));
+    for k in (0..KEYSPACE).step_by(STABLE_STRIDE as usize) {
+        assert!(t.insert(&k, k * 2));
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + w);
+                while !stop.load(Ordering::Relaxed) {
+                    let k = {
+                        // Volatile keys only: k % 3 != 0.
+                        let base = rng.gen_range(0..KEYSPACE / STABLE_STRIDE - 1) * STABLE_STRIDE;
+                        base + rng.gen_range(1..STABLE_STRIDE)
+                    };
+                    match rng.gen_range(0..3) {
+                        0 => {
+                            t.insert(&k, k);
+                        }
+                        1 => {
+                            t.update(&k, k + 1);
+                        }
+                        _ => {
+                            t.remove(&k);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let scanners: Vec<_> = (0..3u64)
+        .map(|s| {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(200 + s);
+                for _ in 0..150 {
+                    let lo = rng.gen_range(0..KEYSPACE);
+                    let hi = (lo + rng.gen_range(1..1500)).min(KEYSPACE);
+                    let got: Vec<(u64, u64)> = t.scan(lo..hi).collect();
+                    // Strictly sorted, in bounds.
+                    assert!(
+                        got.windows(2).all(|w| w[0].0 < w[1].0),
+                        "scan output not strictly sorted"
+                    );
+                    assert!(got.iter().all(|(k, _)| *k >= lo && *k < hi));
+                    // Every stable key present with its committed value.
+                    let stable_lo = lo.div_ceil(STABLE_STRIDE) * STABLE_STRIDE;
+                    let mut want = (stable_lo..hi).step_by(STABLE_STRIDE as usize);
+                    let mut seen = got.iter().filter(|(k, _)| k % STABLE_STRIDE == 0);
+                    loop {
+                        match (want.next(), seen.next()) {
+                            (None, None) => break,
+                            (Some(w), Some(&(k, v))) => {
+                                assert_eq!(k, w, "stable key missing or duplicated");
+                                assert_eq!(v, w * 2, "stable value torn");
+                            }
+                            (w, s) => panic!("stable mismatch: want {w:?}, saw {s:?}"),
+                        }
+                    }
+                    // Volatile keys must carry a value some writer stored.
+                    for &(k, v) in &got {
+                        if k % STABLE_STRIDE != 0 {
+                            assert!(v == k || v == k + 1, "phantom value {v} for key {k}");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for s in scanners {
+        s.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    t.check_consistency().unwrap();
+    // Quiescent: full scan equals get() for every key.
+    let all: Vec<(u64, u64)> = t.scan(..).collect();
+    assert_eq!(all.len(), t.len());
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    for (k, v) in all {
+        assert_eq!(t.get(&k), Some(v));
+    }
+}
+
+/// Scans racing an insert-only storm of fresh ascending keys: every split
+/// splices a new leaf into the chain mid-scan.
+#[test]
+fn concurrent_scan_races_splits() {
+    let t = Arc::new(ConcurrentTree::<FixedKey>::create(
+        pool(128),
+        conc_cfg(),
+        ROOT_SLOT,
+    ));
+    // Seed even keys; writers add odd keys in ascending order, splitting
+    // leaves all along the chain while scanners stream it.
+    for k in (0..4000u64).step_by(2) {
+        t.insert(&k, k);
+    }
+    let writers: Vec<_> = (0..2u64)
+        .map(|w| {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                for k in (0..4000u64).filter(|k| k % 2 == 1 && k % 4 == 2 * w + 1) {
+                    t.insert(&k, k);
+                }
+            })
+        })
+        .collect();
+    let scanners: Vec<_> = (0..2)
+        .map(|_| {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                for _ in 0..40 {
+                    let got: Vec<(u64, u64)> = t.scan(..).collect();
+                    assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+                    // All seeded even keys always present.
+                    let evens = got.iter().filter(|(k, _)| k % 2 == 0).count();
+                    assert_eq!(evens, 2000, "seeded keys lost mid-scan");
+                }
+            })
+        })
+        .collect();
+    for h in writers.into_iter().chain(scanners) {
+        h.join().unwrap();
+    }
+    let final_scan: Vec<(u64, u64)> = t.scan(..).collect();
+    assert_eq!(final_scan.len(), 4000);
+    t.check_consistency().unwrap();
+}

@@ -13,6 +13,9 @@ use fptree_core::index::BytesIndex;
 use crate::lru::LruList;
 use crate::store::{Item, ItemStore};
 
+/// One scanned cache item: `(key, flags, data)`.
+pub type ScanItem = (Vec<u8>, u32, Vec<u8>);
+
 /// A memcached-style cache over a pluggable index, with memcached's
 /// globally locked LRU eviction when a capacity is set.
 ///
@@ -133,6 +136,26 @@ impl KvCache {
         }
     }
 
+    /// SCAN: up to `count` items with keys `>= start`, in key order, as
+    /// `(key, flags, data)`. `None` when the index has no ordered scan
+    /// (hash). Scans do not refresh LRU recency: a range read is not a
+    /// per-key access signal (and would let one scan wipe the recency
+    /// ordering).
+    pub fn scan(&self, start: &[u8], count: usize) -> Option<Vec<ScanItem>> {
+        let entries = self.index.scan_from(start, count)?;
+        Some(
+            entries
+                .into_iter()
+                .filter_map(|(key, handle)| {
+                    // A concurrent delete can race the handle lookup; drop
+                    // the entry rather than fabricate an empty item.
+                    let item = self.store.get(handle)?;
+                    Some((key, item.flags, item.data))
+                })
+                .collect(),
+        )
+    }
+
     /// Number of cached keys.
     pub fn len(&self) -> usize {
         self.index.len()
@@ -203,6 +226,31 @@ mod tests {
             assert_eq!(f, i);
             assert_eq!(v, format!("val-{i}").into_bytes());
         }
+    }
+
+    #[test]
+    fn scan_over_tree_index_is_ordered() {
+        use fptree_core::{Locked, TreeConfig};
+        use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
+        let c = KvCache::new(Arc::new(Locked::new(tree)));
+        for i in (0..100).rev() {
+            c.set(format!("key:{i:04}").as_bytes(), i, vec![i as u8]);
+        }
+        let items = c.scan(b"key:0040", 5).unwrap();
+        let keys: Vec<_> = items
+            .iter()
+            .map(|(k, _, _)| String::from_utf8_lossy(k).into_owned())
+            .collect();
+        assert_eq!(
+            keys,
+            ["key:0040", "key:0041", "key:0042", "key:0043", "key:0044"]
+        );
+        assert_eq!(items[0].1, 40);
+        assert_eq!(items[0].2, vec![40u8]);
+        // Hash indexes cannot scan.
+        assert!(cache().scan(b"", 10).is_none());
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! memcached text protocol (the subset mc-benchmark exercises).
 //!
-//! `set <key> <flags> <exptime> <bytes>\r\n<data>\r\n` → `STORED\r\n`
+//! `set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n` → `STORED\r\n`
 //! `get <key>\r\n` → `VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n`
-//! `delete <key>\r\n` → `DELETED\r\n` / `NOT_FOUND\r\n`
+//! `delete <key> [noreply]\r\n` → `DELETED\r\n` / `NOT_FOUND\r\n`
+//! `scan <start> <count>\r\n` → `VALUE ...` lines then `END\r\n`
+//!
+//! `noreply` suppresses the response entirely (memcached semantics: the
+//! client pipelines without reading). `scan` is our ordered-index extension:
+//! it returns up to `count` items with keys `>= start` in key order, and
+//! `SERVER_ERROR` when the configured index cannot scan (hash).
 
 use crate::cache::KvCache;
 
@@ -13,12 +19,22 @@ pub enum Command {
         key: Vec<u8>,
         flags: u32,
         data: Vec<u8>,
+        /// Suppress the `STORED` response (memcached `noreply`).
+        noreply: bool,
     },
     Get {
         key: Vec<u8>,
     },
     Delete {
         key: Vec<u8>,
+        /// Suppress the `DELETED`/`NOT_FOUND` response.
+        noreply: bool,
+    },
+    Scan {
+        /// First key of the scan (inclusive).
+        start: Vec<u8>,
+        /// Maximum number of items to return.
+        count: usize,
     },
     Quit,
 }
@@ -30,6 +46,22 @@ pub enum ParseError {
     Incomplete,
     /// Malformed command line.
     Bad(&'static str),
+}
+
+/// Consumes an optional trailing `noreply` token; any other trailing token
+/// is a protocol error.
+fn parse_noreply<'a>(
+    mut parts: impl Iterator<Item = &'a str>,
+    verb: &'static str,
+) -> Result<bool, ParseError> {
+    match parts.next() {
+        None => Ok(false),
+        Some("noreply") => match parts.next() {
+            None => Ok(true),
+            Some(_) => Err(ParseError::Bad(verb)),
+        },
+        Some(_) => Err(ParseError::Bad(verb)),
+    }
 }
 
 /// Parses one command from `buf`, returning it and the bytes consumed.
@@ -50,6 +82,7 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or(ParseError::Bad("set: bytes"))?;
+            let noreply = parse_noreply(parts, "set: trailing token")?;
             let data_start = line_end + 2;
             if buf.len() < data_start + bytes + 2 {
                 return Err(ParseError::Incomplete);
@@ -62,6 +95,7 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
                     key: key.as_bytes().to_vec(),
                     flags,
                     data: buf[data_start..data_start + bytes].to_vec(),
+                    noreply,
                 },
                 data_start + bytes + 2,
             ))
@@ -77,9 +111,28 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
         }
         "delete" => {
             let key = parts.next().ok_or(ParseError::Bad("delete: missing key"))?;
+            let noreply = parse_noreply(parts, "delete: trailing token")?;
             Ok((
                 Command::Delete {
                     key: key.as_bytes().to_vec(),
+                    noreply,
+                },
+                line_end + 2,
+            ))
+        }
+        "scan" => {
+            let start = parts.next().ok_or(ParseError::Bad("scan: missing start"))?;
+            let count: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError::Bad("scan: count"))?;
+            if parts.next().is_some() {
+                return Err(ParseError::Bad("scan: trailing token"));
+            }
+            Ok((
+                Command::Scan {
+                    start: start.as_bytes().to_vec(),
+                    count,
                 },
                 line_end + 2,
             ))
@@ -93,37 +146,70 @@ fn find_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(2).position(|w| w == b"\r\n")
 }
 
-/// Executes a command against the cache and renders the response bytes.
+/// Executes a command against the cache and renders the response bytes
+/// (empty for `noreply` commands and for `quit`).
 pub fn execute(cache: &KvCache, cmd: &Command) -> Vec<u8> {
     match cmd {
-        Command::Set { key, flags, data } => {
+        Command::Set {
+            key,
+            flags,
+            data,
+            noreply,
+        } => {
             cache.set(key, *flags, data.clone());
-            b"STORED\r\n".to_vec()
+            if *noreply {
+                Vec::new()
+            } else {
+                b"STORED\r\n".to_vec()
+            }
         }
         Command::Get { key } => match cache.get(key) {
             Some((flags, data)) => {
-                let mut out = format!(
-                    "VALUE {} {} {}\r\n",
-                    String::from_utf8_lossy(key),
-                    flags,
-                    data.len()
-                )
-                .into_bytes();
-                out.extend_from_slice(&data);
-                out.extend_from_slice(b"\r\nEND\r\n");
+                let mut out = Vec::new();
+                push_value(&mut out, key, flags, &data);
+                out.extend_from_slice(b"END\r\n");
                 out
             }
             None => b"END\r\n".to_vec(),
         },
-        Command::Delete { key } => {
-            if cache.delete(key) {
+        Command::Delete { key, noreply } => {
+            let deleted = cache.delete(key);
+            if *noreply {
+                Vec::new()
+            } else if deleted {
                 b"DELETED\r\n".to_vec()
             } else {
                 b"NOT_FOUND\r\n".to_vec()
             }
         }
+        Command::Scan { start, count } => match cache.scan(start, *count) {
+            Some(items) => {
+                let mut out = Vec::new();
+                for (key, flags, data) in &items {
+                    push_value(&mut out, key, *flags, data);
+                }
+                out.extend_from_slice(b"END\r\n");
+                out
+            }
+            None => b"SERVER_ERROR scan not supported by this index\r\n".to_vec(),
+        },
         Command::Quit => Vec::new(),
     }
+}
+
+/// Renders one `VALUE <key> <flags> <bytes>\r\n<data>\r\n` block.
+fn push_value(out: &mut Vec<u8>, key: &[u8], flags: u32, data: &[u8]) {
+    out.extend_from_slice(
+        format!(
+            "VALUE {} {} {}\r\n",
+            String::from_utf8_lossy(key),
+            flags,
+            data.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
 }
 
 #[cfg(test)]
@@ -146,7 +232,8 @@ mod tests {
             Command::Set {
                 key: b"mykey".to_vec(),
                 flags: 7,
-                data: b"hello".to_vec()
+                data: b"hello".to_vec(),
+                noreply: false,
             }
         );
     }
@@ -159,9 +246,63 @@ mod tests {
         );
         assert_eq!(
             parse(b"delete k\r\n").unwrap().0,
-            Command::Delete { key: b"k".to_vec() }
+            Command::Delete {
+                key: b"k".to_vec(),
+                noreply: false,
+            }
         );
         assert_eq!(parse(b"quit\r\n").unwrap().0, Command::Quit);
+    }
+
+    #[test]
+    fn parse_noreply_suffix() {
+        let buf = b"set k 1 0 2 noreply\r\nhi\r\n";
+        let (cmd, used) = parse(buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(
+            cmd,
+            Command::Set {
+                key: b"k".to_vec(),
+                flags: 1,
+                data: b"hi".to_vec(),
+                noreply: true,
+            }
+        );
+        assert_eq!(
+            parse(b"delete k noreply\r\n").unwrap().0,
+            Command::Delete {
+                key: b"k".to_vec(),
+                noreply: true,
+            }
+        );
+        // Anything after `noreply` (or in its place) is malformed.
+        assert!(matches!(
+            parse(b"set k 1 0 2 noreply x\r\nhi\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(b"set k 1 0 2 bogus\r\nhi\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(b"delete k bogus\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn parse_scan() {
+        assert_eq!(
+            parse(b"scan user:0001 50\r\n").unwrap().0,
+            Command::Scan {
+                start: b"user:0001".to_vec(),
+                count: 50,
+            }
+        );
+        assert!(matches!(parse(b"scan\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(parse(b"scan k\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(parse(b"scan k x\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(parse(b"scan k 5 y\r\n"), Err(ParseError::Bad(_))));
     }
 
     #[test]
@@ -200,6 +341,27 @@ mod tests {
         assert_eq!(execute(&c, &del), b"DELETED\r\n");
         assert_eq!(execute(&c, &del), b"NOT_FOUND\r\n");
         assert_eq!(execute(&c, &get), b"END\r\n");
+    }
+
+    #[test]
+    fn execute_noreply_is_silent() {
+        let c = cache();
+        let (set, _) = parse(b"set k 3 0 2 noreply\r\nhi\r\n").unwrap();
+        assert_eq!(execute(&c, &set), b"");
+        assert_eq!(c.get(b"k").unwrap().1, b"hi".to_vec());
+        let (del, _) = parse(b"delete k noreply\r\n").unwrap();
+        assert_eq!(execute(&c, &del), b"");
+        assert!(c.get(b"k").is_none());
+        // noreply delete of a missing key is silent too.
+        assert_eq!(execute(&c, &del), b"");
+    }
+
+    #[test]
+    fn execute_scan_on_hash_is_server_error() {
+        let c = cache();
+        let (scan, _) = parse(b"scan a 10\r\n").unwrap();
+        let resp = execute(&c, &scan);
+        assert!(resp.starts_with(b"SERVER_ERROR"));
     }
 
     #[test]

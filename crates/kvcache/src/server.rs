@@ -26,8 +26,11 @@ impl ServerHandle {
     /// Signals the accept loop to stop and joins it.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Nudge the blocking accept with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
+        // Nudge the blocking accept with a dummy connection — bounded, so
+        // shutdown cannot hang if the listener thread already exited (the
+        // kernel may then accept nothing and an unbounded connect on a
+        // half-configured network stack could block indefinitely).
+        let _ = TcpStream::connect_timeout(&self.addr, std::time::Duration::from_secs(1));
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -138,6 +141,40 @@ impl Client {
         Ok(Some(data))
     }
 
+    /// SCAN; returns up to `count` `(key, value)` pairs with keys
+    /// `>= start`, in key order. Errors if the server's index cannot scan.
+    pub fn scan(&mut self, start: &str, count: usize) -> std::io::Result<Vec<(String, Vec<u8>)>> {
+        self.stream
+            .write_all(format!("scan {start} {count}\r\n").as_bytes())?;
+        let mut out = Vec::new();
+        loop {
+            let header = self.read_line()?;
+            if header == b"END" {
+                return Ok(out);
+            }
+            let text = String::from_utf8_lossy(&header).to_string();
+            if text.starts_with("SERVER_ERROR") {
+                return Err(std::io::Error::other(text));
+            }
+            // VALUE <key> <flags> <bytes>
+            let mut parts = text.split_ascii_whitespace();
+            let (Some("VALUE"), Some(key), _, Some(bytes)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(std::io::Error::other("bad VALUE header"));
+            };
+            let bytes: usize = bytes
+                .parse()
+                .map_err(|_| std::io::Error::other("bad VALUE length"))?;
+            while self.buf.len() < bytes + 2 {
+                self.fill()?;
+            }
+            let data = self.buf[..bytes].to_vec();
+            self.buf.drain(..bytes + 2);
+            out.push((key.to_string(), data));
+        }
+    }
+
     fn read_line(&mut self) -> std::io::Result<Vec<u8>> {
         loop {
             if let Some(pos) = self.buf.windows(2).position(|w| w == b"\r\n") {
@@ -178,6 +215,65 @@ mod tests {
         // Overwrite.
         client.set("alpha", b"uno").unwrap();
         assert_eq!(client.get("alpha").unwrap(), Some(b"uno".to_vec()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn scan_over_tcp_with_tree_index() {
+        use fptree_core::{Locked, TreeConfig};
+        use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
+        let cache = Arc::new(KvCache::new(Arc::new(Locked::new(tree))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr).unwrap();
+        for i in (0..50).rev() {
+            client
+                .set(&format!("user:{i:03}"), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let items = client.scan("user:010", 4).unwrap();
+        let keys: Vec<_> = items.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["user:010", "user:011", "user:012", "user:013"]);
+        assert_eq!(items[0].1, b"v10".to_vec());
+        // Scan past the last key returns the tail, not an error.
+        assert_eq!(client.scan("user:048", 10).unwrap().len(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn scan_on_hash_index_is_an_error() {
+        let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr).unwrap();
+        client.set("k", b"v").unwrap();
+        assert!(client.scan("a", 5).is_err());
+        // The connection stays usable after the SERVER_ERROR line.
+        assert_eq!(client.get("k").unwrap(), Some(b"v".to_vec()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn noreply_pipelining_over_tcp() {
+        let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+        // Pipeline noreply sets + a final get; only the get answers.
+        let mut msg = Vec::new();
+        for i in 0..10 {
+            msg.extend_from_slice(format!("set k{i} 0 0 2 noreply\r\nv{i}\r\n").as_bytes());
+        }
+        msg.extend_from_slice(b"get k7\r\n");
+        stream.write_all(&msg).unwrap();
+        let mut resp = Vec::new();
+        let mut chunk = [0u8; 1024];
+        while !resp.ends_with(b"END\r\n") {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed before responding");
+            resp.extend_from_slice(&chunk[..n]);
+        }
+        assert_eq!(resp, b"VALUE k7 0 2\r\nv7\r\nEND\r\n");
+        assert_eq!(cache.len(), 10);
         server.shutdown();
     }
 

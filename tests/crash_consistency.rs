@@ -129,6 +129,37 @@ fn crash_check<K: KeyKind>(
         }
     }
 
+    // A scan over the recovered leaf chain must see exactly the committed
+    // keys: strictly sorted, no torn or phantom entries, and agreeing with
+    // the tree's own point reads — the leaf-chain order itself (next
+    // pointers + bitmaps) is what survived the crash.
+    let scanned: Vec<(K::Owned, u64)> = tree.scan(..).collect();
+    assert!(
+        scanned.windows(2).all(|w| w[0].0 < w[1].0),
+        "recovered scan not strictly sorted (fuse {fuse}, seed {seed})"
+    );
+    assert_eq!(scanned.len(), tree.len(), "scan disagrees with len");
+    for (k, v) in &scanned {
+        assert_eq!(tree.get(k), Some(*v), "scan entry invisible to get");
+    }
+    if crashed {
+        for (k, v) in model.iter() {
+            if Some(*k) == interrupted {
+                continue;
+            }
+            assert!(
+                scanned
+                    .binary_search_by(|e| e.0.cmp(&mk(*k)))
+                    .map(|i| scanned[i].1 == *v)
+                    .unwrap_or(false),
+                "committed key {k} missing from recovered scan (fuse {fuse}, seed {seed})"
+            );
+        }
+    } else {
+        let want: Vec<(K::Owned, u64)> = model.iter().map(|(k, v)| (mk(*k), *v)).collect();
+        assert_eq!(scanned, want, "clean-run scan must equal the model exactly");
+    }
+
     // No persistent leaks: every live block is reachable from the tree.
     audit_leaks::<K>(&pool2, &tree);
 

@@ -32,6 +32,8 @@ enum Call {
     Remove(u64),
     Get(u64),
     Range(u64, u64),
+    /// Full ordered scan; issued once after the schedule.
+    ScanAll,
 }
 
 enum Resp {
@@ -93,6 +95,11 @@ fn check(name: &str, ops: &[Op], mut run: impl FnMut(Call) -> Resp) {
             }
         }
     }
+    // The full ordered view must equal the oracle after any schedule.
+    if let Resp::Scan(Some(got)) = run(Call::ScanAll) {
+        let expect: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, expect, "{name}: full scan");
+    }
 }
 
 fn small(cfg: TreeConfig) -> TreeConfig {
@@ -121,6 +128,7 @@ proptest! {
                 Call::Remove(k) => Resp::Bool(t.remove(&k)),
                 Call::Get(k) => Resp::Val(t.get(&k)),
                 Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan(..).collect())),
             });
             t.check_consistency().unwrap();
         }
@@ -138,6 +146,7 @@ proptest! {
                 Call::Remove(k) => Resp::Bool(t.remove(&k)),
                 Call::Get(k) => Resp::Val(t.get(&k)),
                 Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan(..).collect())),
             });
         }
         // Concurrent FPTree.
@@ -154,6 +163,7 @@ proptest! {
                 Call::Remove(k) => Resp::Bool(t.remove(&k)),
                 Call::Get(k) => Resp::Val(t.get(&k)),
                 Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan(..).collect())),
             });
             t.check_consistency().unwrap();
         }
@@ -167,6 +177,7 @@ proptest! {
                 Call::Remove(k) => Resp::Bool(t.remove(&k)),
                 Call::Get(k) => Resp::Val(t.get(&k)),
                 Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan_from(&0, usize::MAX))),
             });
             t.check_consistency().unwrap();
         }
@@ -182,6 +193,7 @@ proptest! {
                 Call::Remove(k) => Resp::Bool(t.remove(&k)),
                 Call::Get(k) => Resp::Val(t.get(&k)),
                 Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan_from(&0, usize::MAX))),
             });
             t.check_consistency().unwrap();
         }
@@ -194,6 +206,7 @@ proptest! {
                 Call::Remove(k) => Resp::Bool(t.remove(&k)),
                 Call::Get(k) => Resp::Val(t.get(&k)),
                 Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan_from(&0, usize::MAX))),
             });
         }
     }
@@ -202,7 +215,15 @@ proptest! {
     fn var_key_trees_agree(ops in proptest::collection::vec(op_strategy(), 50..150)) {
         use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
         use std::sync::Arc;
+        // Zero-padded keys: byte order equals numeric order, so var-key
+        // range output maps back onto the u64 oracle.
         let key = |k: u64| format!("key:{k:06}").into_bytes();
+        let unkey = |k: &[u8]| -> u64 {
+            std::str::from_utf8(&k[4..]).unwrap().parse().unwrap()
+        };
+        let map_back = |v: Vec<(Vec<u8>, u64)>| -> Vec<(u64, u64)> {
+            v.iter().map(|(k, val)| (unkey(k), *val)).collect()
+        };
 
         let pool = Arc::new(PmemPool::create(PoolOptions::direct(128 << 20)).unwrap());
         let mut fp = fptree_suite::core::FPTreeVar::create(
@@ -215,7 +236,10 @@ proptest! {
                 Call::Update(k, v) => Resp::Bool(fp.update(&key(k), v)),
                 Call::Remove(k) => Resp::Bool(fp.remove(&key(k))),
                 Call::Get(k) => Resp::Val(fp.get(&key(k))),
-                Call::Range(lo, hi) => Resp::Scan({ let _ = (lo, hi); None }),
+                Call::Range(lo, hi) => {
+                    Resp::Scan(Some(map_back(fp.range(&key(lo), &key(hi)))))
+                }
+                Call::ScanAll => Resp::Scan(Some(map_back(fp.scan(..).collect()))),
             });
         fp.check_consistency().unwrap();
 
@@ -226,7 +250,12 @@ proptest! {
                 Call::Update(k, v) => Resp::Bool(wb.update(&key(k), v)),
                 Call::Remove(k) => Resp::Bool(wb.remove(&key(k))),
                 Call::Get(k) => Resp::Val(wb.get(&key(k))),
-                Call::Range(lo, hi) => Resp::Scan({ let _ = (lo, hi); None }),
+                Call::Range(lo, hi) => {
+                    Resp::Scan(Some(map_back(wb.range(&key(lo), &key(hi)))))
+                }
+                Call::ScanAll => {
+                    Resp::Scan(Some(map_back(wb.scan_from(&key(0), usize::MAX))))
+                }
             });
         wb.check_consistency().unwrap();
     }

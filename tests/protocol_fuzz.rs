@@ -1,6 +1,8 @@
 //! Fuzz-style property tests for the memcached text-protocol parser: no
 //! input may panic it, and rendering→parsing round-trips every command.
 
+use std::collections::BTreeMap;
+
 use fptree_suite::core::{FPTreeVar, Locked, TreeConfig};
 use fptree_suite::kvcache::protocol::{execute, parse, Command, ParseError};
 use fptree_suite::kvcache::KvCache;
@@ -34,7 +36,8 @@ proptest! {
                 prop_assert!(used <= line.len());
                 match cmd {
                     Command::Set { .. } | Command::Get { .. }
-                    | Command::Delete { .. } | Command::Quit => {}
+                    | Command::Delete { .. } | Command::Scan { .. }
+                    | Command::Quit => {}
                 }
             }
             Err(ParseError::Bad(_)) | Err(ParseError::Incomplete) => {}
@@ -42,24 +45,38 @@ proptest! {
     }
 
     /// SET rendering round-trips through the parser, including binary
-    /// payloads containing CR/LF.
+    /// payloads containing CR/LF and the optional `noreply` suffix.
     #[test]
     fn set_roundtrips(
         key in any_key(),
         flags in any::<u32>(),
         data in proptest::collection::vec(any::<u8>(), 0..128),
+        noreply in any::<bool>(),
     ) {
         let mut msg = format!(
-            "set {} {} 0 {}\r\n",
+            "set {} {} 0 {}{}\r\n",
             String::from_utf8(key.clone()).expect("printable"),
             flags,
-            data.len()
+            data.len(),
+            if noreply { " noreply" } else { "" },
         ).into_bytes();
         msg.extend_from_slice(&data);
         msg.extend_from_slice(b"\r\n");
         let (cmd, used) = parse(&msg).expect("well-formed SET parses");
         prop_assert_eq!(used, msg.len());
-        prop_assert_eq!(cmd, Command::Set { key, flags, data });
+        prop_assert_eq!(cmd, Command::Set { key, flags, data, noreply });
+    }
+
+    /// SCAN rendering round-trips through the parser.
+    #[test]
+    fn scan_roundtrips(start in any_key(), count in 0usize..10_000) {
+        let msg = format!(
+            "scan {} {count}\r\n",
+            String::from_utf8(start.clone()).expect("printable"),
+        ).into_bytes();
+        let (cmd, used) = parse(&msg).expect("well-formed SCAN parses");
+        prop_assert_eq!(used, msg.len());
+        prop_assert_eq!(cmd, Command::Scan { start, count });
     }
 
     /// Executing any parsed command sequence against a cache neither panics
@@ -79,12 +96,12 @@ proptest! {
             let cmd = match kind {
                 0 => {
                     model.insert(key.clone(), data.clone());
-                    Command::Set { key, flags: 1, data }
+                    Command::Set { key, flags: 1, data, noreply: false }
                 }
                 1 => Command::Get { key },
                 _ => {
                     model.remove(&key);
-                    Command::Delete { key }
+                    Command::Delete { key, noreply: false }
                 }
             };
             let resp = execute(&cache, &cmd);
@@ -110,11 +127,13 @@ proptest! {
 
     /// The same command mix executed against a *pool-backed* FPTree index
     /// under the durability checker: every store the cache triggers in SCM
-    /// must follow the persist-order protocol.
+    /// must follow the persist-order protocol. After every step the wire
+    /// `scan` output is cross-checked against a BTreeMap model, and noreply
+    /// mutations must render nothing while still taking effect.
     #[test]
     fn pool_backed_commands_are_durability_clean(
         cmds in proptest::collection::vec(
-            (any_key(), proptest::collection::vec(any::<u8>(), 0..32), 0u8..3),
+            (any_key(), proptest::collection::vec(any::<u8>(), 0..32), 0u8..4),
             1..40,
         )
     ) {
@@ -124,13 +143,38 @@ proptest! {
         let tree =
             FPTreeVar::create(std::sync::Arc::clone(&pool), TreeConfig::fptree_var(), ROOT_SLOT);
         let cache = KvCache::new(std::sync::Arc::new(Locked::new(tree)));
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         for (key, data, kind) in cmds {
+            // Odd steps go through the silent noreply path.
+            let noreply = kind % 2 == 1;
             let cmd = match kind {
-                0 => Command::Set { key, flags: 1, data },
-                1 => Command::Get { key },
-                _ => Command::Delete { key },
+                0 | 1 => {
+                    model.insert(key.clone(), data.clone());
+                    Command::Set { key, flags: 1, data, noreply }
+                }
+                2 => Command::Get { key },
+                _ => {
+                    model.remove(&key);
+                    Command::Delete { key, noreply }
+                }
             };
-            let _ = execute(&cache, &cmd);
+            let resp = execute(&cache, &cmd);
+            if noreply && !matches!(cmd, Command::Get { .. }) {
+                prop_assert!(resp.is_empty(), "noreply must render nothing");
+            }
+            // Every step: the wire scan over the whole keyspace must equal
+            // the model, in key order.
+            let scan = Command::Scan { start: vec![0x21], count: usize::MAX };
+            let mut expect = Vec::new();
+            for (k, v) in &model {
+                expect.extend_from_slice(
+                    format!("VALUE {} 1 {}\r\n", String::from_utf8_lossy(k), v.len()).as_bytes(),
+                );
+                expect.extend_from_slice(v);
+                expect.extend_from_slice(b"\r\n");
+            }
+            expect.extend_from_slice(b"END\r\n");
+            prop_assert_eq!(execute(&cache, &scan), expect, "scan diverged from model");
         }
         let report = pool.take_durability_report();
         prop_assert!(report.events_recorded > 0, "checker saw no events");
@@ -144,7 +188,10 @@ fn incremental_parsing_matches_oneshot() {
     let msgs: &[&[u8]] = &[
         b"get alpha\r\n",
         b"set beta 7 0 3\r\nxyz\r\n",
+        b"set beta 7 0 3 noreply\r\nxyz\r\n",
         b"delete gamma\r\n",
+        b"delete gamma noreply\r\n",
+        b"scan alpha 10\r\n",
         b"quit\r\n",
     ];
     for msg in msgs {
