@@ -27,6 +27,7 @@ fn main() {
     let subscribers: u64 = args.get("scale", 20_000);
     let clients: usize = args.get("clients", 8);
     let txns: usize = args.get("txns", 200_000);
+    let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
     let latencies: Vec<u64> = args
         .get_str("latencies")
@@ -50,7 +51,7 @@ fn main() {
             let db = setup.populate(subscribers);
             let tps = run_mix(&db, clients, txns, 99);
             tput_row = tput_row.field(&format!("{latency}ns"), tps);
-            let ms = setup.measure_restart(&db, latency);
+            let ms = setup.measure_restart(&db, latency, want_metrics);
             restart_row = restart_row.field(&format!("{latency}ns"), ms);
             eprintln!("{tree} @{latency}ns: {tps:.0} tx/s, restart {ms:.1} ms");
         }
@@ -141,10 +142,12 @@ impl Setup {
     /// Restart: reopen each persistent index from the pool image (timing
     /// it), or rebuild the transient tree from scratch; then rebuild decode
     /// vectors. Returns milliseconds.
-    fn measure_restart(&self, db: &TatpDb, latency: u64) -> f64 {
+    fn measure_restart(&self, db: &TatpDb, latency: u64, want_metrics: bool) -> f64 {
         match &self.pool {
             Some(pool) => {
                 let img = pool.clean_image();
+                // Recovery work summed across all dictionary indexes.
+                let mut recovered: Option<fptree_core::Snapshot> = None;
                 let start = Instant::now();
                 let pool2 = Arc::new(
                     PmemPool::reopen(
@@ -158,10 +161,15 @@ impl Setup {
                     let slot = self.dir + i * 16;
                     match self.tree {
                         "FPTree" | "PTree" => {
-                            std::hint::black_box(SingleTree::<FixedKey>::open(
-                                Arc::clone(&pool2),
-                                slot,
-                            ));
+                            let t = SingleTree::<FixedKey>::open(Arc::clone(&pool2), slot);
+                            if want_metrics {
+                                let snap = t.metrics_snapshot();
+                                match &mut recovered {
+                                    Some(acc) => acc.merge(snap),
+                                    None => recovered = Some(snap),
+                                }
+                            }
+                            std::hint::black_box(t);
                         }
                         "NV-Tree" => {
                             std::hint::black_box(NVTreeC::<FixedKey>::open(
@@ -180,7 +188,14 @@ impl Setup {
                     }
                 }
                 db.rebuild_decodes();
-                start.elapsed().as_secs_f64() * 1e3
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                if let Some(snap) = &recovered {
+                    fptree_bench::print_metrics(
+                        &format!("{} restart @{latency}ns", self.tree),
+                        Some(snap),
+                    );
+                }
+                ms
             }
             None => {
                 // Transient: rebuild every dictionary index from its decode

@@ -28,6 +28,7 @@ fn main() {
     let requests: usize = args.get("scale", 200_000);
     let clients: usize = args.get("clients", 50);
     let net_us: u64 = args.get("net-us", 8);
+    let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
 
     for latency in [85u64, 145] {
@@ -53,11 +54,17 @@ fn main() {
                 r.set.ops_per_sec / 1e3,
                 r.get.ops_per_sec / 1e3
             );
-            report.push(
-                Row::new(name)
-                    .field("set_kops", r.set.ops_per_sec / 1e3)
-                    .field("get_kops", r.get.ops_per_sec / 1e3),
-            );
+            let mut row = Row::new(name)
+                .field("set_kops", r.set.ops_per_sec / 1e3)
+                .field("get_kops", r.get.ops_per_sec / 1e3);
+            if want_metrics {
+                // Cache-level snapshot: hit/miss counters plus the backing
+                // tree's own registry merged in (insert/get op counts).
+                let snap = cache.stats_snapshot();
+                fptree_bench::print_metrics(&format!("{name} @{latency}ns"), Some(&snap));
+                row = row.with_metrics(Some(snap));
+            }
+            report.push(row);
         }
         report.emit(out);
     }

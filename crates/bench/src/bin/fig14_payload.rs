@@ -25,6 +25,7 @@ fn main() {
     let args = Args::parse();
     let scale: usize = args.get("scale", 30_000);
     let latency: u64 = args.get("latency", 360);
+    let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
 
     if args.flag("concurrent") {
@@ -53,7 +54,7 @@ fn main() {
                 // the value is always 8 bytes plus their own padding, so we
                 // model payload by touching extra bytes — handled inside
                 // each structure's entry stride for NV-Tree (64 B padded).
-                let timings = run(kind, pool_mb, latency, payload, &warm, &extra);
+                let timings = run(kind, pool_mb, latency, payload, &warm, &extra, want_metrics);
                 row = row.field(&format!("{payload}B"), timings[op_idx]);
             }
             report.push(row);
@@ -69,6 +70,7 @@ fn run(
     payload: usize,
     warm: &[u64],
     extra: &[u64],
+    want_metrics: bool,
 ) -> [f64; 4] {
     let mut t = AnyTree::build(kind, pool_mb, latency, payload);
     for &k in warm {
@@ -95,6 +97,10 @@ fn run(
             t.remove(k);
         }
     });
+    if want_metrics {
+        let snap = t.metrics_snapshot();
+        fptree_bench::print_metrics(&format!("{} {payload}B", kind.name()), snap.as_ref());
+    }
     [f / n, i / n, u / n, d / n]
 }
 
@@ -150,11 +156,15 @@ fn concurrent(args: &Args, scale: usize, latency: u64, out: Option<&str>) {
             }
         });
         eprintln!("payload {payload}B: FPTreeC {fpc_mops:.2}, NV-TreeC {nv_mops:.2} MOps/s");
-        report.push(
-            Row::new(format!("{payload}B"))
-                .field("FPTreeC_mops", fpc_mops)
-                .field("NV-TreeC_mops", nv_mops),
-        );
+        let mut row = Row::new(format!("{payload}B"))
+            .field("FPTreeC_mops", fpc_mops)
+            .field("NV-TreeC_mops", nv_mops);
+        if args.flag("metrics") {
+            let snap = fpc.metrics_snapshot();
+            fptree_bench::print_metrics(&format!("FPTreeC {payload}B"), Some(&snap));
+            row = row.with_metrics(Some(snap));
+        }
+        report.push(row);
     }
     report.emit(out);
 }

@@ -17,6 +17,7 @@ fn main() {
     let scale: usize = args.get("scale", 50_000);
     let var_keys = args.get_str("keys") == Some("var");
     let verbose = args.flag("verbose");
+    let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
     let latencies: Vec<u64> = args
         .get_str("latencies")
@@ -50,9 +51,9 @@ fn main() {
     for &latency in &latencies {
         for kind in TreeKind::fig7_set() {
             let timings = if var_keys {
-                run_var(kind, pool_mb, latency, &warm, &extra, verbose)
+                run_var(kind, pool_mb, latency, &warm, &extra, verbose, want_metrics)
             } else {
-                run_fixed(kind, pool_mb, latency, &warm, &extra, verbose)
+                run_fixed(kind, pool_mb, latency, &warm, &extra, verbose, want_metrics)
             };
             results.push((kind, latency, timings));
             eprintln!(
@@ -118,6 +119,7 @@ fn run_fixed(
     warm: &[u64],
     extra: &[u64],
     verbose: bool,
+    want_metrics: bool,
 ) -> [f64; 4] {
     let mut t = AnyTree::build(kind, pool_mb, latency, 8);
     if verbose {
@@ -150,6 +152,10 @@ fn run_fixed(
     if verbose {
         fptree_bench::print_pool_counters(&format!("{} @{latency}ns", kind.name()), t.pool());
     }
+    if want_metrics {
+        let snap = t.metrics_snapshot();
+        fptree_bench::print_metrics(&format!("{} @{latency}ns", kind.name()), snap.as_ref());
+    }
     [find / n, insert / n, update / n, delete / n]
 }
 
@@ -160,6 +166,7 @@ fn run_var(
     warm: &[u64],
     extra: &[u64],
     verbose: bool,
+    want_metrics: bool,
 ) -> [f64; 4] {
     let mut t = AnyTreeVar::build(kind, pool_mb * 2, latency);
     if verbose {
@@ -193,6 +200,10 @@ fn run_var(
     });
     if verbose {
         fptree_bench::print_pool_counters(&format!("{} @{latency}ns", kind.name()), t.pool());
+    }
+    if want_metrics {
+        let snap = t.metrics_snapshot();
+        fptree_bench::print_metrics(&format!("{} @{latency}ns", kind.name()), snap.as_ref());
     }
     [find / n, insert / n, update / n, delete / n]
 }

@@ -19,6 +19,7 @@ fn main() {
     let args = Args::parse();
     let max_scale: usize = args.get("scale", 100_000);
     let var_keys = args.get_str("keys") == Some("var");
+    let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
     let sizes: Vec<usize> = {
         let mut v = vec![];
@@ -46,9 +47,9 @@ fn main() {
         for &size in &sizes {
             let keys = shuffled_keys(size, 3);
             let row = if var_keys {
-                measure_var(&keys, latency)
+                measure_var(&keys, latency, want_metrics)
             } else {
-                measure_fixed(&keys, latency)
+                measure_fixed(&keys, latency, want_metrics)
             };
             let mut r = Row::new(format!("{size} keys"));
             for (name, ms) in row {
@@ -64,7 +65,7 @@ fn pool_mb_for(n: usize) -> usize {
     (n * 4000 / (1 << 20) + 128).next_power_of_two()
 }
 
-fn measure_fixed(keys: &[u64], latency: u64) -> Vec<(&'static str, f64)> {
+fn measure_fixed(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'static str, f64)> {
     let mut rows = Vec::new();
     // FPTree (leaf groups: better recovery locality) and PTree.
     for (name, cfg) in [
@@ -83,6 +84,14 @@ fn measure_fixed(keys: &[u64], latency: u64) -> Vec<(&'static str, f64)> {
         let t2 = SingleTree::<FixedKey>::open(Arc::clone(&pool2), ROOT_SLOT);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(t2.len(), keys.len());
+        if want_metrics {
+            // The freshly opened tree's registry carries only the recovery
+            // work: recovery_rebuilds, recovery_leaves, leaf fills.
+            fptree_bench::print_metrics(
+                &format!("{name} recovery @{latency}ns"),
+                Some(&t2.metrics_snapshot()),
+            );
+        }
         rows.push((name, ms));
     }
     // NV-Tree.
@@ -132,7 +141,7 @@ fn measure_fixed(keys: &[u64], latency: u64) -> Vec<(&'static str, f64)> {
     rows
 }
 
-fn measure_var(keys: &[u64], latency: u64) -> Vec<(&'static str, f64)> {
+fn measure_var(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'static str, f64)> {
     let mut rows = Vec::new();
     let skeys: Vec<Vec<u8>> = keys.iter().map(|&k| string_key(k)).collect();
     for (name, cfg) in [
@@ -151,6 +160,12 @@ fn measure_var(keys: &[u64], latency: u64) -> Vec<(&'static str, f64)> {
         let t2 = SingleTree::<VarKey>::open(Arc::clone(&pool2), ROOT_SLOT);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(t2.len(), keys.len());
+        if want_metrics {
+            fptree_bench::print_metrics(
+                &format!("{name} recovery @{latency}ns"),
+                Some(&t2.metrics_snapshot()),
+            );
+        }
         rows.push((name, ms));
     }
     {

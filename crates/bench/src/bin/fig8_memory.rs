@@ -10,6 +10,7 @@ use fptree_bench::{shuffled_keys, string_key, AnyTree, AnyTreeVar, Args, Report,
 fn main() {
     let args = Args::parse();
     let scale: usize = args.get("scale", 200_000);
+    let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
     let keys = shuffled_keys(scale, 8);
     let pool_mb = (scale * 6000 / (1 << 20) + 256).next_power_of_two();
@@ -25,12 +26,16 @@ fn main() {
         }
         let (scm, dram) = t.memory();
         let frac = dram as f64 / (scm + dram).max(1) as f64 * 100.0;
-        report.push(
-            Row::new(kind.name())
-                .field("scm_mb", scm as f64 / (1 << 20) as f64)
-                .field("dram_mb", dram as f64 / (1 << 20) as f64)
-                .field("dram_pct", frac),
-        );
+        let mut row = Row::new(kind.name())
+            .field("scm_mb", scm as f64 / (1 << 20) as f64)
+            .field("dram_mb", dram as f64 / (1 << 20) as f64)
+            .field("dram_pct", frac);
+        if want_metrics {
+            let snap = t.metrics_snapshot();
+            fptree_bench::print_metrics(kind.name(), snap.as_ref());
+            row = row.with_metrics(snap);
+        }
+        report.push(row);
     }
     report.emit(out);
 
@@ -45,12 +50,16 @@ fn main() {
         }
         let (scm, dram) = t.memory();
         let frac = dram as f64 / (scm + dram).max(1) as f64 * 100.0;
-        report.push(
-            Row::new(kind.name())
-                .field("scm_mb", scm as f64 / (1 << 20) as f64)
-                .field("dram_mb", dram as f64 / (1 << 20) as f64)
-                .field("dram_pct", frac),
-        );
+        let mut row = Row::new(kind.name())
+            .field("scm_mb", scm as f64 / (1 << 20) as f64)
+            .field("dram_mb", dram as f64 / (1 << 20) as f64)
+            .field("dram_pct", frac);
+        if want_metrics {
+            let snap = t.metrics_snapshot();
+            fptree_bench::print_metrics(kind.name(), snap.as_ref());
+            row = row.with_metrics(snap);
+        }
+        report.push(row);
     }
     report.emit(out);
 }

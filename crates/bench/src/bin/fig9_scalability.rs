@@ -42,6 +42,7 @@ fn main() {
     let latency: u64 = args.get("latency", 85);
     let var_keys = args.get_str("keys") == Some("var");
     let verbose = args.flag("verbose");
+    let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -81,7 +82,16 @@ fn main() {
             let mut tp_row = Row::new(format!("{n_threads}T"));
             let mut sp_row = Row::new(format!("{n_threads}T"));
             for (i, (op, opname)) in OPS.iter().enumerate() {
-                let mops = run_one(tree_name, var_keys, scale, latency, n_threads, *op, verbose);
+                let mops = run_one(
+                    tree_name,
+                    var_keys,
+                    scale,
+                    latency,
+                    n_threads,
+                    *op,
+                    verbose,
+                    want_metrics,
+                );
                 if n_threads == 1 {
                     base.push(mops);
                 }
@@ -97,6 +107,7 @@ fn main() {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // a private figure-runner, not an API
 fn run_one(
     tree: &str,
     var_keys: bool,
@@ -105,6 +116,7 @@ fn run_one(
     n_threads: usize,
     op: Op,
     verbose: bool,
+    want_metrics: bool,
 ) -> f64 {
     let pool_mb = (scale * 5000 / (1 << 20) + 256).next_power_of_two();
     let pool = Arc::new(
@@ -127,7 +139,7 @@ fn run_one(
             for &k in &warm {
                 t.insert(&k, k);
             }
-            drive(n_threads, scale, |i| {
+            let mops = drive(n_threads, scale, |i| {
                 let (w, e) = (warm[i], extra[i]);
                 match op {
                     Op::Find => {
@@ -150,7 +162,12 @@ fn run_one(
                         }
                     }
                 }
-            })
+            });
+            if want_metrics {
+                let snap = t.metrics_snapshot();
+                fptree_bench::print_metrics(&format!("{tree} {n_threads}T"), Some(&snap));
+            }
+            mops
         }
         ("FPTreeC", true) => {
             let t =
@@ -160,7 +177,7 @@ fn run_one(
             for k in &wk {
                 t.insert(k, 1);
             }
-            drive(n_threads, scale, |i| match op {
+            let mops = drive(n_threads, scale, |i| match op {
                 Op::Find => {
                     std::hint::black_box(t.get(&wk[i]));
                 }
@@ -180,7 +197,12 @@ fn run_one(
                         std::hint::black_box(t.get(&wk[i]));
                     }
                 }
-            })
+            });
+            if want_metrics {
+                let snap = t.metrics_snapshot();
+                fptree_bench::print_metrics(&format!("{tree} {n_threads}T"), Some(&snap));
+            }
+            mops
         }
         ("NV-TreeC", false) => {
             let t = NVTreeC::<FixedKey>::create(pool, 32, 128, ROOT_SLOT);
@@ -245,6 +267,9 @@ fn run_one(
     };
     if verbose {
         fptree_bench::print_pool_counters(&format!("{tree} {n_threads}T"), Some(&report_pool));
+    }
+    if want_metrics && tree == "NV-TreeC" {
+        fptree_bench::print_metrics(&format!("{tree} {n_threads}T"), None);
     }
     mops
 }

@@ -6,10 +6,16 @@
 //! length. FPTree gathers each unsorted leaf through the bitmap and sorts
 //! it into a stack buffer; sorted-leaf trees (STX, wBTree) pay no per-leaf
 //! sort, which is exactly the trade-off this figure quantifies.
+//!
+//! `--writers N` pits the concurrent FPTree's scans against N update
+//! threads, exercising the hand-over-hand hop path; `--metrics` then shows
+//! the contention it absorbed (`scan_hop_retries`, `scan_reseeks`) both on
+//! stderr and embedded in the `--out` JSON.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use fptree_bench::{shuffled_keys, AnyTree, Args, Report, Row, TreeKind};
+use fptree_bench::{print_metrics, shuffled_keys, AnyTree, Args, Report, Row, TreeKind};
 
 /// Range lengths measured (keys per scan).
 const RANGE_LENS: [usize; 3] = [10, 100, 1000];
@@ -18,6 +24,8 @@ fn main() {
     let args = Args::parse();
     let scale: usize = args.get("scale", 50_000);
     let latency: u64 = args.get("latency", 90);
+    let writers: usize = args.get("writers", 0);
+    let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
 
     let kinds = [
@@ -32,7 +40,10 @@ fn main() {
 
     let mut report = Report::new(
         "fig_scan",
-        &format!("Range scan avg µs/scan vs range length (scale {scale}, {latency} ns SCM)"),
+        &format!(
+            "Range scan avg µs/scan vs range length \
+             (scale {scale}, {latency} ns SCM, {writers} writers)"
+        ),
     );
 
     for kind in kinds {
@@ -41,24 +52,51 @@ fn main() {
             t.insert(k, k);
         }
         let mut row = Row::new(kind.name());
-        for len in RANGE_LENS {
-            // Rotate starts through the key space; keys are 0..scale so a
-            // start leaves at least `len` successors when it is small enough.
-            let scans = (2_000 / len).max(8);
-            let stride = (scale.saturating_sub(len)).max(1) / scans;
-            let mut produced = 0usize;
-            let elapsed = time(|| {
-                for i in 0..scans {
-                    let start = (i * stride) as u64;
-                    produced += std::hint::black_box(t.scan_from(start, len)).len();
+        // Concurrent update threads (FPTreeC only): they rewrite values in
+        // place, so scans still see every key, but each update locks a leaf
+        // and bumps its version — the scan's hop validation must retry.
+        let stop = AtomicBool::new(false);
+        row = std::thread::scope(|s| {
+            if writers > 0 {
+                if let Some(ct) = t.as_concurrent() {
+                    for w in 0..writers {
+                        let stop = &stop;
+                        s.spawn(move || {
+                            let mut i = w as u64;
+                            while !stop.load(Ordering::Relaxed) {
+                                ct.update(&(i % scale as u64), i);
+                                i = i.wrapping_add(writers as u64);
+                            }
+                        });
+                    }
                 }
-            });
-            assert!(
-                produced >= scans * len.min(scale / 2),
-                "{} produced {produced} entries over {scans} scans of {len}",
-                kind.name()
-            );
-            row = row.field(&format!("len{len}"), elapsed / scans as f64);
+            }
+            for len in RANGE_LENS {
+                // Rotate starts through the key space; keys are 0..scale so a
+                // start leaves at least `len` successors when small enough.
+                let scans = (2_000 / len).max(8);
+                let stride = (scale.saturating_sub(len)).max(1) / scans;
+                let mut produced = 0usize;
+                let elapsed = time(|| {
+                    for i in 0..scans {
+                        let start = (i * stride) as u64;
+                        produced += std::hint::black_box(t.scan_from(start, len)).len();
+                    }
+                });
+                assert!(
+                    produced >= scans * len.min(scale / 2),
+                    "{} produced {produced} entries over {scans} scans of {len}",
+                    kind.name()
+                );
+                row = row.field(&format!("len{len}"), elapsed / scans as f64);
+            }
+            stop.store(true, Ordering::Relaxed);
+            row
+        });
+        if want_metrics {
+            let snap = t.metrics_snapshot();
+            print_metrics(kind.name(), snap.as_ref());
+            row = row.with_metrics(snap);
         }
         report.push(row);
         eprintln!("{} done", kind.name());

@@ -56,3 +56,13 @@ pub fn enable_pool_checker(pool: Option<&std::sync::Arc<fptree_pmem::PmemPool>>)
         pool.enable_durability_checker();
     }
 }
+
+/// Prints a tree's metrics snapshot to stderr (the `--metrics` diagnostic of
+/// the figure binaries). The same snapshot should also be attached to the
+/// result row with [`Row::with_metrics`] so `--out` JSON embeds it.
+pub fn print_metrics(label: &str, snap: Option<&fptree_core::Snapshot>) {
+    match snap {
+        Some(s) => eprintln!("  [{label}] metrics:\n{s}"),
+        None => eprintln!("  [{label}] metrics: not instrumented"),
+    }
+}

@@ -9,6 +9,9 @@ pub struct Row {
     pub label: String,
     /// `(column, value)` pairs in display order.
     pub fields: Vec<(String, f64)>,
+    /// Observability snapshot attached by `--metrics` runs; embedded as a
+    /// `"metrics"` sub-object in the JSON line, omitted from the table.
+    pub metrics: Option<fptree_core::Snapshot>,
 }
 
 impl Row {
@@ -17,12 +20,21 @@ impl Row {
         Row {
             label: label.into(),
             fields: Vec::new(),
+            metrics: None,
         }
     }
 
     /// Adds a field (builder style).
     pub fn field(mut self, name: &str, value: f64) -> Row {
         self.fields.push((name.to_string(), value));
+        self
+    }
+
+    /// Attaches a metrics snapshot (builder style). `None` — an
+    /// uninstrumented tree — leaves the row unchanged, so call sites can
+    /// pass `tree.metrics_snapshot()` straight through.
+    pub fn with_metrics(mut self, snapshot: Option<fptree_core::Snapshot>) -> Row {
+        self.metrics = snapshot;
         self
     }
 }
@@ -125,6 +137,12 @@ impl Report {
                 line.push_str("null");
             }
         }
+        if let Some(snap) = &r.metrics {
+            line.push(',');
+            push_json_str(&mut line, "metrics");
+            line.push(':');
+            line.push_str(&snap.to_json());
+        }
         line.push('}');
         line
     }
@@ -177,6 +195,24 @@ mod tests {
         let line = content.lines().next().unwrap();
         assert_eq!(line, r#"{"experiment":"exp","label":"a","x":1.5}"#);
         let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn json_embeds_metrics_snapshot() {
+        let mut snap = fptree_core::Snapshot::default();
+        snap.push("scan_hop_retries", 3);
+        snap.push("scan_reseeks", 1);
+        let mut r = Report::new("exp", "t");
+        r.push(Row::new("fpc").field("us", 2.0).with_metrics(Some(snap)));
+        let line = r.json_line(&r.rows[0]);
+        assert_eq!(
+            line,
+            r#"{"experiment":"exp","label":"fpc","us":2,"metrics":{"scan_hop_retries":3,"scan_reseeks":1}}"#
+        );
+        // No snapshot, no "metrics" key.
+        let bare = Report::new("exp", "t");
+        let row = Row::new("x").with_metrics(None);
+        assert!(!bare.json_line(&row).contains("metrics"));
     }
 
     #[test]

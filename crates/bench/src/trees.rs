@@ -186,6 +186,25 @@ impl AnyTree {
     pub fn pool(&self) -> Option<&Arc<PmemPool>> {
         t_pool(self)
     }
+
+    /// The tree's observability snapshot (`--metrics`); None for baselines
+    /// that carry no registry.
+    pub fn metrics_snapshot(&self) -> Option<fptree_core::Snapshot> {
+        match self {
+            AnyTree::FP(t) => Some(t.metrics_snapshot()),
+            AnyTree::FPC(t) => Some(t.metrics_snapshot()),
+            _ => None,
+        }
+    }
+
+    /// The concurrent FPTree handle, when this is one — lets benchmarks
+    /// drive writers from other threads while the main thread scans.
+    pub fn as_concurrent(&self) -> Option<&ConcurrentFPTree> {
+        match self {
+            AnyTree::FPC(t) => Some(t),
+            _ => None,
+        }
+    }
 }
 
 fn t_pool(t: &AnyTree) -> Option<&Arc<PmemPool>> {
@@ -335,6 +354,16 @@ impl AnyTreeVar {
             AnyTreeVar::WB(t) => Some(t.pool()),
             AnyTreeVar::Stx(_) => None,
             AnyTreeVar::FPC(t) => Some(t.pool()),
+        }
+    }
+
+    /// The tree's observability snapshot (`--metrics`); None for baselines
+    /// that carry no registry.
+    pub fn metrics_snapshot(&self) -> Option<fptree_core::Snapshot> {
+        match self {
+            AnyTreeVar::FP(t) => Some(t.metrics_snapshot()),
+            AnyTreeVar::FPC(t) => Some(t.metrics_snapshot()),
+            _ => None,
         }
     }
 }

@@ -1,0 +1,388 @@
+//! The redesigned public facade: a validating [`TreeBuilder`] and a typed
+//! [`Error`] replacing the positional-`TreeConfig`-plus-panic construction
+//! paths.
+//!
+//! The original constructors (`FPTree::create(pool, cfg, owner_slot)` and
+//! friends) take positional arguments and panic on misconfiguration or pool
+//! exhaustion. This module keeps them working as thin wrappers but routes
+//! new code through a fluent builder that validates the configuration *and*
+//! the pool sizing before any persistent state is touched, and reports
+//! failures as a typed [`Error`] instead of a `String` or a panic:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use fptree_pmem::{PmemPool, PoolOptions};
+//! use fptree_core::TreeBuilder;
+//!
+//! let pool = Arc::new(PmemPool::create(PoolOptions::direct(32 << 20)).unwrap());
+//! let mut tree = TreeBuilder::new().leaf_capacity(32).build(pool).unwrap();
+//! tree.insert(&7, 700);
+//! assert_eq!(tree.get(&7), Some(700));
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use fptree_pmem::{AllocError, PmemPool, BLOCK_HEADER_SIZE, ROOT_SLOT, USER_BASE};
+
+use crate::concurrent::{ConcurrentFPTree, ConcurrentFPTreeVar};
+use crate::config::TreeConfig;
+use crate::keys::KeyKind;
+use crate::layout::LeafLayout;
+use crate::meta::TreeMeta;
+use crate::single::{FPTree as FPTreeInner, FPTreeVar as FPTreeVarInner};
+
+/// Fixed-size (u64) key tree built by [`TreeBuilder::build`] — an alias of
+/// [`crate::FPTree`] under the facade's naming.
+pub type FpTree = FPTreeInner;
+/// Variable-size key tree built by [`TreeBuilder::build_var`].
+pub type FpTreeVar = FPTreeVarInner;
+/// Concurrent fixed-size key tree built by [`TreeBuilder::build_concurrent`].
+pub type FpTreeC = ConcurrentFPTree;
+/// Concurrent variable-size key tree built by
+/// [`TreeBuilder::build_concurrent_var`].
+pub type FpTreeCVar = ConcurrentFPTreeVar;
+
+/// Maximum accepted key length in bytes on the byte-string index seams —
+/// memcached's key limit, so the kvcache wire protocol round-trips with
+/// external memcached clients.
+pub const MAX_KEY_BYTES: usize = 250;
+
+/// Typed error for the facade's fallible paths.
+#[derive(Debug)]
+pub enum Error {
+    /// The [`TreeConfig`] violates a structural invariant.
+    InvalidConfig(String),
+    /// The pool cannot hold the tree's initial footprint (or ran out of
+    /// space). Sizes are zero when the allocator did not report them.
+    PoolFull {
+        /// Bytes the operation needed.
+        required: u64,
+        /// Bytes the pool had available.
+        available: u64,
+    },
+    /// A byte-string key exceeds [`MAX_KEY_BYTES`].
+    KeyTooLarge {
+        /// Offered key length.
+        len: usize,
+        /// The accepted maximum.
+        max: usize,
+    },
+    /// The underlying pool file failed or holds an incompatible image.
+    Io(std::io::Error),
+    /// A lock guarding an index was poisoned by a panicking holder.
+    Poisoned,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid tree configuration: {msg}"),
+            Error::PoolFull {
+                required,
+                available,
+            } => {
+                if *required == 0 && *available == 0 {
+                    write!(f, "pool is full")
+                } else {
+                    write!(
+                        f,
+                        "pool is full: need {required} bytes, {available} available"
+                    )
+                }
+            }
+            Error::KeyTooLarge { len, max } => {
+                write!(f, "key of {len} bytes exceeds the {max}-byte limit")
+            }
+            Error::Io(e) => write!(f, "pool I/O error: {e}"),
+            Error::Poisoned => write!(f, "index lock poisoned by a panicking holder"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+impl From<AllocError> for Error {
+    fn from(e: AllocError) -> Error {
+        match e {
+            AllocError::OutOfMemory | AllocError::PoolTooSmall | AllocError::TooLarge => {
+                Error::PoolFull {
+                    required: 0,
+                    available: 0,
+                }
+            }
+            other => Error::Io(std::io::Error::other(other.to_string())),
+        }
+    }
+}
+
+impl<T> From<std::sync::PoisonError<T>> for Error {
+    fn from(_: std::sync::PoisonError<T>) -> Error {
+        Error::Poisoned
+    }
+}
+
+/// Rejects byte-string keys longer than [`MAX_KEY_BYTES`].
+pub fn check_key(key: &[u8]) -> Result<(), Error> {
+    if key.len() > MAX_KEY_BYTES {
+        return Err(Error::KeyTooLarge {
+            len: key.len(),
+            max: MAX_KEY_BYTES,
+        });
+    }
+    Ok(())
+}
+
+/// Fluent, validating constructor for every tree variant.
+///
+/// Starts from the paper's FPTree preset ([`TreeConfig::fptree`], or
+/// [`TreeConfig::fptree_concurrent`] via [`TreeBuilder::concurrent`]) and
+/// lets callers override individual knobs. [`TreeBuilder::build`] validates
+/// both the configuration and the pool sizing *before* touching persistent
+/// state, so misuse surfaces as a typed [`Error`] instead of a panic deep in
+/// the layout or allocator code.
+#[derive(Debug, Clone)]
+pub struct TreeBuilder {
+    cfg: TreeConfig,
+    owner_slot: u64,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    /// A builder preloaded with the paper's single-threaded FPTree preset.
+    pub fn new() -> TreeBuilder {
+        TreeBuilder {
+            cfg: TreeConfig::fptree(),
+            owner_slot: ROOT_SLOT,
+        }
+    }
+
+    /// A builder preloaded with the paper's concurrent FPTree preset.
+    pub fn concurrent() -> TreeBuilder {
+        TreeBuilder {
+            cfg: TreeConfig::fptree_concurrent(),
+            owner_slot: ROOT_SLOT,
+        }
+    }
+
+    /// A builder starting from an explicit configuration.
+    pub fn from_config(cfg: TreeConfig) -> TreeBuilder {
+        TreeBuilder {
+            cfg,
+            owner_slot: ROOT_SLOT,
+        }
+    }
+
+    /// Sets entries per leaf (1..=64).
+    pub fn leaf_capacity(mut self, m: usize) -> TreeBuilder {
+        self.cfg.leaf_capacity = m;
+        self
+    }
+
+    /// Sets the maximum children per inner node.
+    pub fn inner_fanout(mut self, f: usize) -> TreeBuilder {
+        self.cfg.inner_fanout = f;
+        self
+    }
+
+    /// Sets bytes reserved per value (multiple of 8, at least 8).
+    pub fn value_size(mut self, v: usize) -> TreeBuilder {
+        self.cfg.value_size = v;
+        self
+    }
+
+    /// Toggles in-leaf key fingerprints (off reproduces the PTree).
+    pub fn fingerprints(mut self, on: bool) -> TreeBuilder {
+        self.cfg.fingerprints = on;
+        self
+    }
+
+    /// Toggles split key/value arrays (the PTree leaf layout).
+    pub fn split_arrays(mut self, on: bool) -> TreeBuilder {
+        self.cfg.split_arrays = on;
+        self
+    }
+
+    /// Sets leaves per amortized allocation group (0 disables grouping;
+    /// forced to 0 by the concurrent build paths).
+    pub fn leaf_group_size(mut self, g: usize) -> TreeBuilder {
+        self.cfg.leaf_group_size = g;
+        self
+    }
+
+    /// Sets the pool slot that will own the tree's metadata pointer
+    /// (defaults to [`fptree_pmem::ROOT_SLOT`]).
+    pub fn owner_slot(mut self, slot: u64) -> TreeBuilder {
+        self.owner_slot = slot;
+        self
+    }
+
+    /// The configuration as currently assembled (not yet validated).
+    pub fn config(&self) -> &TreeConfig {
+        &self.cfg
+    }
+
+    /// Validates the configuration and the pool's ability to hold the
+    /// tree's initial footprint (metadata block + first leaf or group).
+    fn check<K: KeyKind>(&self, cfg: &TreeConfig, pool: &PmemPool) -> Result<(), Error> {
+        cfg.try_validate().map_err(Error::InvalidConfig)?;
+        let layout = LeafLayout::new(cfg, K::SLOT_SIZE);
+        let n_logs = if cfg.leaf_group_size > 1 { 1 } else { 64 };
+        let first_alloc = if cfg.leaf_group_size > 1 {
+            // A leaf group: 64-byte header plus the member leaves.
+            64 + cfg.leaf_group_size * layout.size
+        } else {
+            layout.size
+        };
+        let required = (TreeMeta::byte_size(n_logs) + first_alloc) as u64 + 2 * BLOCK_HEADER_SIZE;
+        let available = (pool.capacity() as u64).saturating_sub(USER_BASE);
+        if required > available {
+            return Err(Error::PoolFull {
+                required,
+                available,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds a single-threaded fixed-key tree ([`FpTree`]).
+    pub fn build(&self, pool: Arc<PmemPool>) -> Result<FpTree, Error> {
+        self.check::<crate::keys::FixedKey>(&self.cfg, &pool)?;
+        Ok(FPTreeInner::create(pool, self.cfg, self.owner_slot))
+    }
+
+    /// Builds a single-threaded variable-key tree ([`FpTreeVar`]).
+    pub fn build_var(&self, pool: Arc<PmemPool>) -> Result<FpTreeVar, Error> {
+        self.check::<crate::keys::VarKey>(&self.cfg, &pool)?;
+        Ok(FPTreeVarInner::create(pool, self.cfg, self.owner_slot))
+    }
+
+    /// Builds a concurrent fixed-key tree ([`FpTreeC`]); leaf grouping is
+    /// forced off (groups are a central synchronization point, §5).
+    pub fn build_concurrent(&self, pool: Arc<PmemPool>) -> Result<FpTreeC, Error> {
+        let mut cfg = self.cfg;
+        cfg.leaf_group_size = 0;
+        self.check::<crate::keys::FixedKey>(&cfg, &pool)?;
+        Ok(ConcurrentFPTree::create(pool, cfg, self.owner_slot))
+    }
+
+    /// Builds a concurrent variable-key tree ([`FpTreeCVar`]); leaf grouping
+    /// is forced off.
+    pub fn build_concurrent_var(&self, pool: Arc<PmemPool>) -> Result<FpTreeCVar, Error> {
+        let mut cfg = self.cfg;
+        cfg.leaf_group_size = 0;
+        self.check::<crate::keys::VarKey>(&cfg, &pool)?;
+        Ok(ConcurrentFPTreeVar::create(pool, cfg, self.owner_slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fptree_pmem::PoolOptions;
+
+    fn pool(bytes: usize) -> Arc<PmemPool> {
+        Arc::new(PmemPool::create(PoolOptions::direct(bytes)).unwrap())
+    }
+
+    #[test]
+    fn builder_rejects_zero_capacity_leaves() {
+        let err = match TreeBuilder::new().leaf_capacity(0).build(pool(8 << 20)) {
+            Err(e) => e,
+            Ok(_) => panic!("zero-capacity build must fail"),
+        };
+        match err {
+            Error::InvalidConfig(msg) => assert!(msg.contains("leaf capacity"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_misaligned_value_size() {
+        let err = match TreeBuilder::new().value_size(12).build(pool(8 << 20)) {
+            Err(e) => e,
+            Ok(_) => panic!("misaligned value size must fail"),
+        };
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn builder_rejects_undersized_pool() {
+        // 8 KiB cannot hold metadata + a 16-leaf group of 56-entry leaves.
+        let err = match TreeBuilder::new().build(pool(8 << 10)) {
+            Err(e) => e,
+            Ok(_) => panic!("undersized pool must fail"),
+        };
+        match err {
+            Error::PoolFull {
+                required,
+                available,
+            } => assert!(required > available, "{required} vs {available}"),
+            other => panic!("expected PoolFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_builds_working_trees() {
+        let mut tree = TreeBuilder::new()
+            .leaf_capacity(8)
+            .leaf_group_size(0)
+            .build(pool(8 << 20))
+            .unwrap();
+        for i in 0..100u64 {
+            assert!(tree.insert(&i, i * 10));
+        }
+        assert_eq!(tree.get(&42), Some(420));
+        assert_eq!(tree.len(), 100);
+        tree.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn builder_concurrent_forces_groups_off() {
+        let tree = TreeBuilder::concurrent()
+            .leaf_group_size(16)
+            .build_concurrent(pool(16 << 20))
+            .unwrap();
+        assert_eq!(tree.config().leaf_group_size, 0);
+        assert!(tree.insert(&1, 1));
+        assert_eq!(tree.get(&1), Some(1));
+    }
+
+    #[test]
+    fn check_key_enforces_memcached_limit() {
+        assert!(check_key(&[0u8; MAX_KEY_BYTES]).is_ok());
+        let err = check_key(&[0u8; MAX_KEY_BYTES + 1]).unwrap_err();
+        assert!(matches!(err, Error::KeyTooLarge { len: 251, max: 250 }));
+    }
+
+    #[test]
+    fn error_display_is_actionable() {
+        let e = Error::PoolFull {
+            required: 100,
+            available: 50,
+        };
+        assert_eq!(e.to_string(), "pool is full: need 100 bytes, 50 available");
+        assert_eq!(
+            Error::Poisoned.to_string(),
+            "index lock poisoned by a panicking holder"
+        );
+    }
+}

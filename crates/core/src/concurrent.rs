@@ -45,6 +45,7 @@ use crate::groups::GroupMgr;
 use crate::keys::{FixedKey, KeyKind, VarKey};
 use crate::layout::LeafLayout;
 use crate::meta::{TreeMeta, STATUS_READY};
+use crate::metrics::{Counter, Metrics, Op, Snapshot};
 use crate::scan::{ConcScan, ScanBounds};
 use crate::single::Ctx;
 
@@ -234,7 +235,9 @@ impl<K: ConcKey> ConcurrentTree<K> {
             cfg,
             layout,
             meta,
+            metrics: Arc::new(Metrics::new()),
         };
+        ctx.metrics.inc(Counter::LeafAllocs);
         let head = ctx
             .pool
             .allocate(meta.head_slot(), layout.size)
@@ -270,7 +273,9 @@ impl<K: ConcKey> ConcurrentTree<K> {
             cfg,
             layout,
             meta,
+            metrics: Arc::new(Metrics::new()),
         };
+        ctx.metrics.inc(Counter::RecoveryRebuilds);
 
         if meta.status(&ctx.pool) != STATUS_READY {
             if meta.head(&ctx.pool).is_null() {
@@ -322,6 +327,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
         let mut cur = ctx.meta.head(&ctx.pool).offset;
         assert_ne!(cur, 0, "initialized tree must have a head leaf");
         loop {
+            ctx.metrics.inc(Counter::RecoveryLeaves);
             let leaf = ctx.leaf(cur);
             leaf.reset_lock();
             ctx.audit_leaf::<K>(cur);
@@ -490,18 +496,27 @@ impl<K: ConcKey> ConcurrentTree<K> {
     /// Concurrent Find (Algorithm 1): fully speculative, retries on any
     /// conflicting leaf writer.
     pub fn get(&self, key: &K::Owned) -> Option<u64> {
-        self.lock.execute(|tx| {
+        let _t = self.ctx.metrics.time_op(Op::Get);
+        let found = self.lock.execute(|tx| {
             let off = self.traverse(key)?;
             let leaf = self.ctx.leaf(off);
             let Some(v) = leaf.version() else {
+                self.ctx.metrics.inc(Counter::SeqlockConflicts);
                 return Err(Abort); // leaf locked by a writer
             };
             let result = leaf.find_slot::<K>(key).map(|slot| leaf.value(slot));
             if !tx.validate() || leaf.version_changed(v) {
+                self.ctx.metrics.inc(Counter::SeqlockConflicts);
                 return Err(Abort);
             }
             Ok(result)
-        })
+        });
+        self.ctx.metrics.inc(if found.is_some() {
+            Counter::GetHits
+        } else {
+            Counter::GetMisses
+        });
+        found
     }
 
     /// True if `key` is present.
@@ -535,13 +550,16 @@ impl<K: ConcKey> ConcurrentTree<K> {
             let off = self.traverse(key)?;
             let leaf = self.ctx.leaf(off);
             let Some(v) = leaf.version() else {
+                self.ctx.metrics.inc(Counter::LeafLockSpins);
                 return Err(Abort);
             };
             if !leaf.try_lock_version(v) {
+                self.ctx.metrics.inc(Counter::LeafLockSpins);
                 return Err(Abort);
             }
             if !tx.validate() {
                 leaf.unlock_version();
+                self.ctx.metrics.inc(Counter::SeqlockConflicts);
                 return Err(Abort);
             }
             Ok(off)
@@ -550,11 +568,13 @@ impl<K: ConcKey> ConcurrentTree<K> {
 
     /// Concurrent Insert (Algorithm 2). Returns false if the key exists.
     pub fn insert(&self, key: &K::Owned, value: u64) -> bool {
+        let _t = self.ctx.metrics.time_op(Op::Insert);
         let _op = self.ctx.pool.begin_checked_op("insert");
         let off = self.lock_leaf_for_write(key);
         let leaf = self.ctx.leaf(off);
         if leaf.find_slot::<K>(key).is_some() {
             leaf.unlock_version();
+            self.ctx.metrics.inc(Counter::InsertExisting);
             return false;
         }
         if leaf.is_full() {
@@ -573,11 +593,13 @@ impl<K: ConcKey> ConcurrentTree<K> {
 
     /// Concurrent Update (Algorithm 8). Returns false if the key is absent.
     pub fn update(&self, key: &K::Owned, value: u64) -> bool {
+        let _t = self.ctx.metrics.time_op(Op::Update);
         let _op = self.ctx.pool.begin_checked_op("update");
         let off = self.lock_leaf_for_write(key);
         let leaf = self.ctx.leaf(off);
         let Some(slot) = leaf.find_slot::<K>(key) else {
             leaf.unlock_version();
+            self.ctx.metrics.inc(Counter::UpdateMisses);
             return false;
         };
         if leaf.is_full() {
@@ -600,11 +622,13 @@ impl<K: ConcKey> ConcurrentTree<K> {
 
     /// Concurrent Delete (Algorithm 5). Returns false if the key is absent.
     pub fn remove(&self, key: &K::Owned) -> bool {
+        let _t = self.ctx.metrics.time_op(Op::Remove);
         let _op = self.ctx.pool.begin_checked_op("remove");
         let decision = self.lock.execute(|tx| {
             let (off, prev) = self.traverse_with_prev(key)?;
             let leaf = self.ctx.leaf(off);
             let Some(v) = leaf.version() else {
+                self.ctx.metrics.inc(Counter::LeafLockSpins);
                 return Err(Abort);
             };
             let dying = leaf.count() == 1 && !(prev.is_none() && leaf.next().is_null());
@@ -613,9 +637,11 @@ impl<K: ConcKey> ConcurrentTree<K> {
                 if let Some(p) = prev {
                     let pl = self.ctx.leaf(p);
                     let Some(pv) = pl.version() else {
+                        self.ctx.metrics.inc(Counter::LeafLockSpins);
                         return Err(Abort);
                     };
                     if !pl.try_lock_version(pv) {
+                        self.ctx.metrics.inc(Counter::LeafLockSpins);
                         return Err(Abort);
                     }
                 }
@@ -623,6 +649,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
                     if let Some(p) = prev {
                         self.ctx.leaf(p).unlock_version();
                     }
+                    self.ctx.metrics.inc(Counter::LeafLockSpins);
                     return Err(Abort);
                 }
                 if !tx.validate() {
@@ -630,15 +657,18 @@ impl<K: ConcKey> ConcurrentTree<K> {
                     if let Some(p) = prev {
                         self.ctx.leaf(p).unlock_version();
                     }
+                    self.ctx.metrics.inc(Counter::SeqlockConflicts);
                     return Err(Abort);
                 }
                 Ok(WriteDecision::LeafEmpty { off, prev })
             } else {
                 if !leaf.try_lock_version(v) {
+                    self.ctx.metrics.inc(Counter::LeafLockSpins);
                     return Err(Abort);
                 }
                 if !tx.validate() {
                     leaf.unlock_version();
+                    self.ctx.metrics.inc(Counter::SeqlockConflicts);
                     return Err(Abort);
                 }
                 Ok(WriteDecision::Leaf { off })
@@ -650,6 +680,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
                 let leaf = self.ctx.leaf(off);
                 let Some(slot) = leaf.find_slot::<K>(key) else {
                     leaf.unlock_version();
+                    self.ctx.metrics.inc(Counter::RemoveMisses);
                     return false;
                 };
                 let bm = leaf.bitmap() & !(1 << slot);
@@ -666,6 +697,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
                     if let Some(p) = prev {
                         self.ctx.leaf(p).unlock_version();
                     }
+                    self.ctx.metrics.inc(Counter::RemoveMisses);
                     return false;
                 };
                 let bm = leaf.bitmap() & !(1 << slot);
@@ -698,6 +730,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
             if let Some(i) = self.log_queue.pop() {
                 return i;
             }
+            self.ctx.metrics.inc(Counter::LogQueueWaits);
             std::thread::yield_now();
         }
     }
@@ -800,6 +833,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
 
     /// Splits an over-full CNode, returning `(promoted_key_enc, right_enc)`.
     fn split_cnode(&self, node: &CNode) -> (u64, u64) {
+        self.ctx.metrics.inc(Counter::InnerSplits);
         let count = node.count.load(Ordering::Relaxed);
         let mid = count / 2; // left keeps children[..mid]
         let promoted = node.keys[mid - 1].load(Ordering::Relaxed);
@@ -912,6 +946,22 @@ impl<K: ConcKey> ConcurrentTree<K> {
     /// Speculation statistics `(attempts, aborts, fallbacks, writes)`.
     pub fn htm_stats(&self) -> (u64, u64, u64, u64) {
         self.lock.stats().snapshot()
+    }
+
+    /// This tree's observability registry (counters, latency histograms).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.ctx.metrics
+    }
+
+    /// Point-in-time snapshot of the tree's metrics, with the speculation
+    /// statistics (`htm_*`) and the pool's persistence counters (`pmem_*`)
+    /// absorbed into the same flat field list.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.ctx
+            .metrics
+            .snapshot()
+            .with_htm(self.htm_stats())
+            .with_pool(&self.ctx.pool)
     }
 
     /// DRAM bytes held by the volatile index (inner nodes + interner).

@@ -129,19 +129,32 @@ impl TreeConfig {
         self.leaf_capacity
     }
 
+    /// Validates invariants, returning the violation message instead of
+    /// panicking (the [`crate::api::TreeBuilder`] error path).
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !(1..=MAX_LEAF_CAPACITY).contains(&self.leaf_capacity) {
+            return Err(format!(
+                "leaf capacity must be in 1..=64 (single-word p-atomic bitmap), got {}",
+                self.leaf_capacity
+            ));
+        }
+        if self.inner_fanout < 3 {
+            return Err("inner fanout must be at least 3".to_string());
+        }
+        if self.value_size < 8 {
+            return Err("value size must hold a u64".to_string());
+        }
+        if !self.value_size.is_multiple_of(8) {
+            return Err("value size must be 8-byte aligned".to_string());
+        }
+        Ok(())
+    }
+
     /// Validates invariants; panics with a descriptive message on misuse.
     pub fn validate(&self) {
-        assert!(
-            (1..=MAX_LEAF_CAPACITY).contains(&self.leaf_capacity),
-            "leaf capacity must be in 1..=64 (single-word p-atomic bitmap), got {}",
-            self.leaf_capacity
-        );
-        assert!(self.inner_fanout >= 3, "inner fanout must be at least 3");
-        assert!(self.value_size >= 8, "value size must hold a u64");
-        assert!(
-            self.value_size.is_multiple_of(8),
-            "value size must be 8-byte aligned"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 

@@ -33,6 +33,11 @@ pub trait U64Index: Send + Sync {
         let _ = (start, count);
         None
     }
+    /// Observability snapshot of the underlying tree, when instrumented.
+    /// Uninstrumented indexes (baselines, hash maps) return None.
+    fn metrics_snapshot(&self) -> Option<crate::metrics::Snapshot> {
+        None
+    }
 }
 
 /// A key-value index over variable-size (byte-string) keys.
@@ -55,6 +60,11 @@ pub trait BytesIndex: Send + Sync {
     /// (inclusive), sorted by key. Unsupported indexes (hash) return None.
     fn scan_from(&self, start: &[u8], count: usize) -> Option<Vec<(Vec<u8>, u64)>> {
         let _ = (start, count);
+        None
+    }
+    /// Observability snapshot of the underlying tree, when instrumented.
+    /// Uninstrumented indexes (baselines, hash maps) return None.
+    fn metrics_snapshot(&self) -> Option<crate::metrics::Snapshot> {
         None
     }
 }
@@ -91,6 +101,9 @@ impl U64Index for Locked<crate::FPTree> {
     fn scan_from(&self, start: u64, count: usize) -> Option<Vec<(u64, u64)>> {
         Some(self.0.lock().scan(start..).take(count).collect())
     }
+    fn metrics_snapshot(&self) -> Option<crate::metrics::Snapshot> {
+        Some(self.0.lock().metrics_snapshot())
+    }
 }
 
 impl BytesIndex for Locked<crate::FPTreeVar> {
@@ -111,6 +124,9 @@ impl BytesIndex for Locked<crate::FPTreeVar> {
     }
     fn scan_from(&self, start: &[u8], count: usize) -> Option<Vec<(Vec<u8>, u64)>> {
         Some(self.0.lock().scan(start.to_vec()..).take(count).collect())
+    }
+    fn metrics_snapshot(&self) -> Option<crate::metrics::Snapshot> {
+        Some(self.0.lock().metrics_snapshot())
     }
 }
 
@@ -139,6 +155,9 @@ impl U64Index for crate::ConcurrentFPTree {
                 .take(count)
                 .collect(),
         )
+    }
+    fn metrics_snapshot(&self) -> Option<crate::metrics::Snapshot> {
+        Some(crate::ConcurrentTree::metrics_snapshot(self))
     }
 }
 
@@ -175,6 +194,9 @@ impl BytesIndex for crate::concurrent::ConcurrentFPTreeVar {
                 .take(count)
                 .collect(),
         )
+    }
+    fn metrics_snapshot(&self) -> Option<crate::metrics::Snapshot> {
+        Some(crate::ConcurrentTree::metrics_snapshot(self))
     }
 }
 

@@ -37,10 +37,13 @@
 //! | [`single`] | §5 base operations + recovery, §4.3 leaf groups |
 //! | [`concurrent`] | §4.4 Selective Concurrency, Algorithms 1–8 |
 //! | [`scan`] | ordered range scans over the unsorted leaf chain |
+//! | [`metrics`] | observability: op latencies, contention counters |
+//! | [`api`] | builder + typed-error facade over both tree variants |
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod concurrent;
 pub mod config;
 pub mod fingerprint;
@@ -51,13 +54,16 @@ pub mod keys;
 pub mod layout;
 pub mod leaf;
 pub mod meta;
+pub mod metrics;
 pub mod scan;
 pub mod single;
 
+pub use api::{Error, FpTree, FpTreeC, FpTreeCVar, FpTreeVar, TreeBuilder, MAX_KEY_BYTES};
 pub use concurrent::{ConcKey, ConcurrentFPTree, ConcurrentFPTreeVar, ConcurrentTree};
 pub use config::TreeConfig;
 pub use index::{BytesIndex, Locked, U64Index};
 pub use keys::{FixedKey, KeyKind, VarKey};
 pub use layout::LeafLayout;
+pub use metrics::{Counter, Metrics, Op, OpTimer, Snapshot};
 pub use scan::{ConcScan, Scan, ScanBounds};
 pub use single::{FPTree, FPTreeVar, MemoryUsage, SingleTree, TreeIter};

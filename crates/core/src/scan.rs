@@ -34,6 +34,7 @@ use crate::concurrent::{ConcKey, ConcurrentTree};
 use crate::config::MAX_LEAF_CAPACITY;
 use crate::inner::Node;
 use crate::keys::KeyKind;
+use crate::metrics::{Counter, Op, OpTimer};
 use crate::single::Ctx;
 
 /// Bounded retries of a leaf-chain hop before the scan falls back to a
@@ -172,10 +173,14 @@ pub struct Scan<'a, K: KeyKind> {
     buf: LeafBuf<K>,
     /// Next leaf offset to gather; 0 when the chain walk is finished.
     next_leaf: u64,
+    /// Times the scan over the iterator's whole lifetime.
+    _timer: OpTimer<'a>,
 }
 
 impl<'a, K: KeyKind> Scan<'a, K> {
     pub(crate) fn new(ctx: &'a Ctx, root: &Node<K>, bounds: ScanBounds<K>) -> Self {
+        let timer = ctx.metrics.time_op(Op::Scan);
+        ctx.metrics.inc(Counter::ScanSeeks);
         let next_leaf = if bounds.is_empty() {
             0
         } else {
@@ -189,6 +194,7 @@ impl<'a, K: KeyKind> Scan<'a, K> {
             bounds,
             buf: LeafBuf::new(),
             next_leaf,
+            _timer: timer,
         }
     }
 }
@@ -199,6 +205,7 @@ impl<K: KeyKind> Iterator for Scan<'_, K> {
     fn next(&mut self) -> Option<(K::Owned, u64)> {
         loop {
             if let Some(item) = self.buf.pop() {
+                self.ctx.metrics.inc(Counter::ScanEntries);
                 return Some(item);
             }
             if self.next_leaf == 0 {
@@ -258,10 +265,13 @@ pub struct ConcScan<'a, K: ConcKey> {
     cursor: Cursor,
     /// Last key handed out; the monotonic emission floor.
     last: Option<K::Owned>,
+    /// Times the scan over the iterator's whole lifetime.
+    _timer: OpTimer<'a>,
 }
 
 impl<'a, K: ConcKey> ConcScan<'a, K> {
     pub(crate) fn new(tree: &'a ConcurrentTree<K>, bounds: ScanBounds<K>) -> Self {
+        let timer = tree.metrics().time_op(Op::Scan);
         let cursor = if bounds.is_empty() {
             Cursor::Done
         } else {
@@ -273,6 +283,7 @@ impl<'a, K: ConcKey> ConcScan<'a, K> {
             buf: LeafBuf::new(),
             cursor,
             last: None,
+            _timer: timer,
         }
     }
 
@@ -313,6 +324,7 @@ impl<'a, K: ConcKey> ConcScan<'a, K> {
             .clone()
             .or_else(|| self.bounds.seek_key().cloned());
         let tree = self.tree;
+        tree.ctx.metrics.inc(Counter::ScanSeeks);
         let (off, ver, past_hi, next_off) = tree.lock.execute(|tx| {
             let off = match &resume {
                 Some(k) => tree.traverse(k)?,
@@ -369,6 +381,7 @@ impl<'a, K: ConcKey> ConcScan<'a, K> {
                 }
                 self.buf.clear();
             }
+            self.tree.ctx.metrics.inc(Counter::ScanHopRetries);
             if attempt > 2 {
                 std::thread::yield_now();
             } else {
@@ -376,6 +389,7 @@ impl<'a, K: ConcKey> ConcScan<'a, K> {
             }
         }
         // Conflict persisted: splice or hot writer — re-seek by key.
+        self.tree.ctx.metrics.inc(Counter::ScanReseeks);
         self.cursor = Cursor::Seek;
     }
 }
@@ -387,6 +401,7 @@ impl<K: ConcKey> Iterator for ConcScan<'_, K> {
         loop {
             if let Some((k, v)) = self.buf.pop() {
                 self.last = Some(k.clone());
+                self.tree.ctx.metrics.inc(Counter::ScanEntries);
                 return Some((k, v));
             }
             match self.cursor {

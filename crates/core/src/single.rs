@@ -35,6 +35,7 @@ use crate::keys::KeyKind;
 use crate::layout::LeafLayout;
 use crate::leaf::Leaf;
 use crate::meta::{TreeMeta, STATUS_READY};
+use crate::metrics::{Counter, Metrics, Op, Snapshot};
 use crate::scan::{Scan, ScanBounds};
 
 /// Memory footprint report (Figure 8).
@@ -50,12 +51,14 @@ pub struct MemoryUsage {
     pub inner_count: usize,
 }
 
-/// Shared immutable context: pool, configuration, layout, metadata handle.
+/// Shared immutable context: pool, configuration, layout, metadata handle,
+/// and the tree's observability registry.
 pub(crate) struct Ctx {
     pub pool: Arc<PmemPool>,
     pub cfg: TreeConfig,
     pub layout: LeafLayout,
     pub meta: TreeMeta,
+    pub metrics: Arc<Metrics>,
 }
 
 impl Ctx {
@@ -131,6 +134,8 @@ impl Ctx {
         off: u64,
         log_idx: usize,
     ) -> (K::Owned, u64) {
+        self.metrics.inc(Counter::LeafSplits);
+        self.metrics.inc(Counter::LeafAllocs);
         let log = self.meta.split_log(log_idx);
         log.set_first(&self.pool, self.pptr(off));
         let new_off = groups.get_leaf(&self.pool, &self.layout, &self.meta, log.second_slot());
@@ -227,6 +232,7 @@ impl Ctx {
         prev: Option<u64>,
         log_idx: usize,
     ) {
+        self.metrics.inc(Counter::LeafFrees);
         let log = self.meta.delete_log(log_idx);
         log.set_first(&self.pool, self.pptr(off));
         let next = self.leaf(off).next();
@@ -368,8 +374,10 @@ impl<K: KeyKind> SingleTree<K> {
             cfg,
             layout,
             meta,
+            metrics: Arc::new(Metrics::new()),
         };
         let mut groups = GroupMgr::with_sanitize(cfg.leaf_group_size, K::IS_VAR);
+        ctx.metrics.inc(Counter::LeafAllocs);
         let head = groups.get_leaf(&ctx.pool, &ctx.layout, &meta, meta.head_slot());
         ctx.zero_leaf(head);
         meta.set_status(&ctx.pool, STATUS_READY);
@@ -411,6 +419,7 @@ impl<K: KeyKind> SingleTree<K> {
             cfg,
             layout,
             meta,
+            metrics: Arc::new(Metrics::new()),
         };
         let mut groups = GroupMgr::with_sanitize(cfg.leaf_group_size, K::IS_VAR);
 
@@ -425,6 +434,7 @@ impl<K: KeyKind> SingleTree<K> {
                 None => meta.head_slot(),
                 Some(p) => p + ctx.layout.off_next as u64,
             };
+            ctx.metrics.inc(Counter::LeafAllocs);
             let off = groups.get_leaf(&ctx.pool, &ctx.layout, &meta, dest);
             ctx.zero_leaf(off);
             let leaf = ctx.leaf(off);
@@ -507,7 +517,9 @@ impl<K: KeyKind> SingleTree<K> {
             cfg,
             layout,
             meta,
+            metrics: Arc::new(Metrics::new()),
         };
+        ctx.metrics.inc(Counter::RecoveryRebuilds);
         let mut groups = GroupMgr::with_sanitize(cfg.leaf_group_size, K::IS_VAR);
 
         if meta.status(&ctx.pool) != STATUS_READY {
@@ -589,6 +601,7 @@ impl<K: KeyKind> SingleTree<K> {
         let mut cur = ctx.meta.head(&ctx.pool).offset;
         assert_ne!(cur, 0, "initialized tree must have a head leaf");
         loop {
+            ctx.metrics.inc(Counter::RecoveryLeaves);
             let leaf = ctx.leaf(cur);
             leaf.reset_lock();
             ctx.audit_leaf::<K>(cur);
@@ -641,6 +654,7 @@ impl<K: KeyKind> SingleTree<K> {
                         inner.keys.insert(idx, sk);
                         inner.children.insert(idx + 1, right);
                         if inner.children.len() > ctx.cfg.inner_fanout {
+                            ctx.metrics.inc(Counter::InnerSplits);
                             let (up, new_right) = inner.split();
                             Outcome::Split {
                                 key: up,
@@ -673,6 +687,8 @@ impl<K: KeyKind> SingleTree<K> {
     /// Inserts `key → value`. Returns false (without modifying anything) if
     /// the key already exists.
     pub fn insert(&mut self, key: &K::Owned, value: u64) -> bool {
+        let metrics = Arc::clone(&self.ctx.metrics);
+        let _t = metrics.time_op(Op::Insert);
         let checked = Arc::clone(&self.ctx.pool);
         let _op = checked.begin_checked_op("insert");
         let (ctx, groups, root) = (&self.ctx, &mut self.groups, &mut self.root);
@@ -699,15 +715,24 @@ impl<K: KeyKind> SingleTree<K> {
         let inserted = self.apply_root_outcome(outcome);
         if inserted {
             self.len += 1;
+        } else {
+            metrics.inc(Counter::InsertExisting);
         }
         inserted
     }
 
     /// Looks up `key`.
     pub fn get(&self, key: &K::Owned) -> Option<u64> {
+        let _t = self.ctx.metrics.time_op(Op::Get);
         let off = self.root.find_leaf(key);
         let leaf = self.ctx.leaf(off);
-        leaf.find_slot::<K>(key).map(|slot| leaf.value(slot))
+        let found = leaf.find_slot::<K>(key).map(|slot| leaf.value(slot));
+        self.ctx.metrics.inc(if found.is_some() {
+            Counter::GetHits
+        } else {
+            Counter::GetMisses
+        });
+        found
     }
 
     /// True if `key` is present.
@@ -717,6 +742,8 @@ impl<K: KeyKind> SingleTree<K> {
 
     /// Updates the value of an existing key. Returns false if absent.
     pub fn update(&mut self, key: &K::Owned, value: u64) -> bool {
+        let metrics = Arc::clone(&self.ctx.metrics);
+        let _t = metrics.time_op(Op::Update);
         let checked = Arc::clone(&self.ctx.pool);
         let _op = checked.begin_checked_op("update");
         let (ctx, groups, root) = (&self.ctx, &mut self.groups, &mut self.root);
@@ -744,15 +771,22 @@ impl<K: KeyKind> SingleTree<K> {
             }
         };
         let outcome = Self::descend(ctx, groups, root, key, &mut leaf_op);
-        self.apply_root_outcome(outcome)
+        let updated = self.apply_root_outcome(outcome);
+        if !updated {
+            metrics.inc(Counter::UpdateMisses);
+        }
+        updated
     }
 
     /// Removes `key`. Returns false if absent.
     pub fn remove(&mut self, key: &K::Owned) -> bool {
+        let metrics = Arc::clone(&self.ctx.metrics);
+        let _t = metrics.time_op(Op::Remove);
         let _op = self.ctx.pool.begin_checked_op("remove");
         let (leaf_off, prev) = self.root.find_leaf_and_prev(key);
         let leaf = self.ctx.leaf(leaf_off);
         let Some(slot) = leaf.find_slot::<K>(key) else {
+            metrics.inc(Counter::RemoveMisses);
             return false;
         };
         let bm = leaf.bitmap() & !(1 << slot);
@@ -830,6 +864,17 @@ impl<K: KeyKind> SingleTree<K> {
     /// The effective configuration.
     pub fn config(&self) -> &TreeConfig {
         &self.ctx.cfg
+    }
+
+    /// This tree's observability registry (counters, latency histograms).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.ctx.metrics
+    }
+
+    /// Point-in-time snapshot of the tree's metrics, with the pool's
+    /// persistence counters absorbed as `pmem_*` fields.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.ctx.metrics.snapshot().with_pool(&self.ctx.pool)
     }
 
     /// Leaf offsets in list order (tests, audits, stats).

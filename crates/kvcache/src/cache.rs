@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use fptree_core::index::BytesIndex;
+use fptree_core::metrics::{Counter, Metrics, Snapshot};
 
 use crate::lru::LruList;
 use crate::store::{Item, ItemStore};
@@ -36,6 +37,7 @@ pub struct KvCache {
     store: ItemStore,
     lru: LruList,
     max_items: Option<usize>,
+    metrics: Arc<Metrics>,
 }
 
 impl KvCache {
@@ -46,6 +48,7 @@ impl KvCache {
             store: ItemStore::new(64),
             lru: LruList::new(),
             max_items: None,
+            metrics: Arc::new(Metrics::new()),
         }
     }
 
@@ -58,7 +61,26 @@ impl KvCache {
             store: ItemStore::new(64),
             lru: LruList::new(),
             max_items: Some(max_items),
+            metrics: Arc::new(Metrics::new()),
         }
+    }
+
+    /// The cache's own observability registry (command/byte/connection
+    /// counters recorded by the protocol and server layers).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// One flat snapshot spanning the whole stack: the cache/server
+    /// counters followed by the underlying tree's metrics (op latencies,
+    /// contention, `htm_*`, `pmem_*`) when the index is instrumented.
+    pub fn stats_snapshot(&self) -> Snapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.push("curr_items", self.index.len() as u64);
+        if let Some(tree) = self.index.metrics_snapshot() {
+            snap.merge(tree);
+        }
+        snap
     }
 
     /// SET: stores `key → (flags, data)`, replacing any existing value and
@@ -79,6 +101,7 @@ impl KvCache {
                         break;
                     };
                     self.delete_evicted(&victim);
+                    self.metrics.inc(Counter::CacheEvictions);
                 }
             }
         }
@@ -114,10 +137,18 @@ impl KvCache {
 
     /// GET: returns `(flags, data)` if present; refreshes LRU recency.
     pub fn get(&self, key: &[u8]) -> Option<(u32, Vec<u8>)> {
-        let handle = self.index.get(key)?;
+        let Some(handle) = self.index.get(key) else {
+            self.metrics.inc(Counter::CacheMisses);
+            return None;
+        };
         let item = self.store.get(handle).map(|i| (i.flags, i.data));
-        if item.is_some() && self.max_items.is_some() {
-            self.lru.touch(key);
+        if item.is_some() {
+            self.metrics.inc(Counter::CacheHits);
+            if self.max_items.is_some() {
+                self.lru.touch(key);
+            }
+        } else {
+            self.metrics.inc(Counter::CacheMisses);
         }
         item
     }

@@ -9,8 +9,22 @@
 //! client pipelines without reading). `scan` is our ordered-index extension:
 //! it returns up to `count` items with keys `>= start` in key order, and
 //! `SERVER_ERROR` when the configured index cannot scan (hash).
+//!
+//! Observability commands (memcached-compatible):
+//! `version\r\n` → `VERSION <server> proto <n>\r\n`
+//! `stats\r\n` → `STAT <name> <value>\r\n` lines then `END\r\n`
+//! `stats reset\r\n` → `RESET\r\n` (zeroes the server-side counters)
+//!
+//! Keys follow memcached's limit of 250 bytes
+//! ([`fptree_core::MAX_KEY_BYTES`]); longer keys are a protocol error.
 
 use crate::cache::KvCache;
+use fptree_core::metrics::Counter;
+use fptree_core::MAX_KEY_BYTES;
+
+/// Wire-protocol revision, reported by `version` and `stats`. Bump when the
+/// command set or response framing changes incompatibly.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A parsed client command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +50,11 @@ pub enum Command {
         /// Maximum number of items to return.
         count: usize,
     },
+    Stats {
+        /// `stats reset`: zero the server-side counters instead of dumping.
+        reset: bool,
+    },
+    Version,
     Quit,
 }
 
@@ -64,6 +83,15 @@ fn parse_noreply<'a>(
     }
 }
 
+/// Rejects keys beyond memcached's 250-byte limit.
+fn check_key_len(key: &str) -> Result<(), ParseError> {
+    if key.len() > MAX_KEY_BYTES {
+        Err(ParseError::Bad("key exceeds 250 bytes"))
+    } else {
+        Ok(())
+    }
+}
+
 /// Parses one command from `buf`, returning it and the bytes consumed.
 pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
     let line_end = find_crlf(buf).ok_or(ParseError::Incomplete)?;
@@ -73,6 +101,7 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
     match verb {
         "set" => {
             let key = parts.next().ok_or(ParseError::Bad("set: missing key"))?;
+            check_key_len(key)?;
             let flags: u32 = parts
                 .next()
                 .and_then(|s| s.parse().ok())
@@ -102,6 +131,7 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
         }
         "get" => {
             let key = parts.next().ok_or(ParseError::Bad("get: missing key"))?;
+            check_key_len(key)?;
             Ok((
                 Command::Get {
                     key: key.as_bytes().to_vec(),
@@ -111,6 +141,7 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
         }
         "delete" => {
             let key = parts.next().ok_or(ParseError::Bad("delete: missing key"))?;
+            check_key_len(key)?;
             let noreply = parse_noreply(parts, "delete: trailing token")?;
             Ok((
                 Command::Delete {
@@ -137,6 +168,23 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
                 line_end + 2,
             ))
         }
+        "stats" => {
+            let reset = match parts.next() {
+                None => false,
+                Some("reset") => match parts.next() {
+                    None => true,
+                    Some(_) => return Err(ParseError::Bad("stats: trailing token")),
+                },
+                Some(_) => return Err(ParseError::Bad("stats: unknown argument")),
+            };
+            Ok((Command::Stats { reset }, line_end + 2))
+        }
+        "version" => {
+            if parts.next().is_some() {
+                return Err(ParseError::Bad("version: trailing token"));
+            }
+            Ok((Command::Version, line_end + 2))
+        }
         "quit" => Ok((Command::Quit, line_end + 2)),
         _ => Err(ParseError::Bad("unknown verb")),
     }
@@ -156,6 +204,7 @@ pub fn execute(cache: &KvCache, cmd: &Command) -> Vec<u8> {
             data,
             noreply,
         } => {
+            cache.metrics().inc(Counter::CmdSet);
             cache.set(key, *flags, data.clone());
             if *noreply {
                 Vec::new()
@@ -163,16 +212,20 @@ pub fn execute(cache: &KvCache, cmd: &Command) -> Vec<u8> {
                 b"STORED\r\n".to_vec()
             }
         }
-        Command::Get { key } => match cache.get(key) {
-            Some((flags, data)) => {
-                let mut out = Vec::new();
-                push_value(&mut out, key, flags, &data);
-                out.extend_from_slice(b"END\r\n");
-                out
+        Command::Get { key } => {
+            cache.metrics().inc(Counter::CmdGet);
+            match cache.get(key) {
+                Some((flags, data)) => {
+                    let mut out = Vec::new();
+                    push_value(&mut out, key, flags, &data);
+                    out.extend_from_slice(b"END\r\n");
+                    out
+                }
+                None => b"END\r\n".to_vec(),
             }
-            None => b"END\r\n".to_vec(),
-        },
+        }
         Command::Delete { key, noreply } => {
+            cache.metrics().inc(Counter::CmdDelete);
             let deleted = cache.delete(key);
             if *noreply {
                 Vec::new()
@@ -182,19 +235,62 @@ pub fn execute(cache: &KvCache, cmd: &Command) -> Vec<u8> {
                 b"NOT_FOUND\r\n".to_vec()
             }
         }
-        Command::Scan { start, count } => match cache.scan(start, *count) {
-            Some(items) => {
-                let mut out = Vec::new();
-                for (key, flags, data) in &items {
-                    push_value(&mut out, key, *flags, data);
+        Command::Scan { start, count } => {
+            cache.metrics().inc(Counter::CmdScan);
+            match cache.scan(start, *count) {
+                Some(items) => {
+                    let mut out = Vec::new();
+                    for (key, flags, data) in &items {
+                        push_value(&mut out, key, *flags, data);
+                    }
+                    out.extend_from_slice(b"END\r\n");
+                    out
                 }
-                out.extend_from_slice(b"END\r\n");
-                out
+                None => b"SERVER_ERROR scan not supported by this index\r\n".to_vec(),
             }
-            None => b"SERVER_ERROR scan not supported by this index\r\n".to_vec(),
-        },
+        }
+        Command::Stats { reset } => {
+            cache.metrics().inc(Counter::CmdStats);
+            if *reset {
+                cache.metrics().reset();
+                b"RESET\r\n".to_vec()
+            } else {
+                render_stats(cache)
+            }
+        }
+        Command::Version => {
+            cache.metrics().inc(Counter::CmdVersion);
+            version_line().into_bytes()
+        }
         Command::Quit => Vec::new(),
     }
+}
+
+/// The `version` response: server name/version plus the wire-protocol
+/// revision, e.g. `VERSION fptree-kvcache/0.1.0 proto 2\r\n`.
+pub fn version_line() -> String {
+    format!(
+        "VERSION fptree-kvcache/{} proto {}\r\n",
+        env!("CARGO_PKG_VERSION"),
+        PROTOCOL_VERSION
+    )
+}
+
+/// Renders the memcached `stats` response: one `STAT <name> <value>\r\n`
+/// line per snapshot field, closed by `END\r\n`. The first two lines carry
+/// the server version and protocol revision like memcached's `STAT version`.
+fn render_stats(cache: &KvCache) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "STAT version {}\r\nSTAT protocol {}\r\n",
+        env!("CARGO_PKG_VERSION"),
+        PROTOCOL_VERSION
+    ));
+    for (name, value) in cache.stats_snapshot().fields() {
+        out.push_str(&format!("STAT {name} {value}\r\n"));
+    }
+    out.push_str("END\r\n");
+    out.into_bytes()
 }
 
 /// Renders one `VALUE <key> <flags> <bytes>\r\n<data>\r\n` block.
@@ -328,6 +424,102 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(matches!(parse(b"frobnicate\r\n"), Err(ParseError::Bad(_))));
         assert!(matches!(parse(b"set k x 0 5\r\n"), Err(ParseError::Bad(_))));
+    }
+
+    #[test]
+    fn parse_stats_and_version() {
+        assert_eq!(
+            parse(b"stats\r\n").unwrap().0,
+            Command::Stats { reset: false }
+        );
+        assert_eq!(
+            parse(b"stats reset\r\n").unwrap().0,
+            Command::Stats { reset: true }
+        );
+        assert_eq!(parse(b"version\r\n").unwrap().0, Command::Version);
+        assert!(matches!(parse(b"stats bogus\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(
+            parse(b"stats reset x\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(parse(b"version x\r\n"), Err(ParseError::Bad(_))));
+    }
+
+    #[test]
+    fn parse_rejects_oversized_keys() {
+        let long = "k".repeat(MAX_KEY_BYTES + 1);
+        assert!(matches!(
+            parse(format!("get {long}\r\n").as_bytes()),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(format!("set {long} 0 0 1\r\nx\r\n").as_bytes()),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(format!("delete {long}\r\n").as_bytes()),
+            Err(ParseError::Bad(_))
+        ));
+        // Exactly at the limit is fine.
+        let max = "k".repeat(MAX_KEY_BYTES);
+        assert!(parse(format!("get {max}\r\n").as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn execute_version_reports_protocol() {
+        let c = cache();
+        let (cmd, _) = parse(b"version\r\n").unwrap();
+        let resp = String::from_utf8(execute(&c, &cmd)).unwrap();
+        assert!(resp.starts_with("VERSION fptree-kvcache/"));
+        assert!(resp.ends_with(&format!("proto {PROTOCOL_VERSION}\r\n")));
+    }
+
+    #[test]
+    fn execute_stats_renders_memcached_format() {
+        let c = cache();
+        for cmd in ["set k 0 0 2\r\nhi\r\n", "get k\r\n", "get missing\r\n"] {
+            let (cmd, _) = parse(cmd.as_bytes()).unwrap();
+            execute(&c, &cmd);
+        }
+        let (stats, _) = parse(b"stats\r\n").unwrap();
+        let resp = String::from_utf8(execute(&c, &stats)).unwrap();
+        assert!(resp.ends_with("END\r\n"));
+        let mut lines = resp.lines().collect::<Vec<_>>();
+        assert_eq!(lines.pop(), Some("END"));
+        // Every remaining line is `STAT <name> <value>`.
+        for line in &lines {
+            let mut parts = line.split(' ');
+            assert_eq!(parts.next(), Some("STAT"));
+            assert!(parts.next().is_some());
+            assert!(parts.next().is_some());
+        }
+        let field = |name: &str| {
+            lines
+                .iter()
+                .find_map(|l| l.strip_prefix(&format!("STAT {name} ")))
+                .map(|v| v.to_owned())
+        };
+        assert_eq!(field("protocol"), Some(PROTOCOL_VERSION.to_string()));
+        assert_eq!(field("curr_items"), Some("1".to_string()));
+        if fptree_core::Metrics::enabled() {
+            assert_eq!(field("cmd_get"), Some("2".to_string()));
+            assert_eq!(field("cmd_set"), Some("1".to_string()));
+            assert_eq!(field("cache_hits"), Some("1".to_string()));
+            assert_eq!(field("cache_misses"), Some("1".to_string()));
+        }
+    }
+
+    #[test]
+    fn execute_stats_reset_zeroes_counters() {
+        let c = cache();
+        let (set, _) = parse(b"set k 0 0 2\r\nhi\r\n").unwrap();
+        execute(&c, &set);
+        let (reset, _) = parse(b"stats reset\r\n").unwrap();
+        assert_eq!(execute(&c, &reset), b"RESET\r\n");
+        let snap = c.stats_snapshot();
+        assert_eq!(snap.get("cmd_set"), Some(0));
+        // stats reset leaves the data itself untouched.
+        assert_eq!(c.get(b"k").unwrap().1, b"hi".to_vec());
     }
 
     #[test]

@@ -8,32 +8,50 @@
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+use fptree_core::metrics::{Counter, Metrics};
 
 use crate::cache::KvCache;
 use crate::protocol::{execute, parse, Command, ParseError};
 
-/// Handle to a running server; dropping does not stop it — call
-/// [`ServerHandle::shutdown`].
+/// Handle to a running server. [`ServerHandle::shutdown`] stops it
+/// explicitly; dropping the handle shuts it down too.
 pub struct ServerHandle {
     /// Address the server actually bound (useful with port 0).
     pub addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    join: Option<std::thread::JoinHandle<()>>,
+    join: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl ServerHandle {
-    /// Signals the accept loop to stop and joins it.
-    pub fn shutdown(mut self) {
+    /// Signals the accept loop to stop and joins it. Idempotent: calling
+    /// again (or dropping after a call) is a no-op.
+    pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        let Some(join) = self.join.lock().unwrap().take() else {
+            return; // already shut down
+        };
         // Nudge the blocking accept with a dummy connection — bounded, so
-        // shutdown cannot hang if the listener thread already exited (the
-        // kernel may then accept nothing and an unbounded connect on a
-        // half-configured network stack could block indefinitely).
-        let _ = TcpStream::connect_timeout(&self.addr, std::time::Duration::from_secs(1));
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
+        // shutdown cannot hang if the network stack swallows the connect.
+        for _ in 0..3 {
+            match TcpStream::connect_timeout(&self.addr, std::time::Duration::from_millis(500)) {
+                // The accept loop woke up and will observe `stop`.
+                Ok(_) => break,
+                // Success too: the listener is already gone, so the accept
+                // loop has exited and the join below cannot block.
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => break,
+                // Transient failure (timeout, interrupted): retry the nudge.
+                Err(_) => continue,
+            }
         }
+        let _ = join.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -58,11 +76,24 @@ pub fn serve(cache: Arc<KvCache>, addr: &str) -> std::io::Result<ServerHandle> {
     Ok(ServerHandle {
         addr,
         stop,
-        join: Some(join),
+        join: Mutex::new(Some(join)),
     })
 }
 
+/// Increments `conn_closed` however the connection ends (quit, hang-up,
+/// protocol error, or I/O error unwinding through `?`).
+struct ConnGuard<'a>(&'a Metrics);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inc(Counter::ConnClosed);
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, cache: &KvCache) -> std::io::Result<()> {
+    let metrics = Arc::clone(cache.metrics());
+    metrics.inc(Counter::ConnOpened);
+    let _guard = ConnGuard(&metrics);
     stream.set_nodelay(true)?;
     let mut buf = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
@@ -74,6 +105,7 @@ fn handle_connection(mut stream: TcpStream, cache: &KvCache) -> std::io::Result<
                     return Ok(());
                 }
                 let resp = execute(cache, &cmd);
+                metrics.add(Counter::BytesWritten, resp.len() as u64);
                 stream.write_all(&resp)?;
             }
             Err(ParseError::Incomplete) => {
@@ -81,9 +113,12 @@ fn handle_connection(mut stream: TcpStream, cache: &KvCache) -> std::io::Result<
                 if n == 0 {
                     return Ok(()); // client hung up
                 }
+                metrics.add(Counter::BytesRead, n as u64);
                 buf.extend_from_slice(&chunk[..n]);
             }
             Err(ParseError::Bad(_)) => {
+                metrics.inc(Counter::CmdBad);
+                metrics.add(Counter::BytesWritten, b"ERROR\r\n".len() as u64);
                 stream.write_all(b"ERROR\r\n")?;
                 return Ok(());
             }
@@ -172,6 +207,47 @@ impl Client {
             let data = self.buf[..bytes].to_vec();
             self.buf.drain(..bytes + 2);
             out.push((key.to_string(), data));
+        }
+    }
+
+    /// VERSION; returns the server's banner line, e.g.
+    /// `VERSION fptree-kvcache/0.1.0 proto 2`.
+    pub fn version(&mut self) -> std::io::Result<String> {
+        self.stream.write_all(b"version\r\n")?;
+        let line = self.read_line()?;
+        Ok(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// STATS; returns the `STAT <name> <value>` pairs in server order.
+    /// Values stay strings because memcached stats mix numbers and text
+    /// (e.g. `STAT version 0.1.0`).
+    pub fn stats(&mut self) -> std::io::Result<Vec<(String, String)>> {
+        self.stream.write_all(b"stats\r\n")?;
+        let mut out = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == b"END" {
+                return Ok(out);
+            }
+            let text = String::from_utf8_lossy(&line).to_string();
+            let mut parts = text.split_ascii_whitespace();
+            let (Some("STAT"), Some(name), Some(value), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(std::io::Error::other(format!("bad STAT line: {text}")));
+            };
+            out.push((name.to_string(), value.to_string()));
+        }
+    }
+
+    /// STATS RESET; zeroes the server-side counters.
+    pub fn stats_reset(&mut self) -> std::io::Result<()> {
+        self.stream.write_all(b"stats reset\r\n")?;
+        let line = self.read_line()?;
+        if line == b"RESET" {
+            Ok(())
+        } else {
+            Err(std::io::Error::other("expected RESET"))
         }
     }
 
@@ -274,6 +350,88 @@ mod tests {
         }
         assert_eq!(resp, b"VALUE k7 0 2\r\nv7\r\nEND\r\n");
         assert_eq!(cache.len(), 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        server.shutdown();
+        // Second explicit call and the implicit Drop are both no-ops; the
+        // listener is already gone so the nudge sees ConnectionRefused.
+        server.shutdown();
+        drop(server);
+    }
+
+    #[test]
+    fn stats_over_tcp_reports_live_counters() {
+        use fptree_core::{Locked, TreeConfig};
+        use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
+        let cache = Arc::new(KvCache::new(Arc::new(Locked::new(tree))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr).unwrap();
+
+        let banner = client.version().unwrap();
+        assert!(banner.starts_with("VERSION fptree-kvcache/"));
+
+        client.set("alpha", b"one").unwrap();
+        client.set("beta", b"two").unwrap();
+        assert_eq!(client.get("alpha").unwrap(), Some(b"one".to_vec()));
+        assert_eq!(client.get("missing").unwrap(), None);
+
+        let stats = client.stats().unwrap();
+        let field = |name: &str| {
+            stats
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(field("curr_items"), Some("2".to_string()));
+        assert!(field("protocol").is_some());
+        if fptree_core::Metrics::enabled() {
+            assert_eq!(field("cmd_set"), Some("2".to_string()));
+            assert_eq!(field("cmd_get"), Some("2".to_string()));
+            assert_eq!(field("cache_hits"), Some("1".to_string()));
+            assert_eq!(field("cache_misses"), Some("1".to_string()));
+            assert_eq!(field("conn_opened"), Some("1".to_string()));
+            // The tree's metrics ride along in the same snapshot. The cache
+            // issues extra tree GETs internally (swap_handle), so `get_ops`
+            // exceeds the two client GETs.
+            assert_eq!(field("insert_ops"), Some("2".to_string()));
+            let get_ops: u64 = field("get_ops").unwrap().parse().unwrap();
+            assert!(get_ops >= 2);
+            assert!(field("pmem_allocs").is_some());
+            let read: u64 = field("bytes_read").unwrap().parse().unwrap();
+            assert!(read > 0, "bytes_read should count request bytes");
+        }
+
+        client.stats_reset().unwrap();
+        let stats = client.stats().unwrap();
+        let zeroed = stats
+            .iter()
+            .find(|(n, _)| n == "cmd_set")
+            .map(|(_, v)| v.clone());
+        assert_eq!(zeroed, Some("0".to_string()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_command_counts_and_errors() {
+        let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+        stream.write_all(b"frobnicate\r\n").unwrap();
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).unwrap();
+        assert_eq!(resp, b"ERROR\r\n");
+        if fptree_core::Metrics::enabled() {
+            // The connection thread may still be mid-teardown; the counter
+            // was bumped before the ERROR line was written.
+            assert_eq!(cache.stats_snapshot().get("cmd_bad"), Some(1));
+        }
         server.shutdown();
     }
 

@@ -37,6 +37,7 @@ proptest! {
                 match cmd {
                     Command::Set { .. } | Command::Get { .. }
                     | Command::Delete { .. } | Command::Scan { .. }
+                    | Command::Stats { .. } | Command::Version
                     | Command::Quit => {}
                 }
             }
