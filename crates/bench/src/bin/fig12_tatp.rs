@@ -161,7 +161,8 @@ impl Setup {
                     let slot = self.dir + i * 16;
                     match self.tree {
                         "FPTree" | "PTree" => {
-                            let t = SingleTree::<FixedKey>::open(Arc::clone(&pool2), slot);
+                            let t = SingleTree::<FixedKey>::open(Arc::clone(&pool2), slot)
+                                .expect("recover");
                             if want_metrics {
                                 let snap = t.metrics_snapshot();
                                 match &mut recovered {

@@ -5,6 +5,10 @@
 //! inner nodes from the leaf list; the STXTree baseline must be fully
 //! rebuilt from sorted data (the transient "full rebuild after restart").
 //! The wBTree lives entirely in SCM and recovers in constant time.
+//!
+//! `--threads 1,2,4` sweeps the parallel-recovery worker pool and adds
+//! per-phase columns (`replay_ms`/`harvest_ms`/`audit_ms`/`build_ms`) for
+//! the FPTree/PTree variants.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -21,6 +25,13 @@ fn main() {
     let var_keys = args.get_str("keys") == Some("var");
     let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
+    // `--threads 1,2,4` sweeps the recovery worker pool; a bare `--threads N`
+    // measures one setting. Absent, the tree's default pool size is used
+    // (0 is "pick the default" to `open_with`).
+    let threads_list: Vec<usize> = args
+        .get_str("threads")
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![0]);
     let sizes: Vec<usize> = {
         let mut v = vec![];
         let mut s = max_scale / 100;
@@ -47,13 +58,13 @@ fn main() {
         for &size in &sizes {
             let keys = shuffled_keys(size, 3);
             let row = if var_keys {
-                measure_var(&keys, latency, want_metrics)
+                measure_var(&keys, latency, want_metrics, &threads_list)
             } else {
-                measure_fixed(&keys, latency, want_metrics)
+                measure_fixed(&keys, latency, want_metrics, &threads_list)
             };
             let mut r = Row::new(format!("{size} keys"));
             for (name, ms) in row {
-                r = r.field(name, ms);
+                r = r.field(&name, ms);
             }
             report.push(r);
         }
@@ -65,7 +76,54 @@ fn pool_mb_for(n: usize) -> usize {
     (n * 4000 / (1 << 20) + 128).next_power_of_two()
 }
 
-fn measure_fixed(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'static str, f64)> {
+/// Recovers with each requested worker count, reporting total and per-phase
+/// times. Field names stay the bare tree name for the default single-setting
+/// run; sweeps suffix the worker count (`FPTree(t4)`).
+fn recover_sweep<K: fptree_core::KeyKind>(
+    name: &str,
+    img: &[u8],
+    latency: u64,
+    want_metrics: bool,
+    threads_list: &[usize],
+    expect_len: usize,
+    rows: &mut Vec<(String, f64)>,
+) {
+    for &threads in threads_list {
+        let pool2 = reopen(img.to_vec(), latency);
+        let start = Instant::now();
+        let t2 =
+            SingleTree::<K>::open_with(Arc::clone(&pool2), ROOT_SLOT, threads).expect("recover");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(t2.len(), expect_len);
+        let label = if threads_list.len() == 1 {
+            name.to_string()
+        } else {
+            format!("{name}(t{threads})")
+        };
+        if want_metrics {
+            // The freshly opened tree's registry carries only the recovery
+            // work: recovery_rebuilds, recovery_leaves, leaf fills.
+            fptree_bench::print_metrics(
+                &format!("{label} recovery @{latency}ns"),
+                Some(&t2.metrics_snapshot()),
+            );
+        }
+        rows.push((label.clone(), ms));
+        if let Some(rs) = t2.recovery_stats() {
+            rows.push((format!("{label}:replay_ms"), rs.replay_us as f64 / 1e3));
+            rows.push((format!("{label}:harvest_ms"), rs.harvest_us as f64 / 1e3));
+            rows.push((format!("{label}:audit_ms"), rs.audit_us as f64 / 1e3));
+            rows.push((format!("{label}:build_ms"), rs.build_us as f64 / 1e3));
+        }
+    }
+}
+
+fn measure_fixed(
+    keys: &[u64],
+    latency: u64,
+    want_metrics: bool,
+    threads_list: &[usize],
+) -> Vec<(String, f64)> {
     let mut rows = Vec::new();
     // FPTree (leaf groups: better recovery locality) and PTree.
     for (name, cfg) in [
@@ -79,20 +137,15 @@ fn measure_fixed(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'stati
         }
         drop(t);
         let img = pool.clean_image();
-        let pool2 = reopen(img, latency);
-        let start = Instant::now();
-        let t2 = SingleTree::<FixedKey>::open(Arc::clone(&pool2), ROOT_SLOT);
-        let ms = start.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(t2.len(), keys.len());
-        if want_metrics {
-            // The freshly opened tree's registry carries only the recovery
-            // work: recovery_rebuilds, recovery_leaves, leaf fills.
-            fptree_bench::print_metrics(
-                &format!("{name} recovery @{latency}ns"),
-                Some(&t2.metrics_snapshot()),
-            );
-        }
-        rows.push((name, ms));
+        recover_sweep::<FixedKey>(
+            name,
+            &img,
+            latency,
+            want_metrics,
+            threads_list,
+            keys.len(),
+            &mut rows,
+        );
     }
     // NV-Tree.
     {
@@ -108,7 +161,7 @@ fn measure_fixed(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'stati
         let t2 = NVTreeC::<FixedKey>::open(Arc::clone(&pool2), 128, ROOT_SLOT);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(t2.len(), keys.len());
-        rows.push(("NV-Tree", ms));
+        rows.push(("NV-Tree".to_string(), ms));
     }
     // wBTree: constant-time (micro-log replay only).
     {
@@ -124,7 +177,7 @@ fn measure_fixed(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'stati
         let t2 = WBTree::<FixedKey>::open(Arc::clone(&pool2), ROOT_SLOT);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(t2.len(), keys.len());
-        rows.push(("wBTree", ms));
+        rows.push(("wBTree".to_string(), ms));
     }
     // STXTree: a transient tree loses everything — restart means
     // re-inserting the entire dataset (the paper's "full rebuild").
@@ -136,12 +189,17 @@ fn measure_fixed(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'stati
         }
         let ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(t.len(), keys.len());
-        rows.push(("STXTree-rebuild", ms));
+        rows.push(("STXTree-rebuild".to_string(), ms));
     }
     rows
 }
 
-fn measure_var(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'static str, f64)> {
+fn measure_var(
+    keys: &[u64],
+    latency: u64,
+    want_metrics: bool,
+    threads_list: &[usize],
+) -> Vec<(String, f64)> {
     let mut rows = Vec::new();
     let skeys: Vec<Vec<u8>> = keys.iter().map(|&k| string_key(k)).collect();
     for (name, cfg) in [
@@ -155,18 +213,15 @@ fn measure_var(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'static 
         }
         drop(t);
         let img = pool.clean_image();
-        let pool2 = reopen(img, latency);
-        let start = Instant::now();
-        let t2 = SingleTree::<VarKey>::open(Arc::clone(&pool2), ROOT_SLOT);
-        let ms = start.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(t2.len(), keys.len());
-        if want_metrics {
-            fptree_bench::print_metrics(
-                &format!("{name} recovery @{latency}ns"),
-                Some(&t2.metrics_snapshot()),
-            );
-        }
-        rows.push((name, ms));
+        recover_sweep::<VarKey>(
+            name,
+            &img,
+            latency,
+            want_metrics,
+            threads_list,
+            keys.len(),
+            &mut rows,
+        );
     }
     {
         let pool = pool_with(pool_mb_for(keys.len()) * 4, latency);
@@ -181,7 +236,7 @@ fn measure_var(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'static 
         let t2 = NVTreeC::<VarKey>::open(Arc::clone(&pool2), 128, ROOT_SLOT);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(t2.len(), keys.len());
-        rows.push(("NV-TreeVar", ms));
+        rows.push(("NV-TreeVar".to_string(), ms));
     }
     {
         let start = Instant::now();
@@ -191,7 +246,7 @@ fn measure_var(keys: &[u64], latency: u64, want_metrics: bool) -> Vec<(&'static 
         }
         let ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(t.len(), keys.len());
-        rows.push(("STXTreeVar-rebuild", ms));
+        rows.push(("STXTreeVar-rebuild".to_string(), ms));
     }
     rows
 }

@@ -86,7 +86,8 @@ fn open_or_create(path: &str) -> (Arc<PmemPool>, FPTreeVar) {
                 .unwrap_or_else(|e| fail(&format!("loading {path}: {e}"))),
         );
         let t = std::time::Instant::now();
-        let tree = FPTreeVar::open(Arc::clone(&pool), ROOT_SLOT);
+        let tree = FPTreeVar::open(Arc::clone(&pool), ROOT_SLOT)
+            .unwrap_or_else(|e| fail(&format!("recovering {path}: {e}")));
         eprintln!("recovered {} keys in {:?}", tree.len(), t.elapsed());
         (pool, tree)
     } else {

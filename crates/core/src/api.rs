@@ -72,6 +72,25 @@ pub enum Error {
     Io(std::io::Error),
     /// A lock guarding an index was poisoned by a panicking holder.
     Poisoned,
+    /// The persistent image is inconsistent: a pointer, count, or metadata
+    /// word read during recovery fails validation. The tree refuses to
+    /// recover rather than follow corrupt state.
+    Corrupt {
+        /// Which structure failed validation.
+        what: String,
+        /// Pool offset of the offending word (0 when not applicable).
+        offset: u64,
+    },
+}
+
+impl Error {
+    /// Shorthand for a [`Error::Corrupt`] at `offset`.
+    pub(crate) fn corrupt(what: impl Into<String>, offset: u64) -> Error {
+        Error::Corrupt {
+            what: what.into(),
+            offset,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -96,6 +115,13 @@ impl fmt::Display for Error {
             }
             Error::Io(e) => write!(f, "pool I/O error: {e}"),
             Error::Poisoned => write!(f, "index lock poisoned by a panicking holder"),
+            Error::Corrupt { what, offset } => {
+                if *offset == 0 {
+                    write!(f, "corrupt tree image: {what}")
+                } else {
+                    write!(f, "corrupt tree image: {what} (pool offset {offset:#x})")
+                }
+            }
         }
     }
 }
@@ -158,6 +184,7 @@ pub fn check_key(key: &[u8]) -> Result<(), Error> {
 pub struct TreeBuilder {
     cfg: TreeConfig,
     owner_slot: u64,
+    recovery_threads: usize,
 }
 
 impl Default for TreeBuilder {
@@ -172,6 +199,7 @@ impl TreeBuilder {
         TreeBuilder {
             cfg: TreeConfig::fptree(),
             owner_slot: ROOT_SLOT,
+            recovery_threads: crate::config::default_recovery_threads(),
         }
     }
 
@@ -180,6 +208,7 @@ impl TreeBuilder {
         TreeBuilder {
             cfg: TreeConfig::fptree_concurrent(),
             owner_slot: ROOT_SLOT,
+            recovery_threads: crate::config::default_recovery_threads(),
         }
     }
 
@@ -188,6 +217,7 @@ impl TreeBuilder {
         TreeBuilder {
             cfg,
             owner_slot: ROOT_SLOT,
+            recovery_threads: crate::config::default_recovery_threads(),
         }
     }
 
@@ -232,6 +262,18 @@ impl TreeBuilder {
     /// (defaults to [`fptree_pmem::ROOT_SLOT`]).
     pub fn owner_slot(mut self, slot: u64) -> TreeBuilder {
         self.owner_slot = slot;
+        self
+    }
+
+    /// Sets the worker count for the parallel recovery pipeline used by the
+    /// `open_*` methods (defaults to the machine's available parallelism;
+    /// 0 restores the default, 1 recovers serially).
+    pub fn recovery_threads(mut self, n: usize) -> TreeBuilder {
+        self.recovery_threads = if n == 0 {
+            crate::config::default_recovery_threads()
+        } else {
+            n
+        };
         self
     }
 
@@ -291,6 +333,32 @@ impl TreeBuilder {
         cfg.leaf_group_size = 0;
         self.check::<crate::keys::VarKey>(&cfg, &pool)?;
         Ok(ConcurrentFPTreeVar::create(pool, cfg, self.owner_slot))
+    }
+
+    /// Opens (recovers) the single-threaded fixed-key tree owned by this
+    /// builder's owner slot, running the recovery pipeline on
+    /// [`TreeBuilder::recovery_threads`] workers. The persisted
+    /// configuration wins; the builder's config knobs are ignored.
+    pub fn open(&self, pool: Arc<PmemPool>) -> Result<FpTree, Error> {
+        FPTreeInner::open_with(pool, self.owner_slot, self.recovery_threads)
+    }
+
+    /// Opens (recovers) the single-threaded variable-key tree at the owner
+    /// slot; see [`TreeBuilder::open`].
+    pub fn open_var(&self, pool: Arc<PmemPool>) -> Result<FpTreeVar, Error> {
+        FPTreeVarInner::open_with(pool, self.owner_slot, self.recovery_threads)
+    }
+
+    /// Opens (recovers) the concurrent fixed-key tree at the owner slot;
+    /// see [`TreeBuilder::open`].
+    pub fn open_concurrent(&self, pool: Arc<PmemPool>) -> Result<FpTreeC, Error> {
+        ConcurrentFPTree::open_with(pool, self.owner_slot, self.recovery_threads)
+    }
+
+    /// Opens (recovers) the concurrent variable-key tree at the owner slot;
+    /// see [`TreeBuilder::open`].
+    pub fn open_concurrent_var(&self, pool: Arc<PmemPool>) -> Result<FpTreeCVar, Error> {
+        ConcurrentFPTreeVar::open_with(pool, self.owner_slot, self.recovery_threads)
     }
 }
 

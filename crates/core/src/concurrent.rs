@@ -34,20 +34,22 @@ use std::cmp::Ordering as CmpOrdering;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam_queue::ArrayQueue;
 use fptree_htm::{Abort, SpecLock};
 use fptree_pmem::{PmemPool, RawPPtr};
 use parking_lot::Mutex;
 
+use crate::api::Error;
 use crate::config::TreeConfig;
 use crate::groups::GroupMgr;
 use crate::keys::{FixedKey, KeyKind, VarKey};
 use crate::layout::LeafLayout;
 use crate::meta::{TreeMeta, STATUS_READY};
-use crate::metrics::{Counter, Metrics, Op, Snapshot};
+use crate::metrics::{Counter, Metrics, Op, RecoveryStats, Snapshot};
 use crate::scan::{ConcScan, ScanBounds};
-use crate::single::Ctx;
+use crate::single::{Ctx, SingleTree};
 
 /// Traversal depth bound: a torn optimistic read can cycle; anything deeper
 /// than this is declared a conflict.
@@ -211,6 +213,7 @@ pub struct ConcurrentTree<K: ConcKey> {
     intern: Interner,
     log_queue: ArrayQueue<usize>,
     len: AtomicUsize,
+    recovery: Option<RecoveryStats>,
     _marker: std::marker::PhantomData<K>,
 }
 
@@ -251,23 +254,52 @@ impl<K: ConcKey> ConcurrentTree<K> {
 
     /// Opens (recovers) a concurrent tree: Algorithm 9 — replay micro-logs,
     /// audit, rebuild inner nodes, reset leaf locks, rebuild log queues.
-    pub fn open(pool: Arc<PmemPool>, owner_slot: u64) -> Self {
+    ///
+    /// Runs the recovery pipeline on
+    /// [`crate::config::default_recovery_threads`] workers; corruption is
+    /// reported as [`Error::Corrupt`] instead of a panic.
+    pub fn open(pool: Arc<PmemPool>, owner_slot: u64) -> Result<Self, Error> {
+        Self::open_with(pool, owner_slot, crate::config::default_recovery_threads())
+    }
+
+    /// [`Self::open`] with an explicit recovery worker count (0 means the
+    /// default); the recovered tree is identical for every `threads` value.
+    pub fn open_with(pool: Arc<PmemPool>, owner_slot: u64, threads: usize) -> Result<Self, Error> {
+        let threads = if threads == 0 {
+            crate::config::default_recovery_threads()
+        } else {
+            threads
+        };
         let checked = Arc::clone(&pool);
         let _op = checked.begin_checked_op("tree_open");
+        if owner_slot == 0 || !owner_slot.is_multiple_of(8) || !pool.in_bounds(owner_slot, 16) {
+            return Err(Error::corrupt("owner slot", owner_slot));
+        }
         let owner: RawPPtr = pool.read_at(owner_slot);
-        assert!(
-            !owner.is_null(),
-            "no tree metadata at owner slot {owner_slot:#x}"
-        );
-        let meta = TreeMeta::open(&pool, owner.offset);
+        if owner.is_null() {
+            return Err(Error::corrupt("no tree metadata at owner slot", owner_slot));
+        }
+        let meta = TreeMeta::open(&pool, owner.offset)?;
         let (cfg, key_slot, var) = meta.stored_config(&pool);
-        assert_eq!(
-            key_slot,
-            K::SLOT_SIZE,
-            "tree was created with a different key kind"
-        );
-        assert_eq!(var, K::IS_VAR, "tree was created with a different key kind");
+        if key_slot != K::SLOT_SIZE || var != K::IS_VAR {
+            return Err(Error::corrupt(
+                "tree was created with a different key kind",
+                meta.off,
+            ));
+        }
+        cfg.try_validate()
+            .map_err(|e| Error::corrupt(format!("stored configuration: {e}"), meta.off))?;
         let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
+        let group_bytes = cfg
+            .leaf_group_size
+            .checked_mul(layout.size)
+            .and_then(|b| b.checked_add(crate::groups::GROUP_HEADER as usize));
+        if group_bytes.is_none_or(|b| b > pool.capacity()) {
+            return Err(Error::corrupt(
+                format!("stored leaf-group size {}", cfg.leaf_group_size),
+                meta.off,
+            ));
+        }
         let ctx = Ctx {
             pool,
             cfg,
@@ -277,27 +309,32 @@ impl<K: ConcKey> ConcurrentTree<K> {
         };
         ctx.metrics.inc(Counter::RecoveryRebuilds);
 
+        let t0 = Instant::now();
         if meta.status(&ctx.pool) != STATUS_READY {
             if meta.head(&ctx.pool).is_null() {
-                let head = ctx
-                    .pool
-                    .allocate(meta.head_slot(), layout.size)
-                    .expect("pool exhausted: first leaf");
+                let head = ctx.pool.allocate(meta.head_slot(), layout.size)?;
                 ctx.zero_leaf(head);
             } else {
-                ctx.zero_leaf(meta.head(&ctx.pool).offset);
+                let head = meta.head(&ctx.pool).offset;
+                ctx.check_leaf_ptr(head, "leaf-list head")?;
+                ctx.zero_leaf(head);
             }
             meta.set_status(&ctx.pool, STATUS_READY);
         }
         for i in 0..meta.n_logs {
-            ctx.recover_split::<K>(i);
+            ctx.recover_split::<K>(i)?;
         }
         for i in 0..meta.n_logs {
-            ctx.recover_delete(i);
+            ctx.recover_delete(i)?;
         }
-        let t = Self::empty(ctx);
-        t.rebuild();
-        t
+        let replay_us = t0.elapsed().as_micros() as u64;
+
+        let mut t = Self::empty(ctx);
+        let mut stats = t.rebuild_with(threads)?;
+        stats.threads = threads;
+        stats.replay_us = replay_us;
+        t.recovery = Some(stats);
+        Ok(t)
     }
 
     fn empty(ctx: Ctx) -> Self {
@@ -313,53 +350,38 @@ impl<K: ConcKey> ConcurrentTree<K> {
             intern: Interner::default(),
             log_queue,
             len: AtomicUsize::new(0),
+            recovery: None,
             _marker: std::marker::PhantomData,
         }
     }
 
-    /// Rebuilds the volatile index from the leaf linked list (recovery).
-    /// Not thread-safe: callers hold the exclusive lock or own the tree.
-    fn rebuild(&self) {
+    /// Rebuilds the volatile index from the audited leaf chain (recovery,
+    /// phases 2–4 of the pipeline shared with [`SingleTree`]). Not
+    /// thread-safe towards tree operations: callers own the tree.
+    fn rebuild_with(&self, threads: usize) -> Result<RecoveryStats, Error> {
         let ctx = &self.ctx;
-        let mut entries: Vec<(K::Owned, u64)> = Vec::new();
-        let mut len = 0usize;
-        let mut prev: Option<u64> = None;
-        let mut cur = ctx.meta.head(&ctx.pool).offset;
-        assert_ne!(cur, 0, "initialized tree must have a head leaf");
-        loop {
-            ctx.metrics.inc(Counter::RecoveryLeaves);
-            let leaf = ctx.leaf(cur);
-            leaf.reset_lock();
-            ctx.audit_leaf::<K>(cur);
-            let next = leaf.next();
-            let count = leaf.count();
-            if count == 0 && !(prev.is_none() && next.is_null()) {
-                ctx.delete_leaf(None, cur, prev, 0);
-                if next.is_null() {
-                    break;
-                }
-                cur = next.offset;
-                continue;
-            }
-            if let Some(max) = leaf.max_key::<K>() {
-                entries.push((max, cur));
-            }
-            len += count;
-            prev = Some(cur);
-            if next.is_null() {
-                break;
-            }
-            cur = next.offset;
-        }
+        let mut stats = RecoveryStats::default();
+
+        let t = Instant::now();
+        let chain = SingleTree::<K>::harvest_chain(ctx, threads)?;
+        stats.harvest_us = t.elapsed().as_micros() as u64;
+        stats.leaves = chain.len() as u64;
+
+        let t = Instant::now();
+        let audits = SingleTree::<K>::audit_leaves(ctx, &chain, threads)?;
+        let (entries, _in_tree, len) = SingleTree::<K>::sweep(ctx, &chain, &audits);
+        stats.audit_us = t.elapsed().as_micros() as u64;
         self.len.store(len, Ordering::Relaxed);
 
-        // Build the atomic index bottom-up.
+        // Build the atomic index bottom-up, level by level.
+        let t = Instant::now();
         self.nodes.lock().clear();
         self.intern.clear();
         if entries.is_empty() {
             self.root
                 .store(leaf_enc(ctx.meta.head(&ctx.pool).offset), Ordering::Release);
-            return;
+            stats.build_us = t.elapsed().as_micros() as u64;
+            return Ok(stats);
         }
         let fanout = ctx.cfg.inner_fanout;
         let mut level: Vec<(K::Owned, u64)> = entries
@@ -367,22 +389,60 @@ impl<K: ConcKey> ConcurrentTree<K> {
             .map(|(k, off)| (k, leaf_enc(off)))
             .collect();
         while level.len() > 1 {
-            let mut next_level = Vec::new();
-            for chunk in level.chunks(fanout) {
-                let node = self.alloc_node();
-                for (i, (k, enc)) in chunk.iter().enumerate() {
-                    if i + 1 < chunk.len() {
-                        node.keys[i].store(K::encode(k, &self.intern), Ordering::Relaxed);
-                    }
-                    node.children[i].store(*enc, Ordering::Relaxed);
-                }
-                node.count.store(chunk.len(), Ordering::Release);
-                let max = chunk.last().expect("chunk nonempty").0.clone();
-                next_level.push((max, node as *const CNode as u64));
-            }
-            level = next_level;
+            level = self.build_level(&level, fanout, threads);
         }
         self.root.store(level[0].1, Ordering::Release);
+        stats.build_us = t.elapsed().as_micros() as u64;
+        Ok(stats)
+    }
+
+    /// Packs one level's `(max_key, child_enc)` pairs into parent CNodes
+    /// across the worker pool. Segments split only at `fanout` boundaries,
+    /// so the logical structure matches the serial chunking exactly.
+    fn build_level(
+        &self,
+        level: &[(K::Owned, u64)],
+        fanout: usize,
+        threads: usize,
+    ) -> Vec<(K::Owned, u64)> {
+        let n_chunks = level.len().div_ceil(fanout);
+        let workers = threads.min(n_chunks).max(1);
+        if workers <= 1 {
+            return self.pack_chunks(level, fanout);
+        }
+        let per = n_chunks.div_ceil(workers) * fanout;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = level
+                .chunks(per)
+                .map(|seg| s.spawn(move || self.pack_chunks(seg, fanout)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        })
+    }
+
+    /// Serial kernel of [`Self::build_level`]: one parent node per `fanout`
+    /// children of `seg`.
+    fn pack_chunks(&self, seg: &[(K::Owned, u64)], fanout: usize) -> Vec<(K::Owned, u64)> {
+        let mut out = Vec::with_capacity(seg.len() / fanout + 1);
+        for chunk in seg.chunks(fanout) {
+            let node = self.alloc_node();
+            for (i, (k, enc)) in chunk.iter().enumerate() {
+                if i + 1 < chunk.len() {
+                    node.keys[i].store(K::encode(k, &self.intern), Ordering::Relaxed);
+                }
+                node.children[i].store(*enc, Ordering::Relaxed);
+            }
+            node.count.store(chunk.len(), Ordering::Release);
+            let max = chunk.last().expect("chunk nonempty").0.clone();
+            out.push((max, node as *const CNode as u64));
+        }
+        out
     }
 
     fn alloc_node(&self) -> &CNode {
@@ -946,6 +1006,12 @@ impl<K: ConcKey> ConcurrentTree<K> {
     /// Speculation statistics `(attempts, aborts, fallbacks, writes)`.
     pub fn htm_stats(&self) -> (u64, u64, u64, u64) {
         self.lock.stats().snapshot()
+    }
+
+    /// Per-phase timings of the recovery pipeline that produced this handle;
+    /// `None` for a freshly created tree.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.recovery
     }
 
     /// This tree's observability registry (counters, latency histograms).

@@ -11,6 +11,14 @@
 /// 8-byte word so it can be committed p-atomically.
 pub const MAX_LEAF_CAPACITY: usize = 64;
 
+/// Default worker count for the parallel recovery pipeline: the machine's
+/// available parallelism, or 1 if it cannot be determined. Recovery work is
+/// dominated by leaf audits (pure per-leaf reads plus occasional slot
+/// resets), which scale with cores up to SCM bandwidth.
+pub fn default_recovery_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Configuration of a persistent tree instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TreeConfig {

@@ -15,15 +15,16 @@
 //!
 //! Group block layout: `[next: RawPPtr | pad to 64][leaf 0][leaf 1]...`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use fptree_pmem::{PmemPool, RawPPtr};
 
+use crate::api::Error;
 use crate::layout::LeafLayout;
 use crate::meta::TreeMeta;
 
 /// Byte offset of the first leaf within a group block.
-const GROUP_HEADER: u64 = 64;
+pub(crate) const GROUP_HEADER: u64 = 64;
 
 /// Volatile manager of the leaf-group structures.
 pub(crate) struct GroupMgr {
@@ -68,6 +69,11 @@ impl GroupMgr {
         self.free.len()
     }
 
+    /// The free-leaf vector in pop order (differential recovery checks).
+    pub(crate) fn free_snapshot(&self) -> Vec<u64> {
+        self.free.clone()
+    }
+
     /// Number of allocated groups.
     pub(crate) fn group_count(&self) -> usize {
         self.groups.len()
@@ -101,13 +107,24 @@ impl GroupMgr {
         meta: &TreeMeta,
         dest_slot: u64,
     ) -> u64 {
+        self.try_get_leaf(pool, layout, meta, dest_slot)
+            .expect("pool exhausted: leaf")
+    }
+
+    /// Fallible [`Self::get_leaf`] — the recovery paths must report pool
+    /// exhaustion as an error instead of panicking.
+    pub(crate) fn try_get_leaf(
+        &mut self,
+        pool: &PmemPool,
+        layout: &LeafLayout,
+        meta: &TreeMeta,
+        dest_slot: u64,
+    ) -> Result<u64, Error> {
         if !self.enabled() {
-            return pool
-                .allocate(dest_slot, layout.size)
-                .expect("pool exhausted: leaf");
+            return Ok(pool.allocate(dest_slot, layout.size)?);
         }
         if self.free.is_empty() {
-            self.allocate_group(pool, layout, meta);
+            self.allocate_group(pool, layout, meta)?;
         }
         let leaf = self
             .free
@@ -123,17 +140,20 @@ impl GroupMgr {
         let p = RawPPtr::new(pool.file_id(), leaf);
         pool.write_publish_at(dest_slot, &p);
         pool.persist(dest_slot, 16);
-        leaf
+        Ok(leaf)
     }
 
     /// Allocates a fresh group, links it at the tail, and adds its leaves to
     /// the free vector (Algorithm 10 lines 2–9, getleaf micro-log).
-    fn allocate_group(&mut self, pool: &PmemPool, layout: &LeafLayout, meta: &TreeMeta) {
+    fn allocate_group(
+        &mut self,
+        pool: &PmemPool,
+        layout: &LeafLayout,
+        meta: &TreeMeta,
+    ) -> Result<(), Error> {
         let log = meta.getleaf_log();
         let bytes = self.group_bytes(layout);
-        let group = pool
-            .allocate(log.ptr_slot(), bytes)
-            .expect("pool exhausted: leaf group");
+        let group = pool.allocate(log.ptr_slot(), bytes)?;
         if self.sanitize {
             // The allocator recycles memory, and stale leaf contents (key
             // pointers) must never be mistaken for live data by the audit.
@@ -151,6 +171,7 @@ impl GroupMgr {
         for leaf in self.leaves_of(layout, group).collect::<Vec<_>>() {
             self.free.push(leaf);
         }
+        Ok(())
     }
 
     /// Appends `group` to the persistent group list (volatile tail).
@@ -224,6 +245,35 @@ impl GroupMgr {
         }
     }
 
+    /// Walks the persistent group list, validating every link (alignment,
+    /// bounds for a whole group block, no cycles) before following it, and
+    /// returns the group base offsets in list order. This is the one place
+    /// recovery trusts group pointers: `rebuild`, the parallel harvest, and
+    /// the micro-log replays all partition the leaf set through it.
+    pub(crate) fn walk_directory(
+        pool: &PmemPool,
+        layout: &LeafLayout,
+        meta: &TreeMeta,
+        group_size: usize,
+    ) -> Result<Vec<u64>, Error> {
+        let bytes = GROUP_HEADER as usize + group_size * layout.size;
+        let mut groups = Vec::new();
+        let mut seen = HashSet::new();
+        let mut cur = meta.groups_head(pool);
+        while !cur.is_null() {
+            let g = cur.offset;
+            if !g.is_multiple_of(8) || !pool.in_bounds(g, bytes) {
+                return Err(Error::corrupt("leaf-group pointer", g));
+            }
+            if !seen.insert(g) {
+                return Err(Error::corrupt("leaf-group list cycle", g));
+            }
+            groups.push(g);
+            cur = pool.read_at(g);
+        }
+        Ok(groups)
+    }
+
     /// Recovers the GetLeaf micro-log (Algorithm 11, volatile-tail variant):
     /// a group that was allocated but not linked is linked at the end.
     pub(crate) fn recover_getleaf(
@@ -231,49 +281,50 @@ impl GroupMgr {
         meta: &TreeMeta,
         layout: &LeafLayout,
         group_size: usize,
-    ) {
+    ) -> Result<(), Error> {
         let log = meta.getleaf_log();
         let p = log.ptr(pool);
         if p.is_null() {
-            return;
+            return Ok(());
+        }
+        let bytes = GROUP_HEADER as usize + group_size * layout.size;
+        if !p.offset.is_multiple_of(8) || !pool.in_bounds(p.offset, bytes) {
+            return Err(Error::corrupt("getleaf log pointer", p.offset));
         }
         // Walk the persistent list to see whether the group got linked.
-        let mut cur = meta.groups_head(pool);
-        let mut last: Option<u64> = None;
-        let mut linked = false;
-        while !cur.is_null() {
-            if cur.offset == p.offset {
-                linked = true;
-            }
-            last = Some(cur.offset);
-            cur = pool.read_at(cur.offset);
-        }
-        if !linked {
+        let directory = Self::walk_directory(pool, layout, meta, group_size)?;
+        if !directory.contains(&p.offset) {
             // Re-sanitize (the zeroing may not have completed) and link.
-            let bytes = GROUP_HEADER as usize + group_size * layout.size;
             pool.write_bytes(p.offset, &vec![0u8; bytes]);
             pool.persist(p.offset, bytes);
-            match last {
+            match directory.last() {
                 None => meta.set_groups_head(pool, p),
-                Some(tail) => {
+                Some(&tail) => {
                     pool.write_publish_at(tail, &p);
                     pool.persist(tail, 16);
                 }
             }
         }
         log.reset(pool);
+        Ok(())
     }
 
     /// Recovers the FreeLeaf micro-log (Algorithm 13): completes an
     /// interrupted group unlink + deallocation, or rolls back.
-    pub(crate) fn recover_freeleaf(pool: &PmemPool, meta: &TreeMeta) {
+    pub(crate) fn recover_freeleaf(pool: &PmemPool, meta: &TreeMeta) -> Result<(), Error> {
         let log = meta.freeleaf_log();
         let cur = log.first(pool);
         if cur.is_null() {
             log.reset(pool);
-            return;
+            return Ok(());
+        }
+        if !cur.offset.is_multiple_of(8) || !pool.in_bounds(cur.offset, 16) {
+            return Err(Error::corrupt("freeleaf log current pointer", cur.offset));
         }
         let prev = log.second(pool);
+        if !prev.is_null() && (!prev.offset.is_multiple_of(8) || !pool.in_bounds(prev.offset, 16)) {
+            return Err(Error::corrupt("freeleaf log previous pointer", prev.offset));
+        }
         let head = meta.groups_head(pool);
         if !prev.is_null() {
             // Crashed between recording prev and deallocating: redo unlink.
@@ -296,6 +347,7 @@ impl GroupMgr {
             // free leaves are rediscovered by the rebuild walk.
         }
         log.reset(pool);
+        Ok(())
     }
 
     /// Rebuilds the volatile free vector and group registry by walking the
@@ -307,16 +359,14 @@ impl GroupMgr {
         layout: &LeafLayout,
         meta: &TreeMeta,
         in_tree: &std::collections::HashSet<u64>,
-    ) {
+    ) -> Result<(), Error> {
         self.free.clear();
         self.free_count.clear();
         self.groups.clear();
         if !self.enabled() {
-            return;
+            return Ok(());
         }
-        let mut cur = meta.groups_head(pool);
-        while !cur.is_null() {
-            let group = cur.offset;
+        for group in Self::walk_directory(pool, layout, meta, self.group_size)? {
             self.register_group(layout, group, 0);
             let mut free_here = 0;
             for leaf in self.leaves_of(layout, group).collect::<Vec<_>>() {
@@ -326,8 +376,8 @@ impl GroupMgr {
                 }
             }
             *self.free_count.get_mut(&group).expect("just registered") = free_here;
-            cur = pool.read_at(group);
         }
+        Ok(())
     }
 }
 
@@ -443,7 +493,7 @@ mod tests {
         // Pretend only the first three are reachable from the tree.
         let in_tree: std::collections::HashSet<u64> = used[..3].iter().copied().collect();
         let mut fresh = GroupMgr::new(4);
-        fresh.rebuild(&pool, &layout, &meta, &in_tree);
+        fresh.rebuild(&pool, &layout, &meta, &in_tree).unwrap();
         assert_eq!(fresh.group_count(), 2);
         // 8 leaves exist, 3 in tree -> 5 free.
         assert_eq!(fresh.free_leaves(), 5);
@@ -459,7 +509,7 @@ mod tests {
         let log = meta.getleaf_log();
         let bytes = GROUP_HEADER as usize + 2 * layout.size;
         let orphan = pool.allocate(log.ptr_slot(), bytes).unwrap();
-        GroupMgr::recover_getleaf(&pool, &meta, &layout, 2);
+        GroupMgr::recover_getleaf(&pool, &meta, &layout, 2).unwrap();
         assert!(log.ptr(&pool).is_null());
         // Walk: orphan must now be reachable.
         let mut cur = meta.groups_head(&pool);
@@ -486,7 +536,7 @@ mod tests {
         // Crash right after logging the group, before any unlink step.
         let log = meta.freeleaf_log();
         log.set_first(&pool, RawPPtr::new(pool.file_id(), group));
-        GroupMgr::recover_freeleaf(&pool, &meta);
+        GroupMgr::recover_freeleaf(&pool, &meta).unwrap();
         assert!(log.first(&pool).is_null());
         // Group still linked (rollback).
         let mut cur = meta.groups_head(&pool);

@@ -145,6 +145,26 @@ impl<K: KeyKind> Node<K> {
     }
 }
 
+/// Packs one level's `(max_key, node)` pairs into the parent level, `fanout`
+/// children per inner node — the shared kernel of the serial and parallel
+/// bulk builds.
+fn chunk_into_nodes<K: KeyKind>(
+    level: Vec<(K::Owned, Node<K>)>,
+    fanout: usize,
+) -> Vec<(K::Owned, Node<K>)> {
+    let mut next = Vec::with_capacity(level.len() / fanout + 1);
+    let mut iter = level.into_iter().peekable();
+    while iter.peek().is_some() {
+        let chunk: Vec<(K::Owned, Node<K>)> = iter.by_ref().take(fanout).collect();
+        let max = chunk.last().expect("chunk nonempty").0.clone();
+        let mut keys: Vec<K::Owned> = chunk.iter().map(|(k, _)| k.clone()).collect();
+        keys.pop(); // n children, n-1 discriminators
+        let children: Vec<Node<K>> = chunk.into_iter().map(|(_, n)| n).collect();
+        next.push((max, Node::Inner(Box::new(InnerNode { keys, children }))));
+    }
+    next
+}
+
 /// Bulk-builds an index over `entries = [(max_key, leaf_off)]` (ascending by
 /// key) — exactly how recovery rebuilds inner nodes from the leaf list
 /// (Algorithm 9 / §6.2).
@@ -161,17 +181,58 @@ pub(crate) fn build_from_leaves<K: KeyKind>(
         .map(|(k, off)| (k, Node::Leaf(off)))
         .collect();
     while level.len() > 1 {
-        let mut next = Vec::with_capacity(level.len() / fanout + 1);
-        let mut iter = level.into_iter().peekable();
-        while iter.peek().is_some() {
-            let chunk: Vec<(K::Owned, Node<K>)> = iter.by_ref().take(fanout).collect();
-            let max = chunk.last().expect("chunk nonempty").0.clone();
-            let mut keys: Vec<K::Owned> = chunk.iter().map(|(k, _)| k.clone()).collect();
-            keys.pop(); // n children, n-1 discriminators
-            let children: Vec<Node<K>> = chunk.into_iter().map(|(_, n)| n).collect();
-            next.push((max, Node::Inner(Box::new(InnerNode { keys, children }))));
+        level = chunk_into_nodes::<K>(level, fanout);
+    }
+    level.pop().expect("one root remains").1
+}
+
+/// [`build_from_leaves`] with each level packed by a pool of `threads`
+/// workers. Segments are split only at multiples of `fanout`, so every
+/// worker produces exactly the nodes the serial chunking would — the
+/// resulting tree is identical for every thread count.
+pub(crate) fn build_from_leaves_parallel<K: KeyKind>(
+    entries: Vec<(K::Owned, u64)>,
+    fanout: usize,
+    threads: usize,
+) -> Node<K> {
+    assert!(
+        !entries.is_empty(),
+        "cannot build an index over zero leaves"
+    );
+    let mut level: Vec<(K::Owned, Node<K>)> = entries
+        .into_iter()
+        .map(|(k, off)| (k, Node::Leaf(off)))
+        .collect();
+    while level.len() > 1 {
+        let n_chunks = level.len().div_ceil(fanout);
+        let workers = threads.min(n_chunks).max(1);
+        if workers <= 1 {
+            level = chunk_into_nodes::<K>(level, fanout);
+            continue;
         }
-        level = next;
+        // Each worker takes a whole number of fanout-sized chunks.
+        let per = n_chunks.div_ceil(workers) * fanout;
+        let mut segments = Vec::with_capacity(workers);
+        let mut rest = level;
+        while rest.len() > per {
+            let tail = rest.split_off(per);
+            segments.push(rest);
+            rest = tail;
+        }
+        segments.push(rest);
+        level = std::thread::scope(|s| {
+            let handles: Vec<_> = segments
+                .into_iter()
+                .map(|seg| s.spawn(move || chunk_into_nodes::<K>(seg, fanout)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        });
     }
     level.pop().expect("one root remains").1
 }
@@ -240,6 +301,40 @@ mod tests {
         let (leaf, prev) = root.find_leaf_and_prev(&95);
         assert_eq!(leaf, 9000);
         assert_eq!(prev, Some(8000));
+    }
+
+    fn shape(node: &Node<FixedKey>) -> String {
+        match node {
+            Node::Leaf(off) => format!("L{off}"),
+            Node::Inner(inner) => format!(
+                "I({:?})[{}]",
+                inner.keys,
+                inner
+                    .children
+                    .iter()
+                    .map(shape)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_exactly() {
+        for fanout in [3usize, 4, 16] {
+            for n in [1u64, 2, 5, 16, 65, 257] {
+                let serial = build_from_leaves::<FixedKey>(leaf_entries(n), fanout);
+                for threads in [1usize, 2, 3, 7, 64] {
+                    let par =
+                        build_from_leaves_parallel::<FixedKey>(leaf_entries(n), fanout, threads);
+                    assert_eq!(
+                        shape(&par),
+                        shape(&serial),
+                        "fanout={fanout} n={n} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -64,6 +64,6 @@ pub use config::TreeConfig;
 pub use index::{BytesIndex, Locked, U64Index};
 pub use keys::{FixedKey, KeyKind, VarKey};
 pub use layout::LeafLayout;
-pub use metrics::{Counter, Metrics, Op, OpTimer, Snapshot};
+pub use metrics::{Counter, Metrics, Op, OpTimer, RecoveryStats, Snapshot};
 pub use scan::{ConcScan, Scan, ScanBounds};
 pub use single::{FPTree, FPTreeVar, MemoryUsage, SingleTree, TreeIter};

@@ -105,13 +105,31 @@ impl TreeMeta {
     }
 
     /// Opens an existing metadata block at `off` (from the owner pointer).
-    pub fn open(pool: &PmemPool, off: u64) -> TreeMeta {
+    ///
+    /// Every word is read from a potentially corrupt image, so the block is
+    /// validated — alignment, bounds, a sane log count — before any field
+    /// is trusted; failures surface as [`crate::api::Error::Corrupt`].
+    pub fn open(pool: &PmemPool, off: u64) -> Result<TreeMeta, crate::api::Error> {
+        use crate::api::Error;
+        if off == 0 || !off.is_multiple_of(8) || !pool.in_bounds(off, Self::byte_size(1)) {
+            return Err(Error::corrupt("tree metadata pointer", off));
+        }
         let n_logs = pool.read_word(off + M_NLOGS) as usize;
-        assert!(
-            n_logs >= 1,
-            "metadata block has no micro-logs — wrong offset?"
-        );
-        TreeMeta { off, n_logs }
+        // Upper bound before byte_size() so the size math cannot overflow:
+        // no pool can hold more logs than bytes.
+        if n_logs < 1 || n_logs > pool.capacity() / 128 {
+            return Err(Error::corrupt(
+                format!("metadata micro-log count {n_logs}"),
+                off + M_NLOGS,
+            ));
+        }
+        if !pool.in_bounds(off, Self::byte_size(n_logs)) {
+            return Err(Error::corrupt(
+                format!("metadata block of {n_logs} logs overruns the pool"),
+                off,
+            ));
+        }
+        Ok(TreeMeta { off, n_logs })
     }
 
     /// Reconstructs the persisted [`TreeConfig`] and key-slot width.
@@ -300,7 +318,7 @@ mod tests {
         meta.set_status(&p, STATUS_READY);
 
         let owner: RawPPtr = p.read_at(ROOT_SLOT);
-        let meta2 = TreeMeta::open(&p, owner.offset);
+        let meta2 = TreeMeta::open(&p, owner.offset).unwrap();
         assert_eq!(meta2.n_logs, 8);
         let (cfg2, key_slot, var) = meta2.stored_config(&p);
         assert_eq!(cfg2, cfg);
@@ -368,8 +386,17 @@ mod tests {
         let img = p.clean_image();
         let p2 = PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap();
         let owner: RawPPtr = p2.read_at(ROOT_SLOT);
-        let meta2 = TreeMeta::open(&p2, owner.offset);
+        let meta2 = TreeMeta::open(&p2, owner.offset).unwrap();
         let (cfg, _, _) = meta2.stored_config(&p2);
         assert_eq!(cfg, TreeConfig::ptree());
+    }
+
+    #[test]
+    fn open_rejects_garbage_offsets() {
+        let p = pool();
+        TreeMeta::create(&p, &TreeConfig::fptree(), 8, false, 1, ROOT_SLOT);
+        for off in [0u64, 7, 1 << 62, (1 << 20) - 8] {
+            assert!(TreeMeta::open(&p, off).is_err(), "off={off:#x}");
+        }
     }
 }

@@ -160,10 +160,13 @@ pub enum Counter {
     ConnOpened = 30,
     /// Client connections closed.
     ConnClosed = 31,
+    /// Client connections rejected because the server was at its
+    /// concurrent-connection cap.
+    ConnRejected = 32,
 }
 
 /// Number of [`Counter`] variants.
-pub const N_COUNTERS: usize = 32;
+pub const N_COUNTERS: usize = 33;
 
 impl Counter {
     /// Every variant, in field order.
@@ -200,6 +203,7 @@ impl Counter {
         Counter::BytesWritten,
         Counter::ConnOpened,
         Counter::ConnClosed,
+        Counter::ConnRejected,
     ];
 
     /// Stable snapshot field name.
@@ -237,7 +241,40 @@ impl Counter {
             Counter::BytesWritten => "bytes_written",
             Counter::ConnOpened => "conn_opened",
             Counter::ConnClosed => "conn_closed",
+            Counter::ConnRejected => "conn_rejected",
         }
+    }
+}
+
+/// Per-phase wall-clock breakdown of one recovery (`open`) run, reported by
+/// [`crate::SingleTree::recovery_stats`] and
+/// [`crate::ConcurrentTree::recovery_stats`].
+///
+/// Phases of the parallel pipeline, in order: micro-log **replay** (serial),
+/// leaf-set **harvest** via the group directory or chain walk, the parallel
+/// lock-reset/**audit**/count pass, and the level-by-level inner-node
+/// **build**. Durations are microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Worker threads the audit and build phases ran on.
+    pub threads: usize,
+    /// Micro-log replay (getleaf/freeleaf/split/delete), microseconds.
+    pub replay_us: u64,
+    /// Leaf-set harvest + chain stitch, microseconds.
+    pub harvest_us: u64,
+    /// Parallel leaf audit (lock reset, Algorithm-17 audit, counts) plus
+    /// the serial empty-leaf unlink sweep, microseconds.
+    pub audit_us: u64,
+    /// DRAM inner-node bulk build, microseconds.
+    pub build_us: u64,
+    /// Leaves visited on the chain (including unlinked empties).
+    pub leaves: u64,
+}
+
+impl RecoveryStats {
+    /// Total recovery time across all phases, microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.replay_us + self.harvest_us + self.audit_us + self.build_us
     }
 }
 

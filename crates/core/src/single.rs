@@ -23,19 +23,21 @@
 //! always finds a leaf; (2) after a split the new key is inserted into
 //! whichever half covers it (the paper's Algorithm 2 elides this choice).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 use fptree_pmem::{PmemPool, RawPPtr};
 
+use crate::api::Error;
 use crate::config::TreeConfig;
 use crate::groups::GroupMgr;
-use crate::inner::{build_from_leaves, InnerNode, Node};
+use crate::inner::{build_from_leaves, build_from_leaves_parallel, InnerNode, Node};
 use crate::keys::KeyKind;
 use crate::layout::LeafLayout;
 use crate::leaf::Leaf;
 use crate::meta::{TreeMeta, STATUS_READY};
-use crate::metrics::{Counter, Metrics, Op, Snapshot};
+use crate::metrics::{Counter, Metrics, Op, RecoveryStats, Snapshot};
 use crate::scan::{Scan, ScanBounds};
 
 /// Memory footprint report (Figure 8).
@@ -75,6 +77,15 @@ impl Ctx {
     pub fn zero_leaf(&self, off: u64) {
         self.pool.write_bytes(off, &vec![0u8; self.layout.size]);
         self.pool.persist(off, self.layout.size);
+    }
+
+    /// Validates a persistent pointer that is supposed to reference a leaf
+    /// before it is dereferenced: 8-aligned with a whole leaf in bounds.
+    pub(crate) fn check_leaf_ptr(&self, off: u64, what: &str) -> Result<(), Error> {
+        if off == 0 || !off.is_multiple_of(8) || !self.pool.in_bounds(off, self.layout.size) {
+            return Err(Error::corrupt(format!("{what} is not a leaf"), off));
+        }
+        Ok(())
     }
 
     /// Writes one KV into a leaf with a free slot and p-atomically commits
@@ -192,19 +203,21 @@ impl Ctx {
     }
 
     /// Replays split micro-log `log_idx` (Algorithm 4).
-    pub fn recover_split<K: KeyKind>(&self, log_idx: usize) {
+    pub fn recover_split<K: KeyKind>(&self, log_idx: usize) -> Result<(), Error> {
         let log = self.meta.split_log(log_idx);
         let cur = log.first(&self.pool);
         if cur.is_null() {
             log.reset(&self.pool);
-            return;
+            return Ok(());
         }
+        self.check_leaf_ptr(cur.offset, "split-log current pointer")?;
         let new = log.second(&self.pool);
         if new.is_null() {
             // Crashed before the new leaf was published: roll back.
             log.reset(&self.pool);
-            return;
+            return Ok(());
         }
+        self.check_leaf_ptr(new.offset, "split-log new-leaf pointer")?;
         let old_leaf = self.leaf(cur.offset);
         if old_leaf.bitmap() == self.layout.full_bitmap() {
             // Crashed before the old bitmap was halved: redo everything
@@ -218,6 +231,7 @@ impl Ctx {
             old_leaf.set_next(self.pptr(new.offset));
         }
         log.reset(&self.pool);
+        Ok(())
     }
 
     /// Unlinks (and frees) an empty leaf (Algorithm 6 + FreeLeaf).
@@ -259,14 +273,18 @@ impl Ctx {
     }
 
     /// Replays delete micro-log `log_idx` (Algorithm 7).
-    pub fn recover_delete(&self, log_idx: usize) {
+    pub fn recover_delete(&self, log_idx: usize) -> Result<(), Error> {
         let log = self.meta.delete_log(log_idx);
         let cur = log.first(&self.pool);
         if cur.is_null() {
             log.reset(&self.pool);
-            return;
+            return Ok(());
         }
+        self.check_leaf_ptr(cur.offset, "delete-log current pointer")?;
         let prev = log.second(&self.pool);
+        if !prev.is_null() {
+            self.check_leaf_ptr(prev.offset, "delete-log predecessor pointer")?;
+        }
         let head = self.meta.head(&self.pool);
         let group_mode = self.cfg.leaf_group_size > 1;
         let finish = |log: &crate::meta::PairLog| {
@@ -292,15 +310,16 @@ impl Ctx {
             // empty; the rebuild walk unlinks empty leaves.)
             log.reset(&self.pool);
         }
+        Ok(())
     }
 
     /// Leak audit for one leaf (Algorithm 17): every invalid slot must hold
     /// a null key pointer; a non-null one is either a duplicate of a valid
     /// slot's key in this leaf (interrupted update → reset) or an orphan
     /// blob (interrupted insert/delete → deallocate).
-    pub fn audit_leaf<K: KeyKind>(&self, off: u64) {
+    pub fn audit_leaf<K: KeyKind>(&self, off: u64) -> Result<(), Error> {
         if !K::IS_VAR {
-            return;
+            return Ok(());
         }
         let leaf = self.leaf(off);
         let bm = leaf.bitmap();
@@ -319,10 +338,15 @@ impl Ctx {
             let r = K::slot_ref(&self.pool, key_off);
             if valid_refs.contains(&r) {
                 K::reset_slot(&self.pool, key_off);
-            } else {
+            } else if self.pool.looks_like_block(r) {
                 K::release_slot(&self.pool, key_off);
+            } else {
+                // A stale pointer that was never a live allocation: freeing
+                // it would corrupt the allocator, so reject the image.
+                return Err(Error::corrupt("orphan key blob pointer", r.offset));
             }
         }
+        Ok(())
     }
 }
 
@@ -352,6 +376,7 @@ pub struct SingleTree<K: KeyKind> {
     groups: GroupMgr,
     root: Node<K>,
     len: usize,
+    recovery: Option<RecoveryStats>,
 }
 
 /// The paper's FPTree / PTree with fixed-size (u64) keys.
@@ -386,6 +411,7 @@ impl<K: KeyKind> SingleTree<K> {
             groups,
             root: Node::Leaf(head),
             len: 0,
+            recovery: None,
         }
     }
 
@@ -462,6 +488,7 @@ impl<K: KeyKind> SingleTree<K> {
             groups,
             root,
             len: entries.len(),
+            recovery: None,
         }
     }
 
@@ -495,23 +522,58 @@ impl<K: KeyKind> SingleTree<K> {
     /// Opens (recovers) the tree whose metadata is referenced by the owner
     /// pointer at `owner_slot` — Algorithm 9: finish interrupted
     /// initialization, replay micro-logs, audit, rebuild inner nodes.
-    pub fn open(pool: Arc<PmemPool>, owner_slot: u64) -> Self {
+    ///
+    /// Runs the recovery pipeline on
+    /// [`crate::config::default_recovery_threads`] workers. Any pointer,
+    /// count, or metadata word that fails validation is reported as
+    /// [`Error::Corrupt`] — a damaged image never panics.
+    pub fn open(pool: Arc<PmemPool>, owner_slot: u64) -> Result<Self, Error> {
+        Self::open_with(pool, owner_slot, crate::config::default_recovery_threads())
+    }
+
+    /// [`Self::open`] with an explicit recovery worker count (0 means the
+    /// default). The result is bit-identical for every `threads` value: the
+    /// parallel phases partition work in chain order and stitch the pieces
+    /// back together serially.
+    pub fn open_with(pool: Arc<PmemPool>, owner_slot: u64, threads: usize) -> Result<Self, Error> {
+        let threads = if threads == 0 {
+            crate::config::default_recovery_threads()
+        } else {
+            threads
+        };
         let checked = Arc::clone(&pool);
         let _op = checked.begin_checked_op("tree_open");
+        if owner_slot == 0 || !owner_slot.is_multiple_of(8) || !pool.in_bounds(owner_slot, 16) {
+            return Err(Error::corrupt("owner slot", owner_slot));
+        }
         let owner: RawPPtr = pool.read_at(owner_slot);
-        assert!(
-            !owner.is_null(),
-            "no tree metadata at owner slot {owner_slot:#x}"
-        );
-        let meta = TreeMeta::open(&pool, owner.offset);
+        if owner.is_null() {
+            return Err(Error::corrupt("no tree metadata at owner slot", owner_slot));
+        }
+        let meta = TreeMeta::open(&pool, owner.offset)?;
         let (cfg, key_slot, var) = meta.stored_config(&pool);
-        assert_eq!(
-            key_slot,
-            K::SLOT_SIZE,
-            "tree was created with a different key kind"
-        );
-        assert_eq!(var, K::IS_VAR, "tree was created with a different key kind");
+        if key_slot != K::SLOT_SIZE || var != K::IS_VAR {
+            return Err(Error::corrupt(
+                "tree was created with a different key kind",
+                meta.off,
+            ));
+        }
+        cfg.try_validate()
+            .map_err(|e| Error::corrupt(format!("stored configuration: {e}"), meta.off))?;
         let layout = LeafLayout::new(&cfg, K::SLOT_SIZE);
+        // `try_validate` covers the per-leaf knobs; the group size is only
+        // bounded by the pool, so a garbage word here could overflow the
+        // group-walk arithmetic.
+        let group_bytes = cfg
+            .leaf_group_size
+            .checked_mul(layout.size)
+            .and_then(|b| b.checked_add(crate::groups::GROUP_HEADER as usize));
+        if group_bytes.is_none_or(|b| b > pool.capacity()) {
+            return Err(Error::corrupt(
+                format!("stored leaf-group size {}", cfg.leaf_group_size),
+                meta.off,
+            ));
+        }
         let ctx = Ctx {
             pool,
             cfg,
@@ -526,24 +588,36 @@ impl<K: KeyKind> SingleTree<K> {
             // Crashed during initialization or bulk load (Algorithm 9
             // lines 1–2): reclaim any partially built leaf chain, then
             // re-initialize to an empty tree.
-            GroupMgr::recover_getleaf(&ctx.pool, &meta, &layout, cfg.leaf_group_size);
+            GroupMgr::recover_getleaf(&ctx.pool, &meta, &layout, cfg.leaf_group_size)?;
             if meta.head(&ctx.pool).is_null() {
-                groups.rebuild(&ctx.pool, &layout, &meta, &HashSet::new());
-                let head = groups.get_leaf(&ctx.pool, &layout, &meta, meta.head_slot());
+                groups.rebuild(&ctx.pool, &layout, &meta, &HashSet::new())?;
+                let head = groups.try_get_leaf(&ctx.pool, &layout, &meta, meta.head_slot())?;
                 ctx.zero_leaf(head);
             } else {
                 let head = meta.head(&ctx.pool).offset;
+                ctx.check_leaf_ptr(head, "leaf-list head")?;
                 if cfg.leaf_group_size <= 1 {
                     // Without groups each chained leaf is an individual
                     // allocation; deallocate the tail of a partial bulk
                     // load through each predecessor's next field (which is
                     // its owner pointer).
+                    let mut seen = HashSet::from([head]);
                     let mut cur = head;
                     loop {
                         let next_slot = cur + layout.off_next as u64;
                         let next: RawPPtr = ctx.pool.read_at(next_slot);
                         if next.is_null() {
                             break;
+                        }
+                        ctx.check_leaf_ptr(next.offset, "partially initialized leaf chain")?;
+                        if !seen.insert(next.offset) {
+                            return Err(Error::corrupt("leaf-list cycle", next.offset));
+                        }
+                        if !ctx.pool.looks_like_block(next) {
+                            return Err(Error::corrupt(
+                                "partially initialized leaf chain",
+                                next.offset,
+                            ));
                         }
                         cur = next.offset;
                         ctx.pool.deallocate(next_slot);
@@ -555,77 +629,241 @@ impl<K: KeyKind> SingleTree<K> {
             }
             meta.set_status(&ctx.pool, STATUS_READY);
             let head = meta.head(&ctx.pool).offset;
-            groups.rebuild(&ctx.pool, &layout, &meta, &HashSet::from([head]));
-            return SingleTree {
+            groups.rebuild(&ctx.pool, &layout, &meta, &HashSet::from([head]))?;
+            return Ok(SingleTree {
                 ctx,
                 groups,
                 root: Node::Leaf(head),
                 len: 0,
-            };
+                recovery: None,
+            });
         }
 
-        // Replay micro-logs (order matters: allocation logs first, so the
-        // split/delete replays see consistent group/leaf structures).
-        GroupMgr::recover_getleaf(&ctx.pool, &meta, &layout, cfg.leaf_group_size);
-        GroupMgr::recover_freeleaf(&ctx.pool, &meta);
+        // Phase 1 — replay micro-logs (serial: each log is a single record,
+        // and order matters — allocation logs first, so the split/delete
+        // replays see consistent group/leaf structures).
+        let t = Instant::now();
+        GroupMgr::recover_getleaf(&ctx.pool, &meta, &layout, cfg.leaf_group_size)?;
+        GroupMgr::recover_freeleaf(&ctx.pool, &meta)?;
         for i in 0..meta.n_logs {
-            ctx.recover_split::<K>(i);
+            ctx.recover_split::<K>(i)?;
         }
         for i in 0..meta.n_logs {
-            ctx.recover_delete(i);
+            ctx.recover_delete(i)?;
         }
+        let replay_us = t.elapsed().as_micros() as u64;
 
-        // Walk the leaf list: reset locks, audit, unlink empties, collect
-        // the discriminators for the inner rebuild.
-        let (entries, in_tree, len) = Self::rebuild_walk(&ctx);
-        groups.rebuild(&ctx.pool, &layout, &meta, &in_tree);
+        // Phase 2 — harvest the on-chain leaf set (parallel over the group
+        // directory when there is one).
+        let t = Instant::now();
+        let chain = Self::harvest_chain(&ctx, threads)?;
+        let harvest_us = t.elapsed().as_micros() as u64;
+
+        // Phase 3 — reset locks and audit leaves across the worker pool,
+        // then serially unlink empties and restore the group free lists.
+        let t = Instant::now();
+        let audits = Self::audit_leaves(&ctx, &chain, threads)?;
+        let (entries, in_tree, len) = Self::sweep(&ctx, &chain, &audits);
+        groups.rebuild(&ctx.pool, &layout, &meta, &in_tree)?;
+        let audit_us = t.elapsed().as_micros() as u64;
+
+        // Phase 4 — bulk-build the DRAM inner nodes level by level.
+        let t = Instant::now();
         let root = if entries.is_empty() {
             Node::Leaf(meta.head(&ctx.pool).offset)
         } else {
-            build_from_leaves::<K>(entries, cfg.inner_fanout)
+            build_from_leaves_parallel::<K>(entries, cfg.inner_fanout, threads)
         };
-        SingleTree {
+        let build_us = t.elapsed().as_micros() as u64;
+
+        let recovery = RecoveryStats {
+            threads,
+            replay_us,
+            harvest_us,
+            audit_us,
+            build_us,
+            leaves: chain.len() as u64,
+        };
+        Ok(SingleTree {
             ctx,
             groups,
             root,
             len,
+            recovery: Some(recovery),
+        })
+    }
+
+    /// Recovery phase 2: collects the linked leaf chain, validated.
+    ///
+    /// With a leaf-group directory the next pointers of *all* directory
+    /// leaves are harvested by the worker pool first (the directory gives
+    /// the random access the serial next-pointer walk lacks); the chain is
+    /// then stitched serially from the harvested map. Without groups there
+    /// is no directory, so the chain is walked serially.
+    pub(crate) fn harvest_chain(ctx: &Ctx, threads: usize) -> Result<Vec<u64>, Error> {
+        let head = ctx.meta.head(&ctx.pool);
+        if head.is_null() {
+            return Err(Error::corrupt(
+                "initialized tree must have a head leaf",
+                ctx.meta.head_slot(),
+            ));
+        }
+        let head = head.offset;
+        ctx.check_leaf_ptr(head, "leaf-list head")?;
+
+        let next_of: Option<HashMap<u64, u64>> = if ctx.cfg.leaf_group_size > 1 {
+            let directory = GroupMgr::walk_directory(
+                &ctx.pool,
+                &ctx.layout,
+                &ctx.meta,
+                ctx.cfg.leaf_group_size,
+            )?;
+            let leaves: Vec<u64> = directory
+                .iter()
+                .flat_map(|&g| {
+                    (0..ctx.cfg.leaf_group_size as u64)
+                        .map(move |i| g + crate::groups::GROUP_HEADER + i * ctx.layout.size as u64)
+                })
+                .collect();
+            let workers = threads.min(leaves.len()).max(1);
+            let mut map = HashMap::with_capacity(leaves.len());
+            if workers <= 1 {
+                map.extend(leaves.iter().map(|&l| (l, ctx.leaf(l).next().offset)));
+            } else {
+                let chunk = leaves.len().div_ceil(workers);
+                let parts = std::thread::scope(|s| {
+                    let handles: Vec<_> = leaves
+                        .chunks(chunk)
+                        .map(|part| {
+                            s.spawn(move || {
+                                part.iter()
+                                    .map(|&l| (l, ctx.leaf(l).next().offset))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(v) => v,
+                            // A worker panic is a crash-fuse (or a real bug),
+                            // never a recoverable error: re-raise it so the
+                            // payload reaches the caller unchanged.
+                            Err(p) => std::panic::resume_unwind(p),
+                        })
+                        .collect::<Vec<_>>()
+                });
+                for part in parts {
+                    map.extend(part);
+                }
+            }
+            Some(map)
+        } else {
+            None
+        };
+
+        // Stitch the chain in list order, catching cycles and escapes.
+        let mut chain = Vec::new();
+        let mut seen = HashSet::new();
+        let mut cur = head;
+        loop {
+            if !seen.insert(cur) {
+                return Err(Error::corrupt("leaf-list cycle", cur));
+            }
+            chain.push(cur);
+            let next = match &next_of {
+                Some(map) => *map.get(&cur).ok_or_else(|| {
+                    Error::corrupt("chained leaf outside the group directory", cur)
+                })?,
+                None => ctx.leaf(cur).next().offset,
+            };
+            if next == 0 {
+                return Ok(chain);
+            }
+            ctx.check_leaf_ptr(next, "leaf-list next pointer")?;
+            cur = next;
         }
     }
 
+    /// Recovery phase 3: resets locks and runs the Algorithm-17 leak audit
+    /// over every on-chain leaf, partitioned in chain order across the
+    /// worker pool. Audit mutations are leaf-local, so the partitioning
+    /// cannot change the outcome; each worker opens its own checked
+    /// operation because durability-checker attribution is per-thread.
     #[allow(clippy::type_complexity)]
-    fn rebuild_walk(ctx: &Ctx) -> (Vec<(K::Owned, u64)>, HashSet<u64>, usize) {
+    pub(crate) fn audit_leaves(
+        ctx: &Ctx,
+        chain: &[u64],
+        threads: usize,
+    ) -> Result<Vec<(usize, Option<K::Owned>)>, Error> {
+        let audit_one = |off: u64| -> Result<(usize, Option<K::Owned>), Error> {
+            ctx.metrics.inc(Counter::RecoveryLeaves);
+            let leaf = ctx.leaf(off);
+            leaf.reset_lock();
+            ctx.audit_leaf::<K>(off)?;
+            Ok((leaf.count(), leaf.max_key::<K>()))
+        };
+        let workers = threads.min(chain.len()).max(1);
+        if workers <= 1 {
+            // Serial: runs under the caller's "tree_open" checked operation.
+            return chain.iter().map(|&off| audit_one(off)).collect();
+        }
+        let audit_one = &audit_one;
+        let chunk = chain.len().div_ceil(workers);
+        let parts = std::thread::scope(|s| {
+            let handles: Vec<_> = chain
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        let _op = ctx.pool.begin_checked_op("recovery_audit");
+                        part.iter()
+                            .map(|&off| audit_one(off))
+                            .collect::<Result<Vec<_>, Error>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(chain.len());
+        for part in parts {
+            out.extend(part?);
+        }
+        Ok(out)
+    }
+
+    /// Serial tail of recovery phase 3: unlinks empty leaves (replicating
+    /// the sequential walk's unlink order exactly — `is_last` here is the
+    /// serial walk's `next.is_null()`) and collects the survivors'
+    /// discriminators for the inner build.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn sweep(
+        ctx: &Ctx,
+        chain: &[u64],
+        audits: &[(usize, Option<K::Owned>)],
+    ) -> (Vec<(K::Owned, u64)>, HashSet<u64>, usize) {
         let mut entries = Vec::new();
         let mut in_tree = HashSet::new();
         let mut len = 0usize;
         let mut prev: Option<u64> = None;
-        let mut cur = ctx.meta.head(&ctx.pool).offset;
-        assert_ne!(cur, 0, "initialized tree must have a head leaf");
-        loop {
-            ctx.metrics.inc(Counter::RecoveryLeaves);
-            let leaf = ctx.leaf(cur);
-            leaf.reset_lock();
-            ctx.audit_leaf::<K>(cur);
-            let next = leaf.next();
-            let count = leaf.count();
-            if count == 0 && !(prev.is_none() && next.is_null()) {
+        for (i, (&off, (count, max))) in chain.iter().zip(audits).enumerate() {
+            let is_last = i + 1 == chain.len();
+            if *count == 0 && !(prev.is_none() && is_last) {
                 // Empty non-lone leaf: a rolled-back delete left it linked.
-                ctx.delete_leaf(None, cur, prev, 0);
-                if next.is_null() {
-                    break;
-                }
-                cur = next.offset;
+                ctx.delete_leaf(None, off, prev, 0);
                 continue;
             }
-            in_tree.insert(cur);
-            if let Some(max) = leaf.max_key::<K>() {
-                entries.push((max, cur));
+            in_tree.insert(off);
+            if let Some(max) = max {
+                entries.push((max.clone(), off));
             }
-            len += count;
-            prev = Some(cur);
-            if next.is_null() {
-                break;
-            }
-            cur = next.offset;
+            len += *count;
+            prev = Some(off);
         }
         (entries, in_tree, len)
     }
@@ -875,6 +1113,20 @@ impl<K: KeyKind> SingleTree<K> {
     /// persistence counters absorbed as `pmem_*` fields.
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.ctx.metrics.snapshot().with_pool(&self.ctx.pool)
+    }
+
+    /// Per-phase timings of the recovery pipeline that produced this handle;
+    /// `None` for a freshly created (or bulk-loaded) tree and for the
+    /// re-initialization path of an interrupted `create`/`bulk_load`.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.recovery
+    }
+
+    /// The group free-list in pop order plus the group count — recovery
+    /// must reconstruct these identically regardless of worker count (the
+    /// differential fuzz harness compares them across thread counts).
+    pub fn group_state(&self) -> (Vec<u64>, usize) {
+        (self.groups.free_snapshot(), self.groups.group_count())
     }
 
     /// Leaf offsets in list order (tests, audits, stats).

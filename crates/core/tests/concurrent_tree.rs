@@ -287,7 +287,7 @@ fn recovery_after_clean_shutdown() {
     drop(t);
     let img = p.clean_image();
     let p2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-    let t2 = ConcurrentFPTree::open(Arc::clone(&p2), ROOT_SLOT);
+    let t2 = ConcurrentFPTree::open(Arc::clone(&p2), ROOT_SLOT).expect("recover");
     assert_eq!(t2.len(), n);
     for i in 0..800u64 {
         assert_eq!(t2.get(&i), (i % 4 != 0).then_some(i * 3));
@@ -324,7 +324,7 @@ fn crash_recovery_concurrent_tree() {
         for seed in [5u64, 23] {
             let img = p.crash_image(seed);
             let p2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-            let t2 = ConcurrentFPTree::open(Arc::clone(&p2), ROOT_SLOT);
+            let t2 = ConcurrentFPTree::open(Arc::clone(&p2), ROOT_SLOT).expect("recover");
             t2.check_consistency()
                 .unwrap_or_else(|e| panic!("fuse {fuse} seed {seed}: {e}"));
             // Values must remain bound to their keys.
@@ -377,10 +377,8 @@ fn open_checks_key_kind() {
     drop(t);
     let img = p.clean_image();
     let p2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        ConcurrentTree::<fptree_core::VarKey>::open(p2, ROOT_SLOT)
-    }));
-    assert!(r.is_err());
+    let r = ConcurrentTree::<fptree_core::VarKey>::open(p2, ROOT_SLOT);
+    assert!(matches!(r, Err(fptree_core::Error::Corrupt { .. })));
 }
 
 /// The single-threaded and concurrent trees must agree on semantics.

@@ -51,7 +51,7 @@ fn double_crash_recovers<K: fptree_core::KeyKind>(
     let pool = Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0)).expect("reopen"));
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         pool.set_crash_fuse(Some(fuse2));
-        SingleTree::<K>::open(Arc::clone(&pool), ROOT_SLOT)
+        SingleTree::<K>::open(Arc::clone(&pool), ROOT_SLOT).expect("recovery reported corruption")
     }));
     pool.set_crash_fuse(None);
     let first_recovery_crashed = match r {
@@ -71,7 +71,7 @@ fn double_crash_recovers<K: fptree_core::KeyKind>(
     // Second recovery from whatever the first one left behind.
     let image2 = pool.crash_image(fuse2 ^ 0xDEAD);
     let pool2 = Arc::new(PmemPool::reopen(image2, PoolOptions::tracked(0)).expect("reopen2"));
-    let t = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT);
+    let t = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
     t.check_consistency().unwrap_or_else(|e| {
         panic!("double-crash recovery inconsistent (fuse1 {fuse1}, fuse2 {fuse2}, first_crashed {first_recovery_crashed}): {e}")
     });
@@ -101,6 +101,81 @@ proptest! {
     }
 }
 
+/// Honour `PROPTEST_CASES` (set by the TSan CI job) while keeping a larger
+/// default than proptest's own, so the differential sweep sees >= 100 crash
+/// schedules in a normal run.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+type Snapshot<K> = (
+    Vec<(<K as fptree_core::KeyKind>::Owned, u64)>,
+    Vec<u64>,
+    (Vec<u64>, usize),
+    usize,
+);
+
+fn recovery_snapshot<K: fptree_core::KeyKind>(image: Vec<u8>, threads: usize) -> Snapshot<K> {
+    let pool = Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0)).expect("reopen"));
+    let t = SingleTree::<K>::open_with(Arc::clone(&pool), ROOT_SLOT, threads).expect("recover");
+    t.check_consistency().expect("recovered tree consistent");
+    (
+        t.iter().collect(),
+        t.leaf_offsets(),
+        t.group_state(),
+        t.len(),
+    )
+}
+
+/// Differential fuzz: recovering the same crash image with 1 worker and with
+/// N > 1 workers must produce bit-identical logical state — same contents,
+/// same leaf chain, same group directory, same length.
+fn parallel_recovery_matches_serial<K: fptree_core::KeyKind>(
+    mk: impl Fn(u64) -> K::Owned,
+    fuse: u64,
+    group: usize,
+) {
+    let image = crash_mid_workload::<K>(&mk, fuse, group);
+    let serial = recovery_snapshot::<K>(image.clone(), 1);
+    for threads in [2usize, 4] {
+        let parallel = recovery_snapshot::<K>(image.clone(), threads);
+        assert_eq!(
+            serial, parallel,
+            "threads {threads} diverged from serial (fuse {fuse}, group {group})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: cases(40), ..ProptestConfig::default() })]
+
+    #[test]
+    fn fixed_keys_differential(fuse in 20u64..1500) {
+        parallel_recovery_matches_serial::<FixedKey>(|k| k, fuse, 2);
+    }
+
+    #[test]
+    fn var_keys_differential(fuse in 20u64..1800) {
+        parallel_recovery_matches_serial::<VarKey>(
+            |k| format!("rk:{k:05}").into_bytes(),
+            fuse,
+            2,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: cases(20), ..ProptestConfig::default() })]
+
+    #[test]
+    fn fixed_keys_differential_no_groups(fuse in 20u64..1500) {
+        parallel_recovery_matches_serial::<FixedKey>(|k| k, fuse, 0);
+    }
+}
+
 /// Recovery is deterministic: recovering the same crash image twice must
 /// produce identical durable states.
 #[test]
@@ -110,7 +185,7 @@ fn recovery_is_deterministic() {
         let image = crash_mid_workload::<FixedKey>(&mk, fuse, 2);
         let snap = |img: Vec<u8>| -> Vec<(u64, u64)> {
             let pool = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).expect("reopen"));
-            let t = SingleTree::<FixedKey>::open(Arc::clone(&pool), ROOT_SLOT);
+            let t = SingleTree::<FixedKey>::open(Arc::clone(&pool), ROOT_SLOT).expect("recover");
             t.range(&0, &u64::MAX)
         };
         let a = snap(image.clone());

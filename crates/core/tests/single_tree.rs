@@ -250,7 +250,7 @@ fn clean_reopen_recovers_everything() {
     drop(t);
     let img = pool.clean_image();
     let pool2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-    let t2 = FPTree::open(Arc::clone(&pool2), ROOT_SLOT);
+    let t2 = FPTree::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
     assert_eq!(t2.len(), expected_len);
     for i in 0..800u64 {
         let expect = if i % 5 == 0 { None } else { Some(i * 3) };
@@ -272,7 +272,7 @@ fn clean_reopen_var_keys() {
     drop(t);
     let img = pool.clean_image();
     let pool2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-    let t2 = FPTreeVar::open(Arc::clone(&pool2), ROOT_SLOT);
+    let t2 = FPTreeVar::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
     assert_eq!(t2.len(), 300);
     for i in 0..300u64 {
         assert_eq!(t2.get(&format!("key:{i:05}").into_bytes()), Some(i));
@@ -355,7 +355,7 @@ fn crash_torture<K: fptree_core::KeyKind>(mk: impl Fn(u64) -> K::Owned, max_fuse
         for seed in [11u64, 97] {
             let img = pool.crash_image(seed);
             let pool2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-            let t2 = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT);
+            let t2 = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
             t2.check_consistency()
                 .unwrap_or_else(|e| panic!("fuse {fuse} seed {seed}: inconsistent: {e}"));
             // Atomicity: every present key maps to a value the workload
@@ -380,7 +380,7 @@ fn crash_torture<K: fptree_core::KeyKind>(mk: impl Fn(u64) -> K::Owned, max_fuse
     drop(t);
     let img = pool.clean_image();
     let pool2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-    let t2 = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT);
+    let t2 = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
     assert_eq!(t2.len(), model.len());
     for (k, v) in &model {
         assert_eq!(t2.get(k), Some(*v));
@@ -429,16 +429,17 @@ fn multiple_trees_in_one_pool() {
 }
 
 #[test]
-fn open_asserts_key_kind_match() {
+fn open_rejects_key_kind_mismatch() {
     let pool = tracked_pool(16);
     let t = FPTree::create(Arc::clone(&pool), small_cfg(), ROOT_SLOT);
     drop(t);
     let img = pool.clean_image();
     let pool2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        FPTreeVar::open(pool2, ROOT_SLOT)
-    }));
-    assert!(r.is_err(), "opening a fixed-key tree as var-key must fail");
+    let r = FPTreeVar::open(pool2, ROOT_SLOT);
+    assert!(
+        matches!(r, Err(fptree_core::Error::Corrupt { .. })),
+        "opening a fixed-key tree as var-key must fail with Corrupt"
+    );
 }
 
 #[test]
@@ -533,7 +534,7 @@ fn reopen_preserves_config() {
     drop(t);
     let img = pool.clean_image();
     let pool2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-    let t2 = FPTree::open(Arc::clone(&pool2), ROOT_SLOT);
+    let t2 = FPTree::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
     assert_eq!(*t2.config(), cfg);
     assert_eq!(t2.len(), 100);
 }
@@ -585,7 +586,7 @@ fn bulk_load_survives_restart() {
     drop(t);
     let img = pool.clean_image();
     let pool2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-    let t2 = FPTree::open(Arc::clone(&pool2), ROOT_SLOT);
+    let t2 = FPTree::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
     assert_eq!(t2.len(), 2000);
     for (k, v) in &entries {
         assert_eq!(t2.get(k), Some(*v));
@@ -618,7 +619,7 @@ fn interrupted_bulk_load_recovers_empty_without_leaks() {
             }
             let img = pool.crash_image(fuse);
             let pool2 = Arc::new(PmemPool::reopen(img, PoolOptions::tracked(0)).unwrap());
-            let t = FPTree::open(Arc::clone(&pool2), ROOT_SLOT);
+            let t = FPTree::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
             assert!(
                 t.is_empty(),
                 "group {group} fuse {fuse}: partial load visible"
@@ -677,7 +678,7 @@ fn file_backed_tree_survives_process_style_restart() {
     } // everything dropped: "process exit"
     {
         let pool = Arc::new(PmemPool::load(&path, PoolOptions::tracked(0)).unwrap());
-        let t = FPTree::open(Arc::clone(&pool), ROOT_SLOT);
+        let t = FPTree::open(Arc::clone(&pool), ROOT_SLOT).expect("recover");
         assert_eq!(t.len(), 500);
         assert_eq!(t.get(&123), Some(123 * 11));
         t.check_consistency().unwrap();

@@ -7,13 +7,26 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use fptree_core::metrics::{Counter, Metrics};
 
 use crate::cache::KvCache;
 use crate::protocol::{execute, parse, Command, ParseError};
+
+/// Upper bound on one connection's unparsed request buffer. A client that
+/// streams bytes without ever completing a frame (a slowloris, or a `set`
+/// announcing an absurd byte count) is answered `ERROR` and disconnected
+/// instead of growing the buffer without limit. Sized above memcached's
+/// traditional 1 MiB item ceiling so every legitimate frame still fits.
+pub const MAX_FRAME_BYTES: usize = (1 << 20) + 4096;
+
+/// Default cap on concurrently served connections (the server is
+/// thread-per-connection, so this also bounds spawned OS threads). Accepts
+/// beyond the cap are answered `SERVER_ERROR too many connections` and
+/// closed, counted under `conn_rejected`.
+pub const MAX_CONNECTIONS: usize = 1024;
 
 /// Handle to a running server. [`ServerHandle::shutdown`] stops it
 /// explicitly; dropping the handle shuts it down too.
@@ -55,20 +68,51 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Starts a server for `cache` on `addr` (e.g. "127.0.0.1:0").
+/// Starts a server for `cache` on `addr` (e.g. "127.0.0.1:0") with the
+/// default [`MAX_CONNECTIONS`] cap.
 pub fn serve(cache: Arc<KvCache>, addr: &str) -> std::io::Result<ServerHandle> {
+    serve_with(cache, addr, MAX_CONNECTIONS)
+}
+
+/// Decrements the live-connection count when a connection thread exits,
+/// however it exits (clean close, I/O error, or panic unwinding).
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Starts a server that serves at most `max_conns` connections at a time.
+pub fn serve_with(
+    cache: Arc<KvCache>,
+    addr: &str,
+    max_conns: usize,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    let active = Arc::new(AtomicUsize::new(0));
     let join = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if stop2.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = conn else { continue };
+            let Ok(mut stream) = conn else { continue };
+            // Reserve a slot before spawning; over the cap, refuse without
+            // spawning so a connection burst cannot exhaust OS threads.
+            if active.fetch_add(1, Ordering::SeqCst) >= max_conns {
+                active.fetch_sub(1, Ordering::SeqCst);
+                cache.metrics().inc(Counter::ConnRejected);
+                let _ = stream.write_all(b"SERVER_ERROR too many connections\r\n");
+                continue; // drops (closes) the stream
+            }
             let cache = Arc::clone(&cache);
+            let guard = ActiveGuard(Arc::clone(&active));
             std::thread::spawn(move || {
+                let _guard = guard;
                 let _ = handle_connection(stream, &cache);
             });
         }
@@ -109,6 +153,13 @@ fn handle_connection(mut stream: TcpStream, cache: &KvCache) -> std::io::Result<
                 stream.write_all(&resp)?;
             }
             Err(ParseError::Incomplete) => {
+                if buf.len() >= MAX_FRAME_BYTES {
+                    // The frame can only keep growing; cut the slowloris off.
+                    metrics.inc(Counter::CmdBad);
+                    metrics.add(Counter::BytesWritten, b"ERROR\r\n".len() as u64);
+                    stream.write_all(b"ERROR\r\n")?;
+                    return Ok(());
+                }
                 let n = stream.read(&mut chunk)?;
                 if n == 0 {
                     return Ok(()); // client hung up
@@ -432,6 +483,64 @@ mod tests {
             // was bumped before the ERROR line was written.
             assert_eq!(cache.stats_snapshot().get("cmd_bad"), Some(1));
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn slowloris_frame_is_capped() {
+        let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+        // One endless unterminated line: the parser stays Incomplete while
+        // the buffer grows, so the server must answer ERROR and hang up at
+        // MAX_FRAME_BYTES instead of buffering without limit.
+        let chunk = [b'x'; 4096];
+        let mut sent = 0;
+        while sent < MAX_FRAME_BYTES {
+            stream.write_all(&chunk).unwrap();
+            sent += chunk.len();
+        }
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).unwrap();
+        assert_eq!(resp, b"ERROR\r\n");
+        if fptree_core::Metrics::enabled() {
+            assert_eq!(cache.stats_snapshot().get("cmd_bad"), Some(1));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_bounds_threads() {
+        let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
+        let server = serve_with(Arc::clone(&cache), "127.0.0.1:0", 2).unwrap();
+        let mut held: Vec<Client> = (0..2)
+            .map(|_| Client::connect(server.addr).unwrap())
+            .collect();
+        for c in &mut held {
+            c.version().unwrap(); // both slots demonstrably serving
+        }
+        // A burst past the cap: every extra connection is refused with
+        // SERVER_ERROR and closed, without spawning a serving thread.
+        for _ in 0..6 {
+            let mut s = TcpStream::connect(server.addr).unwrap();
+            let mut resp = Vec::new();
+            s.read_to_end(&mut resp).unwrap();
+            assert_eq!(resp, b"SERVER_ERROR too many connections\r\n");
+        }
+        if fptree_core::Metrics::enabled() {
+            let snap = cache.stats_snapshot();
+            // conn_opened counts handle_connection entries, i.e. spawned
+            // serving threads: exactly the two held connections.
+            assert_eq!(snap.get("conn_opened"), Some(2));
+            assert_eq!(snap.get("conn_rejected"), Some(6));
+        }
+        // Closing a connection frees its slot for new clients.
+        drop(held.pop());
+        let ok = (0..200).any(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            Client::connect(server.addr).is_ok_and(|mut c| c.version().is_ok())
+        });
+        assert!(ok, "slot was not released after a connection closed");
         server.shutdown();
     }
 

@@ -139,8 +139,10 @@ impl AllocHeader {
     /// Completes or rolls back an in-flight alloc/free after a crash.
     ///
     /// Every step of the protocols below is idempotent given the redo log,
-    /// so recovery can itself crash and be re-run.
-    pub(crate) fn recover(pool: &PmemPool) {
+    /// so recovery can itself crash and be re-run. Every logged word comes
+    /// from a potentially corrupt image, so each is validated before use and
+    /// damage surfaces as [`AllocError::Corrupt`] instead of a panic.
+    pub(crate) fn recover(pool: &PmemPool) -> Result<(), AllocError> {
         let op = pool.read_word(LOG_OP);
         match op {
             OP_NONE => {}
@@ -149,13 +151,22 @@ impl AllocHeader {
                 if block_word == 0 {
                     // Crashed before a block was chosen: roll back.
                     reset_log(pool);
-                    return;
+                    return Ok(());
                 }
                 let from_bump = block_word & SRC_BUMP_FLAG != 0;
                 let block = block_word & !SRC_BUMP_FLAG;
                 let dest = pool.read_word(LOG_DEST);
                 let size = pool.read_word(LOG_SIZE);
-                let class = class_for(size as usize).expect("logged size was validated");
+                let class = class_for(size as usize)
+                    .map_err(|_| AllocError::Corrupt("alloc log records an invalid size"))?;
+                if block < USER_BASE
+                    || !pool.in_bounds(block, (BLOCK_HEADER_SIZE + class_size(class)) as usize)
+                {
+                    return Err(AllocError::Corrupt("alloc log block outside the heap"));
+                }
+                if !dest.is_multiple_of(8) || !pool.in_bounds(dest, 16) {
+                    return Err(AllocError::Corrupt("alloc log owner slot outside the pool"));
+                }
                 if from_bump {
                     // Redo the bump advance if it has not happened.
                     let end = block + BLOCK_HEADER_SIZE + class_size(class);
@@ -179,13 +190,20 @@ impl AllocHeader {
             OP_FREE => {
                 let block = pool.read_word(LOG_BLOCK);
                 let dest = pool.read_word(LOG_DEST);
+                if block < USER_BASE || !pool.in_bounds(block, BLOCK_HEADER_SIZE as usize) {
+                    return Err(AllocError::Corrupt("free log block outside the heap"));
+                }
+                if !dest.is_multiple_of(8) || !pool.in_bounds(dest, 16) {
+                    return Err(AllocError::Corrupt("free log owner slot outside the pool"));
+                }
                 let tag = pool.read_word(block + HDR_TAG);
-                assert_eq!(
-                    tag & BLOCK_MAGIC_MASK,
-                    BLOCK_MAGIC,
-                    "freed block header corrupt"
-                );
+                if tag & BLOCK_MAGIC_MASK != BLOCK_MAGIC {
+                    return Err(AllocError::Corrupt("freed block header corrupt"));
+                }
                 let class = (tag & !BLOCK_MAGIC_MASK) as usize;
+                if class >= NCLASS {
+                    return Err(AllocError::Corrupt("freed block has an invalid size class"));
+                }
                 let head_off = OFF_FREE_HEADS + class as u64 * 8;
                 if pool.read_word(head_off) != block {
                     // Redo the push (setting next twice is idempotent: no
@@ -198,8 +216,9 @@ impl AllocHeader {
                 write_dest(pool, dest, 0);
                 reset_log(pool);
             }
-            other => panic!("unknown allocator log op {other}"),
+            _ => return Err(AllocError::Corrupt("unknown allocator log op")),
         }
+        Ok(())
     }
 }
 
@@ -290,6 +309,22 @@ impl PmemPool {
         PoolStats::add(&self.stats().allocs, 1);
         PoolStats::add(&self.stats().bytes_live, size as u64);
         Ok(user)
+    }
+
+    /// True if `p` plausibly points at the user area of an allocator block:
+    /// aligned, in bounds, and carrying the block magic in its header.
+    /// Recovery validates pointers read from a possibly-corrupt image with
+    /// this before deallocating through them, so torn state surfaces as a
+    /// typed error instead of tripping `deallocate`'s asserts.
+    pub fn looks_like_block(&self, p: RawPPtr) -> bool {
+        if p.is_null() || !p.offset.is_multiple_of(8) || p.offset < BLOCK_HEADER_SIZE {
+            return false;
+        }
+        let block = p.offset - BLOCK_HEADER_SIZE;
+        if !self.in_bounds(block, BLOCK_HEADER_SIZE as usize + 8) {
+            return false;
+        }
+        self.read_word(block + HDR_TAG) & BLOCK_MAGIC_MASK == BLOCK_MAGIC
     }
 
     /// Deallocates the block whose address is stored in the owner's

@@ -36,7 +36,10 @@
 //! fences are global effects and are visible to every open operation.
 //! Operations nest: a tree insert that allocates opens a nested allocator
 //! operation, and each is analyzed independently. Nothing is recorded while
-//! no operation is open, which bounds trace memory.
+//! no operation is open, which bounds trace memory. Because attribution is
+//! per-thread, multi-threaded phases (the parallel recovery audit) must open
+//! one checked operation *per worker thread* — stores issued by a thread
+//! with no open operation are silently unattributed and escape analysis.
 //!
 //! # Detectors
 //!

@@ -234,7 +234,7 @@ impl PmemPool {
         pool.file_id = pool.read_word(OFF_FILE_ID);
         {
             let _op = pool.begin_checked_op("alloc_recover");
-            AllocHeader::recover(&pool);
+            AllocHeader::recover(&pool)?;
         }
         Ok(pool)
     }
@@ -309,12 +309,21 @@ impl PmemPool {
     #[inline]
     fn check(&self, off: u64, len: usize) {
         assert!(
-            (off as usize)
-                .checked_add(len)
-                .is_some_and(|end| end <= self.len),
+            self.in_bounds(off, len),
             "pmem access out of bounds: off={off:#x} len={len} cap={:#x}",
             self.len
         );
+    }
+
+    /// True if `[off, off + len)` lies inside the pool. Recovery code uses
+    /// this to validate persistent pointers read from a (possibly corrupt)
+    /// image *before* dereferencing them, so corruption surfaces as a typed
+    /// error instead of the out-of-bounds panic the accessors would raise.
+    #[inline]
+    pub fn in_bounds(&self, off: u64, len: usize) -> bool {
+        (off as usize)
+            .checked_add(len)
+            .is_some_and(|end| end <= self.len)
     }
 
     // ---------------------------------------------------------------- fuse

@@ -53,7 +53,7 @@ fn main() {
         // words are randomly lost) and recover.
         let image = pool.crash_image(round);
         let pool2 = Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0)).expect("reopen"));
-        let tree = FPTreeVar::open(Arc::clone(&pool2), ROOT_SLOT);
+        let tree = FPTreeVar::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
         tree.check_consistency()
             .expect("recovered tree is consistent");
 

@@ -49,7 +49,7 @@ fn main() {
     let image = pool.clean_image();
     let pool2 = Arc::new(PmemPool::reopen(image, PoolOptions::direct(0)).expect("reopen"));
     let t = std::time::Instant::now();
-    let recovered = FPTree::open(Arc::clone(&pool2), ROOT_SLOT);
+    let recovered = FPTree::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
     println!(
         "recovered {} keys in {:?}; get(123) = {:?}",
         recovered.len(),

@@ -57,7 +57,7 @@ fn main() {
     let pool2 = Arc::new(PmemPool::reopen(image, PoolOptions::direct(0)).expect("reopen"));
     let slots = next.get();
     for i in 0..slots {
-        std::hint::black_box(FPTree::open(Arc::clone(&pool2), dir + i * 16));
+        std::hint::black_box(FPTree::open(Arc::clone(&pool2), dir + i * 16).expect("recover"));
     }
     println!(
         "restart: {slots} dictionary indexes recovered in {:?}",

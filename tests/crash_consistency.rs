@@ -94,7 +94,7 @@ fn crash_check<K: KeyKind>(
     let image = pool.crash_image(seed);
     let pool2 =
         Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0).with_checker()).expect("reopen"));
-    let tree = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT);
+    let tree = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
     tree.check_consistency().expect("recovered tree consistent");
 
     let model = completed.lock().expect("model");

@@ -102,7 +102,7 @@ fn bulk_load_and_reopen_are_clean() {
     let image = pool.clean_image();
     let pool2 =
         Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0).with_checker()).expect("reopen"));
-    let tree = FPTree::open(Arc::clone(&pool2), ROOT_SLOT);
+    let tree = FPTree::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
     assert_eq!(tree.len(), 500);
     pool2.assert_durability_clean();
 }
@@ -361,7 +361,7 @@ fn tree_recovery_is_clean_after_midsplit_crash() {
         let pool2 = Arc::new(
             PmemPool::reopen(img, PoolOptions::tracked(0).with_checker()).expect("reopen"),
         );
-        let tree = FPTree::open(Arc::clone(&pool2), ROOT_SLOT);
+        let tree = FPTree::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
         tree.check_consistency().expect("recovered tree consistent");
         pool2.assert_durability_clean();
     }

@@ -201,7 +201,7 @@ fn tatp_survives_restart() {
     // Recover each dictionary index and make sure the key → code mappings
     // survived: rebuild a fresh DB shell and compare PK lookups.
     let recovered: Vec<_> = (0..slots)
-        .map(|i| SingleTree::<FixedKey>::open(Arc::clone(&p2), dir + i * 16))
+        .map(|i| SingleTree::<FixedKey>::open(Arc::clone(&p2), dir + i * 16).expect("recover"))
         .collect();
     // Index 0 is the subscriber PK dictionary (created first).
     let sub_pk = &recovered[0];
