@@ -52,6 +52,29 @@ impl BytesIndex for Locked<StxTree<Vec<u8>>> {
     fn insert(&self, key: &[u8], value: u64) -> bool {
         self.0.lock().insert(&key.to_vec(), value)
     }
+    fn remove_if(&self, key: &[u8], expected: u64) -> bool {
+        // One guard across compare and remove keeps eviction races out.
+        let mut tree = self.0.lock();
+        match tree.get(&key.to_vec()) {
+            Some(v) if v == expected => tree.remove(&key.to_vec()),
+            _ => false,
+        }
+    }
+    fn update_if(&self, key: &[u8], expected: u64, value: u64) -> bool {
+        let mut tree = self.0.lock();
+        match tree.get(&key.to_vec()) {
+            Some(v) if v == expected => tree.update(&key.to_vec(), value),
+            _ => false,
+        }
+    }
+    fn insert_batch(&self, entries: &[(Vec<u8>, u64)]) -> usize {
+        let mut tree = self.0.lock();
+        entries.iter().filter(|(k, v)| tree.insert(k, *v)).count()
+    }
+    fn get_batch(&self, keys: &[Vec<u8>]) -> Vec<Option<u64>> {
+        let tree = self.0.lock();
+        keys.iter().map(|k| tree.get(k)).collect()
+    }
     fn get(&self, key: &[u8]) -> Option<u64> {
         self.0.lock().get(&key.to_vec())
     }
@@ -96,6 +119,28 @@ impl U64Index for Locked<WBTree<FixedKey>> {
 impl BytesIndex for Locked<WBTree<VarKey>> {
     fn insert(&self, key: &[u8], value: u64) -> bool {
         self.0.lock().insert(&key.to_vec(), value)
+    }
+    fn remove_if(&self, key: &[u8], expected: u64) -> bool {
+        let mut tree = self.0.lock();
+        match tree.get(&key.to_vec()) {
+            Some(v) if v == expected => tree.remove(&key.to_vec()),
+            _ => false,
+        }
+    }
+    fn update_if(&self, key: &[u8], expected: u64, value: u64) -> bool {
+        let mut tree = self.0.lock();
+        match tree.get(&key.to_vec()) {
+            Some(v) if v == expected => tree.update(&key.to_vec(), value),
+            _ => false,
+        }
+    }
+    fn insert_batch(&self, entries: &[(Vec<u8>, u64)]) -> usize {
+        let mut tree = self.0.lock();
+        entries.iter().filter(|(k, v)| tree.insert(k, *v)).count()
+    }
+    fn get_batch(&self, keys: &[Vec<u8>]) -> Vec<Option<u64>> {
+        let tree = self.0.lock();
+        keys.iter().map(|k| tree.get(k)).collect()
     }
     fn get(&self, key: &[u8]) -> Option<u64> {
         self.0.lock().get(&key.to_vec())

@@ -97,6 +97,30 @@ impl BytesIndex for HashIndex<Vec<u8>> {
     fn insert(&self, key: &[u8], value: u64) -> bool {
         self.insert_kv(key.to_vec(), value)
     }
+    fn remove_if(&self, key: &[u8], expected: u64) -> bool {
+        // Compare and remove under one shard lock — the atomic form the
+        // kvcache eviction path requires.
+        let k = key.to_vec();
+        let mut m = self.shard(&k).lock();
+        match m.get(&k) {
+            Some(v) if *v == expected => {
+                m.remove(&k);
+                true
+            }
+            _ => false,
+        }
+    }
+    fn update_if(&self, key: &[u8], expected: u64, value: u64) -> bool {
+        let k = key.to_vec();
+        let mut m = self.shard(&k).lock();
+        match m.get_mut(&k) {
+            Some(v) if *v == expected => {
+                *v = value;
+                true
+            }
+            _ => false,
+        }
+    }
     fn get(&self, key: &[u8]) -> Option<u64> {
         self.get_kv(&key.to_vec())
     }

@@ -18,6 +18,7 @@ fn main() {
     let var_keys = args.get_str("keys") == Some("var");
     let verbose = args.flag("verbose");
     let want_metrics = args.flag("metrics");
+    let batch: usize = args.get("batch", 0);
     let out = args.get_str("out");
     let latencies: Vec<u64> = args
         .get_str("latencies")
@@ -27,6 +28,21 @@ fn main() {
     let pool_mb = (scale * 4000 / (1 << 20) + 128).next_power_of_two();
     let warm = shuffled_keys(scale, 1);
     let extra = shuffled_keys(scale, 2);
+
+    if batch > 0 {
+        run_batch_mode(
+            batch,
+            scale,
+            var_keys,
+            pool_mb,
+            &latencies,
+            &warm,
+            verbose,
+            want_metrics,
+            out,
+        );
+        return;
+    }
 
     let mut per_op: Vec<Report> = ["Find", "Insert", "Update", "Delete"]
         .iter()
@@ -110,6 +126,134 @@ fn main() {
         }
     }
     summary.emit(out);
+}
+
+/// `--batch N` mode: batched ingest/teardown with amortized-persistence
+/// accounting. Each tree inserts the warm set in runs of `batch` keys via
+/// `insert_batch`, then removes them via `remove_batch`; pool persist and
+/// fence counters are reset before the insert phase so the emitted
+/// `pmem_persists` / `pmem_fences` fields (and `persists_per_key`) isolate
+/// the ingest. Batched commits stage many slots per leaf behind one
+/// flush-span + one p-atomic bitmap publish, so `--batch 64` must report
+/// far fewer persists per key than `--batch 1`.
+#[allow(clippy::too_many_arguments)]
+fn run_batch_mode(
+    batch: usize,
+    scale: usize,
+    var_keys: bool,
+    pool_mb: usize,
+    latencies: &[u64],
+    warm: &[u64],
+    verbose: bool,
+    want_metrics: bool,
+    out: Option<&str>,
+) {
+    let mut report = Report::new(
+        "fig7_batch_ingest",
+        &format!(
+            "Batched ingest (batch {batch}, scale {scale}, {} keys): µs/key and pmem persists",
+            if var_keys { "var" } else { "fixed" }
+        ),
+    );
+    // Ingest in key order — the bulk-load scenario batching targets. A run
+    // of consecutive keys lands in few leaves, so the per-leaf commit is
+    // shared across many keys; the same sorted stream at `--batch 1` pays
+    // a full commit per key, making the two runs directly comparable.
+    let mut warm: Vec<u64> = warm.to_vec();
+    warm.sort_unstable();
+    let warm = &warm[..];
+    for &latency in latencies {
+        for kind in TreeKind::fig7_set() {
+            let (insert_us, remove_us, persists, fences, snap) = if var_keys {
+                let mut t = AnyTreeVar::build(kind, pool_mb * 2, latency);
+                if verbose {
+                    fptree_bench::enable_pool_checker(t.pool());
+                }
+                let entries: Vec<(Vec<u8>, u64)> =
+                    warm.iter().map(|&k| (string_key(k), k)).collect();
+                let keys: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
+                if let Some(p) = t.pool() {
+                    p.stats().reset();
+                }
+                let insert_us = time(|| {
+                    for chunk in entries.chunks(batch) {
+                        t.insert_batch(chunk);
+                    }
+                });
+                let s = t.pool().map(|p| p.stats().snapshot());
+                let remove_us = time(|| {
+                    for chunk in keys.chunks(batch) {
+                        t.remove_batch(chunk);
+                    }
+                });
+                if verbose {
+                    fptree_bench::print_pool_counters(
+                        &format!("{} @{latency}ns", kind.name()),
+                        t.pool(),
+                    );
+                }
+                let persists = s.as_ref().map_or(0, |s| s.persist_calls);
+                let fences = s.as_ref().map_or(0, |s| s.fences);
+                (insert_us, remove_us, persists, fences, t.metrics_snapshot())
+            } else {
+                let mut t = AnyTree::build(kind, pool_mb, latency, 8);
+                if verbose {
+                    fptree_bench::enable_pool_checker(t.pool());
+                }
+                let entries: Vec<(u64, u64)> = warm.iter().map(|&k| (k, k)).collect();
+                if let Some(p) = t.pool() {
+                    p.stats().reset();
+                }
+                let insert_us = time(|| {
+                    for chunk in entries.chunks(batch) {
+                        t.insert_batch(chunk);
+                    }
+                });
+                let s = t.pool().map(|p| p.stats().snapshot());
+                let remove_us = time(|| {
+                    for chunk in warm.chunks(batch) {
+                        t.remove_batch(chunk);
+                    }
+                });
+                if verbose {
+                    fptree_bench::print_pool_counters(
+                        &format!("{} @{latency}ns", kind.name()),
+                        t.pool(),
+                    );
+                }
+                let persists = s.as_ref().map_or(0, |s| s.persist_calls);
+                let fences = s.as_ref().map_or(0, |s| s.fences);
+                (insert_us, remove_us, persists, fences, t.metrics_snapshot())
+            };
+            let n = warm.len() as f64;
+            eprintln!(
+                "{} @{latency}ns batch {batch}: insert {:.2} remove {:.2} µs/key, \
+                 {persists} persists ({:.2}/key), {fences} fences",
+                kind.name(),
+                insert_us / n,
+                remove_us / n,
+                persists as f64 / n,
+            );
+            let mut row = Row::new(format!("{} @{latency}ns", kind.name()))
+                .field("batch", batch as f64)
+                .field("insert_us", insert_us / n)
+                .field("remove_us", remove_us / n)
+                .field("pmem_persists", persists as f64)
+                .field("pmem_fences", fences as f64)
+                .field("persists_per_key", persists as f64 / n);
+            if want_metrics {
+                if let Some(snap) = &snap {
+                    fptree_bench::print_metrics(
+                        &format!("{} @{latency}ns", kind.name()),
+                        Some(snap),
+                    );
+                }
+                row = row.with_metrics(snap);
+            }
+            report.push(row);
+        }
+    }
+    report.emit(out);
 }
 
 fn run_fixed(

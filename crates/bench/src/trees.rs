@@ -147,6 +147,25 @@ impl AnyTree {
         }
     }
 
+    /// Batched insert (`--batch`): FPTree variants take the amortized
+    /// one-commit-per-leaf-run path; baselines without a batch API loop.
+    pub fn insert_batch(&mut self, entries: &[(u64, u64)]) -> usize {
+        match self {
+            AnyTree::FP(t) => t.insert_batch(entries),
+            AnyTree::FPC(t) => t.insert_batch(entries),
+            _ => entries.iter().filter(|(k, v)| self.insert(*k, *v)).count(),
+        }
+    }
+
+    /// Batched remove; baselines without a batch API loop.
+    pub fn remove_batch(&mut self, keys: &[u64]) -> usize {
+        match self {
+            AnyTree::FP(t) => t.remove_batch(keys),
+            AnyTree::FPC(t) => t.remove_batch(keys),
+            _ => keys.iter().filter(|k| self.remove(**k)).count(),
+        }
+    }
+
     /// Ordered range scan: up to `count` pairs with keys `>= start`.
     pub fn scan_from(&self, start: u64, count: usize) -> Vec<(u64, u64)> {
         match self {
@@ -308,6 +327,25 @@ impl AnyTreeVar {
             AnyTreeVar::WB(t) => t.remove(&key),
             AnyTreeVar::Stx(t) => t.remove(&key),
             AnyTreeVar::FPC(t) => t.remove(&key),
+        }
+    }
+
+    /// Batched insert (`--batch`): FPTree variants take the amortized
+    /// one-commit-per-leaf-run path; baselines without a batch API loop.
+    pub fn insert_batch(&mut self, entries: &[(Vec<u8>, u64)]) -> usize {
+        match self {
+            AnyTreeVar::FP(t) => t.insert_batch(entries),
+            AnyTreeVar::FPC(t) => t.insert_batch(entries),
+            _ => entries.iter().filter(|(k, v)| self.insert(k, *v)).count(),
+        }
+    }
+
+    /// Batched remove; baselines without a batch API loop.
+    pub fn remove_batch(&mut self, keys: &[Vec<u8>]) -> usize {
+        match self {
+            AnyTreeVar::FP(t) => t.remove_batch(keys),
+            AnyTreeVar::FPC(t) => t.remove_batch(keys),
+            _ => keys.iter().filter(|k| self.remove(k)).count(),
         }
     }
 

@@ -317,6 +317,48 @@ impl TreeBuilder {
         Ok(FPTreeVarInner::create(pool, self.cfg, self.owner_slot))
     }
 
+    /// Builds a single-threaded fixed-key tree pre-populated from
+    /// `entries` via the paper's bulk-load path: leaves are packed to a
+    /// 70% fill factor with sequential writes and one flush/fence set per
+    /// leaf instead of per key. Entries are sorted here; the first
+    /// occurrence of a duplicated key wins, matching
+    /// [`SingleTree::insert_batch`](crate::SingleTree::insert_batch).
+    pub fn bulk_load(&self, pool: Arc<PmemPool>, entries: &[(u64, u64)]) -> Result<FpTree, Error> {
+        self.check::<crate::keys::FixedKey>(&self.cfg, &pool)?;
+        let mut sorted = entries.to_vec();
+        sorted.sort_by_key(|e| e.0);
+        sorted.dedup_by(|next, kept| next.0 == kept.0);
+        Ok(FPTreeInner::bulk_load(
+            pool,
+            self.cfg,
+            self.owner_slot,
+            &sorted,
+        ))
+    }
+
+    /// Builds a single-threaded variable-key tree pre-populated from
+    /// `entries`; see [`TreeBuilder::bulk_load`]. Fails with
+    /// [`Error::KeyTooLarge`] if any key exceeds [`MAX_KEY_BYTES`].
+    pub fn bulk_load_var(
+        &self,
+        pool: Arc<PmemPool>,
+        entries: &[(Vec<u8>, u64)],
+    ) -> Result<FpTreeVar, Error> {
+        self.check::<crate::keys::VarKey>(&self.cfg, &pool)?;
+        for (key, _) in entries {
+            check_key(key)?;
+        }
+        let mut sorted = entries.to_vec();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        sorted.dedup_by(|next, kept| next.0 == kept.0);
+        Ok(FPTreeVarInner::bulk_load(
+            pool,
+            self.cfg,
+            self.owner_slot,
+            &sorted,
+        ))
+    }
+
     /// Builds a concurrent fixed-key tree ([`FpTreeC`]); leaf grouping is
     /// forced off (groups are a central synchronization point, §5).
     pub fn build_concurrent(&self, pool: Arc<PmemPool>) -> Result<FpTreeC, Error> {
@@ -432,6 +474,35 @@ mod tests {
         assert_eq!(tree.config().leaf_group_size, 0);
         assert!(tree.insert(&1, 1));
         assert_eq!(tree.get(&1), Some(1));
+    }
+
+    #[test]
+    fn builder_bulk_load_sorts_and_dedups() {
+        // Unsorted input with an in-batch duplicate: first occurrence wins.
+        let entries: Vec<(u64, u64)> = vec![(30, 3), (10, 1), (20, 2), (10, 99)];
+        let tree = TreeBuilder::new()
+            .leaf_capacity(8)
+            .leaf_group_size(0)
+            .bulk_load(pool(8 << 20), &entries)
+            .unwrap();
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.get(&10), Some(1));
+        assert_eq!(tree.get(&20), Some(2));
+        assert_eq!(tree.get(&30), Some(3));
+        tree.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn builder_bulk_load_var_rejects_oversized_keys() {
+        let entries = vec![(vec![0u8; MAX_KEY_BYTES + 1], 1)];
+        let err = match TreeBuilder::new()
+            .leaf_group_size(0)
+            .bulk_load_var(pool(8 << 20), &entries)
+        {
+            Err(e) => e,
+            Ok(_) => panic!("oversized key must fail"),
+        };
+        assert!(matches!(err, Error::KeyTooLarge { .. }), "{err:?}");
     }
 
     #[test]

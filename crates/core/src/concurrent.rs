@@ -212,7 +212,7 @@ pub struct ConcurrentTree<K: ConcKey> {
     nodes: Mutex<Vec<Box<CNode>>>,
     intern: Interner,
     log_queue: ArrayQueue<usize>,
-    len: AtomicUsize,
+    pub(crate) len: AtomicUsize,
     recovery: Option<RecoveryStats>,
     _marker: std::marker::PhantomData<K>,
 }
@@ -605,7 +605,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
 
     /// Speculative phase of a leaf write (Algorithm 2 step 1): traverse,
     /// lock the leaf, validate.
-    fn lock_leaf_for_write(&self, key: &K::Owned) -> u64 {
+    pub(crate) fn lock_leaf_for_write(&self, key: &K::Owned) -> u64 {
         self.lock.execute(|tx| {
             let off = self.traverse(key)?;
             let leaf = self.ctx.leaf(off);
@@ -785,7 +785,150 @@ impl<K: ConcKey> ConcurrentTree<K> {
         }
     }
 
-    fn take_log(&self) -> usize {
+    /// Updates `key` to `value` only if its current value equals `expected`
+    /// — the compare-and-update a caching layer needs to replace a mapping
+    /// it read without clobbering (and leaking) a concurrent writer's fresh
+    /// value. Returns false if the key is absent or its value changed.
+    pub fn update_if(&self, key: &K::Owned, expected: u64, value: u64) -> bool {
+        let _t = self.ctx.metrics.time_op(Op::Update);
+        let _op = self.ctx.pool.begin_checked_op("update");
+        let off = self.lock_leaf_for_write(key);
+        let leaf = self.ctx.leaf(off);
+        let slot = match leaf.find_slot::<K>(key) {
+            Some(s) if leaf.value(s) == expected => s,
+            _ => {
+                leaf.unlock_version();
+                self.ctx.metrics.inc(Counter::UpdateMisses);
+                return false;
+            }
+        };
+        if leaf.is_full() {
+            let (split_key, new_off) = self.split_locked_leaf(off);
+            let target = if *key > split_key { new_off } else { off };
+            let tslot = self
+                .ctx
+                .leaf(target)
+                .find_slot::<K>(key)
+                .expect("key must survive its leaf's split");
+            self.ctx.update_in_leaf::<K>(target, tslot, value);
+            self.publish_split(&split_key, off, new_off);
+            leaf.unlock_version();
+        } else {
+            self.ctx.update_in_leaf::<K>(off, slot, value);
+            leaf.unlock_version();
+        }
+        true
+    }
+
+    /// Removes `key` only if its current value equals `expected` — the
+    /// compare-and-remove an evictor needs: between deciding to evict and
+    /// removing, a concurrent `set` may have published a fresh value under
+    /// the same key, and unconditionally removing would drop that fresh
+    /// mapping. Returns false if the key is absent or its value changed.
+    pub fn remove_if(&self, key: &K::Owned, expected: u64) -> bool {
+        let _t = self.ctx.metrics.time_op(Op::Remove);
+        let _op = self.ctx.pool.begin_checked_op("remove");
+        let decision = self.lock.execute(|tx| {
+            let (off, prev) = self.traverse_with_prev(key)?;
+            let leaf = self.ctx.leaf(off);
+            let Some(v) = leaf.version() else {
+                self.ctx.metrics.inc(Counter::LeafLockSpins);
+                return Err(Abort);
+            };
+            let dying = leaf.count() == 1 && !(prev.is_none() && leaf.next().is_null());
+            if dying {
+                if let Some(p) = prev {
+                    let pl = self.ctx.leaf(p);
+                    let Some(pv) = pl.version() else {
+                        self.ctx.metrics.inc(Counter::LeafLockSpins);
+                        return Err(Abort);
+                    };
+                    if !pl.try_lock_version(pv) {
+                        self.ctx.metrics.inc(Counter::LeafLockSpins);
+                        return Err(Abort);
+                    }
+                }
+                if !leaf.try_lock_version(v) {
+                    if let Some(p) = prev {
+                        self.ctx.leaf(p).unlock_version();
+                    }
+                    self.ctx.metrics.inc(Counter::LeafLockSpins);
+                    return Err(Abort);
+                }
+                if !tx.validate() {
+                    leaf.unlock_version();
+                    if let Some(p) = prev {
+                        self.ctx.leaf(p).unlock_version();
+                    }
+                    self.ctx.metrics.inc(Counter::SeqlockConflicts);
+                    return Err(Abort);
+                }
+                Ok(WriteDecision::LeafEmpty { off, prev })
+            } else {
+                if !leaf.try_lock_version(v) {
+                    self.ctx.metrics.inc(Counter::LeafLockSpins);
+                    return Err(Abort);
+                }
+                if !tx.validate() {
+                    leaf.unlock_version();
+                    self.ctx.metrics.inc(Counter::SeqlockConflicts);
+                    return Err(Abort);
+                }
+                Ok(WriteDecision::Leaf { off })
+            }
+        });
+
+        match decision {
+            WriteDecision::Leaf { off } => {
+                let leaf = self.ctx.leaf(off);
+                let slot = match leaf.find_slot::<K>(key) {
+                    Some(s) if leaf.value(s) == expected => s,
+                    _ => {
+                        leaf.unlock_version();
+                        self.ctx.metrics.inc(Counter::RemoveMisses);
+                        return false;
+                    }
+                };
+                let bm = leaf.bitmap() & !(1 << slot);
+                leaf.commit_bitmap(bm);
+                K::release_slot(&self.ctx.pool, leaf.key_off(slot));
+                leaf.unlock_version();
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+            WriteDecision::LeafEmpty { off, prev } => {
+                let leaf = self.ctx.leaf(off);
+                let slot = match leaf.find_slot::<K>(key) {
+                    Some(s) if leaf.value(s) == expected => s,
+                    _ => {
+                        leaf.unlock_version();
+                        if let Some(p) = prev {
+                            self.ctx.leaf(p).unlock_version();
+                        }
+                        self.ctx.metrics.inc(Counter::RemoveMisses);
+                        return false;
+                    }
+                };
+                let bm = leaf.bitmap() & !(1 << slot);
+                leaf.commit_bitmap(bm);
+                K::release_slot(&self.ctx.pool, leaf.key_off(slot));
+                {
+                    let _g = self.lock.write_lock();
+                    self.remove_from_parents(key, leaf_enc(off));
+                }
+                let li = self.take_log();
+                self.ctx.delete_leaf(None, off, prev, li);
+                self.log_queue.push(li).ok();
+                if let Some(p) = prev {
+                    self.ctx.leaf(p).unlock_version();
+                }
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    pub(crate) fn take_log(&self) -> usize {
         loop {
             if let Some(i) = self.log_queue.pop() {
                 return i;
@@ -796,7 +939,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
     }
 
     /// Persistent leaf split (Algorithm 3) under the already-held leaf lock.
-    fn split_locked_leaf(&self, off: u64) -> (K::Owned, u64) {
+    pub(crate) fn split_locked_leaf(&self, off: u64) -> (K::Owned, u64) {
         let li = self.take_log();
         let mut no_groups = GroupMgr::new(0);
         let (split_key, new_off) = self.ctx.split_leaf::<K>(&mut no_groups, off, li);
@@ -805,7 +948,7 @@ impl<K: ConcKey> ConcurrentTree<K> {
     }
 
     /// Exclusive inner-node update after a split (Algorithm 2 step 3).
-    fn publish_split(&self, split_key: &K::Owned, old_off: u64, new_off: u64) {
+    pub(crate) fn publish_split(&self, split_key: &K::Owned, old_off: u64, new_off: u64) {
         let _g = self.lock.write_lock();
         let key_enc = K::encode(split_key, &self.intern);
         let old_enc = leaf_enc(old_off);

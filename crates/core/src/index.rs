@@ -25,6 +25,21 @@ pub trait U64Index: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Batched insert; returns the number of newly inserted keys. The
+    /// default loops [`U64Index::insert`]; tree-backed indexes override
+    /// with the amortized-persistence batch path.
+    fn insert_batch(&self, entries: &[(u64, u64)]) -> usize {
+        entries.iter().filter(|(k, v)| self.insert(*k, *v)).count()
+    }
+    /// Batched remove; returns the number of keys removed. The default
+    /// loops [`U64Index::remove`].
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        keys.iter().filter(|k| self.remove(**k)).count()
+    }
+    /// Batched point lookup, one result per requested key in order.
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        keys.iter().map(|k| self.get(*k)).collect()
+    }
     /// Inclusive range scan, sorted. Unsupported indexes (hash) return None.
     fn range(&self, lo: u64, hi: u64) -> Option<Vec<(u64, u64)>>;
     /// Ordered scan of up to `count` entries starting at `start`
@@ -50,6 +65,42 @@ pub trait BytesIndex: Send + Sync {
     fn update(&self, key: &[u8], value: u64) -> bool;
     /// Removes; false if absent.
     fn remove(&self, key: &[u8]) -> bool;
+    /// Removes `key` only if it is still mapped to `expected`; false
+    /// otherwise. The default is **not** atomic (a get/compare/remove
+    /// sequence) — concurrent implementations must override it with a real
+    /// compare-and-remove, which the kvcache eviction path relies on.
+    fn remove_if(&self, key: &[u8], expected: u64) -> bool {
+        match self.get(key) {
+            Some(v) if v == expected => self.remove(key),
+            _ => false,
+        }
+    }
+    /// Updates `key` to `value` only if it is still mapped to `expected`;
+    /// false otherwise. Like [`BytesIndex::remove_if`], the default is
+    /// **not** atomic — concurrent implementations must override it, which
+    /// the kvcache write path relies on to avoid leaking items when two
+    /// sets of one key race.
+    fn update_if(&self, key: &[u8], expected: u64, value: u64) -> bool {
+        match self.get(key) {
+            Some(v) if v == expected => self.update(key, value),
+            _ => false,
+        }
+    }
+    /// Batched insert; returns the number of newly inserted keys. The
+    /// default loops [`BytesIndex::insert`]; tree-backed indexes override
+    /// with the amortized-persistence batch path.
+    fn insert_batch(&self, entries: &[(Vec<u8>, u64)]) -> usize {
+        entries.iter().filter(|(k, v)| self.insert(k, *v)).count()
+    }
+    /// Batched remove; returns the number of keys removed. The default
+    /// loops [`BytesIndex::remove`].
+    fn remove_batch(&self, keys: &[Vec<u8>]) -> usize {
+        keys.iter().filter(|k| self.remove(k)).count()
+    }
+    /// Batched point lookup, one result per requested key in order.
+    fn get_batch(&self, keys: &[Vec<u8>]) -> Vec<Option<u64>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
     /// Number of keys.
     fn len(&self) -> usize;
     /// True if empty.
@@ -92,6 +143,16 @@ impl U64Index for Locked<crate::FPTree> {
     fn remove(&self, key: u64) -> bool {
         self.0.lock().remove(&key)
     }
+    fn insert_batch(&self, entries: &[(u64, u64)]) -> usize {
+        self.0.lock().insert_batch(entries)
+    }
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        self.0.lock().remove_batch(keys)
+    }
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        let tree = self.0.lock();
+        keys.iter().map(|k| tree.get(k)).collect()
+    }
     fn len(&self) -> usize {
         self.0.lock().len()
     }
@@ -119,6 +180,31 @@ impl BytesIndex for Locked<crate::FPTreeVar> {
     fn remove(&self, key: &[u8]) -> bool {
         self.0.lock().remove(&key.to_vec())
     }
+    fn remove_if(&self, key: &[u8], expected: u64) -> bool {
+        // One guard across the compare and the remove makes this atomic.
+        let mut tree = self.0.lock();
+        match tree.get(&key.to_vec()) {
+            Some(v) if v == expected => tree.remove(&key.to_vec()),
+            _ => false,
+        }
+    }
+    fn update_if(&self, key: &[u8], expected: u64, value: u64) -> bool {
+        let mut tree = self.0.lock();
+        match tree.get(&key.to_vec()) {
+            Some(v) if v == expected => tree.update(&key.to_vec(), value),
+            _ => false,
+        }
+    }
+    fn insert_batch(&self, entries: &[(Vec<u8>, u64)]) -> usize {
+        self.0.lock().insert_batch(entries)
+    }
+    fn remove_batch(&self, keys: &[Vec<u8>]) -> usize {
+        self.0.lock().remove_batch(keys)
+    }
+    fn get_batch(&self, keys: &[Vec<u8>]) -> Vec<Option<u64>> {
+        let tree = self.0.lock();
+        keys.iter().map(|k| tree.get(k)).collect()
+    }
     fn len(&self) -> usize {
         self.0.lock().len()
     }
@@ -142,6 +228,12 @@ impl U64Index for crate::ConcurrentFPTree {
     }
     fn remove(&self, key: u64) -> bool {
         crate::ConcurrentTree::remove(self, &key)
+    }
+    fn insert_batch(&self, entries: &[(u64, u64)]) -> usize {
+        crate::ConcurrentTree::insert_batch(self, entries)
+    }
+    fn remove_batch(&self, keys: &[u64]) -> usize {
+        crate::ConcurrentTree::remove_batch(self, keys)
     }
     fn len(&self) -> usize {
         crate::ConcurrentTree::len(self)
@@ -184,6 +276,18 @@ impl BytesIndex for crate::concurrent::ConcurrentFPTreeVar {
     }
     fn remove(&self, key: &[u8]) -> bool {
         crate::ConcurrentTree::remove(self, &key.to_vec())
+    }
+    fn remove_if(&self, key: &[u8], expected: u64) -> bool {
+        crate::ConcurrentTree::remove_if(self, &key.to_vec(), expected)
+    }
+    fn update_if(&self, key: &[u8], expected: u64, value: u64) -> bool {
+        crate::ConcurrentTree::update_if(self, &key.to_vec(), expected, value)
+    }
+    fn insert_batch(&self, entries: &[(Vec<u8>, u64)]) -> usize {
+        crate::ConcurrentTree::insert_batch(self, entries)
+    }
+    fn remove_batch(&self, keys: &[Vec<u8>]) -> usize {
+        crate::ConcurrentTree::remove_batch(self, keys)
     }
     fn len(&self) -> usize {
         crate::ConcurrentTree::len(self)

@@ -251,6 +251,61 @@ impl<'a> Leaf<'a> {
         }
     }
 
+    /// Persists the key+value regions of the contiguous slot range
+    /// `[lo, hi]` with one flush span per region — the amortized form of
+    /// [`Leaf::persist_slot`] used by the batched write path.
+    pub fn persist_slot_span(&self, lo: usize, hi: usize) {
+        debug_assert!(lo <= hi && hi < self.layout.m);
+        let n = hi - lo + 1;
+        if self.layout.split_arrays {
+            self.pool
+                .persist(self.key_off(lo), n * self.layout.key_slot);
+            self.pool
+                .persist(self.val_off(lo), n * self.layout.value_size);
+        } else {
+            self.pool.persist(
+                self.key_off(lo),
+                n * (self.layout.key_slot + self.layout.value_size),
+            );
+        }
+    }
+
+    /// Persists the key+value regions of `slots` (ascending), coalescing
+    /// contiguous slot indexes into single flush spans. Staged slots of one
+    /// batch run are usually adjacent, so this typically issues one or two
+    /// flush calls for the whole run.
+    pub fn persist_slots(&self, slots: &[usize]) {
+        debug_assert!(slots.windows(2).all(|w| w[0] < w[1]));
+        let mut i = 0;
+        while i < slots.len() {
+            let mut j = i;
+            while j + 1 < slots.len() && slots[j + 1] == slots[j] + 1 {
+                j += 1;
+            }
+            self.persist_slot_span(slots[i], slots[j]);
+            i = j + 1;
+        }
+    }
+
+    /// Persists the fingerprint bytes of `slots` (ascending), coalescing
+    /// contiguous slot indexes into single flush spans.
+    pub fn persist_fingerprints(&self, slots: &[usize]) {
+        debug_assert!(self.layout.fingerprints);
+        debug_assert!(slots.windows(2).all(|w| w[0] < w[1]));
+        let mut i = 0;
+        while i < slots.len() {
+            let mut j = i;
+            while j + 1 < slots.len() && slots[j + 1] == slots[j] + 1 {
+                j += 1;
+            }
+            self.pool.persist(
+                self.off + (self.layout.off_fps + slots[i]) as u64,
+                j - i + 1,
+            );
+            i = j + 1;
+        }
+    }
+
     // ---------------------------------------------------------- latencies
 
     /// Charges the SCM read cost of the leaf head (bitmap + fingerprints) —

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+mod batch;
 pub mod concurrent;
 pub mod config;
 pub mod fingerprint;

@@ -163,10 +163,19 @@ pub enum Counter {
     /// Client connections rejected because the server was at its
     /// concurrent-connection cap.
     ConnRejected = 32,
+    // ----- batched write path
+    /// Leaf runs applied by `insert_batch` (one commit per run).
+    InsertBatchRuns = 33,
+    /// Keys newly inserted through the batched write path.
+    InsertBatchKeys = 34,
+    /// Leaf runs cleared by `remove_batch` (one commit per run).
+    RemoveBatchRuns = 35,
+    /// Keys removed through the batched write path.
+    RemoveBatchKeys = 36,
 }
 
 /// Number of [`Counter`] variants.
-pub const N_COUNTERS: usize = 33;
+pub const N_COUNTERS: usize = 37;
 
 impl Counter {
     /// Every variant, in field order.
@@ -204,6 +213,10 @@ impl Counter {
         Counter::ConnOpened,
         Counter::ConnClosed,
         Counter::ConnRejected,
+        Counter::InsertBatchRuns,
+        Counter::InsertBatchKeys,
+        Counter::RemoveBatchRuns,
+        Counter::RemoveBatchKeys,
     ];
 
     /// Stable snapshot field name.
@@ -242,6 +255,10 @@ impl Counter {
             Counter::ConnOpened => "conn_opened",
             Counter::ConnClosed => "conn_closed",
             Counter::ConnRejected => "conn_rejected",
+            Counter::InsertBatchRuns => "insert_batch_runs",
+            Counter::InsertBatchKeys => "insert_batch_keys",
+            Counter::RemoveBatchRuns => "remove_batch_runs",
+            Counter::RemoveBatchKeys => "remove_batch_keys",
         }
     }
 }

@@ -357,7 +357,7 @@ impl Ctx {
 pub type TreeIter<'a, K> = Scan<'a, K>;
 
 /// Result of a mutating descent.
-enum Outcome<K: KeyKind> {
+pub(crate) enum Outcome<K: KeyKind> {
     Done(bool),
     Split {
         key: K::Owned,
@@ -372,10 +372,10 @@ enum Outcome<K: KeyKind> {
 /// with [`TreeConfig::ptree`] it is the PTree; `SingleTree<VarKey>` are the
 /// variable-size-key variants.
 pub struct SingleTree<K: KeyKind> {
-    ctx: Ctx,
-    groups: GroupMgr,
-    root: Node<K>,
-    len: usize,
+    pub(crate) ctx: Ctx,
+    pub(crate) groups: GroupMgr,
+    pub(crate) root: Node<K>,
+    pub(crate) len: usize,
     recovery: Option<RecoveryStats>,
 }
 
@@ -868,7 +868,7 @@ impl<K: KeyKind> SingleTree<K> {
         (entries, in_tree, len)
     }
 
-    fn descend<F>(
+    pub(crate) fn descend<F>(
         ctx: &Ctx,
         groups: &mut GroupMgr,
         node: &mut Node<K>,
@@ -908,7 +908,7 @@ impl<K: KeyKind> SingleTree<K> {
         }
     }
 
-    fn apply_root_outcome(&mut self, outcome: Outcome<K>) -> bool {
+    pub(crate) fn apply_root_outcome(&mut self, outcome: Outcome<K>) -> bool {
         match outcome {
             Outcome::Done(r) => r,
             Outcome::Split { key, right, result } => {
@@ -1054,7 +1054,7 @@ impl<K: KeyKind> SingleTree<K> {
 
     /// Removes the (already unlinked) leaf covering `key` from the volatile
     /// index. Returns true if the subtree became empty (cascades).
-    fn remove_leaf_from_index(node: &mut Node<K>, key: &K::Owned) -> bool {
+    pub(crate) fn remove_leaf_from_index(node: &mut Node<K>, key: &K::Owned) -> bool {
         match node {
             Node::Leaf(_) => true,
             Node::Inner(inner) => {

@@ -131,6 +131,74 @@ fn scan_on_empty_tree() {
     assert!(c.scan(..).next().is_none());
 }
 
+/// The batched write path must be scan-invisible: a tree loaded through
+/// `insert_batch`/`remove_batch` runs yields exactly the ordered view of a
+/// tree loaded by a loop of singles, on every variant.
+#[test]
+fn batched_writes_scan_like_loop_writes() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut keys: Vec<u64> = (0..1500u64).map(|i| i * 2).collect();
+    keys.shuffle(&mut rng);
+    let entries: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k + 7)).collect();
+    let dead: Vec<u64> = keys.iter().copied().filter(|k| k % 6 == 0).collect();
+
+    // Fixed keys, single-threaded (leaf groups) vs concurrent.
+    let mut looped = FPTree::create(pool(32), small_cfg(), ROOT_SLOT);
+    for &(k, v) in &entries {
+        assert!(looped.insert(&k, v));
+    }
+    for k in &dead {
+        assert!(looped.remove(k));
+    }
+    let want: Vec<(u64, u64)> = looped.scan(..).collect();
+
+    let mut batched = FPTree::create(pool(32), small_cfg(), ROOT_SLOT);
+    for chunk in entries.chunks(64) {
+        assert_eq!(batched.insert_batch(chunk), chunk.len());
+    }
+    for chunk in dead.chunks(64) {
+        assert_eq!(batched.remove_batch(chunk), chunk.len());
+    }
+    assert_eq!(batched.scan(..).collect::<Vec<_>>(), want);
+    batched.check_consistency().unwrap();
+
+    let conc = ConcurrentFPTree::create(pool(32), conc_cfg(), ROOT_SLOT);
+    for chunk in entries.chunks(64) {
+        assert_eq!(conc.insert_batch(chunk), chunk.len());
+    }
+    for chunk in dead.chunks(64) {
+        assert_eq!(conc.remove_batch(chunk), chunk.len());
+    }
+    assert_eq!(conc.scan(..).collect::<Vec<_>>(), want);
+    conc.check_consistency().unwrap();
+
+    // Variable keys: byte-ordered view must match too.
+    let key = |k: u64| format!("{k:08}").into_bytes();
+    let var_cfg = TreeConfig::fptree_var()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4)
+        .with_leaf_group_size(4);
+    let mut var_looped = FPTreeVar::create(pool(64), var_cfg, ROOT_SLOT);
+    let mut var_batched = FPTreeVar::create(pool(64), var_cfg, ROOT_SLOT);
+    let var_entries: Vec<(Vec<u8>, u64)> = entries.iter().map(|&(k, v)| (key(k), v)).collect();
+    let var_dead: Vec<Vec<u8>> = dead.iter().map(|&k| key(k)).collect();
+    for (k, v) in &var_entries {
+        assert!(var_looped.insert(k, *v));
+    }
+    for k in &var_dead {
+        assert!(var_looped.remove(k));
+    }
+    for chunk in var_entries.chunks(64) {
+        assert_eq!(var_batched.insert_batch(chunk), chunk.len());
+    }
+    for chunk in var_dead.chunks(64) {
+        assert_eq!(var_batched.remove_batch(chunk), chunk.len());
+    }
+    let want_var: Vec<(Vec<u8>, u64)> = var_looped.scan(..).collect();
+    assert_eq!(var_batched.scan(..).collect::<Vec<_>>(), want_var);
+    var_batched.check_consistency().unwrap();
+}
+
 /// Quiescent concurrent scans are exactly the model, for every bound shape.
 #[test]
 fn concurrent_scan_quiescent_matches_model() {

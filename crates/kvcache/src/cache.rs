@@ -91,6 +91,65 @@ impl KvCache {
         if let Some(old) = self.swap_handle(key, handle) {
             self.store.remove(old);
         }
+        self.maybe_evict(key);
+    }
+
+    /// Batched SET: the amortized-persistence counterpart of looping
+    /// [`KvCache::set`], used by the server to coalesce pipelined sets. Keys
+    /// not yet cached are inserted through the index's batched write path
+    /// (one flush/fence set per touched leaf on tree indexes); existing keys
+    /// are updated in place. Duplicate keys within one batch keep the
+    /// **last** item, matching a loop of sets.
+    pub fn set_batch(&self, items: Vec<(Vec<u8>, u32, Vec<u8>)>) {
+        let mut by_key: Vec<(Vec<u8>, u64)> = Vec::with_capacity(items.len());
+        for (key, flags, data) in items {
+            let handle = self.store.put(Item { flags, data });
+            if let Some(prev) = by_key.iter_mut().find(|(k, _)| *k == key) {
+                // In-batch duplicate: the later set wins, the earlier item
+                // is dead before it ever reaches the index.
+                self.store.remove(prev.1);
+                prev.1 = handle;
+            } else {
+                by_key.push((key, handle));
+            }
+        }
+        // Split into fresh inserts (batched) and in-place updates.
+        let current = self
+            .index
+            .get_batch(&by_key.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>());
+        let mut fresh: Vec<(Vec<u8>, u64)> = Vec::new();
+        for ((key, handle), cur) in by_key.iter().zip(&current) {
+            match cur {
+                Some(_) => {
+                    if let Some(old) = self.swap_handle(key, *handle) {
+                        self.store.remove(old);
+                    }
+                }
+                None => fresh.push((key.clone(), *handle)),
+            }
+        }
+        if !fresh.is_empty() {
+            self.index.insert_batch(&fresh);
+            // A concurrent set may have won the insert race for some keys;
+            // fall back to the swap path so the batch's value still lands
+            // (unordered concurrent sets: either value is a valid outcome,
+            // but the loser's item must not leak).
+            for (key, handle) in &fresh {
+                if self.index.get(key) != Some(*handle) {
+                    if let Some(old) = self.swap_handle(key, *handle) {
+                        self.store.remove(old);
+                    }
+                }
+            }
+        }
+        for (key, _) in &by_key {
+            self.maybe_evict(key);
+        }
+    }
+
+    /// Refreshes `key`'s recency and evicts LRU victims while over
+    /// capacity. No-op on unbounded caches.
+    fn maybe_evict(&self, key: &[u8]) {
         if let Some(cap) = self.max_items {
             let tracked = self.lru.touch(key);
             if tracked > cap {
@@ -100,30 +159,47 @@ impl KvCache {
                     let Some(victim) = self.lru.evict() else {
                         break;
                     };
-                    self.delete_evicted(&victim);
-                    self.metrics.inc(Counter::CacheEvictions);
+                    if self.delete_evicted(&victim) {
+                        // Only count an eviction when a mapping was actually
+                        // removed — a victim already deleted (or re-written
+                        // concurrently) is not an eviction.
+                        self.metrics.inc(Counter::CacheEvictions);
+                    }
                 }
             }
         }
     }
 
-    fn delete_evicted(&self, key: &[u8]) {
+    /// Removes an eviction victim, but only if its mapping is unchanged:
+    /// between reading the handle and removing the key, a concurrent `set`
+    /// can swap in a fresh handle, and an unconditional remove would drop
+    /// that fresh mapping while freeing the stale handle — leaking the
+    /// just-written item. The compare-and-remove backs off instead.
+    fn delete_evicted(&self, key: &[u8]) -> bool {
         if let Some(handle) = self.index.get(key) {
-            if self.index.remove(key) {
+            if self.index.remove_if(key, handle) {
                 self.store.remove(handle);
+                return true;
             }
         }
+        false
     }
 
+    /// Installs `handle` for `key`, returning the handle it displaced (the
+    /// caller frees it). The compare-and-update is what makes the returned
+    /// handle safe to free: a plain `update` after a racing set would
+    /// replace the racer's fresh handle while this thread frees the stale
+    /// handle it read earlier — freeing one item twice and leaking another.
     fn swap_handle(&self, key: &[u8], handle: u64) -> Option<u64> {
         loop {
-            let old = self.index.get(key);
-            match old {
+            match self.index.get(key) {
                 Some(h) => {
-                    if self.index.update(key, handle) {
+                    if self.index.update_if(key, h, handle) {
+                        // Exactly one updater displaces h, so exactly one
+                        // caller frees it.
                         return Some(h);
                     }
-                    // Key vanished between get and update: retry as insert.
+                    // Value changed (or key vanished) since the get: retry.
                 }
                 None => {
                     if self.index.insert(key, handle) {
@@ -153,18 +229,48 @@ impl KvCache {
         item
     }
 
-    /// DELETE: removes the key; true if it existed.
+    /// DELETE: removes the key; true if it existed. Uses the same
+    /// compare-and-remove as eviction so a racing `set` never has its fresh
+    /// item freed under it; on a lost race the delete retries against the
+    /// new handle (the delete arrived after that set, so it must win).
     pub fn delete(&self, key: &[u8]) -> bool {
-        match self.index.get(key) {
-            Some(handle) if self.index.remove(key) => {
+        loop {
+            let Some(handle) = self.index.get(key) else {
+                return false;
+            };
+            if self.index.remove_if(key, handle) {
                 self.store.remove(handle);
                 if self.max_items.is_some() {
                     self.lru.remove(key);
                 }
-                true
+                return true;
             }
-            _ => false,
         }
+    }
+
+    /// Multi-key GET: one result per requested key, in request order. The
+    /// index lookups go through [`BytesIndex::get_batch`], so tree-backed
+    /// caches answer the whole request under one traversal lock
+    /// acquisition; hits refresh LRU recency exactly like single GETs.
+    pub fn get_many(&self, keys: &[Vec<u8>]) -> Vec<Option<(u32, Vec<u8>)>> {
+        let handles = self.index.get_batch(keys);
+        keys.iter()
+            .zip(handles)
+            .map(|(key, handle)| {
+                let item = handle
+                    .and_then(|h| self.store.get(h))
+                    .map(|i| (i.flags, i.data));
+                if item.is_some() {
+                    self.metrics.inc(Counter::CacheHits);
+                    if self.max_items.is_some() {
+                        self.lru.touch(key);
+                    }
+                } else {
+                    self.metrics.inc(Counter::CacheMisses);
+                }
+                item
+            })
+            .collect()
     }
 
     /// SCAN: up to `count` items with keys `>= start`, in key order, as
@@ -285,6 +391,62 @@ mod tests {
     }
 
     #[test]
+    fn get_many_returns_request_order() {
+        let c = cache();
+        c.set(b"a", 1, b"A".to_vec());
+        c.set(b"c", 3, b"C".to_vec());
+        let got = c.get_many(&[b"c".to_vec(), b"b".to_vec(), b"a".to_vec()]);
+        assert_eq!(
+            got,
+            vec![Some((3, b"C".to_vec())), None, Some((1, b"A".to_vec())),]
+        );
+    }
+
+    #[test]
+    fn set_batch_matches_loop_of_sets() {
+        use fptree_core::{Locked, TreeConfig};
+        use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
+        let c = KvCache::new(Arc::new(Locked::new(tree)));
+        c.set(b"k005", 9, b"old".to_vec()); // overwritten by the batch
+        let items: Vec<(Vec<u8>, u32, Vec<u8>)> = (0..50u32)
+            .map(|i| {
+                (
+                    format!("k{i:03}").into_bytes(),
+                    i,
+                    format!("v{i}").into_bytes(),
+                )
+            })
+            .collect();
+        c.set_batch(items);
+        // In-batch duplicate: the last one wins, like a loop of sets.
+        c.set_batch(vec![
+            (b"dup".to_vec(), 0, b"first".to_vec()),
+            (b"dup".to_vec(), 0, b"second".to_vec()),
+        ]);
+        assert_eq!(c.len(), 51);
+        assert_eq!(c.get(b"k005"), Some((5, b"v5".to_vec())));
+        assert_eq!(c.get(b"k049"), Some((49, b"v49".to_vec())));
+        assert_eq!(c.get(b"dup"), Some((0, b"second".to_vec())));
+        // No leaked store items: one per live key.
+        assert_eq!(c.store.len(), 51);
+    }
+
+    #[test]
+    fn set_batch_respects_capacity() {
+        let c = KvCache::with_capacity(Arc::new(HashIndex::<Vec<u8>>::new(4)), 3);
+        let items: Vec<(Vec<u8>, u32, Vec<u8>)> = (0..10u32)
+            .map(|i| (format!("k{i}").into_bytes(), 0, vec![i as u8]))
+            .collect();
+        c.set_batch(items);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.store.len(), 3);
+        assert!(c.get(b"k9").is_some());
+        assert!(c.get(b"k0").is_none());
+    }
+
+    #[test]
     fn concurrent_set_get() {
         let c = Arc::new(cache());
         let handles: Vec<_> = (0..8)
@@ -366,6 +528,56 @@ mod lru_tests {
         assert_eq!(c.len(), 2);
         assert!(c.get(b"b").is_some());
         assert!(c.get(b"c").is_some());
+    }
+
+    #[test]
+    fn evictions_counted_only_on_actual_removal() {
+        let c = bounded(2);
+        for i in 0..5u32 {
+            c.set(format!("k{i}").as_bytes(), 0, vec![i as u8]);
+        }
+        if fptree_core::Metrics::enabled() {
+            // 5 sets into capacity 2: exactly 3 victims actually removed.
+            assert_eq!(c.stats_snapshot().get("cache_evictions"), Some(3));
+        }
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_set_vs_evict_does_not_leak_items() {
+        use fptree_core::{Locked, TreeConfig};
+        use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
+        let c = Arc::new(KvCache::with_capacity(Arc::new(Locked::new(tree)), 16));
+        // Writers hammer a small, shared key set so evictions of a key
+        // constantly race re-sets of that same key — the window where a
+        // stale-handle remove would free the fresh item.
+        let handles: Vec<_> = (0..4)
+            .map(|t: u32| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..3000u32 {
+                        let key = format!("k{}", (t * 7 + i) % 24);
+                        c.set(key.as_bytes(), t, vec![(i % 251) as u8; 8]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every index entry must resolve to a live item (no mapping ever
+        // pointed at a freed handle) ...
+        for i in 0..24u32 {
+            let key = format!("k{i}");
+            if c.get(key.as_bytes()).is_some() {
+                assert!(!c.get(key.as_bytes()).unwrap().1.is_empty());
+            }
+        }
+        // ... and no item leaked: the store holds exactly the indexed keys.
+        assert_eq!(c.store.len(), c.len(), "leaked or dangling store items");
+        assert!(c.len() <= 16);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! memcached text protocol (the subset mc-benchmark exercises).
 //!
 //! `set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n` → `STORED\r\n`
-//! `get <key>\r\n` → `VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n`
+//! `get <key> [key ...]\r\n` → one `VALUE <key> <flags> <bytes>\r\n<data>\r\n`
+//! block per present key (request order), then `END\r\n`
 //! `delete <key> [noreply]\r\n` → `DELETED\r\n` / `NOT_FOUND\r\n`
 //! `scan <start> <count>\r\n` → `VALUE ...` lines then `END\r\n`
 //!
@@ -37,7 +38,9 @@ pub enum Command {
         noreply: bool,
     },
     Get {
-        key: Vec<u8>,
+        /// One or more keys (memcached multi-get); absent keys are simply
+        /// skipped in the response.
+        keys: Vec<Vec<u8>>,
     },
     Delete {
         key: Vec<u8>,
@@ -130,14 +133,15 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
             ))
         }
         "get" => {
-            let key = parts.next().ok_or(ParseError::Bad("get: missing key"))?;
-            check_key_len(key)?;
-            Ok((
-                Command::Get {
-                    key: key.as_bytes().to_vec(),
-                },
-                line_end + 2,
-            ))
+            let mut keys = Vec::new();
+            for key in parts {
+                check_key_len(key)?;
+                keys.push(key.as_bytes().to_vec());
+            }
+            if keys.is_empty() {
+                return Err(ParseError::Bad("get: missing key"));
+            }
+            Ok((Command::Get { keys }, line_end + 2))
         }
         "delete" => {
             let key = parts.next().ok_or(ParseError::Bad("delete: missing key"))?;
@@ -212,17 +216,16 @@ pub fn execute(cache: &KvCache, cmd: &Command) -> Vec<u8> {
                 b"STORED\r\n".to_vec()
             }
         }
-        Command::Get { key } => {
+        Command::Get { keys } => {
             cache.metrics().inc(Counter::CmdGet);
-            match cache.get(key) {
-                Some((flags, data)) => {
-                    let mut out = Vec::new();
+            let mut out = Vec::new();
+            for (key, item) in keys.iter().zip(cache.get_many(keys)) {
+                if let Some((flags, data)) = item {
                     push_value(&mut out, key, flags, &data);
-                    out.extend_from_slice(b"END\r\n");
-                    out
                 }
-                None => b"END\r\n".to_vec(),
             }
+            out.extend_from_slice(b"END\r\n");
+            out
         }
         Command::Delete { key, noreply } => {
             cache.metrics().inc(Counter::CmdDelete);
@@ -338,7 +341,9 @@ mod tests {
     fn parse_get_delete_quit() {
         assert_eq!(
             parse(b"get k\r\n").unwrap().0,
-            Command::Get { key: b"k".to_vec() }
+            Command::Get {
+                keys: vec![b"k".to_vec()]
+            }
         );
         assert_eq!(
             parse(b"delete k\r\n").unwrap().0,
@@ -416,8 +421,49 @@ mod tests {
         let (c1, used) = parse(buf).unwrap();
         assert!(matches!(c1, Command::Set { .. }));
         let (c2, used2) = parse(&buf[used..]).unwrap();
-        assert_eq!(c2, Command::Get { key: b"a".to_vec() });
+        assert_eq!(
+            c2,
+            Command::Get {
+                keys: vec![b"a".to_vec()]
+            }
+        );
         assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn parse_multi_key_get() {
+        assert_eq!(
+            parse(b"get k1 k2 k3\r\n").unwrap().0,
+            Command::Get {
+                keys: vec![b"k1".to_vec(), b"k2".to_vec(), b"k3".to_vec()]
+            }
+        );
+        // A bare `get` is still malformed.
+        assert!(matches!(parse(b"get\r\n"), Err(ParseError::Bad(_))));
+        // Every key of a multi-get honors the 250-byte limit.
+        let long = "k".repeat(MAX_KEY_BYTES + 1);
+        assert!(matches!(
+            parse(format!("get ok {long}\r\n").as_bytes()),
+            Err(ParseError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn execute_multi_key_get() {
+        let c = cache();
+        for (k, v) in [("a", "1"), ("b", "2"), ("d", "4")] {
+            let (set, _) = parse(format!("set {k} 0 0 1\r\n{v}\r\n").as_bytes()).unwrap();
+            execute(&c, &set);
+        }
+        // Present keys answer in request order; absent keys are skipped.
+        let (get, _) = parse(b"get b missing a d\r\n").unwrap();
+        assert_eq!(
+            execute(&c, &get),
+            b"VALUE b 0 1\r\n2\r\nVALUE a 0 1\r\n1\r\nVALUE d 0 1\r\n4\r\nEND\r\n"
+        );
+        // All absent: just END.
+        let (get, _) = parse(b"get x y\r\n").unwrap();
+        assert_eq!(execute(&c, &get), b"END\r\n");
     }
 
     #[test]

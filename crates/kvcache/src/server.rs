@@ -22,6 +22,13 @@ use crate::protocol::{execute, parse, Command, ParseError};
 /// traditional 1 MiB item ceiling so every legitimate frame still fits.
 pub const MAX_FRAME_BYTES: usize = (1 << 20) + 4096;
 
+/// Most consecutive pipelined `set` commands coalesced into one
+/// [`KvCache::set_batch`] call. A client that pipelines its load phase
+/// (memcached `noreply` style) gets the tree's amortized batched write path
+/// — one flush/fence set per touched leaf — instead of a full persistence
+/// round per key.
+pub const SET_BATCH_MAX: usize = 64;
+
 /// Default cap on concurrently served connections (the server is
 /// thread-per-connection, so this also bounds spawned OS threads). Accepts
 /// beyond the cap are answered `SERVER_ERROR too many connections` and
@@ -143,6 +150,52 @@ fn handle_connection(mut stream: TcpStream, cache: &KvCache) -> std::io::Result<
     let mut chunk = [0u8; 4096];
     loop {
         match parse(&buf) {
+            Ok((
+                Command::Set {
+                    key,
+                    flags,
+                    data,
+                    noreply,
+                },
+                used,
+            )) => {
+                buf.drain(..used);
+                // Coalesce the pipelined sets already buffered into one
+                // batched cache call; responses stay in command order
+                // because every coalesced command is a set.
+                let mut sets = vec![(key, flags, data, noreply)];
+                while sets.len() < SET_BATCH_MAX {
+                    let Ok((
+                        Command::Set {
+                            key,
+                            flags,
+                            data,
+                            noreply,
+                        },
+                        used,
+                    )) = parse(&buf)
+                    else {
+                        break;
+                    };
+                    buf.drain(..used);
+                    sets.push((key, flags, data, noreply));
+                }
+                metrics.add(Counter::CmdSet, sets.len() as u64);
+                let mut resp = Vec::new();
+                for (_, _, _, noreply) in &sets {
+                    if !noreply {
+                        resp.extend_from_slice(b"STORED\r\n");
+                    }
+                }
+                if sets.len() == 1 {
+                    let (key, flags, data, _) = sets.pop().expect("one set");
+                    cache.set(&key, flags, data);
+                } else {
+                    cache.set_batch(sets.into_iter().map(|(k, f, d, _)| (k, f, d)).collect());
+                }
+                metrics.add(Counter::BytesWritten, resp.len() as u64);
+                stream.write_all(&resp)?;
+            }
             Ok((cmd, used)) => {
                 buf.drain(..used);
                 if matches!(cmd, Command::Quit) {
@@ -225,6 +278,37 @@ impl Client {
         self.buf.drain(..bytes + 2);
         self.read_line()?; // END
         Ok(Some(data))
+    }
+
+    /// Multi-key GET (`get k1 k2 ...`); returns the present keys as
+    /// `(key, value)` pairs in request order.
+    pub fn get_multi(&mut self, keys: &[&str]) -> std::io::Result<Vec<(String, Vec<u8>)>> {
+        self.stream
+            .write_all(format!("get {}\r\n", keys.join(" ")).as_bytes())?;
+        let mut out = Vec::new();
+        loop {
+            let header = self.read_line()?;
+            if header == b"END" {
+                return Ok(out);
+            }
+            // VALUE <key> <flags> <bytes>
+            let text = String::from_utf8_lossy(&header).to_string();
+            let mut parts = text.split_ascii_whitespace();
+            let (Some("VALUE"), Some(key), _, Some(bytes)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(std::io::Error::other("bad VALUE header"));
+            };
+            let bytes: usize = bytes
+                .parse()
+                .map_err(|_| std::io::Error::other("bad VALUE length"))?;
+            while self.buf.len() < bytes + 2 {
+                self.fill()?;
+            }
+            let data = self.buf[..bytes].to_vec();
+            self.buf.drain(..bytes + 2);
+            out.push((key.to_string(), data));
+        }
     }
 
     /// SCAN; returns up to `count` `(key, value)` pairs with keys
@@ -401,6 +485,76 @@ mod tests {
         }
         assert_eq!(resp, b"VALUE k7 0 2\r\nv7\r\nEND\r\n");
         assert_eq!(cache.len(), 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn multi_key_get_over_tcp() {
+        use fptree_core::{Locked, TreeConfig};
+        use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
+        let cache = Arc::new(KvCache::new(Arc::new(Locked::new(tree))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr).unwrap();
+        for i in 0..20 {
+            client
+                .set(&format!("k{i:02}"), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        // Present keys come back as consecutive VALUE blocks before END,
+        // in request order; the absent key is skipped.
+        let items = client.get_multi(&["k07", "missing", "k01", "k19"]).unwrap();
+        assert_eq!(
+            items,
+            vec![
+                ("k07".to_string(), b"v7".to_vec()),
+                ("k01".to_string(), b"v1".to_vec()),
+                ("k19".to_string(), b"v19".to_vec()),
+            ]
+        );
+        // All-absent multi-get: bare END.
+        assert!(client.get_multi(&["x", "y"]).unwrap().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_sets_are_batched() {
+        use fptree_core::{Locked, TreeConfig};
+        use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+        let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
+        let cache = Arc::new(KvCache::new(Arc::new(Locked::new(tree))));
+        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+        // One write carrying many sets: the server coalesces whatever is
+        // buffered into set_batch calls. Mixed noreply and replied sets
+        // must still answer exactly the replied ones, in order.
+        let mut msg = Vec::new();
+        for i in 0..40 {
+            let nr = if i % 2 == 0 { " noreply" } else { "" };
+            msg.extend_from_slice(format!("set b{i:02} 0 0 3{nr}\r\nv{i:02}\r\n").as_bytes());
+        }
+        msg.extend_from_slice(b"quit\r\n");
+        stream.write_all(&msg).unwrap();
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).unwrap();
+        let expect: Vec<u8> = std::iter::repeat_n(b"STORED\r\n".to_vec(), 20)
+            .flatten()
+            .collect();
+        assert_eq!(resp, expect);
+        assert_eq!(cache.len(), 40);
+        for i in 0..40 {
+            let (_, v) = cache.get(format!("b{i:02}").as_bytes()).unwrap();
+            assert_eq!(v, format!("v{i:02}").into_bytes());
+        }
+        if fptree_core::Metrics::enabled() {
+            let snap = cache.stats_snapshot();
+            assert_eq!(snap.get("cmd_set"), Some(40));
+            // At least some of the load went through the batched tree path.
+            let batched = snap.get("insert_batch_keys").unwrap_or(0);
+            assert!(batched > 0, "pipelined sets never hit insert_batch");
+        }
         server.shutdown();
     }
 

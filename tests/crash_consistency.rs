@@ -168,6 +168,147 @@ fn crash_check<K: KeyKind>(
     pool2.assert_durability_clean();
 }
 
+/// A schedule step for the batched-commit crash sweep.
+#[derive(Debug, Clone)]
+enum BatchOp {
+    InsertBatch(Vec<(u16, u16)>),
+    RemoveBatch(Vec<u16>),
+}
+
+fn batch_op_strategy() -> impl Strategy<Value = BatchOp> {
+    prop_oneof![
+        3 => proptest::collection::vec((0..200u16, any::<u16>()), 1..40)
+            .prop_map(BatchOp::InsertBatch),
+        1 => proptest::collection::vec(0..200u16, 1..40).prop_map(BatchOp::RemoveBatch),
+    ]
+}
+
+/// Crash sweep over the batched write path. A batch stages many slots with
+/// plain stores and publishes each leaf run with one p-atomic bitmap
+/// commit, so the crash windows differ from the single-op protocol: the
+/// fuse can land mid-stage (staged slots must stay invisible), between two
+/// runs of one batch (earlier runs durable, later ones absent), or inside
+/// the split a run triggered. After recovery: completed batch calls are
+/// durable in full, every surviving key carries a value some batch actually
+/// wrote for it, and the durability checker accepts every persistence
+/// event on both sides of the crash.
+fn batch_crash_check<K: KeyKind>(
+    mk: impl Fn(u16) -> K::Owned,
+    ops: &[BatchOp],
+    fuse: u64,
+    seed: u64,
+    group_size: usize,
+) {
+    let pool =
+        Arc::new(PmemPool::create(PoolOptions::tracked(64 << 20).with_checker()).expect("pool"));
+    let completed = std::sync::Mutex::new(BTreeMap::<u16, u64>::new());
+    // Keys of the batch executing when the crash fires: each may have
+    // committed (its run published) or not, independently.
+    let in_flight = std::sync::Mutex::new(Vec::<u16>::new());
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let cfg = TreeConfig::fptree()
+            .with_leaf_capacity(4)
+            .with_inner_fanout(4)
+            .with_leaf_group_size(group_size);
+        let mut tree = SingleTree::<K>::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+        pool.set_crash_fuse(Some(fuse));
+        for op in ops {
+            match op {
+                BatchOp::InsertBatch(entries) => {
+                    *in_flight.lock().expect("in-flight") =
+                        entries.iter().map(|(k, _)| *k).collect();
+                    let batch: Vec<(K::Owned, u64)> =
+                        entries.iter().map(|(k, v)| (mk(*k), *v as u64)).collect();
+                    tree.insert_batch(&batch);
+                    // The call returned: the whole batch is committed.
+                    // First occurrence of a duplicated key wins; keys
+                    // already present keep their old value.
+                    let mut model = completed.lock().expect("model");
+                    for (k, v) in entries {
+                        model.entry(*k).or_insert(*v as u64);
+                    }
+                }
+                BatchOp::RemoveBatch(keys) => {
+                    *in_flight.lock().expect("in-flight") = keys.clone();
+                    let batch: Vec<K::Owned> = keys.iter().map(|k| mk(*k)).collect();
+                    tree.remove_batch(&batch);
+                    let mut model = completed.lock().expect("model");
+                    for k in keys {
+                        model.remove(k);
+                    }
+                }
+            }
+        }
+        in_flight.lock().expect("in-flight").clear();
+    }));
+    pool.set_crash_fuse(None);
+    let crashed = match outcome {
+        Ok(()) => false,
+        Err(e) => {
+            assert!(crash_is_injected(e.as_ref()), "non-injected panic escaped");
+            true
+        }
+    };
+    pool.assert_durability_clean();
+
+    let image = pool.crash_image(seed);
+    let pool2 =
+        Arc::new(PmemPool::reopen(image, PoolOptions::tracked(0).with_checker()).expect("reopen"));
+    let tree = SingleTree::<K>::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
+    tree.check_consistency().expect("recovered tree consistent");
+
+    let model = completed.lock().expect("model");
+    let interrupted = in_flight.lock().expect("in-flight");
+    if crashed {
+        // Batches whose call returned before the crash are durable in
+        // full; the interrupted batch's keys are exempt (each of its leaf
+        // runs committed or didn't, independently).
+        for (k, v) in model.iter() {
+            if interrupted.contains(k) {
+                continue;
+            }
+            assert_eq!(
+                tree.get(&mk(*k)),
+                Some(*v),
+                "completed batch op on key {k} lost after crash (fuse {fuse}, seed {seed})"
+            );
+        }
+        // No torn or phantom entries: every surviving key must carry a
+        // value some insert batch actually offered for it — staged slots
+        // whose run never published must be invisible.
+        for (k, v) in tree.range(&mk(0), &mk(u16::MAX)) {
+            let wrote_it = ops.iter().any(|op| match op {
+                BatchOp::InsertBatch(entries) => entries
+                    .iter()
+                    .any(|(ok, ov)| mk(*ok) == k && *ov as u64 == v),
+                BatchOp::RemoveBatch(_) => false,
+            });
+            assert!(wrote_it, "phantom entry {k:?}={v} after batched crash");
+        }
+    } else {
+        assert_eq!(tree.len(), model.len(), "clean run must recover exactly");
+        for (k, v) in model.iter() {
+            assert_eq!(tree.get(&mk(*k)), Some(*v));
+        }
+    }
+
+    // The recovered leaf chain must read as a strictly sorted scan that
+    // agrees with point reads.
+    let scanned: Vec<(K::Owned, u64)> = tree.scan(..).collect();
+    assert!(
+        scanned.windows(2).all(|w| w[0].0 < w[1].0),
+        "recovered scan not strictly sorted (fuse {fuse}, seed {seed})"
+    );
+    assert_eq!(scanned.len(), tree.len(), "scan disagrees with len");
+    for (k, v) in &scanned {
+        assert_eq!(tree.get(k), Some(*v), "scan entry invisible to get");
+    }
+
+    audit_leaks::<K>(&pool2, &tree);
+    pool2.assert_durability_clean();
+}
+
 /// Allocator-vs-tree reachability audit.
 fn audit_leaks<K: KeyKind>(pool: &Arc<PmemPool>, tree: &SingleTree<K>) {
     let live = pool.live_blocks().expect("heap walk");
@@ -247,6 +388,39 @@ proptest! {
         seed in any::<u64>(),
     ) {
         crash_check::<VarKey>(
+            |k| format!("key:{k:05}").into_bytes(),
+            &ops,
+            fuse,
+            seed,
+            2,
+        );
+    }
+
+    #[test]
+    fn batched_fixed_keys_with_groups(
+        ops in proptest::collection::vec(batch_op_strategy(), 2..20),
+        fuse in 50u64..2500,
+        seed in any::<u64>(),
+    ) {
+        batch_crash_check::<FixedKey>(|k| k as u64, &ops, fuse, seed, 4);
+    }
+
+    #[test]
+    fn batched_fixed_keys_without_groups(
+        ops in proptest::collection::vec(batch_op_strategy(), 2..20),
+        fuse in 50u64..2500,
+        seed in any::<u64>(),
+    ) {
+        batch_crash_check::<FixedKey>(|k| k as u64, &ops, fuse, seed, 0);
+    }
+
+    #[test]
+    fn batched_var_keys(
+        ops in proptest::collection::vec(batch_op_strategy(), 2..12),
+        fuse in 50u64..2500,
+        seed in any::<u64>(),
+    ) {
+        batch_crash_check::<VarKey>(
             |k| format!("key:{k:05}").into_bytes(),
             &ops,
             fuse,

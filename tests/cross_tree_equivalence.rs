@@ -106,6 +106,48 @@ fn small(cfg: TreeConfig) -> TreeConfig {
     cfg.with_leaf_capacity(4).with_inner_fanout(4)
 }
 
+/// A schedule step for the batched write path: each batch may hold
+/// duplicates and keys that are already present or absent.
+#[derive(Debug, Clone)]
+enum BatchOp {
+    InsertBatch(Vec<(u32, u32)>),
+    RemoveBatch(Vec<u32>),
+}
+
+fn batch_op_strategy() -> impl Strategy<Value = BatchOp> {
+    prop_oneof![
+        3 => proptest::collection::vec((0..300u32, any::<u32>()), 0..48)
+            .prop_map(BatchOp::InsertBatch),
+        2 => proptest::collection::vec(0..300u32, 0..48).prop_map(BatchOp::RemoveBatch),
+    ]
+}
+
+/// Loop-of-singles semantics for a batch, applied to the oracle: inserts
+/// take the first occurrence of a duplicated key, removes count each key
+/// once. `insert_batch`/`remove_batch` must return exactly these counts and
+/// leave the tree equal to the oracle.
+fn apply_batch_to_oracle(oracle: &mut BTreeMap<u64, u64>, op: &BatchOp) -> usize {
+    match op {
+        BatchOp::InsertBatch(entries) => entries
+            .iter()
+            .filter(|(k, v)| {
+                use std::collections::btree_map::Entry;
+                match oracle.entry(*k as u64) {
+                    Entry::Vacant(e) => {
+                        e.insert(*v as u64);
+                        true
+                    }
+                    Entry::Occupied(_) => false,
+                }
+            })
+            .count(),
+        BatchOp::RemoveBatch(keys) => keys
+            .iter()
+            .filter(|k| oracle.remove(&(**k as u64)).is_some())
+            .count(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -208,6 +250,102 @@ proptest! {
                 Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
                 Call::ScanAll => Resp::Scan(Some(t.scan_from(&0, usize::MAX))),
             });
+        }
+    }
+
+    #[test]
+    fn batch_ops_match_loop_oracle(ops in proptest::collection::vec(batch_op_strategy(), 1..40)) {
+        use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        use std::sync::Arc;
+
+        // Single-threaded FPTree with leaf groups.
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+            let mut t = fptree_suite::core::FPTree::create(
+                pool,
+                small(TreeConfig::fptree()).with_leaf_group_size(2),
+                ROOT_SLOT,
+            );
+            let mut oracle = BTreeMap::new();
+            for op in &ops {
+                let expect = apply_batch_to_oracle(&mut oracle, op);
+                let got = match op {
+                    BatchOp::InsertBatch(entries) => {
+                        let e: Vec<(u64, u64)> =
+                            entries.iter().map(|(k, v)| (*k as u64, *v as u64)).collect();
+                        t.insert_batch(&e)
+                    }
+                    BatchOp::RemoveBatch(keys) => {
+                        let k: Vec<u64> = keys.iter().map(|k| *k as u64).collect();
+                        t.remove_batch(&k)
+                    }
+                };
+                prop_assert_eq!(got, expect, "fptree: {:?}", op);
+            }
+            let got: Vec<(u64, u64)> = t.scan(..).collect();
+            let expect: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, expect, "fptree: scan after batches");
+            t.check_consistency().unwrap();
+        }
+        // Concurrent FPTree (one leaf lock per run).
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+            let t = fptree_suite::core::ConcurrentFPTree::create(
+                pool,
+                small(TreeConfig::fptree_concurrent()),
+                ROOT_SLOT,
+            );
+            let mut oracle = BTreeMap::new();
+            for op in &ops {
+                let expect = apply_batch_to_oracle(&mut oracle, op);
+                let got = match op {
+                    BatchOp::InsertBatch(entries) => {
+                        let e: Vec<(u64, u64)> =
+                            entries.iter().map(|(k, v)| (*k as u64, *v as u64)).collect();
+                        t.insert_batch(&e)
+                    }
+                    BatchOp::RemoveBatch(keys) => {
+                        let k: Vec<u64> = keys.iter().map(|k| *k as u64).collect();
+                        t.remove_batch(&k)
+                    }
+                };
+                prop_assert_eq!(got, expect, "fptree-c: {:?}", op);
+            }
+            let got: Vec<(u64, u64)> = t.scan(..).collect();
+            let expect: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, expect, "fptree-c: scan after batches");
+            t.check_consistency().unwrap();
+        }
+        // Variable-key FPTree: batch path over byte-string keys.
+        {
+            let key = |k: u32| format!("key:{k:06}").into_bytes();
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(128 << 20)).unwrap());
+            let mut t = fptree_suite::core::FPTreeVar::create(
+                pool,
+                small(TreeConfig::fptree_var()).with_leaf_group_size(2),
+                ROOT_SLOT,
+            );
+            let mut oracle = BTreeMap::new();
+            for op in &ops {
+                let expect = apply_batch_to_oracle(&mut oracle, op);
+                let got = match op {
+                    BatchOp::InsertBatch(entries) => {
+                        let e: Vec<(Vec<u8>, u64)> =
+                            entries.iter().map(|(k, v)| (key(*k), *v as u64)).collect();
+                        t.insert_batch(&e)
+                    }
+                    BatchOp::RemoveBatch(keys) => {
+                        let k: Vec<Vec<u8>> = keys.iter().map(|k| key(*k)).collect();
+                        t.remove_batch(&k)
+                    }
+                };
+                prop_assert_eq!(got, expect, "fptree-var: {:?}", op);
+            }
+            let got: Vec<(Vec<u8>, u64)> = t.scan(..).collect();
+            let expect: Vec<(Vec<u8>, u64)> =
+                oracle.iter().map(|(k, v): (&u64, &u64)| (key(*k as u32), *v)).collect();
+            prop_assert_eq!(got, expect, "fptree-var: scan after batches");
+            t.check_consistency().unwrap();
         }
     }
 

@@ -143,6 +143,127 @@ fn concurrent_tree_workload_is_clean() {
     assert!(report.ops_checked >= 4 * 150);
 }
 
+/// The batched commit protocol — stage many slots with plain stores, one
+/// coalesced flush span, one p-atomic bitmap publish per leaf run — must
+/// pass the same checker as the single-op protocol, on every variant and
+/// with mid-run splits.
+#[test]
+fn batched_workload_is_clean_on_every_variant() {
+    let entries: Vec<(u64, u64)> = (0..300u64).map(|k| ((k * 37) % 1000, k)).collect();
+    let dead: Vec<u64> = entries.iter().map(|(k, _)| *k).step_by(2).collect();
+
+    // Single-threaded, with and without leaf groups.
+    for group in [0usize, 4] {
+        let pool = checked_pool(32 << 20);
+        let cfg = TreeConfig::fptree()
+            .with_leaf_capacity(4)
+            .with_inner_fanout(4)
+            .with_leaf_group_size(group);
+        let mut tree = FPTree::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+        for chunk in entries.chunks(48) {
+            tree.insert_batch(chunk);
+        }
+        for chunk in dead.chunks(48) {
+            tree.remove_batch(chunk);
+        }
+        let report = pool.take_durability_report();
+        assert!(
+            report.is_clean(),
+            "batched single-tree (groups {group}) dirty:\n{}",
+            report.render()
+        );
+    }
+
+    // Variable keys: slot stores carry blob pointers, so batched runs also
+    // cover the blob-allocation publish protocol.
+    let pool = checked_pool(32 << 20);
+    let cfg = TreeConfig::fptree_var()
+        .with_leaf_capacity(4)
+        .with_inner_fanout(4)
+        .with_leaf_group_size(2);
+    let mk = |k: u64| format!("key:{k:05}").into_bytes();
+    let mut tree = SingleTree::<VarKey>::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+    let var_entries: Vec<(Vec<u8>, u64)> = entries.iter().map(|&(k, v)| (mk(k), v)).collect();
+    let var_dead: Vec<Vec<u8>> = dead.iter().map(|&k| mk(k)).collect();
+    for chunk in var_entries.chunks(48) {
+        tree.insert_batch(chunk);
+    }
+    for chunk in var_dead.chunks(48) {
+        tree.remove_batch(chunk);
+    }
+    pool.assert_durability_clean();
+
+    // Concurrent: batched runs race single ops from other threads.
+    let pool = checked_pool(32 << 20);
+    let cfg = TreeConfig::fptree_concurrent()
+        .with_leaf_capacity(8)
+        .with_inner_fanout(8);
+    let tree = Arc::new(ConcurrentFPTree::create(Arc::clone(&pool), cfg, ROOT_SLOT));
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            std::thread::spawn(move || {
+                let mine: Vec<(u64, u64)> = (0..200u64).map(|i| (t * 1000 + i, i)).collect();
+                for chunk in mine.chunks(32) {
+                    tree.insert_batch(chunk);
+                }
+                let keys: Vec<u64> = mine.iter().map(|(k, _)| *k).step_by(3).collect();
+                for chunk in keys.chunks(32) {
+                    tree.remove_batch(chunk);
+                }
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().expect("worker");
+    }
+    let report = pool.take_durability_report();
+    assert!(
+        report.is_clean(),
+        "concurrent batched workload dirty:\n{}",
+        report.render()
+    );
+}
+
+/// Crash a batched ingest at a handful of fixed persistence events —
+/// landing mid-stage, between leaf runs, and inside a mid-run split — then
+/// recover under the checker; both sides must be protocol-clean.
+#[test]
+fn batched_recovery_is_clean_after_midrun_crash() {
+    let entries: Vec<(u64, u64)> = (0..400u64).map(|k| (k, k * 3)).collect();
+    for fuse in [40u64, 75, 110, 300, 900] {
+        let pool = checked_pool(32 << 20);
+        let cfg = TreeConfig::fptree()
+            .with_leaf_capacity(4)
+            .with_inner_fanout(4);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut tree = FPTree::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+            pool.set_crash_fuse(Some(fuse));
+            for chunk in entries.chunks(64) {
+                tree.insert_batch(chunk);
+            }
+        }));
+        pool.set_crash_fuse(None);
+        if let Err(e) = outcome {
+            assert!(crash_is_injected(e.as_ref()), "non-injected panic");
+        }
+        pool.assert_durability_clean();
+
+        let img = pool.crash_image(fuse.wrapping_mul(0x9e37_79b9));
+        let pool2 = Arc::new(
+            PmemPool::reopen(img, PoolOptions::tracked(0).with_checker()).expect("reopen"),
+        );
+        let tree = FPTree::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
+        tree.check_consistency().expect("recovered tree consistent");
+        // Staged-but-unpublished slots must be invisible: every surviving
+        // key is one the ingest offered, with its offered value.
+        for (k, v) in tree.scan(..) {
+            assert_eq!(v, k * 3, "torn value for key {k} (fuse {fuse})");
+        }
+        pool2.assert_durability_clean();
+    }
+}
+
 // ------------------------------------------------- negative: broken protocols
 
 /// The acceptance-criterion test: an insert-shaped operation whose slot

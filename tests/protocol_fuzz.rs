@@ -99,15 +99,15 @@ proptest! {
                     model.insert(key.clone(), data.clone());
                     Command::Set { key, flags: 1, data, noreply: false }
                 }
-                1 => Command::Get { key },
+                1 => Command::Get { keys: vec![key] },
                 _ => {
                     model.remove(&key);
                     Command::Delete { key, noreply: false }
                 }
             };
             let resp = execute(&cache, &cmd);
-            if let Command::Get { key } = &cmd {
-                match model.get(key) {
+            if let Command::Get { keys } = &cmd {
+                match model.get(&keys[0]) {
                     Some(data) => {
                         prop_assert!(resp.starts_with(b"VALUE "), "hit must render VALUE");
                         prop_assert!(resp.ends_with(b"\r\nEND\r\n"));
@@ -153,7 +153,7 @@ proptest! {
                     model.insert(key.clone(), data.clone());
                     Command::Set { key, flags: 1, data, noreply }
                 }
-                2 => Command::Get { key },
+                2 => Command::Get { keys: vec![key] },
                 _ => {
                     model.remove(&key);
                     Command::Delete { key, noreply }
