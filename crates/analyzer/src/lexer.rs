@@ -1,0 +1,400 @@
+//! Source preparation: comment/string blanking and suppression harvesting.
+//!
+//! The analyzer deliberately avoids `syn` (offline, dependency-free policy),
+//! so every later pass works on a *blanked* copy of the source where comments,
+//! string literals, and char literals have been replaced by spaces. Blanking
+//! preserves byte offsets and line structure exactly, which keeps `file:line`
+//! spans truthful without a real parser.
+//!
+//! While blanking, comment text is inspected for inline `analyzer:allow`
+//! markers so suppressions survive even though comments vanish from the token
+//! stream.
+
+/// An inline suppression harvested from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the comment starts on. The allow covers findings on this
+    /// line and the next one (so a marker may sit above the flagged line or
+    /// trail it on the same line).
+    pub line: u32,
+    /// Lint id inside the parentheses.
+    pub lint: String,
+    /// Whether a written justification follows the closing parenthesis.
+    pub has_reason: bool,
+}
+
+/// Result of blanking one file.
+#[derive(Debug)]
+pub struct Blanked {
+    /// Source with comments/strings/char literals replaced by spaces.
+    /// Identical length and line structure to the input.
+    pub code: String,
+    /// Suppressions harvested from comments.
+    pub allows: Vec<Allow>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* */`.
+    BlockComment(u32),
+    Str,
+    /// Number of `#` marks terminating the raw string.
+    RawStr(u32),
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Appends `n` blanking spaces.
+fn pad(out: &mut Vec<u8>, n: usize) {
+    out.resize(out.len() + n, b' ');
+}
+
+/// Detects `r"`, `r#"`, `br##"`, `b"` … at `i`. Returns `(hashes, skip)` where
+/// `skip` is the number of bytes up to and including the opening quote.
+fn raw_or_byte_string_start(bytes: &[u8], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    let raw = j < bytes.len() && bytes[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while raw && j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'"' && (raw || bytes[i] == b'b') {
+        return Some((if raw { hashes } else { 0 }, j - i + 1));
+    }
+    // `b` / `r` was just the tail of an identifier or something else.
+    let _ = hashes;
+    None
+}
+
+/// Scans one comment's text for inline allow markers.
+fn harvest_allows(text: &str, line: u32, out: &mut Vec<Allow>) {
+    let mut rest = text;
+    const MARKER: &str = "analyzer:allow(";
+    while let Some(pos) = rest.find(MARKER) {
+        let after = &rest[pos + MARKER.len()..];
+        if let Some(close) = after.find(')') {
+            let lint = after[..close].trim().to_string();
+            let reason = after[close + 1..]
+                .trim_start_matches(|c: char| {
+                    c.is_whitespace() || c == '-' || c == '—' || c == '–' || c == ':' || c == ','
+                })
+                .trim();
+            out.push(Allow {
+                line,
+                lint,
+                has_reason: reason.chars().count() >= 3,
+            });
+            rest = &after[close + 1..];
+        } else {
+            break;
+        }
+    }
+}
+
+/// Blanks comments, strings, and char literals; harvests `analyzer:allow`.
+pub fn blank(src: &str) -> Blanked {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut allows = Vec::new();
+    let mut state = State::Code;
+    let mut line: u32 = 1;
+    // Text + starting line of the comment currently being consumed.
+    let mut comment_buf = String::new();
+    let mut comment_line: u32 = 1;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if state == State::LineComment {
+                harvest_allows(&comment_buf, comment_line, &mut allows);
+                comment_buf.clear();
+                state = State::Code;
+            }
+            out.push(b'\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    state = State::LineComment;
+                    comment_line = line;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    state = State::BlockComment(1);
+                    comment_line = line;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if (b == b'r' || b == b'b')
+                    && (i == 0 || !is_ident_byte(bytes[i - 1]))
+                    && raw_or_byte_string_start(bytes, i).is_some()
+                {
+                    let (hashes, skip) = raw_or_byte_string_start(bytes, i).unwrap();
+                    state = if bytes[i + skip - 2] == b'r'
+                        || (skip >= 2 && bytes[i..i + skip].contains(&b'r'))
+                    {
+                        State::RawStr(hashes)
+                    } else {
+                        State::Str
+                    };
+                    pad(&mut out, skip);
+                    i += skip;
+                } else if b == b'"' {
+                    state = State::Str;
+                    out.push(b' ');
+                    i += 1;
+                } else if b == b'\'' {
+                    // Char literal vs lifetime.
+                    let rest = &src[i + 1..];
+                    let mut it = rest.chars();
+                    match it.next() {
+                        Some('\\') => {
+                            // Escaped char literal: blank to the closing quote.
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                                j += 1;
+                            }
+                            let end = (j + 1).min(bytes.len());
+                            pad(&mut out, end - i);
+                            i = end;
+                        }
+                        Some(c) if it.next() == Some('\'') => {
+                            // Plain char literal like 'x' (possibly multibyte).
+                            let len = 1 + c.len_utf8() + 1;
+                            pad(&mut out, len);
+                            i += len;
+                        }
+                        _ => {
+                            // Lifetime: keep the tick so tokens stay aligned.
+                            out.push(b'\'');
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                let c = src[i..].chars().next().unwrap();
+                comment_buf.push(c);
+                pad(&mut out, c.len_utf8());
+                i += c.len_utf8();
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 1 {
+                        harvest_allows(&comment_buf, comment_line, &mut allows);
+                        comment_buf.clear();
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    let c = src[i..].chars().next().unwrap();
+                    comment_buf.push(c);
+                    pad(&mut out, c.len_utf8());
+                    i += c.len_utf8();
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    let c = src[i + 1..].chars().next().unwrap();
+                    pad(&mut out, 1 + c.len_utf8());
+                    i += 1 + c.len_utf8();
+                } else if b == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    state = State::Code;
+                } else {
+                    let c = src[i..].chars().next().unwrap();
+                    pad(&mut out, c.len_utf8());
+                    i += c.len_utf8();
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if bytes.get(i + 1 + k) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        pad(&mut out, 1 + hashes as usize);
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                let c = src[i..].chars().next().unwrap();
+                pad(&mut out, c.len_utf8());
+                i += c.len_utf8();
+            }
+        }
+    }
+    if state == State::LineComment {
+        harvest_allows(&comment_buf, comment_line, &mut allows);
+    }
+    Blanked {
+        // SAFETY of from_utf8: we only emit ASCII spaces/newlines or copy
+        // original bytes wholesale, so the output is valid UTF-8. Using the
+        // checked constructor anyway keeps the crate `forbid(unsafe_code)`.
+        code: String::from_utf8(out).expect("blanked output is valid UTF-8"),
+        allows,
+    }
+}
+
+/// One lexical token of the blanked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation byte.
+    Punct(u8),
+}
+
+/// Token with position info.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// Byte offset in the blanked code (start of token).
+    pub pos: usize,
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            Tok::Punct(_) => None,
+        }
+    }
+    pub fn is(&self, p: u8) -> bool {
+        self.tok == Tok::Punct(p)
+    }
+}
+
+/// Tokenizes blanked code into identifiers and punctuation.
+pub fn tokenize(code: &str) -> Vec<Token> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if is_ident_byte(b) && !b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                tok: Tok::Ident(code[start..i].to_string()),
+                line,
+                pos: start,
+            });
+        } else if b.is_ascii_digit() {
+            // Number literal (possibly with suffix); consume as one blob.
+            while i < bytes.len() && (is_ident_byte(bytes[i]) || bytes[i] == b'.') {
+                // Avoid eating a method call on a literal like `1.max(x)`.
+                if bytes[i] == b'.' && i + 1 < bytes.len() && !bytes[i + 1].is_ascii_digit() {
+                    break;
+                }
+                i += 1;
+            }
+        } else if b.is_ascii() {
+            toks.push(Token {
+                tok: Tok::Punct(b),
+                line,
+                pos: i,
+            });
+            i += 1;
+        } else {
+            // Non-ASCII outside strings/comments: skip the char.
+            i += code[i..].chars().next().unwrap().len_utf8();
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_preserves_line_structure() {
+        let src = "let a = \"x\\\"y\"; // comment\nlet b = 'c';\n";
+        let b = blank(src);
+        assert_eq!(b.code.len(), src.len());
+        assert_eq!(
+            b.code.matches('\n').count(),
+            src.matches('\n').count(),
+            "newlines preserved"
+        );
+        assert!(!b.code.contains("comment"));
+        assert!(!b.code.contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_and_nesting() {
+        let src = "let s = r#\"inner \"quote\" here\"#; /* outer /* inner */ end */ let t = 1;";
+        let b = blank(src);
+        assert!(!b.code.contains("inner"));
+        assert!(!b.code.contains("outer"));
+        assert!(b.code.contains("let t"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_blank() {
+        let src = "fn f<'a>(x: &'a u8) -> char { '\\n' }";
+        let b = blank(src);
+        assert!(b.code.contains("'a"));
+        assert!(!b.code.contains("\\n"));
+    }
+
+    #[test]
+    fn harvests_allow_markers() {
+        let src = "x(); // analyzer:allow(raw-publish) — zero-init before the commit word\ny(); // analyzer:allow(flush-order)\n";
+        let b = blank(src);
+        assert_eq!(b.allows.len(), 2);
+        assert_eq!(b.allows[0].lint, "raw-publish");
+        assert_eq!(b.allows[0].line, 1);
+        assert!(b.allows[0].has_reason);
+        assert_eq!(b.allows[1].lint, "flush-order");
+        assert!(!b.allows[1].has_reason);
+    }
+
+    #[test]
+    fn tokenize_basic() {
+        let toks = tokenize("fn foo(a: u8) { bar.baz(1); }");
+        let names: Vec<&str> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(names, ["fn", "foo", "a", "u8", "bar", "baz"]);
+    }
+}

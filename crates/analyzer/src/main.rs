@@ -1,0 +1,115 @@
+//! CLI for the FPTree protocol analyzer.
+//!
+//! ```text
+//! cargo run -p fptree-analyzer -- [PATHS...] [--json] [--deny-warnings]
+//!                                 [--baseline FILE] [--write-baseline FILE]
+//! ```
+//!
+//! With no PATHS, scans the workspace rooted two levels above this crate.
+//! Explicit file PATHS are linted with the full protocol lint set (used by
+//! the fixture guard in CI). Exit codes: 0 clean, 1 findings, 2 usage/IO.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fptree_analyzer::{
+    analyze, parse_baseline, render_baseline, render_human, render_json, Options,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fptree-analyzer [PATHS...] [--json] [--deny-warnings] \
+         [--baseline FILE] [--write-baseline FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            s if s.starts_with('-') => return usage(),
+            _ => paths.push(PathBuf::from(a)),
+        }
+    }
+
+    // Workspace root: crates/analyzer/../..; a single directory argument
+    // overrides it.
+    let default_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("analyzer crate lives two levels below the workspace root")
+        .to_path_buf();
+    let (root, explicit): (PathBuf, Vec<PathBuf>) = if paths.len() == 1 && paths[0].is_dir() {
+        (paths.remove(0), Vec::new())
+    } else {
+        (default_root, paths)
+    };
+
+    let mut opts = Options::default();
+    if let Some(p) = &baseline_path {
+        match std::fs::read_to_string(p) {
+            Ok(text) => opts.baseline = parse_baseline(&text),
+            Err(e) => {
+                eprintln!("fptree-analyzer: cannot read baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let analysis = match analyze(&root, &explicit, &opts) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fptree-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(p) = &write_baseline {
+        if let Err(e) = std::fs::write(p, render_baseline(&analysis.errors)) {
+            eprintln!(
+                "fptree-analyzer: cannot write baseline {}: {e}",
+                p.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "fptree-analyzer: wrote {} entr{} to {}",
+            analysis.errors.len(),
+            if analysis.errors.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            p.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", render_json(&analysis));
+    } else {
+        print!("{}", render_human(&analysis));
+    }
+    ExitCode::from(analysis.exit_code(deny_warnings) as u8)
+}

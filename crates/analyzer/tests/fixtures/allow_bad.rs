@@ -1,0 +1,8 @@
+//! Seeded violation: an allow marker with no written reason.
+
+pub fn unjustified(pool: &Pool, off: u64, bm: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    // analyzer:allow(raw-publish)
+    pool.write_word(off + layout.off_bitmap as u64, bm);
+    pool.persist(off, 8);
+}

@@ -1,0 +1,8 @@
+//! Clean: a seeded violation silenced by a reasoned allow.
+
+pub fn justified(pool: &Pool, off: u64, bm: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    // analyzer:allow(raw-publish) — fixture: staging an unreachable block.
+    pool.write_word(off + layout.off_bitmap as u64, bm);
+    pool.persist(off, 8);
+}

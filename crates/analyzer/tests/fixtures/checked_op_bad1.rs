@@ -1,0 +1,6 @@
+//! Seeded violation: raw pool store with no checked-op window.
+
+pub fn orphan_store(pool: &Pool) {
+    pool.write_word(64, 7);
+    pool.persist(64, 8);
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: helper reached through an uncovered caller.
+
+fn helper(pool: &Pool) {
+    pool.write_at(128, &value);
+    pool.persist(128, 16);
+}
+
+pub fn driver(pool: &Pool) {
+    helper(pool);
+}

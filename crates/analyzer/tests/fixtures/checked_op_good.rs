@@ -1,0 +1,11 @@
+//! Clean: every store sits under a begin_checked_op window.
+
+pub fn covered_root(pool: &Pool) {
+    let _op = pool.begin_checked_op("fixture");
+    helper(pool);
+}
+
+fn helper(pool: &Pool) {
+    pool.write_word(64, 7);
+    pool.persist(64, 8);
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: publish issued before operands are flushed.
+
+pub fn publish_too_early(pool: &Pool, off: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    pool.write_at(off + 64, &payload);
+    pool.write_publish_word(off, 1);
+    pool.persist(off, 128);
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: publish that never reaches a persist call.
+
+pub fn publish_without_flush(pool: &Pool, off: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    pool.write_at(off + 64, &payload);
+    pool.persist(off + 64, 64);
+    pool.write_publish_word(off, 1);
+}

@@ -1,0 +1,9 @@
+//! Clean: store, flush, publish, flush.
+
+pub fn ordered_commit(pool: &Pool, off: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    pool.write_at(off + 64, &payload);
+    pool.persist(off + 64, 64);
+    pool.write_publish_word(off, 1);
+    pool.persist(off, 8);
+}

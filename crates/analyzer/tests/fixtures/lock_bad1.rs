@@ -1,0 +1,8 @@
+//! Seeded violation: leaf lock acquired but never released.
+
+pub fn leaky_lock(leaf: &Leaf, v: u64) -> bool {
+    if leaf.try_lock_version(v) {
+        return true;
+    }
+    false
+}

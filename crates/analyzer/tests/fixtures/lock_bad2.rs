@@ -1,0 +1,5 @@
+//! Seeded violation: manual seqlock version bump.
+
+pub fn manual_bump(leaf: &Leaf) {
+    leaf.vlock_ref().fetch_add(1, Ordering::Release);
+}

@@ -1,0 +1,9 @@
+//! Clean: acquire paired with a release in the same scope.
+
+pub fn paired_lock(leaf: &Leaf, v: u64) -> bool {
+    if leaf.try_lock_version(v) {
+        leaf.unlock_version();
+        return true;
+    }
+    false
+}

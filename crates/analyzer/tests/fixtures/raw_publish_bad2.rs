@@ -1,0 +1,7 @@
+//! Seeded violation: tree status flipped with a plain store.
+
+pub fn make_ready(pool: &Pool, meta: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    pool.write_at(meta + M_STATUS, &STATUS_READY);
+    pool.persist(meta, 8);
+}

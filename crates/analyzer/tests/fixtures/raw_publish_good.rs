@@ -1,0 +1,7 @@
+//! Clean: commit words go through the publish primitives.
+
+pub fn commit_leaf(pool: &Pool, off: u64, bm: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    pool.write_publish_word(off + layout.off_bitmap as u64, bm);
+    pool.persist(off, 8);
+}

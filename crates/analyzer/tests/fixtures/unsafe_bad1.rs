@@ -1,0 +1,5 @@
+//! Seeded violation: unsafe block with no justification comment.
+
+pub fn deref_raw(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: unsafe impl with no justification comment.
+
+pub struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,6 @@
+//! Clean: every unsafe carries a SAFETY justification.
+
+pub fn deref_raw(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}

@@ -1,0 +1,38 @@
+//! Integration gate: the real workspace must be analyzer-clean — zero
+//! unsuppressed findings, zero warnings, and every suppression reasoned.
+
+use std::path::Path;
+
+use fptree_analyzer::{analyze, Options};
+
+#[test]
+fn workspace_is_analyzer_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let a = analyze(root, &[], &Options::default()).expect("workspace readable");
+    assert!(
+        a.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        a.files_scanned
+    );
+    assert!(
+        a.errors.is_empty(),
+        "unsuppressed analyzer findings:\n{}",
+        a.errors
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        a.warnings.is_empty(),
+        "analyzer warnings (unused allows?):\n{}",
+        a.warnings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

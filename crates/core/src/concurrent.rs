@@ -1269,4 +1269,5 @@ impl<K: ConcKey> ConcurrentTree<K> {
 // SAFETY: shared state is either atomic, Mutex-protected, or governed by the
 // SpecLock / per-leaf version-lock protocol documented above.
 unsafe impl<K: ConcKey> Send for ConcurrentTree<K> {}
+// SAFETY: as for Send — shared access goes through the same lock protocol.
 unsafe impl<K: ConcKey> Sync for ConcurrentTree<K> {}

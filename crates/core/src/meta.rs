@@ -82,6 +82,8 @@ impl TreeMeta {
         pool.write_bytes(off, &vec![0u8; Self::byte_size(n_logs)]);
         pool.persist(off, Self::byte_size(n_logs));
 
+        // analyzer:allow(raw-publish) — staging a fresh, unreachable block;
+        // the tree is committed later by the set_status(STATUS_READY) publish.
         pool.write_word(off + M_STATUS, STATUS_INITIALIZING);
         pool.write_word(off + M_LEAF_CAP, cfg.leaf_capacity as u64);
         pool.write_word(off + M_VALUE_SIZE, cfg.value_size as u64);

@@ -632,6 +632,16 @@ impl Snapshot {
             ("pmem_checker_ops", p.checker_ops),
             ("pmem_checker_events", p.checker_events),
             ("pmem_checker_violations", p.checker_violations),
+            ("pmem_checker_missing_flush", p.checker_missing_flush),
+            (
+                "pmem_checker_unordered_publish",
+                p.checker_unordered_publish,
+            ),
+            ("pmem_checker_torn_publish", p.checker_torn_publish),
+            (
+                "pmem_checker_unpublished_multi_word",
+                p.checker_unpublished_multi_word,
+            ),
             (
                 "pmem_checker_redundant_flushes",
                 p.checker_redundant_flushes,

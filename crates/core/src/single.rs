@@ -476,6 +476,9 @@ impl<K: KeyKind> SingleTree<K> {
             } else {
                 (1u64 << chunk.len()) - 1
             };
+            // analyzer:allow(raw-publish) — bulk-load leaves are unreachable
+            // until the final set_status(STATUS_READY) publish commits the
+            // whole tree; per-leaf bitmaps are plain initialization here.
             ctx.pool.write_word(off + layout.off_bitmap as u64, bm);
             ctx.pool.persist(off, layout.size);
             index_entries.push((chunk.last().expect("chunk nonempty").0.clone(), off));

@@ -87,6 +87,16 @@ fn single_threaded_counter_oracle() {
             assert_eq!(v(name), 0, "{name} should be zero with metrics off");
         }
     }
+    // Per-detector dynamic-checker counters ride along in every snapshot
+    // (all zero here: the durability checker is disabled for this pool).
+    for name in [
+        "pmem_checker_missing_flush",
+        "pmem_checker_unordered_publish",
+        "pmem_checker_torn_publish",
+        "pmem_checker_unpublished_multi_word",
+    ] {
+        assert_eq!(v(name), 0, "{name} must be exported in the snapshot");
+    }
 }
 
 /// Shard summation: 8 threads hammer a concurrent tree; totals must equal

@@ -140,6 +140,14 @@ pub struct DurabilityReport {
     pub events_recorded: u64,
     /// Total violations found (may exceed `violations.len()`).
     pub total_violations: u64,
+    /// Violations from the missing-flush detector.
+    pub missing_flush: u64,
+    /// Violations from the unordered-publish detector.
+    pub unordered_publish: u64,
+    /// Violations from the torn-publish detector.
+    pub torn_publish: u64,
+    /// Violations from the unpublished-multi-word detector.
+    pub unpublished_multi_word: u64,
     /// Line flushes with no unflushed store to flush (wasted CLFLUSH).
     pub redundant_clean_flushes: u64,
     /// Line flushes of lines never stored to while the checker was enabled.
@@ -539,11 +547,29 @@ impl CheckerState {
 
         let n = found.len() as u64;
         for v in found {
+            match v.kind {
+                ViolationKind::MissingFlush => self.report.missing_flush += 1,
+                ViolationKind::UnorderedPublish => self.report.unordered_publish += 1,
+                ViolationKind::TornPublish => self.report.torn_publish += 1,
+                ViolationKind::UnpublishedMultiWord => self.report.unpublished_multi_word += 1,
+            }
             if self.report.violations.len() < MAX_KEPT_VIOLATIONS {
                 self.report.violations.push(v);
             }
         }
         n
+    }
+
+    /// Per-detector violation totals so far, in declaration order
+    /// (missing-flush, unordered-publish, torn-publish,
+    /// unpublished-multi-word). Used to compute per-operation deltas.
+    pub(crate) fn kind_counts(&self) -> [u64; 4] {
+        [
+            self.report.missing_flush,
+            self.report.unordered_publish,
+            self.report.torn_publish,
+            self.report.unpublished_multi_word,
+        ]
     }
 
     /// Snapshot of the accumulated report.

@@ -195,6 +195,8 @@ pub struct PmemPool {
 // data races on non-atomic locations, and genuinely shared locations are
 // accessed through atomics.
 unsafe impl Send for PmemPool {}
+// SAFETY: as for Send — the same access protocol synchronizes every location
+// that is actually shared across threads.
 unsafe impl Sync for PmemPool {}
 
 impl PmemPool {
@@ -209,10 +211,14 @@ impl PmemPool {
             pool.write_word(OFF_MAGIC, MAGIC);
             pool.write_word(OFF_LEN, opts.size as u64);
             pool.write_word(OFF_FILE_ID, opts.file_id);
+            // analyzer:allow(raw-publish) — header zero-init before the pool
+            // is reachable; pool creation commits via the OFF_INIT publish.
             pool.write_word(OFF_ROOT, 0);
             pool.persist(OFF_MAGIC, 32);
             AllocHeader::init(&pool);
-            pool.write_word(OFF_INIT, INIT_DONE);
+            // The init word is the pool's commit record: header and allocator
+            // state are durable above, so the publish is p-atomic.
+            pool.write_publish_word(OFF_INIT, INIT_DONE);
             pool.persist(OFF_INIT, 8);
         }
         Ok(pool)
@@ -631,10 +637,25 @@ impl PmemPool {
     /// Closes a checked operation (guard drop path).
     pub(crate) fn finish_checked_op(&self, id: u64, aborted: bool) {
         check::pop_op(self as *const PmemPool as usize, id);
-        let found = self.checker.lock().end_op(id, aborted);
+        let (found, by_kind) = {
+            let mut checker = self.checker.lock();
+            let before = checker.kind_counts();
+            let found = checker.end_op(id, aborted);
+            let after = checker.kind_counts();
+            let mut by_kind = [0u64; 4];
+            for (d, (a, b)) in by_kind.iter_mut().zip(after.iter().zip(before.iter())) {
+                *d = a - b;
+            }
+            (found, by_kind)
+        };
         if !aborted {
             PoolStats::add(&self.stats.checker_ops, 1);
             PoolStats::add(&self.stats.checker_violations, found);
+            let [missing, unordered, torn, multi] = by_kind;
+            PoolStats::add(&self.stats.checker_missing_flush, missing);
+            PoolStats::add(&self.stats.checker_unordered_publish, unordered);
+            PoolStats::add(&self.stats.checker_torn_publish, torn);
+            PoolStats::add(&self.stats.checker_unpublished_multi_word, multi);
         }
     }
 
@@ -700,8 +721,12 @@ impl PmemPool {
     // ---------------------------------------------------------------- root
 
     /// Persistently stores the application root object pointer (p-atomic).
+    ///
+    /// The root pointer is a commit record (it makes an object graph
+    /// reachable after recovery), so the store goes through the publish path
+    /// and the caller must have persisted the object it points to first.
     pub fn set_root(&self, off: u64) {
-        self.write_word(OFF_ROOT, off);
+        self.write_publish_word(OFF_ROOT, off);
         self.persist(OFF_ROOT, 8);
     }
 
@@ -967,6 +992,36 @@ mod tests {
         assert_eq!(pool.atomic_u8(USER_BASE).load(Ordering::SeqCst), 1);
         // No dirty line was created: the write went straight to memory.
         assert_eq!(pool.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn checker_kind_counters_reach_stats() {
+        let pool = PmemPool::create(PoolOptions::direct(1 << 20).with_checker()).unwrap();
+        pool.stats().reset();
+        {
+            // Store dropped without a flush: MissingFlush.
+            let _op = pool.begin_checked_op("kind_missing_flush");
+            pool.write_at(USER_BASE, &7u64);
+        }
+        {
+            // Operand flushed by the same persist call as the commit record:
+            // UnorderedPublish (the commit may become durable first).
+            let _op = pool.begin_checked_op("kind_unordered_publish");
+            pool.write_at(USER_BASE + 64, &1u64);
+            pool.write_publish_word(USER_BASE + 128, 2);
+            pool.persist(USER_BASE + 64, 72);
+        }
+        let s = pool.stats().snapshot();
+        assert_eq!(s.checker_ops, 2);
+        assert_eq!(s.checker_missing_flush, 1);
+        assert_eq!(s.checker_unordered_publish, 1);
+        assert_eq!(s.checker_torn_publish, 0);
+        assert_eq!(s.checker_unpublished_multi_word, 0);
+        assert_eq!(s.checker_violations, 2);
+        // The pool-level report carries the same per-kind tallies.
+        let r = pool.take_durability_report();
+        assert_eq!(r.missing_flush, 1);
+        assert_eq!(r.unordered_publish, 1);
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub struct PoolStats {
     pub checker_events: AtomicU64,
     /// Durability-protocol violations found by the checker.
     pub checker_violations: AtomicU64,
+    /// Checker violations from the missing-flush detector.
+    pub checker_missing_flush: AtomicU64,
+    /// Checker violations from the unordered-publish detector.
+    pub checker_unordered_publish: AtomicU64,
+    /// Checker violations from the torn-publish detector.
+    pub checker_torn_publish: AtomicU64,
+    /// Checker violations from the unpublished-multi-word detector.
+    pub checker_unpublished_multi_word: AtomicU64,
     /// Checker warning: flushes of lines with nothing unflushed on them.
     pub checker_redundant_flushes: AtomicU64,
     /// Checker warning: flushes of lines never written to.
@@ -61,6 +69,12 @@ impl PoolStats {
             checker_ops: self.checker_ops.load(Ordering::Relaxed),
             checker_events: self.checker_events.load(Ordering::Relaxed),
             checker_violations: self.checker_violations.load(Ordering::Relaxed),
+            checker_missing_flush: self.checker_missing_flush.load(Ordering::Relaxed),
+            checker_unordered_publish: self.checker_unordered_publish.load(Ordering::Relaxed),
+            checker_torn_publish: self.checker_torn_publish.load(Ordering::Relaxed),
+            checker_unpublished_multi_word: self
+                .checker_unpublished_multi_word
+                .load(Ordering::Relaxed),
             checker_redundant_flushes: self.checker_redundant_flushes.load(Ordering::Relaxed),
             checker_unwritten_flushes: self.checker_unwritten_flushes.load(Ordering::Relaxed),
         }
@@ -77,6 +91,11 @@ impl PoolStats {
         self.checker_ops.store(0, Ordering::Relaxed);
         self.checker_events.store(0, Ordering::Relaxed);
         self.checker_violations.store(0, Ordering::Relaxed);
+        self.checker_missing_flush.store(0, Ordering::Relaxed);
+        self.checker_unordered_publish.store(0, Ordering::Relaxed);
+        self.checker_torn_publish.store(0, Ordering::Relaxed);
+        self.checker_unpublished_multi_word
+            .store(0, Ordering::Relaxed);
         self.checker_redundant_flushes.store(0, Ordering::Relaxed);
         self.checker_unwritten_flushes.store(0, Ordering::Relaxed);
         // bytes_live / bump_high_water track state, not traffic: keep them.
@@ -108,6 +127,14 @@ pub struct StatsSnapshot {
     pub checker_events: u64,
     /// Durability-protocol violations found by the checker.
     pub checker_violations: u64,
+    /// Checker violations from the missing-flush detector.
+    pub checker_missing_flush: u64,
+    /// Checker violations from the unordered-publish detector.
+    pub checker_unordered_publish: u64,
+    /// Checker violations from the torn-publish detector.
+    pub checker_torn_publish: u64,
+    /// Checker violations from the unpublished-multi-word detector.
+    pub checker_unpublished_multi_word: u64,
     /// Checker warning: flushes of clean lines.
     pub checker_redundant_flushes: u64,
     /// Checker warning: flushes of never-written lines.
