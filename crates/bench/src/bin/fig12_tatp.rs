@@ -16,8 +16,8 @@ use fptree_baselines::{adapters, NVTreeC, StxTree, WBTree};
 use fptree_bench::{Args, Report, Row};
 use fptree_core::index::U64Index;
 use fptree_core::keys::FixedKey;
-use fptree_core::{ConcurrentFPTree, Locked, SingleTree, TreeConfig};
-use fptree_pmem::{LatencyProfile, PmemPool, PoolOptions, ROOT_SLOT};
+use fptree_core::{ConcurrentFPTree, Locked, ShardedTree, SingleTree, TreeConfig};
+use fptree_pmem::{create_pools, LatencyProfile, PmemPool, PoolOptions, ROOT_SLOT};
 use fptree_tatp::{run_mix, TatpDb};
 
 const TREES: [&str; 5] = ["FPTree", "PTree", "NV-Tree", "wBTree", "STXTree"];
@@ -27,6 +27,10 @@ fn main() {
     let subscribers: u64 = args.get("scale", 20_000);
     let clients: usize = args.get("clients", 8);
     let txns: usize = args.get("txns", 200_000);
+    // `--shards N` (N > 1) adds a keyspace-sharded concurrent FPTree row:
+    // every dictionary index becomes a ShardedTree over N pools, and
+    // restart recovers all N shards of each index concurrently.
+    let shards: usize = args.get("shards", 1);
     let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
     let latencies: Vec<u64> = args
@@ -43,11 +47,15 @@ fn main() {
         "Figure 12b: DB restart time (ms): index recovery + decode rebuild",
     );
 
-    for tree in TREES {
+    let mut trees: Vec<&str> = TREES.to_vec();
+    if shards > 1 {
+        trees.push("FPTreeC-Sharded");
+    }
+    for tree in trees {
         let mut tput_row = Row::new(tree);
         let mut restart_row = Row::new(tree);
         for &latency in &latencies {
-            let setup = Setup::new(tree, subscribers, latency);
+            let setup = Setup::new(tree, subscribers, latency, shards);
             let db = setup.populate(subscribers);
             let tps = run_mix(&db, clients, txns, 99);
             tput_row = tput_row.field(&format!("{latency}ns"), tps);
@@ -62,27 +70,48 @@ fn main() {
     restart.emit(out);
 }
 
-/// Per-tree factory state: one pool, a directory block of owner slots.
+/// Per-tree factory state: one pool (or a shard-pool family), a directory
+/// block of owner slots.
 struct Setup {
     tree: &'static str,
     pool: Option<Arc<PmemPool>>,
+    /// Pool family for the sharded variant: every dictionary index spans
+    /// all of these, one sub-tree per pool.
+    shard_pools: Option<Vec<Arc<PmemPool>>>,
     dir: u64,
     next_slot: Cell<u64>,
 }
 
 impl Setup {
-    fn new(tree: &'static str, subscribers: u64, latency: u64) -> Setup {
-        let needs_pool = tree != "STXTree";
+    fn new(tree: &'static str, subscribers: u64, latency: u64, shards: usize) -> Setup {
         let pool_mb = ((subscribers as usize * 9 * 4000) / (1 << 20) + 512).next_power_of_two();
-        let pool = needs_pool.then(|| {
-            Arc::new(
-                PmemPool::create(
-                    PoolOptions::direct(pool_mb << 20)
-                        .with_latency(LatencyProfile::from_total(latency)),
-                )
-                .expect("pool"),
-            )
-        });
+        let opts = |mb: usize| {
+            PoolOptions::direct(mb << 20).with_latency(LatencyProfile::from_total(latency))
+        };
+        if tree == "FPTreeC-Sharded" {
+            let per_shard_mb = (pool_mb / shards).max(64);
+            let pools = create_pools(shards, opts(per_shard_mb)).expect("shard pools");
+            // Directory of 64 owner slots in every shard pool. The pools
+            // are freshly created identically, so the allocator hands back
+            // the same offset in each — one `dir` serves the whole family.
+            let dirs: Vec<u64> = pools
+                .iter()
+                .map(|p| p.allocate(ROOT_SLOT, 64 * 16).expect("directory"))
+                .collect();
+            assert!(
+                dirs.windows(2).all(|w| w[0] == w[1]),
+                "fresh shard pools must allocate the directory at one offset"
+            );
+            return Setup {
+                tree,
+                pool: None,
+                shard_pools: Some(pools),
+                dir: dirs[0],
+                next_slot: Cell::new(0),
+            };
+        }
+        let needs_pool = tree != "STXTree";
+        let pool = needs_pool.then(|| Arc::new(PmemPool::create(opts(pool_mb)).expect("pool")));
         // Directory of 64 owner slots for the dictionary indexes.
         let dir = pool
             .as_ref()
@@ -91,6 +120,7 @@ impl Setup {
         Setup {
             tree,
             pool,
+            shard_pools: None,
             dir,
             next_slot: Cell::new(0),
         }
@@ -130,6 +160,11 @@ impl Setup {
                 TreeConfig::fptree_concurrent(),
                 slot,
             )),
+            "FPTreeC-Sharded" => Arc::new(ShardedTree::create(
+                self.shard_pools.as_ref().expect("shard pools").clone(),
+                TreeConfig::fptree_concurrent(),
+                slot,
+            )),
             other => panic!("unknown tree {other}"),
         }
     }
@@ -143,6 +178,40 @@ impl Setup {
     /// it), or rebuild the transient tree from scratch; then rebuild decode
     /// vectors. Returns milliseconds.
     fn measure_restart(&self, db: &TatpDb, latency: u64, want_metrics: bool) -> f64 {
+        if let Some(pools) = &self.shard_pools {
+            // Sharded restart: reopen every shard pool from its clean
+            // image, then recover each dictionary index — the open recovers
+            // all of its shards concurrently.
+            let images: Vec<Vec<u8>> = pools.iter().map(|p| p.clean_image()).collect();
+            let opts = PoolOptions::direct(0).with_latency(LatencyProfile::from_total(latency));
+            let mut recovered: Option<fptree_core::Snapshot> = None;
+            let start = Instant::now();
+            let pools2: Vec<Arc<PmemPool>> = images
+                .into_iter()
+                .map(|img| Arc::new(PmemPool::reopen(img, opts).expect("reopen")))
+                .collect();
+            for i in 0..self.next_slot.get() {
+                let slot = self.dir + i * 16;
+                let t = ShardedTree::open(pools2.clone(), slot).expect("recover");
+                if want_metrics {
+                    let snap = t.metrics_snapshot();
+                    match &mut recovered {
+                        Some(acc) => acc.merge(snap),
+                        None => recovered = Some(snap),
+                    }
+                }
+                std::hint::black_box(t);
+            }
+            db.rebuild_decodes();
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            if let Some(snap) = &recovered {
+                fptree_bench::print_metrics(
+                    &format!("{} restart @{latency}ns", self.tree),
+                    Some(snap),
+                );
+            }
+            return ms;
+        }
         match &self.pool {
             Some(pool) => {
                 let img = pool.clean_image();

@@ -16,7 +16,7 @@ use fptree_core::concurrent::ConcurrentFPTreeVar;
 use fptree_core::index::BytesIndex;
 use fptree_core::keys::VarKey;
 use fptree_core::{Locked, SingleTree, TreeConfig};
-use fptree_kvcache::{run_mcbench, KvCache, McBenchConfig};
+use fptree_kvcache::{run_mcbench, Cache, KvCache, McBenchConfig, ShardedCache};
 use fptree_pmem::{LatencyProfile, PmemPool, PoolOptions, ROOT_SLOT};
 
 const INDEXES: [&str; 7] = [
@@ -28,6 +28,7 @@ fn main() {
     let requests: usize = args.get("scale", 200_000);
     let clients: usize = args.get("clients", 50);
     let net_us: u64 = args.get("net-us", 8);
+    let shards: usize = args.get("shards", 1);
     let want_metrics = args.flag("metrics");
     let out = args.get_str("out");
 
@@ -35,12 +36,20 @@ fn main() {
         let mut report = Report::new(
             "fig13_memcached",
             &format!(
-                "Figure 13: mc-benchmark throughput (kOps/s) @{latency}ns, {requests} reqs, {clients} clients, net {net_us}µs"
+                "Figure 13: mc-benchmark throughput (kOps/s) @{latency}ns, {requests} reqs, {clients} clients, net {net_us}µs, {shards} shard(s)"
             ),
         );
         for name in INDEXES {
-            let index = build_index(name, requests, latency);
-            let cache = Arc::new(KvCache::new(index));
+            let cache: Arc<dyn Cache> = if shards > 1 {
+                // One independent index (own pool) per shard; keys are
+                // hash-routed by the cache layer.
+                let indexes = (0..shards)
+                    .map(|_| build_index(name, requests / shards + 1, latency))
+                    .collect();
+                Arc::new(ShardedCache::new(indexes))
+            } else {
+                Arc::new(KvCache::new(build_index(name, requests, latency)))
+            };
             let cfg = McBenchConfig {
                 requests,
                 clients,
@@ -48,7 +57,7 @@ fn main() {
                 value_size: 32,
                 net_ns: net_us * 1000,
             };
-            let r = run_mcbench(&cache, &cfg);
+            let r = run_mcbench(cache.as_ref(), &cfg);
             eprintln!(
                 "{name} @{latency}ns: SET {:.1} kOps/s, GET {:.1} kOps/s",
                 r.set.ops_per_sec / 1e3,

@@ -7,6 +7,14 @@
 //! Workload: warm `--scale` keys, then `--scale` operations of each kind
 //! (Find / Insert / Update / Delete / Mixed 50-50) at each thread count;
 //! reports throughput (MOps/s) and speedup over single-threaded execution.
+//!
+//! Shard sweep: `--shards N,M,...` switches to the keyspace-sharded tree
+//! ([`fptree_core::ShardedTree`]) and sweeps shard counts at a fixed thread
+//! count (`--threads-max`, default all cores). Each row reports insert/find
+//! throughput, the summed `pmem_persist_calls` delta of the insert phase,
+//! and speedup over the first listed shard count. `--assert-speedup X`
+//! exits non-zero unless the last shard count's insert throughput is at
+//! least X× the first's — the CI smoke for shard scaling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -16,8 +24,8 @@ use fptree_baselines::NVTreeC;
 use fptree_bench::{shuffled_keys, string_key, Args, Report, Row};
 use fptree_core::concurrent::ConcurrentFPTreeVar;
 use fptree_core::keys::{FixedKey, VarKey};
-use fptree_core::{ConcurrentFPTree, TreeConfig};
-use fptree_pmem::{LatencyProfile, PmemPool, PoolOptions, ROOT_SLOT};
+use fptree_core::{ConcurrentFPTree, ShardedTree, TreeConfig};
+use fptree_pmem::{create_pools, LatencyProfile, PmemPool, PoolOptions, ROOT_SLOT};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Op {
@@ -60,6 +68,16 @@ fn main() {
     }
     if *threads.last().expect("nonempty") != max_threads {
         threads.push(max_threads);
+    }
+
+    if let Some(list) = args.get_str("shards") {
+        let counts: Vec<usize> = list
+            .split(',')
+            .map(|s| s.trim().parse().expect("--shards takes e.g. 1,2,4"))
+            .collect();
+        let assert_speedup: f64 = args.get("assert-speedup", 0.0);
+        run_shard_sweep(&counts, scale, latency, max_threads, assert_speedup, out);
+        return;
     }
 
     for tree_name in ["FPTreeC", "NV-TreeC"] {
@@ -107,6 +125,93 @@ fn main() {
     }
 }
 
+/// Sweeps shard counts for the keyspace-sharded FPTreeC at a fixed thread
+/// count. The interesting contrast on any machine is lock-contention
+/// relief: with one shard every writer serializes on that tree's global
+/// speculative lock, while with N shards concurrent writers mostly land on
+/// different shards and different locks — so insert throughput rises with
+/// shard count even before true parallelism is available.
+fn run_shard_sweep(
+    counts: &[usize],
+    scale: usize,
+    latency: u64,
+    n_threads: usize,
+    assert_speedup: f64,
+    out: Option<&str>,
+) {
+    let mut report = Report::new(
+        "fig9_shards",
+        &format!(
+            "Sharded FPTreeC throughput (MOps/s) @{latency}ns, scale {scale}, {n_threads} threads"
+        ),
+    );
+    let warm = shuffled_keys(scale, 11);
+    let extra = shuffled_keys(scale, 11 + scale as u64); // disjoint from warm
+    let mut base_insert = 0.0f64;
+    let mut results: Vec<(usize, f64)> = Vec::new();
+    for &n in counts {
+        assert!(n > 0, "--shards counts must be positive");
+        // Size each shard's pool for its expected slice of the keyspace.
+        let pool_mb = ((scale / n) * 5000 / (1 << 20) + 64).next_power_of_two();
+        let pools = create_pools(
+            n,
+            PoolOptions::direct(pool_mb << 20).with_latency(LatencyProfile::from_total(latency)),
+        )
+        .expect("shard pools");
+        let tree = ShardedTree::create(pools, TreeConfig::fptree_concurrent(), ROOT_SLOT);
+        for &k in &warm {
+            tree.insert(&k, k);
+        }
+        let persists_before = sum_persist_calls(&tree);
+        let insert_mops = drive(n_threads, scale, |i| {
+            tree.insert(&extra[i], extra[i]);
+        });
+        let persists = sum_persist_calls(&tree) - persists_before;
+        let find_mops = drive(n_threads, scale, |i| {
+            std::hint::black_box(tree.get(&warm[i]));
+        });
+        if results.is_empty() {
+            base_insert = insert_mops;
+        }
+        eprintln!(
+            "{n} shard(s), {n_threads}T: insert {insert_mops:.2} MOps/s ({:.2}x), \
+             find {find_mops:.2} MOps/s, {persists} persist calls",
+            insert_mops / base_insert
+        );
+        report.push(
+            Row::new(format!("{n}S"))
+                .field("shards", n as f64)
+                .field("insert_mops", insert_mops)
+                .field("find_mops", find_mops)
+                .field("insert_speedup", insert_mops / base_insert)
+                .field("pmem_persist_calls", persists as f64),
+        );
+        results.push((n, insert_mops));
+    }
+    report.emit(out);
+    if assert_speedup > 0.0 {
+        let (n0, first) = results.first().copied().expect("nonempty sweep");
+        let (n1, last) = results.last().copied().expect("nonempty sweep");
+        let ratio = last / first;
+        if ratio < assert_speedup {
+            eprintln!(
+                "FAIL: {n1}-shard insert is only {ratio:.2}x the {n0}-shard rate \
+                 (required {assert_speedup:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("OK: {n1}-shard insert is {ratio:.2}x the {n0}-shard rate");
+    }
+}
+
+/// Summed `persist_calls` across every shard's pool.
+fn sum_persist_calls(tree: &ShardedTree) -> u64 {
+    tree.shards()
+        .iter()
+        .map(|s| s.pool().stats().snapshot().persist_calls)
+        .sum()
+}
+
 #[allow(clippy::too_many_arguments)] // a private figure-runner, not an API
 fn run_one(
     tree: &str,
@@ -130,7 +235,7 @@ fn run_one(
     }
     let report_pool = Arc::clone(&pool);
     let warm = shuffled_keys(scale, 11);
-    let extra = shuffled_keys(scale, 12);
+    let extra = shuffled_keys(scale, 11 + scale as u64); // disjoint from warm
 
     // A closure-based op runner per tree type keeps this readable.
     let mops = match (tree, var_keys) {

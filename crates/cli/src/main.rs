@@ -14,6 +14,12 @@
 //! ...
 //! fptree> quit        # saves the pool to mydata.pool
 //! ```
+//!
+//! `--shards N` runs a keyspace-sharded tree over N pools instead: the
+//! shard-file family `mydata.pool.shard0..N-1` round-trips through
+//! [`fptree_pmem::save_pools`] / [`fptree_pmem::load_pools`], and reopening
+//! recovers every shard (the flag is only needed at creation — the on-disk
+//! family determines the count thereafter).
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -29,27 +35,187 @@ macro_rules! say {
     }};
 }
 
-use fptree_core::{FPTreeVar, TreeConfig};
-use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+use fptree_core::{FPTreeVar, ShardedTreeVar, TreeConfig};
+use fptree_pmem::{
+    create_pools, load_pools, save_pools, shard_file_count, PmemPool, PoolOptions, ROOT_SLOT,
+};
 
 const POOL_SIZE: usize = 256 << 20;
 
+/// The shell's backing index: one tree over one pool, or a keyspace-sharded
+/// tree over a family of pools. Every command works on either; the only
+/// per-variant concern is that value blobs must live in the pool of the
+/// shard that owns the key (handles are pool offsets).
+#[allow(clippy::large_enum_variant)] // exactly one instance lives per process
+enum CliTree {
+    Single {
+        pool: Arc<PmemPool>,
+        tree: FPTreeVar,
+    },
+    Sharded {
+        pools: Vec<Arc<PmemPool>>,
+        tree: ShardedTreeVar,
+    },
+}
+
+impl CliTree {
+    fn len(&self) -> usize {
+        match self {
+            CliTree::Single { tree, .. } => tree.len(),
+            CliTree::Sharded { tree, .. } => tree.len(),
+        }
+    }
+
+    fn insert(&mut self, key: &[u8], handle: u64) -> bool {
+        let key = key.to_vec();
+        match self {
+            CliTree::Single { tree, .. } => tree.insert(&key, handle),
+            CliTree::Sharded { tree, .. } => tree.insert(&key, handle),
+        }
+    }
+
+    fn update(&mut self, key: &[u8], handle: u64) -> bool {
+        let key = key.to_vec();
+        match self {
+            CliTree::Single { tree, .. } => tree.update(&key, handle),
+            CliTree::Sharded { tree, .. } => tree.update(&key, handle),
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        let key = key.to_vec();
+        match self {
+            CliTree::Single { tree, .. } => tree.get(&key),
+            CliTree::Sharded { tree, .. } => tree.get(&key),
+        }
+    }
+
+    fn remove(&mut self, key: &[u8]) -> bool {
+        let key = key.to_vec();
+        match self {
+            CliTree::Single { tree, .. } => tree.remove(&key),
+            CliTree::Sharded { tree, .. } => tree.remove(&key),
+        }
+    }
+
+    /// Sorted iteration from `start` (or the head); sharded scans merge the
+    /// per-shard leaf chains back into one ordered stream.
+    fn scan_from(&self, start: Option<Vec<u8>>) -> Box<dyn Iterator<Item = (Vec<u8>, u64)> + '_> {
+        match (self, start) {
+            (CliTree::Single { tree, .. }, Some(s)) => Box::new(tree.scan(s..)),
+            (CliTree::Single { tree, .. }, None) => Box::new(tree.iter()),
+            (CliTree::Sharded { tree, .. }, Some(s)) => Box::new(tree.scan(s..)),
+            (CliTree::Sharded { tree, .. }, None) => Box::new(tree.scan(..)),
+        }
+    }
+
+    fn scan_between(
+        &self,
+        lo: Vec<u8>,
+        hi: Vec<u8>,
+    ) -> Box<dyn Iterator<Item = (Vec<u8>, u64)> + '_> {
+        match self {
+            CliTree::Single { tree, .. } => Box::new(tree.scan(lo..=hi)),
+            CliTree::Sharded { tree, .. } => Box::new(tree.scan(lo..=hi)),
+        }
+    }
+
+    /// Pool that owns `key`'s shard — where its value blob must live.
+    fn pool_for(&self, key: &[u8]) -> &Arc<PmemPool> {
+        match self {
+            CliTree::Single { pool, .. } => pool,
+            CliTree::Sharded { pools, tree } => &pools[tree.shard_for(&key.to_vec())],
+        }
+    }
+
+    fn check_consistency(&self) -> Result<(), String> {
+        match self {
+            CliTree::Single { tree, .. } => tree.check_consistency(),
+            CliTree::Sharded { tree, .. } => tree.check_consistency(),
+        }
+    }
+
+    fn save(&self, path: &str) -> std::io::Result<()> {
+        match self {
+            CliTree::Single { pool, .. } => pool.save(path),
+            CliTree::Sharded { pools, .. } => save_pools(pools, path),
+        }
+    }
+
+    fn print_stats(&self, path: &str) {
+        match self {
+            CliTree::Single { pool, tree } => {
+                let mu = tree.memory_usage();
+                let alloc = pool.alloc_stats().expect("heap walk");
+                say!("keys:         {}", tree.len());
+                say!("height:       {}", tree.height());
+                say!("leaves:       {}", mu.leaf_count);
+                say!(
+                    "inner nodes:  {} ({} B DRAM)",
+                    mu.inner_count,
+                    mu.dram_bytes
+                );
+                say!(
+                    "SCM in use:   {} B across {} blocks",
+                    alloc.live_bytes,
+                    alloc.live_blocks
+                );
+                say!("pool file:    {path} ({} B capacity)", pool.capacity());
+            }
+            CliTree::Sharded { pools, tree } => {
+                say!("keys:         {}", tree.len());
+                say!("shards:       {}", tree.shard_count());
+                for (i, ((live, usable), shard)) in
+                    tree.fill_levels().iter().zip(tree.shards()).enumerate()
+                {
+                    say!(
+                        "shard {i}:      {} keys, {live} / {usable} B SCM in use",
+                        shard.len()
+                    );
+                }
+                say!(
+                    "pool files:   {path}.shard0..{} ({} B capacity each)",
+                    pools.len() - 1,
+                    pools[0].capacity()
+                );
+            }
+        }
+    }
+}
+
 fn main() {
+    let mut shards: usize = 1;
+    let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: fptree <pool-file> [command...]");
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            let n = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| fail("--shards takes a positive count"));
+            if n == 0 {
+                fail("--shards takes a positive count");
+            }
+            shards = n;
+        } else {
+            positional.push(a);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let Some(path) = positional.next() else {
+        eprintln!("usage: fptree [--shards N] <pool-file> [command...]");
         eprintln!("       with no command, starts an interactive shell");
         std::process::exit(2);
     };
 
-    let (pool, mut tree) = open_or_create(&path);
+    let mut tree = open_or_create(&path, shards);
 
     // One-shot mode: `fptree pool.img get foo`.
-    let rest: Vec<String> = args.collect();
+    let rest: Vec<String> = positional.collect();
     if !rest.is_empty() {
         let line = rest.join(" ");
-        if execute(&pool, &mut tree, &line, &path) {
-            pool.save(&path)
+        if execute(&mut tree, &line, &path) {
+            tree.save(&path)
                 .unwrap_or_else(|e| fail(&format!("saving pool: {e}")));
         }
         return;
@@ -71,16 +237,38 @@ fn main() {
             break;
         }
         if !line.is_empty() {
-            execute(&pool, &mut tree, line, &path);
+            execute(&mut tree, line, &path);
         }
     }
-    pool.save(&path)
+    tree.save(&path)
         .unwrap_or_else(|e| fail(&format!("saving pool: {e}")));
     say!("saved {} keys to {path}", tree.len());
 }
 
-fn open_or_create(path: &str) -> (Arc<PmemPool>, FPTreeVar) {
+fn open_or_create(path: &str, shards: usize) -> CliTree {
+    // The on-disk layout is authoritative: a shard-file family reopens
+    // sharded (whatever its count), a plain pool file reopens single.
+    let family = shard_file_count(path);
+    if family > 0 {
+        if shards > 1 && shards != family {
+            eprintln!("note: {path} holds {family} shard files; ignoring --shards {shards}");
+        }
+        let pools = load_pools(path, PoolOptions::direct(0))
+            .unwrap_or_else(|e| fail(&format!("loading {path} shard files: {e}")));
+        let t = std::time::Instant::now();
+        let tree = ShardedTreeVar::open(pools.clone(), ROOT_SLOT)
+            .unwrap_or_else(|e| fail(&format!("recovering {path}: {e}")));
+        eprintln!(
+            "recovered {} keys across {family} shards in {:?}",
+            tree.len(),
+            t.elapsed()
+        );
+        return CliTree::Sharded { pools, tree };
+    }
     if std::path::Path::new(path).exists() {
+        if shards > 1 {
+            eprintln!("note: {path} is a single pool file; ignoring --shards {shards}");
+        }
         let pool = Arc::new(
             PmemPool::load(path, PoolOptions::direct(0))
                 .unwrap_or_else(|e| fail(&format!("loading {path}: {e}"))),
@@ -89,19 +277,28 @@ fn open_or_create(path: &str) -> (Arc<PmemPool>, FPTreeVar) {
         let tree = FPTreeVar::open(Arc::clone(&pool), ROOT_SLOT)
             .unwrap_or_else(|e| fail(&format!("recovering {path}: {e}")));
         eprintln!("recovered {} keys in {:?}", tree.len(), t.elapsed());
-        (pool, tree)
+        CliTree::Single { pool, tree }
+    } else if shards > 1 {
+        let pools = create_pools(shards, PoolOptions::direct(POOL_SIZE / shards))
+            .unwrap_or_else(|e| fail(&format!("creating shard pools: {e}")));
+        let tree = ShardedTreeVar::create(
+            pools.clone(),
+            TreeConfig::fptree_concurrent_var(),
+            ROOT_SLOT,
+        );
+        CliTree::Sharded { pools, tree }
     } else {
         let pool = Arc::new(
             PmemPool::create(PoolOptions::direct(POOL_SIZE))
                 .unwrap_or_else(|e| fail(&format!("creating pool: {e}"))),
         );
         let tree = FPTreeVar::create(Arc::clone(&pool), TreeConfig::fptree_var(), ROOT_SLOT);
-        (pool, tree)
+        CliTree::Single { pool, tree }
     }
 }
 
 /// Runs one command; returns true if it may have mutated the tree.
-fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -> bool {
+fn execute(tree: &mut CliTree, line: &str, path: &str) -> bool {
     let mut parts = line.split_whitespace();
     let verb = parts.next().unwrap_or("");
     let arg1 = parts.next();
@@ -109,19 +306,19 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
     match (verb, arg1) {
         ("put", Some(k)) => {
             let value = rest.join(" ");
-            let handle = store_value(pool, &value);
-            if tree.insert(&k.as_bytes().to_vec(), handle) {
+            let handle = store_value(tree.pool_for(k.as_bytes()), &value);
+            if tree.insert(k.as_bytes(), handle) {
                 say!("inserted");
             } else {
-                tree.update(&k.as_bytes().to_vec(), handle);
+                tree.update(k.as_bytes(), handle);
                 say!("updated");
             }
             true
         }
         ("update", Some(k)) => {
             let value = rest.join(" ");
-            let handle = store_value(pool, &value);
-            if tree.update(&k.as_bytes().to_vec(), handle) {
+            let handle = store_value(tree.pool_for(k.as_bytes()), &value);
+            if tree.update(k.as_bytes(), handle) {
                 say!("updated");
             } else {
                 say!("(key not found)");
@@ -129,8 +326,11 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
             true
         }
         ("get", Some(k)) => {
-            match tree.get(&k.as_bytes().to_vec()) {
-                Some(handle) => say!("{k} -> {:?}", load_value(pool, handle)),
+            match tree.get(k.as_bytes()) {
+                Some(handle) => say!(
+                    "{k} -> {:?}",
+                    load_value(tree.pool_for(k.as_bytes()), handle)
+                ),
                 None => say!("(not found)"),
             }
             false
@@ -138,7 +338,7 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
         ("del", Some(k)) => {
             say!(
                 "{}",
-                if tree.remove(&k.as_bytes().to_vec()) {
+                if tree.remove(k.as_bytes()) {
                     "deleted"
                 } else {
                     "(not found)"
@@ -150,25 +350,16 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
             // Stream through the scan iterator: entries print as the leaf
             // chain is walked, without collecting the range up front.
             let lo = lo.as_bytes().to_vec();
-            match rest.first() {
-                Some(hi) => {
-                    for (k, handle) in tree.scan(lo..=hi.as_bytes().to_vec()) {
-                        say!(
-                            "{} -> {:?}",
-                            String::from_utf8_lossy(&k),
-                            load_value(pool, handle)
-                        );
-                    }
-                }
-                None => {
-                    for (k, handle) in tree.scan(lo..) {
-                        say!(
-                            "{} -> {:?}",
-                            String::from_utf8_lossy(&k),
-                            load_value(pool, handle)
-                        );
-                    }
-                }
+            let iter = match rest.first() {
+                Some(hi) => tree.scan_between(lo, hi.as_bytes().to_vec()),
+                None => tree.scan_from(Some(lo)),
+            };
+            for (k, handle) in iter {
+                say!(
+                    "{} -> {:?}",
+                    String::from_utf8_lossy(&k),
+                    load_value(tree.pool_for(&k), handle)
+                );
             }
             false
         }
@@ -181,36 +372,17 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
                 ),
                 (lim, _) => (None, lim.and_then(|s| s.parse().ok()).unwrap_or(20)),
             };
-            let iter: Box<dyn Iterator<Item = (Vec<u8>, u64)>> = match start {
-                Some(s) => Box::new(tree.scan(s..)),
-                None => Box::new(tree.iter()),
-            };
-            for (k, handle) in iter.take(limit) {
+            for (k, handle) in tree.scan_from(start).take(limit) {
                 say!(
                     "{} -> {:?}",
                     String::from_utf8_lossy(&k),
-                    load_value(pool, handle)
+                    load_value(tree.pool_for(&k), handle)
                 );
             }
             false
         }
         ("stats", _) => {
-            let mu = tree.memory_usage();
-            let alloc = pool.alloc_stats().expect("heap walk");
-            say!("keys:         {}", tree.len());
-            say!("height:       {}", tree.height());
-            say!("leaves:       {}", mu.leaf_count);
-            say!(
-                "inner nodes:  {} ({} B DRAM)",
-                mu.inner_count,
-                mu.dram_bytes
-            );
-            say!(
-                "SCM in use:   {} B across {} blocks",
-                alloc.live_bytes,
-                alloc.live_blocks
-            );
-            say!("pool file:    {path} ({} B capacity)", pool.capacity());
+            tree.print_stats(path);
             false
         }
         ("check", _) => {
@@ -221,7 +393,7 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
             false
         }
         ("save", _) => {
-            match pool.save(path) {
+            match tree.save(path) {
                 Ok(()) => say!("saved to {path}"),
                 Err(e) => say!("save failed: {e}"),
             }
@@ -236,7 +408,7 @@ fn execute(pool: &Arc<PmemPool>, tree: &mut FPTreeVar, line: &str, path: &str) -
             say!("scan [key] [n]    n entries in key order, from key or the head");
             say!("stats             tree + pool statistics");
             say!("check             structural consistency check");
-            say!("save              write the pool file now");
+            say!("save              write the pool file(s) now");
             say!("quit              save and exit");
             false
         }

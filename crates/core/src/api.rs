@@ -60,6 +60,10 @@ pub enum Error {
         required: u64,
         /// Bytes the pool had available.
         available: u64,
+        /// Which shard's pool filled, when the tree is sharded — skewed
+        /// keyspaces fill one shard long before the others, and an
+        /// anonymous "pool is full" would hide that.
+        shard: Option<usize>,
     },
     /// A byte-string key exceeds [`MAX_KEY_BYTES`].
     KeyTooLarge {
@@ -91,6 +95,37 @@ impl Error {
             offset,
         }
     }
+
+    /// Annotates the error with the shard it arose in: [`Error::PoolFull`]
+    /// gets its `shard` field set, [`Error::Corrupt`] gets a `shard N:`
+    /// prefix on `what`; other variants pass through unchanged.
+    pub(crate) fn with_shard(self, shard: usize) -> Error {
+        match self {
+            Error::PoolFull {
+                required,
+                available,
+                ..
+            } => Error::PoolFull {
+                required,
+                available,
+                shard: Some(shard),
+            },
+            Error::Corrupt { what, offset } => Error::Corrupt {
+                what: format!("shard {shard}: {what}"),
+                offset,
+            },
+            other => other,
+        }
+    }
+
+    /// The shard the error arose in, when known (see
+    /// [`Error::PoolFull::shard`]).
+    pub fn shard(&self) -> Option<usize> {
+        match self {
+            Error::PoolFull { shard, .. } => *shard,
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -100,15 +135,16 @@ impl fmt::Display for Error {
             Error::PoolFull {
                 required,
                 available,
+                shard,
             } => {
-                if *required == 0 && *available == 0 {
-                    write!(f, "pool is full")
-                } else {
-                    write!(
-                        f,
-                        "pool is full: need {required} bytes, {available} available"
-                    )
+                match shard {
+                    Some(i) => write!(f, "pool of shard {i} is full")?,
+                    None => write!(f, "pool is full")?,
                 }
+                if *required != 0 || *available != 0 {
+                    write!(f, ": need {required} bytes, {available} available")?;
+                }
+                Ok(())
             }
             Error::KeyTooLarge { len, max } => {
                 write!(f, "key of {len} bytes exceeds the {max}-byte limit")
@@ -148,6 +184,7 @@ impl From<AllocError> for Error {
                 Error::PoolFull {
                     required: 0,
                     available: 0,
+                    shard: None,
                 }
             }
             other => Error::Io(std::io::Error::other(other.to_string())),
@@ -185,6 +222,7 @@ pub struct TreeBuilder {
     cfg: TreeConfig,
     owner_slot: u64,
     recovery_threads: usize,
+    shards: usize,
 }
 
 impl Default for TreeBuilder {
@@ -200,6 +238,7 @@ impl TreeBuilder {
             cfg: TreeConfig::fptree(),
             owner_slot: ROOT_SLOT,
             recovery_threads: crate::config::default_recovery_threads(),
+            shards: 1,
         }
     }
 
@@ -209,6 +248,7 @@ impl TreeBuilder {
             cfg: TreeConfig::fptree_concurrent(),
             owner_slot: ROOT_SLOT,
             recovery_threads: crate::config::default_recovery_threads(),
+            shards: 1,
         }
     }
 
@@ -218,6 +258,7 @@ impl TreeBuilder {
             cfg,
             owner_slot: ROOT_SLOT,
             recovery_threads: crate::config::default_recovery_threads(),
+            shards: 1,
         }
     }
 
@@ -277,6 +318,13 @@ impl TreeBuilder {
         self
     }
 
+    /// Sets the shard count for the sharded build/open paths (at least 1;
+    /// 0 is coerced to 1). Ignored by the unsharded builders.
+    pub fn shards(mut self, n: usize) -> TreeBuilder {
+        self.shards = n.max(1);
+        self
+    }
+
     /// The configuration as currently assembled (not yet validated).
     pub fn config(&self) -> &TreeConfig {
         &self.cfg
@@ -300,6 +348,7 @@ impl TreeBuilder {
             return Err(Error::PoolFull {
                 required,
                 available,
+                shard: None,
             });
         }
         Ok(())
@@ -402,6 +451,74 @@ impl TreeBuilder {
     pub fn open_concurrent_var(&self, pool: Arc<PmemPool>) -> Result<FpTreeCVar, Error> {
         ConcurrentFPTreeVar::open_with(pool, self.owner_slot, self.recovery_threads)
     }
+
+    /// Validates that `pools` matches [`TreeBuilder::shards`] and that every
+    /// pool can hold a shard's initial footprint (shard-annotated errors).
+    fn check_sharded<K: KeyKind>(
+        &self,
+        cfg: &TreeConfig,
+        pools: &[Arc<PmemPool>],
+    ) -> Result<(), Error> {
+        if pools.is_empty() || pools.len() != self.shards {
+            return Err(Error::InvalidConfig(format!(
+                "sharded build needs exactly shards()={} pools, got {}",
+                self.shards,
+                pools.len()
+            )));
+        }
+        for (i, pool) in pools.iter().enumerate() {
+            self.check::<K>(cfg, pool).map_err(|e| e.with_shard(i))?;
+        }
+        Ok(())
+    }
+
+    /// Builds a keyspace-sharded concurrent fixed-key tree
+    /// ([`crate::ShardedTree`]) over `pools` — one independent tree, pool,
+    /// and micro-log set per shard, keys routed by Fibonacci hash. `pools`
+    /// must have exactly [`TreeBuilder::shards`] members (see
+    /// [`fptree_pmem::create_pools`]).
+    pub fn build_sharded(
+        &self,
+        pools: Vec<Arc<PmemPool>>,
+    ) -> Result<crate::shard::ShardedTree, Error> {
+        let mut cfg = self.cfg;
+        cfg.leaf_group_size = 0;
+        self.check_sharded::<crate::keys::FixedKey>(&cfg, &pools)?;
+        Ok(crate::shard::Sharded::create(pools, cfg, self.owner_slot))
+    }
+
+    /// Builds a keyspace-sharded concurrent variable-key tree
+    /// ([`crate::ShardedTreeVar`]); see [`TreeBuilder::build_sharded`].
+    pub fn build_sharded_var(
+        &self,
+        pools: Vec<Arc<PmemPool>>,
+    ) -> Result<crate::shard::ShardedTreeVar, Error> {
+        let mut cfg = self.cfg;
+        cfg.leaf_group_size = 0;
+        self.check_sharded::<crate::keys::VarKey>(&cfg, &pools)?;
+        Ok(crate::shard::Sharded::create(pools, cfg, self.owner_slot))
+    }
+
+    /// Opens (recovers) a sharded fixed-key tree: every shard recovers
+    /// *concurrently*, each shard's recovery pipeline running on its share
+    /// of [`TreeBuilder::recovery_threads`]. The shard count comes from
+    /// `pools.len()` — the on-disk shard-file family is authoritative
+    /// ([`fptree_pmem::load_pools`]), not the builder's `shards()` knob.
+    pub fn open_sharded(
+        &self,
+        pools: Vec<Arc<PmemPool>>,
+    ) -> Result<crate::shard::ShardedTree, Error> {
+        crate::shard::Sharded::open_with(pools, self.owner_slot, self.recovery_threads)
+    }
+
+    /// Opens (recovers) a sharded variable-key tree; see
+    /// [`TreeBuilder::open_sharded`].
+    pub fn open_sharded_var(
+        &self,
+        pools: Vec<Arc<PmemPool>>,
+    ) -> Result<crate::shard::ShardedTreeVar, Error> {
+        crate::shard::Sharded::open_with(pools, self.owner_slot, self.recovery_threads)
+    }
 }
 
 #[cfg(test)]
@@ -445,7 +562,11 @@ mod tests {
             Error::PoolFull {
                 required,
                 available,
-            } => assert!(required > available, "{required} vs {available}"),
+                shard,
+            } => {
+                assert!(required > available, "{required} vs {available}");
+                assert_eq!(shard, None);
+            }
             other => panic!("expected PoolFull, got {other:?}"),
         }
     }
@@ -506,6 +627,36 @@ mod tests {
     }
 
     #[test]
+    fn builder_sharded_builds_and_validates() {
+        let pools = fptree_pmem::create_pools(4, PoolOptions::direct(16 << 20)).unwrap();
+        let tree = TreeBuilder::concurrent()
+            .shards(4)
+            .build_sharded(pools)
+            .unwrap();
+        assert_eq!(tree.shard_count(), 4);
+        for k in 0..500u64 {
+            assert!(tree.insert(&k, k));
+        }
+        assert_eq!(tree.len(), 500);
+
+        // Pool count must match the shards() knob.
+        let pools = fptree_pmem::create_pools(2, PoolOptions::direct(16 << 20)).unwrap();
+        let err = TreeBuilder::concurrent()
+            .shards(4)
+            .build_sharded(pools)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
+
+        // Undersized pools fail with the shard named.
+        let pools = fptree_pmem::create_pools(2, PoolOptions::direct(8 << 10)).unwrap();
+        let err = TreeBuilder::concurrent()
+            .shards(2)
+            .build_sharded(pools)
+            .unwrap_err();
+        assert_eq!(err.shard(), Some(0), "{err:?}");
+    }
+
+    #[test]
     fn check_key_enforces_memcached_limit() {
         assert!(check_key(&[0u8; MAX_KEY_BYTES]).is_ok());
         let err = check_key(&[0u8; MAX_KEY_BYTES + 1]).unwrap_err();
@@ -517,8 +668,15 @@ mod tests {
         let e = Error::PoolFull {
             required: 100,
             available: 50,
+            shard: None,
         };
         assert_eq!(e.to_string(), "pool is full: need 100 bytes, 50 available");
+        let e = e.with_shard(3);
+        assert_eq!(
+            e.to_string(),
+            "pool of shard 3 is full: need 100 bytes, 50 available"
+        );
+        assert_eq!(e.shard(), Some(3));
         assert_eq!(
             Error::Poisoned.to_string(),
             "index lock poisoned by a panicking holder"

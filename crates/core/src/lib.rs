@@ -38,6 +38,7 @@
 //! | [`concurrent`] | §4.4 Selective Concurrency, Algorithms 1–8 |
 //! | [`scan`] | ordered range scans over the unsorted leaf chain |
 //! | [`metrics`] | observability: op latencies, contention counters |
+//! | [`shard`] | keyspace-sharded multi-tree serving layer |
 //! | [`api`] | builder + typed-error facade over both tree variants |
 
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -57,6 +58,7 @@ pub mod leaf;
 pub mod meta;
 pub mod metrics;
 pub mod scan;
+pub mod shard;
 pub mod single;
 
 pub use api::{Error, FpTree, FpTreeC, FpTreeCVar, FpTreeVar, TreeBuilder, MAX_KEY_BYTES};
@@ -67,4 +69,7 @@ pub use keys::{FixedKey, KeyKind, VarKey};
 pub use layout::LeafLayout;
 pub use metrics::{Counter, Metrics, Op, OpTimer, RecoveryStats, Snapshot};
 pub use scan::{ConcScan, Scan, ScanBounds};
+pub use shard::{
+    bytes_shard, u64_shard, ShardKey, Sharded, ShardedScan, ShardedTree, ShardedTreeVar,
+};
 pub use single::{FPTree, FPTreeVar, MemoryUsage, SingleTree, TreeIter};

@@ -42,10 +42,21 @@ use crate::single::Ctx;
 const HOP_RETRIES: u32 = 8;
 
 /// Owned, clonable form of a `RangeBounds` over tree keys.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ScanBounds<K: KeyKind> {
     lo: Bound<K::Owned>,
     hi: Bound<K::Owned>,
+}
+
+// Manual impl: the derive would demand `K: Clone` on the key-kind marker
+// itself, but only the owned endpoint keys need cloning.
+impl<K: KeyKind> Clone for ScanBounds<K> {
+    fn clone(&self) -> Self {
+        ScanBounds {
+            lo: self.lo.clone(),
+            hi: self.hi.clone(),
+        }
+    }
 }
 
 impl<K: KeyKind> ScanBounds<K> {

@@ -17,6 +17,58 @@ use crate::store::{Item, ItemStore};
 /// One scanned cache item: `(key, flags, data)`.
 pub type ScanItem = (Vec<u8>, u32, Vec<u8>);
 
+/// The serving seam between the protocol/server/bench layers and a cache
+/// implementation: [`KvCache`] (one index, one LRU) and
+/// [`crate::ShardedCache`] (keyspace-partitioned independent caches) both
+/// implement it, so every front-end gets sharding for free via
+/// `Arc<dyn Cache>`.
+pub trait Cache: Send + Sync {
+    /// The serving-layer observability registry (command / byte /
+    /// connection counters recorded by the protocol and server layers).
+    fn metrics(&self) -> &Arc<Metrics>;
+
+    /// One flat snapshot spanning the whole stack (serving counters, cache
+    /// counters, underlying index metrics).
+    fn stats_snapshot(&self) -> Snapshot;
+
+    /// Per-shard snapshot breakdown, shard order; `None` when the cache is
+    /// not sharded (the `stats shards` wire command answers an error).
+    fn shard_stats(&self) -> Option<Vec<Snapshot>> {
+        None
+    }
+
+    /// Zeroes every counter the stats report draws from (`stats reset`).
+    fn reset_stats(&self) {
+        self.metrics().reset();
+    }
+
+    /// SET: stores `key → (flags, data)`, replacing any existing value.
+    fn set(&self, key: &[u8], flags: u32, data: Vec<u8>);
+
+    /// Batched SET; see [`KvCache::set_batch`] for the semantics.
+    fn set_batch(&self, items: Vec<(Vec<u8>, u32, Vec<u8>)>);
+
+    /// GET: `(flags, data)` if present.
+    fn get(&self, key: &[u8]) -> Option<(u32, Vec<u8>)>;
+
+    /// Multi-key GET: one result per requested key, request order.
+    fn get_many(&self, keys: &[Vec<u8>]) -> Vec<Option<(u32, Vec<u8>)>>;
+
+    /// DELETE: true if the key existed.
+    fn delete(&self, key: &[u8]) -> bool;
+
+    /// Ordered SCAN; `None` when the index cannot scan (hash).
+    fn scan(&self, start: &[u8], count: usize) -> Option<Vec<ScanItem>>;
+
+    /// Number of cached keys.
+    fn len(&self) -> usize;
+
+    /// True if no keys are cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A memcached-style cache over a pluggable index, with memcached's
 /// globally locked LRU eviction when a capacity is set.
 ///
@@ -301,6 +353,39 @@ impl KvCache {
     /// True if the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.index.is_empty()
+    }
+}
+
+impl Cache for KvCache {
+    fn metrics(&self) -> &Arc<Metrics> {
+        KvCache::metrics(self)
+    }
+    fn stats_snapshot(&self) -> Snapshot {
+        KvCache::stats_snapshot(self)
+    }
+    fn set(&self, key: &[u8], flags: u32, data: Vec<u8>) {
+        KvCache::set(self, key, flags, data)
+    }
+    fn set_batch(&self, items: Vec<(Vec<u8>, u32, Vec<u8>)>) {
+        KvCache::set_batch(self, items)
+    }
+    fn get(&self, key: &[u8]) -> Option<(u32, Vec<u8>)> {
+        KvCache::get(self, key)
+    }
+    fn get_many(&self, keys: &[Vec<u8>]) -> Vec<Option<(u32, Vec<u8>)>> {
+        KvCache::get_many(self, keys)
+    }
+    fn delete(&self, key: &[u8]) -> bool {
+        KvCache::delete(self, key)
+    }
+    fn scan(&self, start: &[u8], count: usize) -> Option<Vec<ScanItem>> {
+        KvCache::scan(self, start, count)
+    }
+    fn len(&self) -> usize {
+        KvCache::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        KvCache::is_empty(self)
     }
 }
 

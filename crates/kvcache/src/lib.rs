@@ -14,9 +14,11 @@ pub mod lru;
 pub mod mcbench;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod store;
 
-pub use cache::KvCache;
+pub use cache::{Cache, KvCache};
 pub use lru::LruList;
 pub use mcbench::{run as run_mcbench, McBenchConfig, McBenchResult};
+pub use shard::ShardedCache;
 pub use store::{Item, ItemStore};

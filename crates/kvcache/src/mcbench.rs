@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use fptree_pmem::busy_wait_ns;
 
-use crate::cache::KvCache;
+use crate::cache::Cache;
 
 /// Workload configuration.
 #[derive(Debug, Clone, Copy)]
@@ -62,20 +62,20 @@ pub struct McBenchResult {
     pub get: PhaseResult,
 }
 
-/// Runs the SET-then-GET workload against `cache`.
-pub fn run(cache: &Arc<KvCache>, cfg: &McBenchConfig) -> McBenchResult {
+/// Runs the SET-then-GET workload against `cache` (any [`Cache`]:
+/// unsharded or sharded).
+pub fn run(cache: &dyn Cache, cfg: &McBenchConfig) -> McBenchResult {
     let set = run_phase(cache, cfg, true);
     let get = run_phase(cache, cfg, false);
     McBenchResult { set, get }
 }
 
-fn run_phase(cache: &Arc<KvCache>, cfg: &McBenchConfig, is_set: bool) -> PhaseResult {
+fn run_phase(cache: &dyn Cache, cfg: &McBenchConfig, is_set: bool) -> PhaseResult {
     let next = Arc::new(AtomicU64::new(0));
     let total = cfg.requests as u64;
     let start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..cfg.clients {
-            let cache = Arc::clone(cache);
             let next = Arc::clone(&next);
             scope.spawn(move || {
                 let payload = vec![0x42u8; cfg.value_size];
@@ -109,6 +109,7 @@ fn run_phase(cache: &Arc<KvCache>, cfg: &McBenchConfig, is_set: bool) -> PhaseRe
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::KvCache;
     use fptree_baselines::HashIndex;
 
     #[test]
@@ -121,7 +122,7 @@ mod tests {
             value_size: 16,
             net_ns: 0,
         };
-        let r = run(&cache, &cfg);
+        let r = run(cache.as_ref(), &cfg);
         assert_eq!(r.set.requests, 5000);
         assert!(r.set.ops_per_sec > 0.0);
         assert!(r.get.ops_per_sec > 0.0);
@@ -138,7 +139,7 @@ mod tests {
             value_size: 8,
             net_ns: 100_000, // 100 µs per request
         };
-        let r = run(&cache, &cfg);
+        let r = run(cache.as_ref(), &cfg);
         // 2 clients at ≤10k req/s each.
         assert!(
             r.set.ops_per_sec < 25_000.0,

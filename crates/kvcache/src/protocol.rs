@@ -19,7 +19,7 @@
 //! Keys follow memcached's limit of 250 bytes
 //! ([`fptree_core::MAX_KEY_BYTES`]); longer keys are a protocol error.
 
-use crate::cache::KvCache;
+use crate::cache::Cache;
 use fptree_core::metrics::Counter;
 use fptree_core::MAX_KEY_BYTES;
 
@@ -56,6 +56,9 @@ pub enum Command {
     Stats {
         /// `stats reset`: zero the server-side counters instead of dumping.
         reset: bool,
+        /// `stats shards`: dump the per-shard breakdown (`SERVER_ERROR` on
+        /// unsharded caches).
+        shards: bool,
     },
     Version,
     Quit,
@@ -173,15 +176,15 @@ pub fn parse(buf: &[u8]) -> Result<(Command, usize), ParseError> {
             ))
         }
         "stats" => {
-            let reset = match parts.next() {
-                None => false,
-                Some("reset") => match parts.next() {
-                    None => true,
+            let (reset, shards) = match parts.next() {
+                None => (false, false),
+                Some(arg @ ("reset" | "shards")) => match parts.next() {
+                    None => (arg == "reset", arg == "shards"),
                     Some(_) => return Err(ParseError::Bad("stats: trailing token")),
                 },
                 Some(_) => return Err(ParseError::Bad("stats: unknown argument")),
             };
-            Ok((Command::Stats { reset }, line_end + 2))
+            Ok((Command::Stats { reset, shards }, line_end + 2))
         }
         "version" => {
             if parts.next().is_some() {
@@ -200,7 +203,7 @@ fn find_crlf(buf: &[u8]) -> Option<usize> {
 
 /// Executes a command against the cache and renders the response bytes
 /// (empty for `noreply` commands and for `quit`).
-pub fn execute(cache: &KvCache, cmd: &Command) -> Vec<u8> {
+pub fn execute(cache: &dyn Cache, cmd: &Command) -> Vec<u8> {
     match cmd {
         Command::Set {
             key,
@@ -252,11 +255,13 @@ pub fn execute(cache: &KvCache, cmd: &Command) -> Vec<u8> {
                 None => b"SERVER_ERROR scan not supported by this index\r\n".to_vec(),
             }
         }
-        Command::Stats { reset } => {
+        Command::Stats { reset, shards } => {
             cache.metrics().inc(Counter::CmdStats);
             if *reset {
-                cache.metrics().reset();
+                cache.reset_stats();
                 b"RESET\r\n".to_vec()
+            } else if *shards {
+                render_shard_stats(cache)
             } else {
                 render_stats(cache)
             }
@@ -282,7 +287,7 @@ pub fn version_line() -> String {
 /// Renders the memcached `stats` response: one `STAT <name> <value>\r\n`
 /// line per snapshot field, closed by `END\r\n`. The first two lines carry
 /// the server version and protocol revision like memcached's `STAT version`.
-fn render_stats(cache: &KvCache) -> Vec<u8> {
+fn render_stats(cache: &dyn Cache) -> Vec<u8> {
     let mut out = String::new();
     out.push_str(&format!(
         "STAT version {}\r\nSTAT protocol {}\r\n",
@@ -291,6 +296,24 @@ fn render_stats(cache: &KvCache) -> Vec<u8> {
     ));
     for (name, value) in cache.stats_snapshot().fields() {
         out.push_str(&format!("STAT {name} {value}\r\n"));
+    }
+    out.push_str("END\r\n");
+    out.into_bytes()
+}
+
+/// Renders the `stats shards` response: per shard, one
+/// `STAT shard<i>:<name> <value>\r\n` line per snapshot field, closed by
+/// `END\r\n`; `SERVER_ERROR` when the cache is not sharded.
+fn render_shard_stats(cache: &dyn Cache) -> Vec<u8> {
+    let Some(snapshots) = cache.shard_stats() else {
+        return b"SERVER_ERROR cache is not sharded\r\n".to_vec();
+    };
+    let mut out = String::new();
+    out.push_str(&format!("STAT shards {}\r\n", snapshots.len()));
+    for (i, snap) in snapshots.iter().enumerate() {
+        for (name, value) in snap.fields() {
+            out.push_str(&format!("STAT shard{i}:{name} {value}\r\n"));
+        }
     }
     out.push_str("END\r\n");
     out.into_bytes()
@@ -314,6 +337,7 @@ fn push_value(out: &mut Vec<u8>, key: &[u8], flags: u32, data: &[u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::KvCache;
     use fptree_baselines::HashIndex;
     use std::sync::Arc;
 
@@ -476,16 +500,33 @@ mod tests {
     fn parse_stats_and_version() {
         assert_eq!(
             parse(b"stats\r\n").unwrap().0,
-            Command::Stats { reset: false }
+            Command::Stats {
+                reset: false,
+                shards: false
+            }
         );
         assert_eq!(
             parse(b"stats reset\r\n").unwrap().0,
-            Command::Stats { reset: true }
+            Command::Stats {
+                reset: true,
+                shards: false
+            }
+        );
+        assert_eq!(
+            parse(b"stats shards\r\n").unwrap().0,
+            Command::Stats {
+                reset: false,
+                shards: true
+            }
         );
         assert_eq!(parse(b"version\r\n").unwrap().0, Command::Version);
         assert!(matches!(parse(b"stats bogus\r\n"), Err(ParseError::Bad(_))));
         assert!(matches!(
             parse(b"stats reset x\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(b"stats shards x\r\n"),
             Err(ParseError::Bad(_))
         ));
         assert!(matches!(parse(b"version x\r\n"), Err(ParseError::Bad(_))));
@@ -553,6 +594,40 @@ mod tests {
             assert_eq!(field("cache_hits"), Some("1".to_string()));
             assert_eq!(field("cache_misses"), Some("1".to_string()));
         }
+    }
+
+    #[test]
+    fn execute_stats_shards_needs_sharded_cache() {
+        // Unsharded: SERVER_ERROR.
+        let c = cache();
+        let (cmd, _) = parse(b"stats shards\r\n").unwrap();
+        assert!(execute(&c, &cmd).starts_with(b"SERVER_ERROR"));
+
+        // Sharded: one STAT shard<i>:<name> section per shard.
+        let sharded = crate::ShardedCache::new(
+            (0..2)
+                .map(|_| {
+                    Arc::new(HashIndex::<Vec<u8>>::new(4))
+                        as Arc<dyn fptree_core::index::BytesIndex>
+                })
+                .collect(),
+        );
+        for i in 0..20u32 {
+            sharded.set(format!("k{i}").as_bytes(), 0, b"v".to_vec());
+        }
+        let resp = String::from_utf8(execute(&sharded, &cmd)).unwrap();
+        assert!(resp.ends_with("END\r\n"));
+        assert!(resp.starts_with("STAT shards 2\r\n"));
+        let items: u64 = (0..2)
+            .map(|i| {
+                resp.lines()
+                    .find_map(|l| l.strip_prefix(&format!("STAT shard{i}:curr_items ")))
+                    .expect("per-shard curr_items line")
+                    .parse::<u64>()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(items, 20);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 
 use fptree_core::metrics::{Counter, Metrics};
 
-use crate::cache::KvCache;
+use crate::cache::Cache;
 use crate::protocol::{execute, parse, Command, ParseError};
 
 /// Upper bound on one connection's unparsed request buffer. A client that
@@ -23,7 +23,7 @@ use crate::protocol::{execute, parse, Command, ParseError};
 pub const MAX_FRAME_BYTES: usize = (1 << 20) + 4096;
 
 /// Most consecutive pipelined `set` commands coalesced into one
-/// [`KvCache::set_batch`] call. A client that pipelines its load phase
+/// [`Cache::set_batch`] call. A client that pipelines its load phase
 /// (memcached `noreply` style) gets the tree's amortized batched write path
 /// — one flush/fence set per touched leaf — instead of a full persistence
 /// round per key.
@@ -76,8 +76,9 @@ impl Drop for ServerHandle {
 }
 
 /// Starts a server for `cache` on `addr` (e.g. "127.0.0.1:0") with the
-/// default [`MAX_CONNECTIONS`] cap.
-pub fn serve(cache: Arc<KvCache>, addr: &str) -> std::io::Result<ServerHandle> {
+/// default [`MAX_CONNECTIONS`] cap. Accepts any [`Cache`] — plain
+/// [`crate::KvCache`] and [`crate::ShardedCache`] serve identically.
+pub fn serve(cache: Arc<dyn Cache>, addr: &str) -> std::io::Result<ServerHandle> {
     serve_with(cache, addr, MAX_CONNECTIONS)
 }
 
@@ -93,7 +94,7 @@ impl Drop for ActiveGuard {
 
 /// Starts a server that serves at most `max_conns` connections at a time.
 pub fn serve_with(
-    cache: Arc<KvCache>,
+    cache: Arc<dyn Cache>,
     addr: &str,
     max_conns: usize,
 ) -> std::io::Result<ServerHandle> {
@@ -120,7 +121,7 @@ pub fn serve_with(
             let guard = ActiveGuard(Arc::clone(&active));
             std::thread::spawn(move || {
                 let _guard = guard;
-                let _ = handle_connection(stream, &cache);
+                let _ = handle_connection(stream, cache.as_ref());
             });
         }
     });
@@ -141,7 +142,7 @@ impl Drop for ConnGuard<'_> {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, cache: &KvCache) -> std::io::Result<()> {
+fn handle_connection(mut stream: TcpStream, cache: &dyn Cache) -> std::io::Result<()> {
     let metrics = Arc::clone(cache.metrics());
     metrics.inc(Counter::ConnOpened);
     let _guard = ConnGuard(&metrics);
@@ -411,12 +412,13 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::KvCache;
     use fptree_baselines::HashIndex;
 
     #[test]
     fn end_to_end_over_tcp() {
         let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         let mut client = Client::connect(server.addr).unwrap();
         client.set("alpha", b"one").unwrap();
         client.set("beta", b"two").unwrap();
@@ -436,7 +438,7 @@ mod tests {
         let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
         let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
         let cache = Arc::new(KvCache::new(Arc::new(Locked::new(tree))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         let mut client = Client::connect(server.addr).unwrap();
         for i in (0..50).rev() {
             client
@@ -455,7 +457,7 @@ mod tests {
     #[test]
     fn scan_on_hash_index_is_an_error() {
         let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         let mut client = Client::connect(server.addr).unwrap();
         client.set("k", b"v").unwrap();
         assert!(client.scan("a", 5).is_err());
@@ -467,7 +469,7 @@ mod tests {
     #[test]
     fn noreply_pipelining_over_tcp() {
         let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         let mut stream = TcpStream::connect(server.addr).unwrap();
         // Pipeline noreply sets + a final get; only the get answers.
         let mut msg = Vec::new();
@@ -495,7 +497,7 @@ mod tests {
         let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
         let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
         let cache = Arc::new(KvCache::new(Arc::new(Locked::new(tree))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         let mut client = Client::connect(server.addr).unwrap();
         for i in 0..20 {
             client
@@ -525,7 +527,7 @@ mod tests {
         let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
         let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
         let cache = Arc::new(KvCache::new(Arc::new(Locked::new(tree))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         let mut stream = TcpStream::connect(server.addr).unwrap();
         // One write carrying many sets: the server coalesces whatever is
         // buffered into set_batch calls. Mixed noreply and replied sets
@@ -561,7 +563,7 @@ mod tests {
     #[test]
     fn shutdown_is_idempotent() {
         let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         server.shutdown();
         // Second explicit call and the implicit Drop are both no-ops; the
         // listener is already gone so the nudge sees ConnectionRefused.
@@ -576,7 +578,7 @@ mod tests {
         let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
         let tree = fptree_core::FPTreeVar::create(pool, TreeConfig::fptree_var(), ROOT_SLOT);
         let cache = Arc::new(KvCache::new(Arc::new(Locked::new(tree))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         let mut client = Client::connect(server.addr).unwrap();
 
         let banner = client.version().unwrap();
@@ -626,7 +628,7 @@ mod tests {
     #[test]
     fn bad_command_counts_and_errors() {
         let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         let mut stream = TcpStream::connect(server.addr).unwrap();
         stream.write_all(b"frobnicate\r\n").unwrap();
         let mut resp = Vec::new();
@@ -643,7 +645,7 @@ mod tests {
     #[test]
     fn slowloris_frame_is_capped() {
         let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         let mut stream = TcpStream::connect(server.addr).unwrap();
         // One endless unterminated line: the parser stays Incomplete while
         // the buffer grows, so the server must answer ERROR and hang up at
@@ -666,7 +668,7 @@ mod tests {
     #[test]
     fn connection_cap_bounds_threads() {
         let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
-        let server = serve_with(Arc::clone(&cache), "127.0.0.1:0", 2).unwrap();
+        let server = serve_with(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0", 2).unwrap();
         let mut held: Vec<Client> = (0..2)
             .map(|_| Client::connect(server.addr).unwrap())
             .collect();
@@ -701,7 +703,7 @@ mod tests {
     #[test]
     fn many_clients() {
         let cache = Arc::new(KvCache::new(Arc::new(HashIndex::<Vec<u8>>::new(8))));
-        let server = serve(Arc::clone(&cache), "127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").unwrap();
         let addr = server.addr;
         let handles: Vec<_> = (0..4)
             .map(|t: u32| {

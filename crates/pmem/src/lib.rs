@@ -40,6 +40,7 @@ mod alloc;
 pub mod check;
 mod latency;
 mod pool;
+pub mod poolset;
 mod pptr;
 mod stats;
 
@@ -50,6 +51,7 @@ pub use pool::{
     crash_is_injected, CrashPanic, PmemPool, PoolMode, PoolOptions, CACHE_LINE, ROOT_SLOT,
     USER_BASE,
 };
+pub use poolset::{create_pools, load_pools, save_pools, shard_file_count, shard_path};
 pub use pptr::{PPtr, Pod, RawPPtr, NULL_OFFSET};
 pub use stats::{PoolStats, StatsSnapshot};
 

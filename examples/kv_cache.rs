@@ -10,7 +10,7 @@ use std::sync::Arc;
 use fptree_suite::core::concurrent::ConcurrentFPTreeVar;
 use fptree_suite::core::TreeConfig;
 use fptree_suite::kvcache::server::{serve, Client};
-use fptree_suite::kvcache::KvCache;
+use fptree_suite::kvcache::{Cache, KvCache};
 use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
     let cache = Arc::new(KvCache::new(index));
 
     // A real TCP server speaking the memcached text protocol.
-    let server = serve(Arc::clone(&cache), "127.0.0.1:0").expect("bind");
+    let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").expect("bind");
     println!("serving memcached protocol on {}", server.addr);
 
     // Four concurrent clients hammer SET/GET over loopback.

@@ -309,6 +309,124 @@ fn batch_crash_check<K: KeyKind>(
     pool2.assert_durability_clean();
 }
 
+/// Crash sweep over the keyspace-sharded tree. Each shard is its own pool
+/// and durability domain; the fuse is armed on one proptest-chosen shard,
+/// so the crash fires mid-operation on that shard while the others hold
+/// only completed ops. A power failure hits the whole machine: every
+/// pool's crash image drops its own unflushed lines (per-pool survival
+/// seeds). Recovery reopens all shards concurrently; afterwards every
+/// completed op (any shard) must be durable, the in-flight key atomic, and
+/// the k-way merged scan strictly sorted.
+fn sharded_crash_check(ops: &[Op], shards: usize, crash_shard: usize, fuse: u64, seed: u64) {
+    use fptree_suite::core::ShardedTree;
+    use fptree_suite::pmem::create_pools;
+
+    let pools = create_pools(shards, PoolOptions::tracked(64 << 20).with_checker()).expect("pools");
+    let completed = std::sync::Mutex::new(BTreeMap::<u16, u64>::new());
+    let in_flight = std::sync::Mutex::new(None::<u16>);
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let cfg = TreeConfig::fptree_concurrent()
+            .with_leaf_capacity(4)
+            .with_inner_fanout(4);
+        let tree = ShardedTree::create(pools.clone(), cfg, ROOT_SLOT);
+        pools[crash_shard % shards].set_crash_fuse(Some(fuse));
+        for op in ops {
+            *in_flight.lock().expect("in-flight") = Some(match op {
+                Op::Insert(k, _) | Op::Update(k, _) | Op::Remove(k) => *k,
+            });
+            match op {
+                Op::Insert(k, v) => {
+                    if tree.insert(&(*k as u64), *v as u64) {
+                        completed.lock().expect("model").insert(*k, *v as u64);
+                    }
+                }
+                Op::Update(k, v) => {
+                    if tree.update(&(*k as u64), *v as u64) {
+                        completed.lock().expect("model").insert(*k, *v as u64);
+                    }
+                }
+                Op::Remove(k) => {
+                    if tree.remove(&(*k as u64)) {
+                        completed.lock().expect("model").remove(k);
+                    }
+                }
+            }
+        }
+    }));
+    for pool in &pools {
+        pool.set_crash_fuse(None);
+    }
+    let crashed = match outcome {
+        Ok(()) => false,
+        Err(e) => {
+            assert!(crash_is_injected(e.as_ref()), "non-injected panic escaped");
+            true
+        }
+    };
+    for pool in &pools {
+        pool.assert_durability_clean();
+    }
+
+    // Whole-machine power failure: every shard pool loses its own unflushed
+    // lines, under a per-shard survival seed.
+    let pools2: Vec<Arc<PmemPool>> = pools
+        .iter()
+        .enumerate()
+        .map(|(i, pool)| {
+            let image =
+                pool.crash_image(seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            Arc::new(
+                PmemPool::reopen(image, PoolOptions::tracked(0).with_checker()).expect("reopen"),
+            )
+        })
+        .collect();
+    let tree = ShardedTree::open(pools2.clone(), ROOT_SLOT).expect("recover");
+    tree.check_consistency().expect("recovered tree consistent");
+
+    let model = completed.lock().expect("model");
+    let interrupted = *in_flight.lock().expect("in-flight");
+    if crashed {
+        for (k, v) in model.iter() {
+            if Some(*k) == interrupted {
+                continue;
+            }
+            assert_eq!(
+                tree.get(&(*k as u64)),
+                Some(*v),
+                "completed op on key {k} lost after sharded crash (fuse {fuse}, seed {seed})"
+            );
+        }
+    } else {
+        assert_eq!(tree.len(), model.len(), "clean run must recover exactly");
+        for (k, v) in model.iter() {
+            assert_eq!(tree.get(&(*k as u64)), Some(*v));
+        }
+    }
+
+    // The merged scan over all recovered shards: strictly sorted, no
+    // phantom values, agreeing with point reads.
+    let scanned: Vec<(u64, u64)> = tree.scan(..).collect();
+    assert!(
+        scanned.windows(2).all(|w| w[0].0 < w[1].0),
+        "recovered sharded scan not strictly sorted (fuse {fuse}, seed {seed})"
+    );
+    assert_eq!(scanned.len(), tree.len(), "scan disagrees with len");
+    for (k, v) in &scanned {
+        assert_eq!(tree.get(k), Some(*v), "scan entry invisible to get");
+        let wrote_it = ops.iter().any(|op| match op {
+            Op::Insert(ok, ov) | Op::Update(ok, ov) => *ok as u64 == *k && *ov as u64 == *v,
+            Op::Remove(_) => false,
+        });
+        assert!(wrote_it, "phantom entry {k}={v} after sharded crash");
+    }
+
+    tree.leak_audit().expect("no persistent leaks in any shard");
+    for pool in &pools2 {
+        pool.assert_durability_clean();
+    }
+}
+
 /// Allocator-vs-tree reachability audit.
 fn audit_leaks<K: KeyKind>(pool: &Arc<PmemPool>, tree: &SingleTree<K>) {
     let live = pool.live_blocks().expect("heap walk");
@@ -412,6 +530,17 @@ proptest! {
         seed in any::<u64>(),
     ) {
         batch_crash_check::<FixedKey>(|k| k as u64, &ops, fuse, seed, 0);
+    }
+
+    #[test]
+    fn sharded_point_ops(
+        ops in proptest::collection::vec(op_strategy(), 20..100),
+        shards in 2usize..=4,
+        crash_shard in 0usize..4,
+        fuse in 50u64..1500,
+        seed in any::<u64>(),
+    ) {
+        sharded_crash_check(&ops, shards, crash_shard, fuse, seed);
     }
 
     #[test]

@@ -254,6 +254,64 @@ proptest! {
     }
 
     #[test]
+    fn sharded_tree_agrees_at_every_shard_count(
+        ops in proptest::collection::vec(op_strategy(), 50..200),
+    ) {
+        use fptree_suite::pmem::{create_pools, PoolOptions, ROOT_SLOT};
+
+        // Hash-sharding must be invisible to map semantics at any shard
+        // count — including 7, which exercises non-power-of-two routing.
+        for shards in [1usize, 2, 4, 7] {
+            let pools = create_pools(shards, PoolOptions::direct(64 << 20)).unwrap();
+            let t = fptree_suite::core::ShardedTree::create(
+                pools,
+                small(TreeConfig::fptree_concurrent()),
+                ROOT_SLOT,
+            );
+            check(&format!("sharded-{shards}"), &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan(..).collect())),
+            });
+            t.check_consistency().unwrap();
+            t.leak_audit().unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_scan_from_is_sorted_dup_free_and_matches_one_shard(
+        keys in proptest::collection::vec(any::<u32>(), 1..300),
+        start in any::<u32>(),
+        count in 1..64usize,
+    ) {
+        use fptree_suite::core::index::U64Index;
+        use fptree_suite::pmem::{create_pools, PoolOptions, ROOT_SLOT};
+
+        // The k-way merged scan through the index seam must be strictly
+        // sorted, duplicate-free, and bit-identical to an unsharded tree's.
+        let mk = |n: usize| {
+            let pools = create_pools(n, PoolOptions::direct(64 << 20)).unwrap();
+            let t = fptree_suite::core::ShardedTree::create(
+                pools,
+                small(TreeConfig::fptree_concurrent()),
+                ROOT_SLOT,
+            );
+            for &k in &keys {
+                t.insert(&(k as u64), k as u64 + 1);
+            }
+            t
+        };
+        let one = mk(1);
+        let four = mk(4);
+        let got = four.scan_from(start as u64, count).expect("sharded scans");
+        prop_assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "sorted, dup-free");
+        prop_assert_eq!(got, one.scan_from(start as u64, count).expect("scans"));
+    }
+
+    #[test]
     fn batch_ops_match_loop_oracle(ops in proptest::collection::vec(batch_op_strategy(), 1..40)) {
         use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
         use std::sync::Arc;

@@ -94,7 +94,7 @@ fn mcbench_runs_over_concurrent_fptree() {
         value_size: 16,
         net_ns: 0,
     };
-    let r = run_mcbench(&cache, &cfg);
+    let r = run_mcbench(cache.as_ref(), &cfg);
     assert!(r.set.ops_per_sec > 0.0 && r.get.ops_per_sec > 0.0);
     assert_eq!(cache.len(), 2000);
 }
