@@ -20,9 +20,13 @@
 //! [`fptree_pmem::save_pools`] / [`fptree_pmem::load_pools`], and reopening
 //! recovers every shard (the flag is only needed at creation — the on-disk
 //! family determines the count thereafter).
+//!
+//! `serve <addr> [secs]` exposes the open pool over TCP with the memcached
+//! text protocol, on the kvcache event-loop server — point any memcached
+//! client (or `fptree_kvcache::Client`) at it.
 
 use std::io::{BufRead, Write};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// `println!` that tolerates a closed stdout (`fptree ... | head` must not
 /// panic with a broken-pipe backtrace).
@@ -35,7 +39,10 @@ macro_rules! say {
     }};
 }
 
+use fptree_core::metrics::{Metrics, Snapshot};
 use fptree_core::{FPTreeVar, ShardedTreeVar, TreeConfig};
+use fptree_kvcache::cache::ScanItem;
+use fptree_kvcache::{Cache, ServerBuilder};
 use fptree_pmem::{
     create_pools, load_pools, save_pools, shard_file_count, PmemPool, PoolOptions, ROOT_SLOT,
 };
@@ -208,22 +215,27 @@ fn main() {
         std::process::exit(2);
     };
 
-    let mut tree = open_or_create(&path, shards);
+    // Shared with `serve`-spawned server threads; every command path locks.
+    let tree = Arc::new(Mutex::new(open_or_create(&path, shards)));
 
     // One-shot mode: `fptree pool.img get foo`.
     let rest: Vec<String> = positional.collect();
     if !rest.is_empty() {
         let line = rest.join(" ");
-        if execute(&mut tree, &line, &path) {
-            tree.save(&path)
+        if execute(&tree, &line, &path) {
+            lock_tree(&tree)
+                .save(&path)
                 .unwrap_or_else(|e| fail(&format!("saving pool: {e}")));
         }
         return;
     }
 
-    say!("fptree shell — {} keys loaded from {path}", tree.len());
+    say!(
+        "fptree shell — {} keys loaded from {path}",
+        lock_tree(&tree).len()
+    );
     say!("commands: put <k> <v> | get <k> | del <k> | update <k> <v> | range <lo> [hi]");
-    say!("          scan [key] [n] | stats | check | save | help | quit");
+    say!("          scan [key] [n] | serve <addr> [secs] | stats | check | save | help | quit");
     let stdin = std::io::stdin();
     loop {
         print!("fptree> ");
@@ -237,12 +249,19 @@ fn main() {
             break;
         }
         if !line.is_empty() {
-            execute(&mut tree, line, &path);
+            execute(&tree, line, &path);
         }
     }
+    let tree = lock_tree(&tree);
     tree.save(&path)
         .unwrap_or_else(|e| fail(&format!("saving pool: {e}")));
     say!("saved {} keys to {path}", tree.len());
+}
+
+fn lock_tree(tree: &Arc<Mutex<CliTree>>) -> std::sync::MutexGuard<'_, CliTree> {
+    // A server worker that panicked mid-command poisons the lock; the data
+    // itself is crash-consistent by design, so keep going.
+    tree.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn open_or_create(path: &str, shards: usize) -> CliTree {
@@ -298,15 +317,16 @@ fn open_or_create(path: &str, shards: usize) -> CliTree {
 }
 
 /// Runs one command; returns true if it may have mutated the tree.
-fn execute(tree: &mut CliTree, line: &str, path: &str) -> bool {
+fn execute(tree_arc: &Arc<Mutex<CliTree>>, line: &str, path: &str) -> bool {
     let mut parts = line.split_whitespace();
     let verb = parts.next().unwrap_or("");
     let arg1 = parts.next();
     let rest: Vec<&str> = parts.collect();
+    let mut tree = lock_tree(tree_arc);
     match (verb, arg1) {
         ("put", Some(k)) => {
             let value = rest.join(" ");
-            let handle = store_value(tree.pool_for(k.as_bytes()), &value);
+            let handle = store_value(tree.pool_for(k.as_bytes()), value.as_bytes());
             if tree.insert(k.as_bytes(), handle) {
                 say!("inserted");
             } else {
@@ -317,7 +337,7 @@ fn execute(tree: &mut CliTree, line: &str, path: &str) -> bool {
         }
         ("update", Some(k)) => {
             let value = rest.join(" ");
-            let handle = store_value(tree.pool_for(k.as_bytes()), &value);
+            let handle = store_value(tree.pool_for(k.as_bytes()), value.as_bytes());
             if tree.update(k.as_bytes(), handle) {
                 say!("updated");
             } else {
@@ -381,6 +401,39 @@ fn execute(tree: &mut CliTree, line: &str, path: &str) -> bool {
             }
             false
         }
+        ("serve", Some(addr)) => {
+            // `serve 127.0.0.1:11211 [secs]`: expose the open pool over
+            // TCP (memcached text protocol) on the kvcache event-loop
+            // server. With no duration, runs until Enter.
+            let secs: Option<u64> = rest.first().and_then(|s| s.parse().ok());
+            let addr = addr.to_string();
+            drop(tree); // the server's workers lock the tree per command
+            let bridge = Arc::new(ServeBridge {
+                tree: Arc::clone(tree_arc),
+                metrics: Arc::new(Metrics::new()),
+            });
+            match ServerBuilder::new(&addr)
+                .worker_threads(1) // commands serialize on the tree lock anyway
+                .serve(bridge as Arc<dyn Cache>)
+            {
+                Ok(server) => {
+                    say!("serving memcached protocol on {}", server.addr);
+                    say!("(flags are not persisted: GETs always report flags 0)");
+                    match secs {
+                        Some(s) => std::thread::sleep(std::time::Duration::from_secs(s)),
+                        None => {
+                            say!("press Enter to stop");
+                            let mut line = String::new();
+                            let _ = std::io::stdin().lock().read_line(&mut line);
+                        }
+                    }
+                    server.shutdown();
+                    say!("server stopped ({} keys now)", lock_tree(tree_arc).len());
+                }
+                Err(e) => say!("serve failed: {e}"),
+            }
+            true
+        }
         ("stats", _) => {
             tree.print_stats(path);
             false
@@ -406,6 +459,7 @@ fn execute(tree: &mut CliTree, line: &str, path: &str) -> bool {
             say!("del <k>           delete");
             say!("range <lo> [hi]   sorted scan of [lo, hi] ([lo, end) if no hi)");
             say!("scan [key] [n]    n entries in key order, from key or the head");
+            say!("serve <a> [secs]  serve the pool over TCP (memcached protocol) on addr <a>");
             say!("stats             tree + pool statistics");
             say!("check             structural consistency check");
             say!("save              write the pool file(s) now");
@@ -419,10 +473,86 @@ fn execute(tree: &mut CliTree, line: &str, path: &str) -> bool {
     }
 }
 
+/// Bridges the TCP server onto the shell's tree: the memcached `Cache`
+/// trait over a mutex-protected [`CliTree`]. Values round-trip through the
+/// pool as the shell's length-prefixed blobs (so `put` and a wire `set`
+/// store identically); memcached flags are not persisted — GETs report 0.
+struct ServeBridge {
+    tree: Arc<Mutex<CliTree>>,
+    metrics: Arc<Metrics>,
+}
+
+impl ServeBridge {
+    fn get_locked(tree: &CliTree, key: &[u8]) -> Option<(u32, Vec<u8>)> {
+        tree.get(key)
+            .map(|handle| (0, load_bytes(tree.pool_for(key), handle)))
+    }
+}
+
+impl Cache for ServeBridge {
+    fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    fn stats_snapshot(&self) -> Snapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.push("curr_items", lock_tree(&self.tree).len() as u64);
+        snap
+    }
+
+    fn set(&self, key: &[u8], _flags: u32, data: Vec<u8>) {
+        let mut tree = lock_tree(&self.tree);
+        let handle = store_value(tree.pool_for(key), &data);
+        if !tree.insert(key, handle) {
+            tree.update(key, handle);
+        }
+    }
+
+    fn set_batch(&self, items: Vec<(Vec<u8>, u32, Vec<u8>)>) {
+        let mut tree = lock_tree(&self.tree);
+        for (key, _, data) in items {
+            let handle = store_value(tree.pool_for(&key), &data);
+            if !tree.insert(&key, handle) {
+                tree.update(&key, handle);
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<(u32, Vec<u8>)> {
+        Self::get_locked(&lock_tree(&self.tree), key)
+    }
+
+    fn get_many(&self, keys: &[Vec<u8>]) -> Vec<Option<(u32, Vec<u8>)>> {
+        let tree = lock_tree(&self.tree);
+        keys.iter().map(|k| Self::get_locked(&tree, k)).collect()
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        lock_tree(&self.tree).remove(key)
+    }
+
+    fn scan(&self, start: &[u8], count: usize) -> Option<Vec<ScanItem>> {
+        let tree = lock_tree(&self.tree);
+        Some(
+            tree.scan_from(Some(start.to_vec()))
+                .take(count)
+                .map(|(k, handle)| {
+                    let data = load_bytes(tree.pool_for(&k), handle);
+                    (k, 0, data)
+                })
+                .collect(),
+        )
+    }
+
+    fn len(&self) -> usize {
+        lock_tree(&self.tree).len()
+    }
+}
+
 /// Values are stored as length-prefixed blobs in the pool, referenced from
 /// the tree by offset. Old blobs are not reclaimed by the CLI (values are
 /// tiny); a production embedder would use owner slots as the trees do.
-fn store_value(pool: &Arc<PmemPool>, value: &str) -> u64 {
+fn store_value(pool: &Arc<PmemPool>, value: &[u8]) -> u64 {
     // Owner slot in the pool header's application scratch area (the header
     // is 4 KiB; allocator metadata ends well before 2048).
     let scratch = 2048;
@@ -430,16 +560,20 @@ fn store_value(pool: &Arc<PmemPool>, value: &str) -> u64 {
         .allocate(scratch, 8 + value.len())
         .unwrap_or_else(|e| fail(&format!("pool full: {e}")));
     pool.write_word(off, value.len() as u64);
-    pool.write_bytes(off + 8, value.as_bytes());
+    pool.write_bytes(off + 8, value);
     pool.persist(off, 8 + value.len());
     off
 }
 
-fn load_value(pool: &Arc<PmemPool>, off: u64) -> String {
+fn load_bytes(pool: &Arc<PmemPool>, off: u64) -> Vec<u8> {
     let len = pool.read_word(off) as usize;
     let mut buf = vec![0u8; len.min(1 << 16)];
     pool.read_bytes(off + 8, &mut buf);
-    String::from_utf8_lossy(&buf).into_owned()
+    buf
+}
+
+fn load_value(pool: &Arc<PmemPool>, off: u64) -> String {
+    String::from_utf8_lossy(&load_bytes(pool, off)).into_owned()
 }
 
 fn fail(msg: &str) -> ! {

@@ -172,10 +172,23 @@ pub enum Counter {
     RemoveBatchRuns = 35,
     /// Keys removed through the batched write path.
     RemoveBatchKeys = 36,
+    // ----- event-loop serving
+    /// Readiness wake-ups delivered to the server's poll loop (one per
+    /// `poll` return carrying at least one event).
+    EvloopWakeups = 37,
+    /// Response flushes that could not drain a connection's write queue in
+    /// one pass (socket buffer full; the rest waits for writability).
+    EvloopPartialWrites = 38,
+    /// Times a connection's write queue crossed its cap and the server
+    /// paused reading from that connection until the queue drained
+    /// (backpressure).
+    EvloopQueueStalls = 39,
+    /// Connections reaped by the server's idle timeout.
+    ConnIdleClosed = 40,
 }
 
 /// Number of [`Counter`] variants.
-pub const N_COUNTERS: usize = 37;
+pub const N_COUNTERS: usize = 41;
 
 impl Counter {
     /// Every variant, in field order.
@@ -217,6 +230,10 @@ impl Counter {
         Counter::InsertBatchKeys,
         Counter::RemoveBatchRuns,
         Counter::RemoveBatchKeys,
+        Counter::EvloopWakeups,
+        Counter::EvloopPartialWrites,
+        Counter::EvloopQueueStalls,
+        Counter::ConnIdleClosed,
     ];
 
     /// Stable snapshot field name.
@@ -259,6 +276,10 @@ impl Counter {
             Counter::InsertBatchKeys => "insert_batch_keys",
             Counter::RemoveBatchRuns => "remove_batch_runs",
             Counter::RemoveBatchKeys => "remove_batch_keys",
+            Counter::EvloopWakeups => "evloop_wakeups",
+            Counter::EvloopPartialWrites => "evloop_partial_writes",
+            Counter::EvloopQueueStalls => "evloop_queue_stalls",
+            Counter::ConnIdleClosed => "conn_idle_closed",
         }
     }
 }

@@ -19,6 +19,10 @@ pub mod store;
 
 pub use cache::{Cache, KvCache};
 pub use lru::LruList;
-pub use mcbench::{run as run_mcbench, McBenchConfig, McBenchResult};
+pub use mcbench::{
+    run as run_mcbench, run_connscale, ConnScaleConfig, ConnScaleResult, McBenchConfig,
+    McBenchResult,
+};
+pub use server::{Client, ServerBuilder, ServerHandle};
 pub use shard::ShardedCache;
 pub use store::{Item, ItemStore};

@@ -204,6 +204,17 @@ fn find_crlf(buf: &[u8]) -> Option<usize> {
 /// Executes a command against the cache and renders the response bytes
 /// (empty for `noreply` commands and for `quit`).
 pub fn execute(cache: &dyn Cache, cmd: &Command) -> Vec<u8> {
+    let mut out = Vec::new();
+    execute_into(cache, cmd, &mut out);
+    out
+}
+
+/// Executes a command against the cache, appending the rendered response to
+/// `out` (nothing for `noreply` commands and for `quit`). The event-loop
+/// server accumulates one contiguous response block per pipelined batch
+/// through this form, so a whole batch flushes as one vectored write;
+/// [`execute`] wraps it for single commands.
+pub fn execute_into(cache: &dyn Cache, cmd: &Command, out: &mut Vec<u8>) {
     match cmd {
         Command::Set {
             key,
@@ -213,64 +224,60 @@ pub fn execute(cache: &dyn Cache, cmd: &Command) -> Vec<u8> {
         } => {
             cache.metrics().inc(Counter::CmdSet);
             cache.set(key, *flags, data.clone());
-            if *noreply {
-                Vec::new()
-            } else {
-                b"STORED\r\n".to_vec()
+            if !*noreply {
+                out.extend_from_slice(b"STORED\r\n");
             }
         }
         Command::Get { keys } => {
             cache.metrics().inc(Counter::CmdGet);
-            let mut out = Vec::new();
             for (key, item) in keys.iter().zip(cache.get_many(keys)) {
                 if let Some((flags, data)) = item {
-                    push_value(&mut out, key, flags, &data);
+                    push_value(out, key, flags, &data);
                 }
             }
             out.extend_from_slice(b"END\r\n");
-            out
         }
         Command::Delete { key, noreply } => {
             cache.metrics().inc(Counter::CmdDelete);
             let deleted = cache.delete(key);
-            if *noreply {
-                Vec::new()
-            } else if deleted {
-                b"DELETED\r\n".to_vec()
-            } else {
-                b"NOT_FOUND\r\n".to_vec()
+            if !*noreply {
+                out.extend_from_slice(if deleted {
+                    b"DELETED\r\n"
+                } else {
+                    b"NOT_FOUND\r\n"
+                });
             }
         }
         Command::Scan { start, count } => {
             cache.metrics().inc(Counter::CmdScan);
             match cache.scan(start, *count) {
                 Some(items) => {
-                    let mut out = Vec::new();
                     for (key, flags, data) in &items {
-                        push_value(&mut out, key, *flags, data);
+                        push_value(out, key, *flags, data);
                     }
                     out.extend_from_slice(b"END\r\n");
-                    out
                 }
-                None => b"SERVER_ERROR scan not supported by this index\r\n".to_vec(),
+                None => {
+                    out.extend_from_slice(b"SERVER_ERROR scan not supported by this index\r\n")
+                }
             }
         }
         Command::Stats { reset, shards } => {
             cache.metrics().inc(Counter::CmdStats);
             if *reset {
                 cache.reset_stats();
-                b"RESET\r\n".to_vec()
+                out.extend_from_slice(b"RESET\r\n");
             } else if *shards {
-                render_shard_stats(cache)
+                out.extend_from_slice(&render_shard_stats(cache));
             } else {
-                render_stats(cache)
+                out.extend_from_slice(&render_stats(cache));
             }
         }
         Command::Version => {
             cache.metrics().inc(Counter::CmdVersion);
-            version_line().into_bytes()
+            out.extend_from_slice(version_line().as_bytes());
         }
-        Command::Quit => Vec::new(),
+        Command::Quit => {}
     }
 }
 

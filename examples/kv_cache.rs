@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use fptree_suite::core::concurrent::ConcurrentFPTreeVar;
 use fptree_suite::core::TreeConfig;
-use fptree_suite::kvcache::server::{serve, Client};
+use fptree_suite::kvcache::server::{Client, ServerBuilder};
 use fptree_suite::kvcache::{Cache, KvCache};
 use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
 
@@ -23,8 +23,13 @@ fn main() {
     ));
     let cache = Arc::new(KvCache::new(index));
 
-    // A real TCP server speaking the memcached text protocol.
-    let server = serve(Arc::clone(&cache) as Arc<dyn Cache>, "127.0.0.1:0").expect("bind");
+    // A real TCP server speaking the memcached text protocol: a
+    // readiness-polled event loop with a small worker pool.
+    let server = ServerBuilder::new("127.0.0.1:0")
+        .max_connections(64)
+        .worker_threads(2)
+        .serve(Arc::clone(&cache) as Arc<dyn Cache>)
+        .expect("bind");
     println!("serving memcached protocol on {}", server.addr);
 
     // Four concurrent clients hammer SET/GET over loopback.

@@ -1,0 +1,763 @@
+//! Offline drop-in for the subset of `mio` this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors tiny API-compatible shims for its external dependencies (see
+//! `third_party/README.md`). This shim provides readiness polling for the
+//! kvcache event-loop server: [`Poll`]/[`Registry`] registration of
+//! nonblocking TCP sockets under [`Token`]s and [`Interest`]s, level-
+//! triggered [`Events`] delivery, a cross-thread [`Waker`], and thin
+//! [`net::TcpListener`]/[`net::TcpStream`] wrappers.
+//!
+//! On Linux the implementation is the real thing: an `epoll` instance
+//! driven through direct `extern "C"` declarations (`std` already links
+//! libc, so this adds no dependency), with the waker backed by an
+//! edge-triggered `eventfd` exactly like upstream mio. On other Unix
+//! targets a degraded portable fallback reports every registered socket
+//! ready on a short tick — correct for level-triggered use against
+//! nonblocking sockets (spurious readiness resolves as `WouldBlock`), just
+//! less efficient. Non-Unix targets are not supported.
+//!
+//! Deviations from the real crate, beyond the reduced surface: `Events`
+//! yields [`Event`] by value (upstream yields references), and
+//! `net::*::from_std` defensively switches the socket to nonblocking mode
+//! instead of trusting the caller.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Identifies one registered event source in [`Events`] delivered by
+/// [`Poll::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both (`READABLE | WRITABLE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (the `|` operator calls this).
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// True if this interest includes read readiness.
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// True if this interest includes write readiness.
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness event: which [`Token`] and which directions are ready.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    read_closed: bool,
+    error: bool,
+}
+
+impl Event {
+    /// The token the ready source was registered under.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// True if the source is ready for reading (including hang-up/error
+    /// conditions, which a read will surface as EOF or an error).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// True if the source is ready for writing.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// True if the peer shut down its write side (half-close / hang-up).
+    pub fn is_read_closed(&self) -> bool {
+        self.read_closed
+    }
+
+    /// True if the source is in an error state.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+}
+
+/// A buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    list: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// Creates a buffer that receives at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            list: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates the events delivered by the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.list.iter()
+    }
+
+    /// True if the last poll delivered no events.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.list.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.list.iter()
+    }
+}
+
+/// Anything registerable with a [`Registry`]: any type exposing a raw fd.
+pub trait Source: AsRawFd {}
+impl<T: AsRawFd> Source for T {}
+
+// ---------------------------------------------------------------------------
+// Linux backend: epoll + eventfd via direct FFI.
+// ---------------------------------------------------------------------------
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::*;
+    use std::ffi::{c_int, c_uint, c_void};
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+    const EFD_NONBLOCK: c_int = 0o4000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64 (kernel ABI);
+    /// naturally aligned elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
+            -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.is_readable() {
+            bits |= EPOLLIN;
+        }
+        if interest.is_writable() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// Registration handle shared by [`Poll`] and [`Waker`]; holds the
+    /// epoll fd but does not own it.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Registry {
+        epfd: RawFd,
+    }
+
+    impl Registry {
+        fn ctl(&self, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+            let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+            // SAFETY: epfd and fd are live descriptors owned by the caller;
+            // `ev` outlives the call (the kernel copies it).
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Starts delivering readiness for `source` under `token`.
+        pub fn register<S: Source + ?Sized>(
+            &self,
+            source: &mut S,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let ev = EpollEvent {
+                events: interest_bits(interest),
+                data: token.0 as u64,
+            };
+            self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(ev))
+        }
+
+        /// Changes the token/interest of an already-registered `source`.
+        pub fn reregister<S: Source + ?Sized>(
+            &self,
+            source: &mut S,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let ev = EpollEvent {
+                events: interest_bits(interest),
+                data: token.0 as u64,
+            };
+            self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(ev))
+        }
+
+        /// Stops delivering readiness for `source`.
+        pub fn deregister<S: Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+        }
+    }
+
+    /// An epoll instance.
+    pub struct Poll {
+        registry: Registry,
+        scratch: Vec<EpollEvent>,
+    }
+
+    impl Poll {
+        /// Creates a fresh epoll instance.
+        pub fn new() -> io::Result<Poll> {
+            // SAFETY: plain syscall, no pointers involved.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poll {
+                registry: Registry { epfd },
+                scratch: Vec::new(),
+            })
+        }
+
+        /// The registration handle for this poller.
+        pub fn registry(&self) -> &Registry {
+            &self.registry
+        }
+
+        /// Blocks until at least one registered source is ready or
+        /// `timeout` elapses (`None` = wait indefinitely). An interrupted
+        /// wait returns success with no events.
+        pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            let cap = events.capacity;
+            self.scratch.resize(cap, EpollEvent { events: 0, data: 0 });
+            let ms = match timeout {
+                None => -1,
+                // Round a sub-millisecond timeout up so a short tick does
+                // not degenerate into a busy spin at 0 ms.
+                Some(d) if d.is_zero() => 0,
+                Some(d) => d.as_millis().clamp(1, c_int::MAX as u128) as c_int,
+            };
+            // SAFETY: `scratch` has room for `cap` events and outlives the
+            // call; the kernel writes at most `cap` entries.
+            let n = unsafe { epoll_wait(self.registry.epfd, self.scratch.as_mut_ptr(), cap as c_int, ms) };
+            let n = match cvt(n) {
+                Ok(n) => n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            for raw in &self.scratch[..n] {
+                let bits = raw.events;
+                events.list.push(Event {
+                    token: Token(raw.data as usize),
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                    read_closed: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                    error: bits & EPOLLERR != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poll {
+        fn drop(&mut self) {
+            // SAFETY: we own the epoll fd and drop it exactly once.
+            unsafe {
+                close(self.registry.epfd);
+            }
+        }
+    }
+
+    /// Wakes a [`Poll::poll`] in progress from another thread.
+    ///
+    /// Backed by an edge-triggered `eventfd` (upstream mio's design): the
+    /// kernel-side counter accumulates wakes, each `write` re-arms the
+    /// edge, and the poll loop never needs to drain it.
+    #[derive(Debug)]
+    pub struct Waker {
+        fd: RawFd,
+    }
+
+    impl Waker {
+        /// Creates a waker whose wakes surface as readable events for
+        /// `token` on the poller behind `registry`.
+        pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+            // SAFETY: plain syscall, no pointers involved.
+            let fd = cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })?;
+            let mut ev = EpollEvent {
+                events: EPOLLIN | EPOLLET,
+                data: token.0 as u64,
+            };
+            // SAFETY: both fds are live; `ev` outlives the call.
+            if let Err(e) = cvt(unsafe { epoll_ctl(registry.epfd, EPOLL_CTL_ADD, fd, &mut ev) }) {
+                // SAFETY: `fd` was created above and is not shared yet.
+                unsafe {
+                    close(fd);
+                }
+                return Err(e);
+            }
+            Ok(Waker { fd })
+        }
+
+        /// Wakes the poller. A full eventfd counter means a wake is already
+        /// pending, which is success.
+        pub fn wake(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            // SAFETY: `buf` points at 8 valid bytes; eventfd writes are
+            // exactly 8 bytes.
+            let ret = unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+            if ret == 8 {
+                return Ok(());
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::WouldBlock {
+                Ok(()) // counter saturated: a wake is already pending
+            } else {
+                Err(e)
+            }
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            // SAFETY: we own the eventfd and drop it exactly once.
+            unsafe {
+                close(self.fd);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable fallback (non-Linux Unix): every registered fd reports ready on a
+// short tick. Correct for level-triggered use with nonblocking sockets —
+// spurious readiness resolves as WouldBlock — but burns a wakeup per tick.
+// ---------------------------------------------------------------------------
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Debug, Default)]
+    struct Inner {
+        registered: Mutex<HashMap<RawFd, (Token, Interest)>>,
+        woken: AtomicBool,
+        waker_token: Mutex<Option<Token>>,
+    }
+
+    /// Registration handle shared by [`Poll`] and [`Waker`].
+    #[derive(Debug, Clone)]
+    pub struct Registry {
+        inner: Arc<Inner>,
+    }
+
+    impl Registry {
+        /// Starts delivering readiness for `source` under `token`.
+        pub fn register<S: Source + ?Sized>(
+            &self,
+            source: &mut S,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let mut map = self.inner.registered.lock().unwrap();
+            if map.insert(source.as_raw_fd(), (token, interest)).is_some() {
+                return Err(io::Error::from(io::ErrorKind::AlreadyExists));
+            }
+            Ok(())
+        }
+
+        /// Changes the token/interest of an already-registered `source`.
+        pub fn reregister<S: Source + ?Sized>(
+            &self,
+            source: &mut S,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let mut map = self.inner.registered.lock().unwrap();
+            match map.get_mut(&source.as_raw_fd()) {
+                Some(slot) => {
+                    *slot = (token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::from(io::ErrorKind::NotFound)),
+            }
+        }
+
+        /// Stops delivering readiness for `source`.
+        pub fn deregister<S: Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+            let mut map = self.inner.registered.lock().unwrap();
+            match map.remove(&source.as_raw_fd()) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::from(io::ErrorKind::NotFound)),
+            }
+        }
+    }
+
+    /// Degraded poller: ticks instead of sleeping on kernel readiness.
+    #[derive(Debug)]
+    pub struct Poll {
+        registry: Registry,
+    }
+
+    impl Poll {
+        /// Creates a fresh poller.
+        pub fn new() -> io::Result<Poll> {
+            Ok(Poll {
+                registry: Registry {
+                    inner: Arc::new(Inner::default()),
+                },
+            })
+        }
+
+        /// The registration handle for this poller.
+        pub fn registry(&self) -> &Registry {
+            &self.registry
+        }
+
+        /// Reports every registered source ready after at most a 1 ms tick.
+        pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            let tick = Duration::from_millis(1);
+            std::thread::sleep(timeout.map_or(tick, |t| t.min(tick)));
+            let inner = &self.registry.inner;
+            if inner.woken.swap(false, Ordering::AcqRel) {
+                if let Some(token) = *inner.waker_token.lock().unwrap() {
+                    events.list.push(Event {
+                        token,
+                        readable: true,
+                        writable: false,
+                        read_closed: false,
+                        error: false,
+                    });
+                }
+            }
+            for (token, interest) in inner.registered.lock().unwrap().values() {
+                if events.list.len() >= events.capacity {
+                    break;
+                }
+                events.list.push(Event {
+                    token: *token,
+                    readable: interest.is_readable(),
+                    writable: interest.is_writable(),
+                    read_closed: false,
+                    error: false,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    /// Wakes a poller: sets a flag the next tick reports for the waker's
+    /// token (wakes are therefore delayed by up to one tick).
+    #[derive(Debug)]
+    pub struct Waker {
+        inner: Arc<Inner>,
+    }
+
+    impl Waker {
+        /// Creates a waker delivering readable events for `token`.
+        pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+            *registry.inner.waker_token.lock().unwrap() = Some(token);
+            Ok(Waker {
+                inner: Arc::clone(&registry.inner),
+            })
+        }
+
+        /// Wakes the poller at its next tick.
+        pub fn wake(&self) -> io::Result<()> {
+            self.inner.woken.store(true, Ordering::Release);
+            Ok(())
+        }
+    }
+}
+
+pub use sys::{Poll, Registry, Waker};
+
+/// Nonblocking TCP wrappers for use with [`Poll`].
+pub mod net {
+    use super::*;
+    use std::io::{IoSlice, Read, Write};
+    use std::net::{Shutdown, SocketAddr};
+
+    /// A nonblocking TCP listener registerable with a [`Registry`].
+    #[derive(Debug)]
+    pub struct TcpListener(std::net::TcpListener);
+
+    impl TcpListener {
+        /// Binds a fresh nonblocking listener.
+        pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+            let l = std::net::TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            Ok(TcpListener(l))
+        }
+
+        /// Wraps an existing std listener, switching it to nonblocking.
+        pub fn from_std(l: std::net::TcpListener) -> TcpListener {
+            let _ = l.set_nonblocking(true);
+            TcpListener(l)
+        }
+
+        /// Accepts one pending connection (nonblocking: `WouldBlock` when
+        /// none is queued). The returned stream is nonblocking.
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (s, a) = self.0.accept()?;
+            s.set_nonblocking(true)?;
+            Ok((TcpStream(s), a))
+        }
+
+        /// The bound address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.0.local_addr()
+        }
+    }
+
+    impl AsRawFd for TcpListener {
+        fn as_raw_fd(&self) -> RawFd {
+            self.0.as_raw_fd()
+        }
+    }
+
+    /// A nonblocking TCP stream registerable with a [`Registry`].
+    #[derive(Debug)]
+    pub struct TcpStream(std::net::TcpStream);
+
+    impl TcpStream {
+        /// Wraps an existing std stream, switching it to nonblocking.
+        pub fn from_std(s: std::net::TcpStream) -> TcpStream {
+            let _ = s.set_nonblocking(true);
+            TcpStream(s)
+        }
+
+        /// The remote address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.0.peer_addr()
+        }
+
+        /// Disables (or re-enables) Nagle's algorithm.
+        pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+            self.0.set_nodelay(nodelay)
+        }
+
+        /// Shuts down one or both directions.
+        pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+            self.0.shutdown(how)
+        }
+    }
+
+    impl AsRawFd for TcpStream {
+        fn as_raw_fd(&self) -> RawFd {
+            self.0.as_raw_fd()
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.0.read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.write(buf)
+        }
+
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            self.0.write_vectored(bufs)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.0.flush()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    const T_LISTENER: Token = Token(7);
+    const T_STREAM: Token = Token(9);
+    const T_WAKER: Token = Token(11);
+
+    #[test]
+    fn interest_combines() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let mut listener =
+            net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        poll.registry()
+            .register(&mut listener, T_LISTENER, Interest::READABLE)
+            .unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = std::net::TcpStream::connect(addr).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poll.poll(&mut events, Some(Duration::from_millis(100))).unwrap();
+            if events.iter().any(|e| e.token() == T_LISTENER && e.is_readable()) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no accept readiness");
+        }
+        let (stream, _) = listener.accept().unwrap();
+        // A fresh connected stream with an empty send buffer is writable.
+        let mut stream = stream;
+        poll.registry()
+            .register(&mut stream, T_STREAM, Interest::WRITABLE)
+            .unwrap();
+        loop {
+            poll.poll(&mut events, Some(Duration::from_millis(100))).unwrap();
+            if events.iter().any(|e| e.token() == T_STREAM && e.is_writable()) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no write readiness");
+        }
+    }
+
+    #[test]
+    fn double_register_errors_and_deregister_silences() {
+        let poll = Poll::new().unwrap();
+        let mut listener =
+            net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        poll.registry()
+            .register(&mut listener, T_LISTENER, Interest::READABLE)
+            .unwrap();
+        assert!(poll
+            .registry()
+            .register(&mut listener, T_LISTENER, Interest::READABLE)
+            .is_err());
+        poll.registry()
+            .reregister(&mut listener, Token(8), Interest::READABLE)
+            .unwrap();
+        poll.registry().deregister(&mut listener).unwrap();
+        // Deregistered source: reregister has nothing to modify.
+        assert!(poll
+            .registry()
+            .reregister(&mut listener, T_LISTENER, Interest::READABLE)
+            .is_err());
+    }
+
+    #[test]
+    fn deregistered_stream_stops_reporting() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let listener = net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let mut client =
+            std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut stream, _) = loop {
+            match listener.accept() {
+                Ok(pair) => break pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("accept: {e}"),
+            }
+        };
+        poll.registry()
+            .register(&mut stream, T_STREAM, Interest::READABLE)
+            .unwrap();
+        client.write_all(b"x").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poll.poll(&mut events, Some(Duration::from_millis(100))).unwrap();
+            if events.iter().any(|e| e.token() == T_STREAM && e.is_readable()) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no read readiness");
+        }
+        poll.registry().deregister(&mut stream).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert!(
+            !events.iter().any(|e| e.token() == T_STREAM),
+            "deregistered stream still reported"
+        );
+    }
+
+    #[test]
+    fn waker_interrupts_poll_from_another_thread() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), T_WAKER).unwrap());
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w.wake().unwrap();
+        });
+        let start = std::time::Instant::now();
+        let deadline = start + Duration::from_secs(5);
+        loop {
+            poll.poll(&mut events, Some(Duration::from_millis(200))).unwrap();
+            if events.iter().any(|e| e.token() == T_WAKER && e.is_readable()) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "wake never delivered");
+        }
+        t.join().unwrap();
+        // Repeated wakes coalesce without error.
+        waker.wake().unwrap();
+        waker.wake().unwrap();
+    }
+}
