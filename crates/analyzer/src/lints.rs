@@ -70,27 +70,37 @@ impl Finding {
 
 /// Raw pool store primitives (any receiver).
 const STORE_RAW: [&str; 3] = ["write_bytes", "write_at", "write_word"];
-/// Publish primitives.
-const PUBLISH_RAW: [&str; 2] = ["write_publish_word", "write_publish_at"];
+/// Publish primitives (`write_publish_bytes` is the multi-word flavor the
+/// leaf append-buffer entry commit uses, §5.12).
+const PUBLISH_RAW: [&str; 3] = [
+    "write_publish_word",
+    "write_publish_at",
+    "write_publish_bytes",
+];
 /// Typed store wrappers that stage data without flushing.
 const STORE_WRAP: [&str; 3] = ["set_value", "set_fingerprint", "write_slot"];
 /// Flush primitives/wrappers (fence + CLFLUSH + fence semantics).
-const PERSIST: [&str; 6] = [
+const PERSIST: [&str; 7] = [
     "persist",
     "persist_slot",
     "persist_slot_span",
     "persist_slots",
     "persist_fingerprint",
     "persist_fingerprints",
+    "persist_merged",
 ];
 /// Wrappers that publish *and* persist internally (safe combos).
-const COMBO: [&str; 6] = [
+/// `wbuf_append` commits a buffer entry with one publish + persist;
+/// `wbuf_fold` ends with the p-atomic generation bump + persist (§5.12).
+const COMBO: [&str; 8] = [
     "commit_bitmap",
     "set_next",
     "set_status",
     "set_head",
     "set_groups_head",
     "reset_slot",
+    "wbuf_append",
+    "wbuf_fold",
 ];
 /// Leaf-lock acquire entry points.
 const ACQUIRE: [&str; 3] = ["try_lock_version", "try_lock", "lock_leaf_for_write"];
@@ -108,7 +118,7 @@ const BUMP_OPS: [&str; 6] = [
 /// Accessors whose result is the lock word.
 const BUMP_TARGETS: [&str; 2] = ["vlock_ref", "lock_ref"];
 /// First-argument substrings identifying p-atomic commit words.
-const COMMIT_KEYWORDS: [&str; 7] = [
+const COMMIT_KEYWORDS: [&str; 9] = [
     "bitmap",
     "off_next",
     "status",
@@ -116,6 +126,8 @@ const COMMIT_KEYWORDS: [&str; 7] = [
     "m_head",
     "groups_head",
     "root",
+    "wbuf_gen",
+    "wbuf_entry_off",
 ];
 
 /// The window opener.
@@ -133,7 +145,7 @@ pub struct FileScope {
 
 /// Pool-primitive functions exempt from lints 2–3 inside `pool.rs` (their
 /// bodies *are* the store/publish/flush implementations).
-const POOL_PRIMS: [&str; 10] = [
+const POOL_PRIMS: [&str; 11] = [
     "write_bytes",
     "write_bytes_inner",
     "write_at",
@@ -141,6 +153,7 @@ const POOL_PRIMS: [&str; 10] = [
     "write",
     "write_publish_at",
     "write_publish_word",
+    "write_publish_bytes",
     "persist",
     "fence",
     "flush_line_to_durable",

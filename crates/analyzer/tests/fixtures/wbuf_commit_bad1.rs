@@ -1,0 +1,7 @@
+//! Seeded violation: plain store to the append-buffer generation word.
+
+pub fn invalidate_buffer(pool: &Pool, off: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    pool.write_word(off + layout.wbuf_gen_off() as u64, gen + 1);
+    pool.persist(off, 8);
+}

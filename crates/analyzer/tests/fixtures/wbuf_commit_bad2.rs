@@ -1,0 +1,6 @@
+//! Seeded violation: append-buffer entry publish never persisted.
+
+pub fn append_entry(pool: &Pool, off: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    pool.write_publish_bytes(off + layout.wbuf_entry_off(idx) as u64, &entry);
+}

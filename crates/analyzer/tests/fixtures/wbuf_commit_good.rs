@@ -1,0 +1,15 @@
+//! Clean: the §5.12 buffer commit protocol — one multi-word publish of the
+//! whole entry followed by one persist, and the combo wrappers.
+
+pub fn append_entry(pool: &Pool, off: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    let eoff = off + layout.wbuf_entry_off(idx) as u64;
+    pool.write_publish_bytes(eoff, &entry);
+    pool.persist(eoff, entry.len());
+}
+
+pub fn fold_then_reappend(leaf: &Leaf, key: &u64, value: u64) {
+    let _op = pool.begin_checked_op("fixture");
+    leaf.wbuf_fold();
+    leaf.wbuf_append(0, key, value);
+}

@@ -11,6 +11,7 @@ use std::time::Instant;
 use fptree_bench::{
     shuffled_keys, string_key, AnyTree, AnyTreeVar, Args, Report, Row, TreeKind, LATENCIES_NS,
 };
+use fptree_pmem::StatsSnapshot;
 
 fn main() {
     let args = Args::parse();
@@ -19,6 +20,7 @@ fn main() {
     let verbose = args.flag("verbose");
     let want_metrics = args.flag("metrics");
     let batch: usize = args.get("batch", 0);
+    let no_wbuf = args.flag("no-wbuf");
     let out = args.get_str("out");
     let latencies: Vec<u64> = args
         .get_str("latencies")
@@ -39,6 +41,7 @@ fn main() {
             &warm,
             verbose,
             want_metrics,
+            no_wbuf,
             out,
         );
         return;
@@ -130,12 +133,16 @@ fn main() {
 
 /// `--batch N` mode: batched ingest/teardown with amortized-persistence
 /// accounting. Each tree inserts the warm set in runs of `batch` keys via
-/// `insert_batch`, then removes them via `remove_batch`; pool persist and
-/// fence counters are reset before the insert phase so the emitted
-/// `pmem_persists` / `pmem_fences` fields (and `persists_per_key`) isolate
-/// the ingest. Batched commits stage many slots per leaf behind one
-/// flush-span + one p-atomic bitmap publish, so `--batch 64` must report
-/// far fewer persists per key than `--batch 1`.
+/// `insert_batch`, then removes them via `remove_batch`. Persist and fence
+/// figures are **deltas of non-destructive snapshots taken around each
+/// timed phase** — resetting the shared pool counters would destroy
+/// anything accumulated before the phase and silently misattribute work —
+/// so `pmem_persists`/`persists_per_key` isolate the ingest and
+/// `remove_persists`/`remove_persists_per_key` isolate the teardown.
+/// Batched commits stage many slots per leaf behind one flush-span + one
+/// p-atomic bitmap publish, and at `--batch 1` the append buffer (§5.12)
+/// commits each key with a single publish, so both ends beat the
+/// pre-buffer per-key cost; `--no-wbuf` rebuilds that baseline.
 #[allow(clippy::too_many_arguments)]
 fn run_batch_mode(
     batch: usize,
@@ -146,6 +153,7 @@ fn run_batch_mode(
     warm: &[u64],
     verbose: bool,
     want_metrics: bool,
+    no_wbuf: bool,
     out: Option<&str>,
 ) {
     let mut report = Report::new(
@@ -162,77 +170,80 @@ fn run_batch_mode(
     let mut warm: Vec<u64> = warm.to_vec();
     warm.sort_unstable();
     let warm = &warm[..];
+    let wbuf = no_wbuf.then_some(0);
     for &latency in latencies {
         for kind in TreeKind::fig7_set() {
-            let (insert_us, remove_us, persists, fences, snap) = if var_keys {
-                let mut t = AnyTreeVar::build(kind, pool_mb * 2, latency);
+            let (insert_us, remove_us, ins, rem, snap) = if var_keys {
+                let mut t = AnyTreeVar::build_wbuf(kind, pool_mb * 2, latency, wbuf);
                 if verbose {
                     fptree_bench::enable_pool_checker(t.pool());
                 }
                 let entries: Vec<(Vec<u8>, u64)> =
                     warm.iter().map(|&k| (string_key(k), k)).collect();
                 let keys: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
-                if let Some(p) = t.pool() {
-                    p.stats().reset();
-                }
+                let before = t.pool().map(|p| p.stats().snapshot());
                 let insert_us = time(|| {
                     for chunk in entries.chunks(batch) {
                         t.insert_batch(chunk);
                     }
                 });
-                let s = t.pool().map(|p| p.stats().snapshot());
+                let mid = t.pool().map(|p| p.stats().snapshot());
                 let remove_us = time(|| {
                     for chunk in keys.chunks(batch) {
                         t.remove_batch(chunk);
                     }
                 });
+                let after = t.pool().map(|p| p.stats().snapshot());
                 if verbose {
                     fptree_bench::print_pool_counters(
                         &format!("{} @{latency}ns", kind.name()),
                         t.pool(),
                     );
                 }
-                let persists = s.as_ref().map_or(0, |s| s.persist_calls);
-                let fences = s.as_ref().map_or(0, |s| s.fences);
-                (insert_us, remove_us, persists, fences, t.metrics_snapshot())
+                let ins = phase_delta(&before, &mid);
+                let rem = phase_delta(&mid, &after);
+                (insert_us, remove_us, ins, rem, t.metrics_snapshot())
             } else {
-                let mut t = AnyTree::build(kind, pool_mb, latency, 8);
+                let mut t = AnyTree::build_wbuf(kind, pool_mb, latency, 8, wbuf);
                 if verbose {
                     fptree_bench::enable_pool_checker(t.pool());
                 }
                 let entries: Vec<(u64, u64)> = warm.iter().map(|&k| (k, k)).collect();
-                if let Some(p) = t.pool() {
-                    p.stats().reset();
-                }
+                let before = t.pool().map(|p| p.stats().snapshot());
                 let insert_us = time(|| {
                     for chunk in entries.chunks(batch) {
                         t.insert_batch(chunk);
                     }
                 });
-                let s = t.pool().map(|p| p.stats().snapshot());
+                let mid = t.pool().map(|p| p.stats().snapshot());
                 let remove_us = time(|| {
                     for chunk in warm.chunks(batch) {
                         t.remove_batch(chunk);
                     }
                 });
+                let after = t.pool().map(|p| p.stats().snapshot());
                 if verbose {
                     fptree_bench::print_pool_counters(
                         &format!("{} @{latency}ns", kind.name()),
                         t.pool(),
                     );
                 }
-                let persists = s.as_ref().map_or(0, |s| s.persist_calls);
-                let fences = s.as_ref().map_or(0, |s| s.fences);
-                (insert_us, remove_us, persists, fences, t.metrics_snapshot())
+                let ins = phase_delta(&before, &mid);
+                let rem = phase_delta(&mid, &after);
+                (insert_us, remove_us, ins, rem, t.metrics_snapshot())
             };
             let n = warm.len() as f64;
+            let (persists, fences) = ins;
+            let (rem_persists, rem_fences) = rem;
             eprintln!(
                 "{} @{latency}ns batch {batch}: insert {:.2} remove {:.2} µs/key, \
-                 {persists} persists ({:.2}/key), {fences} fences",
+                 insert {persists} persists ({:.2}/key) {fences} fences, \
+                 remove {rem_persists} persists ({:.2}/key) {rem_fences} fences",
                 kind.name(),
                 insert_us / n,
                 remove_us / n,
                 persists as f64 / n,
+                rem_persists as f64 / n,
             );
             let mut row = Row::new(format!("{} @{latency}ns", kind.name()))
                 .field("batch", batch as f64)
@@ -240,7 +251,10 @@ fn run_batch_mode(
                 .field("remove_us", remove_us / n)
                 .field("pmem_persists", persists as f64)
                 .field("pmem_fences", fences as f64)
-                .field("persists_per_key", persists as f64 / n);
+                .field("persists_per_key", persists as f64 / n)
+                .field("remove_persists", rem_persists as f64)
+                .field("remove_fences", rem_fences as f64)
+                .field("remove_persists_per_key", rem_persists as f64 / n);
             if want_metrics {
                 if let Some(snap) = &snap {
                     fptree_bench::print_metrics(
@@ -350,6 +364,15 @@ fn run_var(
         fptree_bench::print_metrics(&format!("{} @{latency}ns", kind.name()), snap.as_ref());
     }
     [find / n, insert / n, update / n, delete / n]
+}
+
+/// `(persist_calls, fences)` accumulated between two non-destructive pool
+/// snapshots; `(0, 0)` for trees without a pool (STX).
+fn phase_delta(before: &Option<StatsSnapshot>, after: &Option<StatsSnapshot>) -> (u64, u64) {
+    match (before, after) {
+        (Some(b), Some(a)) => (a.persist_calls - b.persist_calls, a.fences - b.fences),
+        _ => (0, 0),
+    }
 }
 
 /// Runs `f` and returns elapsed microseconds.

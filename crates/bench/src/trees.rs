@@ -75,15 +75,34 @@ impl AnyTree {
     /// of `pool_mb` MiB emulating `latency_ns` total SCM latency.
     /// `value_size` models larger payloads (Appendix A); pass 8 normally.
     pub fn build(kind: TreeKind, pool_mb: usize, latency_ns: u64, value_size: usize) -> AnyTree {
+        Self::build_wbuf(kind, pool_mb, latency_ns, value_size, None)
+    }
+
+    /// [`AnyTree::build`] with an explicit per-leaf append-buffer size for
+    /// the FPTree variants (`Some(0)` disables the buffer — the `--no-wbuf`
+    /// baseline); `None` keeps each preset's default.
+    pub fn build_wbuf(
+        kind: TreeKind,
+        pool_mb: usize,
+        latency_ns: u64,
+        value_size: usize,
+        wbuf: Option<usize>,
+    ) -> AnyTree {
         match kind {
             TreeKind::FPTree => {
                 let pool = make_pool(pool_mb, latency_ns);
-                let cfg = TreeConfig::fptree().with_value_size(value_size);
+                let mut cfg = TreeConfig::fptree().with_value_size(value_size);
+                if let Some(w) = wbuf {
+                    cfg = cfg.with_wbuf_entries(w);
+                }
                 AnyTree::FP(SingleTree::create(pool, cfg, ROOT_SLOT))
             }
             TreeKind::PTree => {
                 let pool = make_pool(pool_mb, latency_ns);
-                let cfg = TreeConfig::ptree().with_value_size(value_size);
+                let mut cfg = TreeConfig::ptree().with_value_size(value_size);
+                if let Some(w) = wbuf {
+                    cfg = cfg.with_wbuf_entries(w);
+                }
                 AnyTree::FP(SingleTree::create(pool, cfg, ROOT_SLOT))
             }
             TreeKind::NVTree => {
@@ -97,7 +116,10 @@ impl AnyTree {
             TreeKind::Stx => AnyTree::Stx(StxTree::with_capacities(16, 16), None),
             TreeKind::FPTreeC => {
                 let pool = make_pool(pool_mb, latency_ns);
-                let cfg = TreeConfig::fptree_concurrent().with_value_size(value_size);
+                let mut cfg = TreeConfig::fptree_concurrent().with_value_size(value_size);
+                if let Some(w) = wbuf {
+                    cfg = cfg.with_wbuf_entries(w);
+                }
                 AnyTree::FPC(ConcurrentFPTree::create(pool, cfg, ROOT_SLOT))
             }
         }
@@ -249,18 +271,33 @@ pub enum AnyTreeVar {
 impl AnyTreeVar {
     /// Builds the variable-size-key variant of `kind` (Table 1 sizes).
     pub fn build(kind: TreeKind, pool_mb: usize, latency_ns: u64) -> AnyTreeVar {
+        Self::build_wbuf(kind, pool_mb, latency_ns, None)
+    }
+
+    /// [`AnyTreeVar::build`] with an explicit append-buffer size for the
+    /// FPTree variants (`Some(0)` disables); `None` keeps preset defaults.
+    pub fn build_wbuf(
+        kind: TreeKind,
+        pool_mb: usize,
+        latency_ns: u64,
+        wbuf: Option<usize>,
+    ) -> AnyTreeVar {
         match kind {
             TreeKind::FPTree => {
                 let pool = make_pool(pool_mb, latency_ns);
-                AnyTreeVar::FP(SingleTree::create(
-                    pool,
-                    TreeConfig::fptree_var(),
-                    ROOT_SLOT,
-                ))
+                let mut cfg = TreeConfig::fptree_var();
+                if let Some(w) = wbuf {
+                    cfg = cfg.with_wbuf_entries(w);
+                }
+                AnyTreeVar::FP(SingleTree::create(pool, cfg, ROOT_SLOT))
             }
             TreeKind::PTree => {
                 let pool = make_pool(pool_mb, latency_ns);
-                AnyTreeVar::FP(SingleTree::create(pool, TreeConfig::ptree_var(), ROOT_SLOT))
+                let mut cfg = TreeConfig::ptree_var();
+                if let Some(w) = wbuf {
+                    cfg = cfg.with_wbuf_entries(w);
+                }
+                AnyTreeVar::FP(SingleTree::create(pool, cfg, ROOT_SLOT))
             }
             TreeKind::NVTree => {
                 let pool = make_pool(pool_mb, latency_ns);
@@ -273,10 +310,12 @@ impl AnyTreeVar {
             TreeKind::Stx => AnyTreeVar::Stx(StxTree::with_capacities(8, 8)),
             TreeKind::FPTreeC => {
                 let pool = make_pool(pool_mb, latency_ns);
+                let mut cfg = TreeConfig::fptree_concurrent_var();
+                if let Some(w) = wbuf {
+                    cfg = cfg.with_wbuf_entries(w);
+                }
                 AnyTreeVar::FPC(fptree_core::concurrent::ConcurrentFPTreeVar::create(
-                    pool,
-                    TreeConfig::fptree_concurrent_var(),
-                    ROOT_SLOT,
+                    pool, cfg, ROOT_SLOT,
                 ))
             }
         }

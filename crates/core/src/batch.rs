@@ -114,6 +114,11 @@ impl<K: KeyKind> SingleTree<K> {
         if entries.is_empty() {
             return 0;
         }
+        if entries.len() == 1 {
+            // A single-entry batch is exactly a single insert, which has
+            // the cheaper one-publish append path (§5.12).
+            return self.insert(&entries[0].0, entries[0].1) as usize;
+        }
         let metrics = Arc::clone(&self.ctx.metrics);
         let _t = metrics.time_op(Op::Insert);
         let checked = Arc::clone(&self.ctx.pool);
@@ -149,6 +154,12 @@ impl<K: KeyKind> SingleTree<K> {
         let head = run[0].0.clone();
         let mut leaf_op = |ctx: &Ctx, groups: &mut GroupMgr, off: u64| -> Outcome<K> {
             let leaf = ctx.leaf(off);
+            // Staged runs reason about free slots and present keys from the
+            // slot array alone, so the append buffer must be compacted
+            // first (§5.12). No-op when the buffer is empty.
+            if leaf.wbuf_count() > 0 {
+                leaf.wbuf_fold::<K>();
+            }
             let present: Vec<bool> = run
                 .iter()
                 .map(|(k, _)| leaf.find_slot::<K>(k).is_some())
@@ -272,6 +283,11 @@ impl<K: KeyKind> SingleTree<K> {
                 j += 1;
             }
             let leaf = self.ctx.leaf(leaf_off);
+            // Compact buffered entries into slots so the per-key probes and
+            // the emptied-leaf (`bm == 0`) decision see every live key.
+            if leaf.wbuf_count() > 0 {
+                leaf.wbuf_fold::<K>();
+            }
             let slots: Vec<usize> = sorted[i..j]
                 .iter()
                 .filter_map(|k| leaf.find_slot::<K>(k))
@@ -333,6 +349,11 @@ impl<K: ConcKey> ConcurrentTree<K> {
         if entries.is_empty() {
             return 0;
         }
+        if entries.len() == 1 {
+            // A single-entry batch is exactly a single insert, which has
+            // the cheaper one-publish append path (§5.12).
+            return self.insert(&entries[0].0, entries[0].1) as usize;
+        }
         let _t = self.ctx.metrics.time_op(Op::Insert);
         let _op = self.ctx.pool.begin_checked_op("insert_batch");
         let sorted = sort_dedup::<K>(entries);
@@ -354,6 +375,12 @@ impl<K: ConcKey> ConcurrentTree<K> {
     fn insert_batch_run(&self, rest: &[(K::Owned, u64)]) -> (usize, usize) {
         let off = self.lock_leaf_for_write(&rest[0].0);
         let leaf = self.ctx.leaf(off);
+        // Compact the append buffer under the leaf lock so the staged-run
+        // free-slot and present-key math below sees slot-only state
+        // (§5.12). Optimistic readers racing the fold fail validation.
+        if leaf.wbuf_count() > 0 {
+            leaf.wbuf_fold::<K>();
+        }
         let mut t = 1;
         while t < rest.len() && self.covered_by(off, &rest[t].0) {
             t += 1;
@@ -485,6 +512,11 @@ impl<K: ConcKey> ConcurrentTree<K> {
     fn remove_batch_run(&self, rest: &[K::Owned]) -> (usize, usize) {
         let off = self.lock_leaf_for_write(&rest[0]);
         let leaf = self.ctx.leaf(off);
+        // Fold first: the probes and the `count() == slots.len()` emptied-
+        // leaf decision below are only correct against slot-only state.
+        if leaf.wbuf_count() > 0 {
+            leaf.wbuf_fold::<K>();
+        }
         let mut t = 1;
         while t < rest.len() && self.covered_by(off, &rest[t]) {
             t += 1;

@@ -564,7 +564,11 @@ impl<K: ConcKey> ConcurrentTree<K> {
                 self.ctx.metrics.inc(Counter::SeqlockConflicts);
                 return Err(Abort); // leaf locked by a writer
             };
-            let result = leaf.find_slot::<K>(key).map(|slot| leaf.value(slot));
+            // Merged probe (§5.12): append-buffer entries newest-first,
+            // then the slot array. A torn buffer read (racing an append or
+            // fold) is discarded by the version validation below, exactly
+            // like a torn slot read.
+            let result = leaf.find_merged_value::<K>(key);
             if !tx.validate() || leaf.version_changed(v) {
                 self.ctx.metrics.inc(Counter::SeqlockConflicts);
                 return Err(Abort);
@@ -632,15 +636,38 @@ impl<K: ConcKey> ConcurrentTree<K> {
         let _op = self.ctx.pool.begin_checked_op("insert");
         let off = self.lock_leaf_for_write(key);
         let leaf = self.ctx.leaf(off);
-        if leaf.find_slot::<K>(key).is_some() {
+        let live = leaf.wbuf_count();
+        if leaf.find_buffered::<K>(key, live).is_some() || leaf.find_slot::<K>(key).is_some() {
             leaf.unlock_version();
             self.ctx.metrics.inc(Counter::InsertExisting);
             return false;
         }
+        // Fast path (§5.12): one p-atomic entry publish instead of the
+        // slot + fingerprint + bitmap persist sequence. The room condition
+        // guarantees a later fold always finds enough free slots.
+        if live < self.ctx.layout.wbuf_entries && leaf.count() + live < self.ctx.layout.m {
+            leaf.wbuf_append::<K>(live, key, value);
+            leaf.unlock_version();
+            self.len.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        if live > 0 {
+            leaf.wbuf_fold::<K>();
+            if leaf.count() < self.ctx.layout.m {
+                leaf.wbuf_append::<K>(0, key, value);
+                leaf.unlock_version();
+                self.len.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
         if leaf.is_full() {
             let (split_key, new_off) = self.split_locked_leaf(off);
             let target = if *key > split_key { new_off } else { off };
-            self.ctx.insert_into_leaf::<K>(target, key, value);
+            if self.ctx.layout.wbuf_entries > 0 {
+                self.ctx.leaf(target).wbuf_append::<K>(0, key, value);
+            } else {
+                self.ctx.insert_into_leaf::<K>(target, key, value);
+            }
             self.publish_split(&split_key, off, new_off);
             leaf.unlock_version();
         } else {
@@ -657,11 +684,30 @@ impl<K: ConcKey> ConcurrentTree<K> {
         let _op = self.ctx.pool.begin_checked_op("update");
         let off = self.lock_leaf_for_write(key);
         let leaf = self.ctx.leaf(off);
-        let Some(slot) = leaf.find_slot::<K>(key) else {
+        let live = leaf.wbuf_count();
+        if leaf.find_buffered::<K>(key, live).is_none() && leaf.find_slot::<K>(key).is_none() {
             leaf.unlock_version();
             self.ctx.metrics.inc(Counter::UpdateMisses);
             return false;
-        };
+        }
+        // Buffered update (§5.12): a fresh appended entry shadows any older
+        // buffered entry or slot for the same key — probes are newest-first.
+        if live < self.ctx.layout.wbuf_entries && leaf.count() + live < self.ctx.layout.m {
+            leaf.wbuf_append::<K>(live, key, value);
+            leaf.unlock_version();
+            return true;
+        }
+        if live > 0 {
+            leaf.wbuf_fold::<K>();
+            if leaf.count() < self.ctx.layout.m {
+                leaf.wbuf_append::<K>(0, key, value);
+                leaf.unlock_version();
+                return true;
+            }
+        }
+        let slot = leaf
+            .find_slot::<K>(key)
+            .expect("folded key must occupy a slot");
         if leaf.is_full() {
             let (split_key, new_off) = self.split_locked_leaf(off);
             let target = if *key > split_key { new_off } else { off };
@@ -691,7 +737,13 @@ impl<K: ConcKey> ConcurrentTree<K> {
                 self.ctx.metrics.inc(Counter::LeafLockSpins);
                 return Err(Abort);
             };
-            let dying = leaf.count() == 1 && !(prev.is_none() && leaf.next().is_null());
+            // Dying means ONE distinct live key — a buffered update of a
+            // slot-resident key must not count twice, or the remove takes
+            // the in-place path and leaves an empty leaf linked (§5.12).
+            // All reads here precede `try_lock_version(v)`, which fails if
+            // any writer intervened since `v` was read.
+            let dying = leaf.count() + leaf.wbuf_fresh_keys::<K>() == 1
+                && !(prev.is_none() && leaf.next().is_null());
             if dying {
                 // Lock the predecessor too: its next pointer will change.
                 if let Some(p) = prev {
@@ -738,6 +790,11 @@ impl<K: ConcKey> ConcurrentTree<K> {
         match decision {
             WriteDecision::Leaf { off } => {
                 let leaf = self.ctx.leaf(off);
+                // Fold under the lock: removal must clear a *slot* so the
+                // buffer's prefix-validity invariant survives (§5.12).
+                if leaf.wbuf_count() > 0 {
+                    leaf.wbuf_fold::<K>();
+                }
                 let Some(slot) = leaf.find_slot::<K>(key) else {
                     leaf.unlock_version();
                     self.ctx.metrics.inc(Counter::RemoveMisses);
@@ -752,6 +809,11 @@ impl<K: ConcKey> ConcurrentTree<K> {
             }
             WriteDecision::LeafEmpty { off, prev } => {
                 let leaf = self.ctx.leaf(off);
+                // The single live key may sit in the append buffer; fold it
+                // into a slot first so the unlink below empties the bitmap.
+                if leaf.wbuf_count() > 0 {
+                    leaf.wbuf_fold::<K>();
+                }
                 let Some(slot) = leaf.find_slot::<K>(key) else {
                     leaf.unlock_version();
                     if let Some(p) = prev {
@@ -794,6 +856,12 @@ impl<K: ConcKey> ConcurrentTree<K> {
         let _op = self.ctx.pool.begin_checked_op("update");
         let off = self.lock_leaf_for_write(key);
         let leaf = self.ctx.leaf(off);
+        // Fold first (§5.12): the expected-value guard must compare against
+        // the *newest* value, which may sit in the append buffer; after the
+        // fold the slot array holds it.
+        if leaf.wbuf_count() > 0 {
+            leaf.wbuf_fold::<K>();
+        }
         let slot = match leaf.find_slot::<K>(key) {
             Some(s) if leaf.value(s) == expected => s,
             _ => {
@@ -835,7 +903,9 @@ impl<K: ConcKey> ConcurrentTree<K> {
                 self.ctx.metrics.inc(Counter::LeafLockSpins);
                 return Err(Abort);
             };
-            let dying = leaf.count() == 1 && !(prev.is_none() && leaf.next().is_null());
+            // Distinct live-key count, as in `remove` (§5.12).
+            let dying = leaf.count() + leaf.wbuf_fresh_keys::<K>() == 1
+                && !(prev.is_none() && leaf.next().is_null());
             if dying {
                 if let Some(p) = prev {
                     let pl = self.ctx.leaf(p);
@@ -881,6 +951,11 @@ impl<K: ConcKey> ConcurrentTree<K> {
         match decision {
             WriteDecision::Leaf { off } => {
                 let leaf = self.ctx.leaf(off);
+                // Fold first: the value guard must see the newest (possibly
+                // buffered) value, and removal must clear a slot (§5.12).
+                if leaf.wbuf_count() > 0 {
+                    leaf.wbuf_fold::<K>();
+                }
                 let slot = match leaf.find_slot::<K>(key) {
                     Some(s) if leaf.value(s) == expected => s,
                     _ => {
@@ -898,6 +973,10 @@ impl<K: ConcKey> ConcurrentTree<K> {
             }
             WriteDecision::LeafEmpty { off, prev } => {
                 let leaf = self.ctx.leaf(off);
+                // As in `remove`: the last live key may be buffered.
+                if leaf.wbuf_count() > 0 {
+                    leaf.wbuf_fold::<K>();
+                }
                 let slot = match leaf.find_slot::<K>(key) {
                     Some(s) if leaf.value(s) == expected => s,
                     _ => {
@@ -1202,14 +1281,21 @@ impl<K: ConcKey> ConcurrentTree<K> {
                 return Err(format!("leaf {i} left locked"));
             }
             let entries = leaf.collect_entries::<K>();
-            if entries.is_empty() && offs.len() > 1 {
+            let mut merged = leaf.collect_merged::<K>();
+            merged.sort_by(|a, b| a.0.cmp(&b.0));
+            if merged.is_empty() && offs.len() > 1 {
                 return Err(format!("leaf {i} is empty but linked"));
             }
-            total += entries.len();
+            if leaf.count() + leaf.wbuf_count() > self.ctx.layout.m {
+                return Err(format!("leaf {i}: buffer overcommits the slot array"));
+            }
+            total += merged.len();
             for (slot, k) in &entries {
                 if self.ctx.layout.fingerprints && leaf.fingerprint(*slot) != K::fingerprint(k) {
                     return Err(format!("leaf {i} slot {slot}: fingerprint mismatch"));
                 }
+            }
+            for (k, _) in &merged {
                 if self.get(k).is_none() {
                     return Err(format!("leaf {i}: stored key not reachable via get"));
                 }
@@ -1219,8 +1305,8 @@ impl<K: ConcKey> ConcurrentTree<K> {
                     }
                 }
             }
-            if let Some(max) = entries.iter().map(|(_, k)| k.clone()).max() {
-                prev_max = Some(max);
+            if let Some((max, _)) = merged.last() {
+                prev_max = Some(max.clone());
             }
         }
         if total != self.len() {
@@ -1246,6 +1332,13 @@ impl<K: ConcKey> ConcurrentTree<K> {
                         if !r.is_null() {
                             expected.insert(r.offset);
                         }
+                    }
+                }
+                // Live append-buffer entries own their key blobs too.
+                for e in 0..leaf.wbuf_count() {
+                    let r = K::slot_ref(&self.ctx.pool, leaf.wbuf_key_off(e));
+                    if !r.is_null() {
+                        expected.insert(r.offset);
                     }
                 }
             }

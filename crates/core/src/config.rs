@@ -40,6 +40,11 @@ pub struct TreeConfig {
     /// Leaves per amortized allocation group; 0 or 1 disables grouping
     /// (required for the concurrent version).
     pub leaf_group_size: usize,
+    /// Entries in the per-leaf persistent append buffer (W). Single-key
+    /// inserts/updates append `(tag, key, value)` here with one persist and
+    /// fold into regular slots only on overflow or split; 0 disables
+    /// buffering (every write takes the slot/fingerprint/bitmap path).
+    pub wbuf_entries: usize,
 }
 
 impl TreeConfig {
@@ -52,6 +57,7 @@ impl TreeConfig {
             fingerprints: true,
             split_arrays: false,
             leaf_group_size: 16,
+            wbuf_entries: 8,
         }
     }
 
@@ -65,6 +71,7 @@ impl TreeConfig {
             fingerprints: true,
             split_arrays: false,
             leaf_group_size: 0,
+            wbuf_entries: 8,
         }
     }
 
@@ -78,6 +85,7 @@ impl TreeConfig {
             fingerprints: false,
             split_arrays: true,
             leaf_group_size: 16,
+            wbuf_entries: 0,
         }
     }
 
@@ -129,6 +137,12 @@ impl TreeConfig {
         self
     }
 
+    /// Sets the per-leaf append-buffer capacity (0 disables buffering).
+    pub fn with_wbuf_entries(mut self, w: usize) -> Self {
+        self.wbuf_entries = w;
+        self
+    }
+
     /// Number of entries an ordered scan buffers per leaf: exactly the leaf
     /// capacity. The scan subsystem's fixed gather buffer is dimensioned by
     /// [`MAX_LEAF_CAPACITY`], so every valid configuration fits
@@ -154,6 +168,12 @@ impl TreeConfig {
         }
         if !self.value_size.is_multiple_of(8) {
             return Err("value size must be 8-byte aligned".to_string());
+        }
+        if self.wbuf_entries > MAX_LEAF_CAPACITY {
+            return Err(format!(
+                "write buffer must hold at most {MAX_LEAF_CAPACITY} entries, got {}",
+                self.wbuf_entries
+            ));
         }
         Ok(())
     }
@@ -207,5 +227,22 @@ mod tests {
     #[should_panic(expected = "value size")]
     fn validate_rejects_tiny_value() {
         TreeConfig::fptree().with_value_size(4).validate();
+    }
+
+    #[test]
+    fn write_buffer_defaults_per_preset() {
+        // FPTree presets buffer single-key writes; the PTree reproduces the
+        // plain slot path and must stay buffer-free.
+        assert_eq!(TreeConfig::fptree().wbuf_entries, 8);
+        assert_eq!(TreeConfig::fptree_concurrent().wbuf_entries, 8);
+        assert_eq!(TreeConfig::fptree_var().wbuf_entries, 8);
+        assert_eq!(TreeConfig::ptree().wbuf_entries, 0);
+        assert_eq!(TreeConfig::ptree_var().wbuf_entries, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "write buffer")]
+    fn validate_rejects_oversized_wbuf() {
+        TreeConfig::fptree().with_wbuf_entries(65).validate();
     }
 }

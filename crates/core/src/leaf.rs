@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use fptree_pmem::{PmemPool, RawPPtr};
+use fptree_pmem::{PmemPool, RawPPtr, CACHE_LINE};
 
 use crate::keys::KeyKind;
 use crate::layout::LeafLayout;
@@ -270,40 +270,83 @@ impl<'a> Leaf<'a> {
         }
     }
 
-    /// Persists the key+value regions of `slots` (ascending), coalescing
-    /// contiguous slot indexes into single flush spans. Staged slots of one
-    /// batch run are usually adjacent, so this typically issues one or two
-    /// flush calls for the whole run.
-    pub fn persist_slots(&self, slots: &[usize]) {
-        debug_assert!(slots.windows(2).all(|w| w[0] < w[1]));
-        let mut i = 0;
-        while i < slots.len() {
-            let mut j = i;
-            while j + 1 < slots.len() && slots[j + 1] == slots[j] + 1 {
-                j += 1;
+    /// Issues one persist per byte range, first merging ranges whose
+    /// line-rounded spans touch: two nearby slot runs that share a cache
+    /// line would otherwise flush that line twice. Merging may cover gap
+    /// bytes between runs, which is safe — under the leaf lock any dirty
+    /// gap word belongs to this op's own staged stores, and flushing an
+    /// operand *before* its commit record never violates the protocol.
+    fn persist_merged(&self, ranges: &mut [(u64, usize)]) {
+        ranges.sort_unstable();
+        let line = !(CACHE_LINE as u64 - 1);
+        let mut cur: Option<(u64, u64)> = None; // (start, end) in bytes
+        for &(s, len) in ranges.iter() {
+            let e = s + len as u64;
+            match cur {
+                Some((cs, ce)) if (s & line) <= ((ce - 1) & line) => {
+                    cur = Some((cs, ce.max(e)));
+                }
+                Some((cs, ce)) => {
+                    self.pool.persist(cs, (ce - cs) as usize);
+                    cur = Some((s, e));
+                }
+                None => cur = Some((s, e)),
             }
-            self.persist_slot_span(slots[i], slots[j]);
-            i = j + 1;
+        }
+        if let Some((cs, ce)) = cur {
+            self.pool.persist(cs, (ce - cs) as usize);
         }
     }
 
-    /// Persists the fingerprint bytes of `slots` (ascending), coalescing
-    /// contiguous slot indexes into single flush spans.
-    pub fn persist_fingerprints(&self, slots: &[usize]) {
-        debug_assert!(self.layout.fingerprints);
+    /// Persists the key+value regions of `slots` (ascending), coalescing
+    /// contiguous slot indexes — and noncontiguous runs that share a cache
+    /// line — into single flush spans. Staged slots of one batch run are
+    /// usually adjacent, so this typically issues one or two flush calls
+    /// for the whole run.
+    pub fn persist_slots(&self, slots: &[usize]) {
         debug_assert!(slots.windows(2).all(|w| w[0] < w[1]));
+        let mut ranges = Vec::new();
         let mut i = 0;
         while i < slots.len() {
             let mut j = i;
             while j + 1 < slots.len() && slots[j + 1] == slots[j] + 1 {
                 j += 1;
             }
-            self.pool.persist(
-                self.off + (self.layout.off_fps + slots[i]) as u64,
-                j - i + 1,
-            );
+            let n = j - i + 1;
+            if self.layout.split_arrays {
+                ranges.push((self.key_off(slots[i]), n * self.layout.key_slot));
+                ranges.push((self.val_off(slots[i]), n * self.layout.value_size));
+            } else {
+                ranges.push((
+                    self.key_off(slots[i]),
+                    n * (self.layout.key_slot + self.layout.value_size),
+                ));
+            }
             i = j + 1;
         }
+        self.persist_merged(&mut ranges);
+    }
+
+    /// Persists the fingerprint bytes of `slots` (ascending), coalescing
+    /// contiguous slot indexes — and runs sharing a cache line — into
+    /// single flush spans.
+    pub fn persist_fingerprints(&self, slots: &[usize]) {
+        debug_assert!(self.layout.fingerprints);
+        debug_assert!(slots.windows(2).all(|w| w[0] < w[1]));
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < slots.len() {
+            let mut j = i;
+            while j + 1 < slots.len() && slots[j + 1] == slots[j] + 1 {
+                j += 1;
+            }
+            ranges.push((
+                self.off + (self.layout.off_fps + slots[i]) as u64,
+                j - i + 1,
+            ));
+            i = j + 1;
+        }
+        self.persist_merged(&mut ranges);
     }
 
     // ---------------------------------------------------------- latencies
@@ -404,6 +447,303 @@ impl<'a> Leaf<'a> {
             .into_iter()
             .map(|(_, k)| k)
             .max()
+    }
+
+    // ------------------------------------------------------ append buffer
+    //
+    // The per-leaf persistent write buffer (§5.12): W entries of
+    // `| tag (8) | key slot | value |` after the KV area, preceded by an
+    // 8-byte generation word. A single-key write appends the whole entry
+    // as ONE word-aligned multi-word publish followed by ONE persist —
+    // the tag word embeds a 48-bit checksum over (generation, index,
+    // fingerprint, key slot, value), so recovery validates each entry
+    // independently and any torn sibling word makes the tag mismatch.
+    // Fold (compaction into regular slots) bumps the generation word
+    // p-atomically, which invalidates every entry at once; live entries
+    // therefore always form a prefix, and `wbuf_count` is the length of
+    // the valid prefix.
+
+    /// True when the layout carries an append buffer.
+    #[inline]
+    pub fn has_wbuf(&self) -> bool {
+        self.layout.wbuf_entries > 0
+    }
+
+    /// Reads the buffer generation word.
+    #[inline]
+    pub fn wbuf_gen(&self) -> u64 {
+        self.pool
+            .read_word(self.off + self.layout.wbuf_gen_off() as u64)
+    }
+
+    /// Absolute pool offset of buffer entry `i`'s key slot.
+    #[inline]
+    pub fn wbuf_key_off(&self, i: usize) -> u64 {
+        self.off + self.layout.wbuf_key_off(i) as u64
+    }
+
+    /// Reads buffer entry `i`'s logical value.
+    #[inline]
+    pub fn wbuf_value(&self, i: usize) -> u64 {
+        self.pool
+            .read_word(self.off + self.layout.wbuf_val_off(i) as u64)
+    }
+
+    /// Fingerprint byte stored in entry `i`'s tag.
+    #[inline]
+    pub fn wbuf_fp(&self, i: usize) -> u8 {
+        let tag = self
+            .pool
+            .read_word(self.off + self.layout.wbuf_entry_off(i) as u64);
+        (tag >> 8) as u8
+    }
+
+    /// Tag word for an entry: 48-bit checksum over the generation, index,
+    /// fingerprint and payload, above the fingerprint byte and a nonzero
+    /// marker byte (so a zeroed leaf has an empty buffer).
+    fn wbuf_tag_for(gen: u64, idx: usize, fp: u8, payload: &[u8]) -> u64 {
+        #[inline]
+        fn mix(h: u64, v: u64) -> u64 {
+            let x = (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^ (x >> 32)
+        }
+        debug_assert!(payload.len().is_multiple_of(8));
+        let mut h = mix(mix(0x5BF0_3635, gen), ((idx as u64) << 8) | fp as u64);
+        for w in payload.chunks_exact(8) {
+            h = mix(h, u64::from_le_bytes(w.try_into().unwrap()));
+        }
+        (h & !0xFFFFu64) | ((fp as u64) << 8) | 1
+    }
+
+    /// Validates entry `i` against the current generation: recomputes the
+    /// tag checksum from the stored payload bytes.
+    pub fn wbuf_entry_valid(&self, i: usize) -> bool {
+        let l = self.layout;
+        let tag = self.pool.read_word(self.off + l.wbuf_entry_off(i) as u64);
+        if tag == 0 {
+            return false;
+        }
+        let plen = l.key_slot + l.value_size;
+        let mut payload = vec![0u8; plen];
+        self.pool.read_bytes(self.wbuf_key_off(i), &mut payload);
+        tag == Self::wbuf_tag_for(self.wbuf_gen(), i, (tag >> 8) as u8, &payload)
+    }
+
+    /// Number of live buffer entries (length of the valid prefix).
+    pub fn wbuf_count(&self) -> usize {
+        if self.layout.wbuf_entries == 0 {
+            return 0;
+        }
+        let mut n = 0;
+        while n < self.layout.wbuf_entries && self.wbuf_entry_valid(n) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Appends `(key, value)` as entry `idx` with ONE publish + ONE
+    /// persist. The key slot is staged first (for variable-size keys the
+    /// allocator publishes the blob pointer into the entry's key field,
+    /// per the leak-prevention interface), then the whole entry — tag,
+    /// key slot, value — commits as a single multi-word publish; the
+    /// checksummed tag is the commit record.
+    pub fn wbuf_append<K: KeyKind>(&self, idx: usize, key: &K::Owned, value: u64) {
+        let l = self.layout;
+        debug_assert!(idx < l.wbuf_entries);
+        K::write_slot(self.pool, self.wbuf_key_off(idx), key);
+        let mut entry = vec![0u8; l.wbuf_entry_size()];
+        self.pool
+            .read_bytes(self.wbuf_key_off(idx), &mut entry[8..8 + l.key_slot]);
+        entry[8 + l.key_slot..8 + l.key_slot + 8].copy_from_slice(&value.to_le_bytes());
+        for b in &mut entry[8 + l.key_slot + 8..] {
+            *b = 0xA5; // payload body convention, as Leaf::set_value
+        }
+        let fp = K::fingerprint(key);
+        let tag = Self::wbuf_tag_for(self.wbuf_gen(), idx, fp, &entry[8..]);
+        entry[..8].copy_from_slice(&tag.to_le_bytes());
+        let eoff = self.off + l.wbuf_entry_off(idx) as u64;
+        // analyzer:allow(flush-order) — the staged key slot lies inside the
+        // publish span and is re-written by the publish image itself, so the
+        // single persist below makes both durable together.
+        self.pool.write_publish_bytes(eoff, &entry);
+        self.pool.persist(eoff, l.wbuf_entry_size());
+    }
+
+    /// Searches the live buffer prefix for `key`, newest entry first
+    /// (newer appends shadow older ones and slot copies). Charges the SCM
+    /// read cost of the scanned region.
+    pub fn find_buffered<K: KeyKind>(&self, key: &K::Owned, live: usize) -> Option<usize> {
+        if live == 0 {
+            return None;
+        }
+        let l = self.layout;
+        self.pool
+            .touch_read(self.off + l.off_wbuf as u64, 8 + live * l.wbuf_entry_size());
+        let fp = K::fingerprint(key);
+        (0..live).rev().find(|&i| {
+            self.wbuf_fp(i) == fp && K::slot_matches(self.pool, self.wbuf_key_off(i), key)
+        })
+    }
+
+    /// Merged point lookup: the live buffer (newest first), then the
+    /// slots. Returns the logical value.
+    pub fn find_merged_value<K: KeyKind>(&self, key: &K::Owned) -> Option<u64> {
+        let live = self.wbuf_count();
+        if let Some(i) = self.find_buffered::<K>(key, live) {
+            return Some(self.wbuf_value(i));
+        }
+        self.find_slot::<K>(key).map(|s| self.value(s))
+    }
+
+    /// Collects the merged `(key, value)` view: every distinct key in the
+    /// buffer (newest wins) and the slots (shadowed by the buffer). The
+    /// result is unsorted, like [`Leaf::collect_entries`].
+    pub fn collect_merged<K: KeyKind>(&self) -> Vec<(K::Owned, u64)> {
+        let live = self.wbuf_count();
+        let mut out: Vec<(K::Owned, u64)> = Vec::new();
+        for i in (0..live).rev() {
+            let k = K::read_slot(self.pool, self.wbuf_key_off(i));
+            if !out.iter().any(|(ok, _)| *ok == k) {
+                out.push((k, self.wbuf_value(i)));
+            }
+        }
+        for (s, k) in self.collect_entries::<K>() {
+            if !out.iter().any(|(ok, _)| *ok == k) {
+                out.push((k, self.value(s)));
+            }
+        }
+        out
+    }
+
+    /// Number of distinct buffered keys not already present in a slot —
+    /// how many slots a fold of the current buffer would consume.
+    pub fn wbuf_fresh_keys<K: KeyKind>(&self) -> usize {
+        let live = self.wbuf_count();
+        let mut fresh = 0;
+        for i in (0..live).rev() {
+            let k = K::read_slot(self.pool, self.wbuf_key_off(i));
+            let newer = (i + 1..live).any(|j| K::slot_matches(self.pool, self.wbuf_key_off(j), &k));
+            if !newer && self.find_slot::<K>(&k).is_none() {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Folds the live buffer into regular slots (compaction): stages each
+    /// distinct key's newest value into a free slot (or retires the key's
+    /// old slot), persists the staged slots + fingerprints coalesced,
+    /// commits ONE bitmap word, then p-atomically bumps the generation
+    /// word — which invalidates every buffer entry at once — and finally
+    /// releases superseded resources. Idempotent across a crash at any
+    /// point: re-folding skips entries whose bytes already sit in a slot,
+    /// and the recovery audits resolve every partially-staged state.
+    ///
+    /// The caller must hold the leaf lock (or be recovery's exclusive
+    /// owner) and must have ensured `count + live <= m` — the append
+    /// invariant — so staging never needs a split.
+    pub fn wbuf_fold<K: KeyKind>(&self) {
+        let live = self.wbuf_count();
+        if live == 0 {
+            return;
+        }
+        let l = self.layout;
+        // Newest-first winners per distinct key; older same-key entries
+        // are shadowed and only their resources are released.
+        let mut winners: Vec<usize> = Vec::new();
+        let mut shadowed: Vec<usize> = Vec::new();
+        for i in (0..live).rev() {
+            let k = K::read_slot(self.pool, self.wbuf_key_off(i));
+            if winners
+                .iter()
+                .any(|&w| K::slot_matches(self.pool, self.wbuf_key_off(w), &k))
+            {
+                shadowed.push(i);
+            } else {
+                winners.push(i);
+            }
+        }
+        let bm = self.bitmap();
+        let mut free = !bm & l.full_bitmap();
+        let mut staged: Vec<usize> = Vec::new();
+        let mut retired_bits = 0u64;
+        let mut retired_slots: Vec<usize> = Vec::new();
+        let mut folded: Vec<usize> = Vec::new(); // winners whose bytes moved or already sit in a slot
+        for &e in &winners {
+            let key = K::read_slot(self.pool, self.wbuf_key_off(e));
+            let val = self.wbuf_value(e);
+            let mut ekey = vec![0u8; l.key_slot];
+            self.pool.read_bytes(self.wbuf_key_off(e), &mut ekey);
+            if let Some(s) = self.find_slot::<K>(&key) {
+                let mut skey = vec![0u8; l.key_slot];
+                self.pool.read_bytes(self.key_off(s), &mut skey);
+                if skey == ekey && self.value(s) == val {
+                    // Crash-redo duplicate: a previous fold already staged
+                    // this exact entry (the slot owns the key blob). Only
+                    // the generation bump below is still needed.
+                    folded.push(e);
+                    continue;
+                }
+                retired_bits |= 1 << s;
+                retired_slots.push(s);
+            }
+            debug_assert!(free != 0, "append invariant: fold always has room");
+            let s = free.trailing_zeros() as usize;
+            free &= free - 1;
+            // Raw byte move of the key slot: for variable-size keys the
+            // blob pointer transfers to the slot without reallocating.
+            self.pool.write_bytes(self.key_off(s), &ekey);
+            self.set_value(s, val);
+            if l.fingerprints {
+                self.set_fingerprint(s, self.wbuf_fp(e));
+            }
+            staged.push(s);
+            folded.push(e);
+        }
+        if !staged.is_empty() {
+            staged.sort_unstable();
+            self.persist_slots(&staged);
+            if l.fingerprints {
+                self.persist_fingerprints(&staged);
+            }
+            let mut nbm = bm & !retired_bits;
+            for &s in &staged {
+                nbm |= 1 << s;
+            }
+            self.commit_bitmap(nbm);
+        }
+        // Invalidate the whole buffer p-atomically: every entry checksum
+        // embeds the old generation.
+        let goff = self.off + l.wbuf_gen_off() as u64;
+        self.pool
+            .write_publish_word(goff, self.wbuf_gen().wrapping_add(1));
+        self.pool.persist(goff, 8);
+        // Release what the fold made unreachable. Updated keys' old slots
+        // hold a *different* blob than the staged copy, so release (the
+        // allocator nulls the owner word persistently); same for shadowed
+        // entries' blobs.
+        for &s in &retired_slots {
+            K::release_slot(self.pool, self.key_off(s));
+        }
+        for &e in &shadowed {
+            K::release_slot(self.pool, self.wbuf_key_off(e));
+        }
+        // Folded winners' key fields duplicate their slot's pointer; zero
+        // them so no dead entry outlives the blob it references (a later
+        // remove may free it). Plain single-word stores + one coalesced
+        // persist; a crash inside this window is resolved by recovery's
+        // dead-entry audit (the pointers still duplicate live slots).
+        if K::IS_VAR && !folded.is_empty() {
+            let mut ranges = Vec::new();
+            for &e in &folded {
+                let koff = self.wbuf_key_off(e);
+                for w in 0..l.key_slot / 8 {
+                    self.pool.write_word(koff + 8 * w as u64, 0);
+                }
+                ranges.push((koff, l.key_slot));
+            }
+            self.persist_merged(&mut ranges);
+        }
     }
 }
 
@@ -535,5 +875,173 @@ mod tests {
         // Padding bytes were written.
         let b: u8 = pool.read_at(leaf.val_off(0) + 8);
         assert_eq!(b, 0xA5);
+    }
+
+    /// Exact flush-count oracle for the span-merging persist helpers:
+    /// from the byte regions the slots occupy, computes how many persist
+    /// calls and flushed lines merging by touching line-rounded spans must
+    /// produce. Regions must be sorted by start offset.
+    fn flush_oracle(regions: &[(u64, usize)]) -> (u64, u64) {
+        let line = CACHE_LINE as u64;
+        let mut spans: Vec<(u64, u64)> = Vec::new(); // inclusive line ranges
+        for &(s, len) in regions {
+            let (ls, le) = (s / line, (s + len as u64 - 1) / line);
+            match spans.last_mut() {
+                Some((_, ce)) if ls <= *ce => *ce = (*ce).max(le),
+                _ => spans.push((ls, le)),
+            }
+        }
+        let calls = spans.len() as u64;
+        let lines = spans.iter().map(|(s, e)| e - s + 1).sum();
+        (calls, lines)
+    }
+
+    #[test]
+    fn persist_slots_matches_flush_count_oracle() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        let pitch = layout.key_slot + layout.value_size;
+        // Adjacent-but-noncontiguous runs sharing a cache line, runs that
+        // straddle lines, isolated slots, and a full prefix.
+        let cases: [&[usize]; 6] = [
+            &[0, 2],             // same line, gap slot between — must merge
+            &[0, 1],             // contiguous run
+            &[0, 8],             // different lines — must not merge
+            &[0, 2, 3, 8, 9],    // mixed runs across lines
+            &[5],                // single slot
+            &[0, 1, 2, 3, 4, 5], // long contiguous run spanning lines
+        ];
+        for slots in cases {
+            let regions: Vec<(u64, usize)> =
+                slots.iter().map(|&s| (leaf.key_off(s), pitch)).collect();
+            let (calls, lines) = flush_oracle(&regions);
+            let before = pool.stats().snapshot();
+            leaf.persist_slots(slots);
+            let after = pool.stats().snapshot();
+            assert_eq!(
+                after.persist_calls - before.persist_calls,
+                calls,
+                "persist calls for slots {slots:?}"
+            );
+            assert_eq!(
+                after.flushed_lines - before.flushed_lines,
+                lines,
+                "flushed lines for slots {slots:?}"
+            );
+        }
+        // The headline case pinned exactly: find a slot whose line also
+        // holds slot i+2 (the KV area is not line-aligned, so scan). The
+        // two 16-byte regions 32 bytes apart must flush as ONE line.
+        let i = (0..layout.m - 2)
+            .find(|&i| {
+                leaf.key_off(i) / CACHE_LINE as u64
+                    == (leaf.key_off(i + 2) + pitch as u64 - 1) / CACHE_LINE as u64
+            })
+            .expect("a 64-byte line holds four 16-byte slots");
+        let before = pool.stats().snapshot();
+        leaf.persist_slots(&[i, i + 2]);
+        let after = pool.stats().snapshot();
+        assert_eq!(after.persist_calls - before.persist_calls, 1);
+        assert_eq!(after.flushed_lines - before.flushed_lines, 1);
+    }
+
+    #[test]
+    fn persist_fingerprints_matches_flush_count_oracle() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        let cases: [&[usize]; 4] = [
+            &[0, 2],         // noncontiguous bytes in one line
+            &[0, 55],        // opposite ends of the fingerprint array
+            &[3, 4, 5],      // contiguous run
+            &[0, 1, 30, 31], // two runs
+        ];
+        for slots in cases {
+            let regions: Vec<(u64, usize)> = slots
+                .iter()
+                .map(|&s| (off + (layout.off_fps + s) as u64, 1))
+                .collect();
+            let (calls, lines) = flush_oracle(&regions);
+            let before = pool.stats().snapshot();
+            leaf.persist_fingerprints(slots);
+            let after = pool.stats().snapshot();
+            assert_eq!(
+                after.persist_calls - before.persist_calls,
+                calls,
+                "persist calls for fps {slots:?}"
+            );
+            assert_eq!(
+                after.flushed_lines - before.flushed_lines,
+                lines,
+                "flushed lines for fps {slots:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wbuf_append_costs_one_persist_and_probes_newest_first() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        assert!(leaf.has_wbuf());
+        assert_eq!(leaf.wbuf_count(), 0, "zeroed leaf has an empty buffer");
+        let before = pool.stats().snapshot();
+        leaf.wbuf_append::<FixedKey>(0, &42, 420);
+        let after = pool.stats().snapshot();
+        assert_eq!(
+            after.persist_calls - before.persist_calls,
+            1,
+            "the append commit is exactly one persist"
+        );
+        assert_eq!(leaf.wbuf_count(), 1);
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&42), Some(420));
+        // A newer append of the same key shadows the older entry.
+        leaf.wbuf_append::<FixedKey>(1, &42, 421);
+        assert_eq!(leaf.wbuf_count(), 2);
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&42), Some(421));
+        assert_eq!(leaf.wbuf_fresh_keys::<FixedKey>(), 1);
+        // Buffered entries shadow slot copies too.
+        insert_fixed(&leaf, 0, 7, 70);
+        leaf.wbuf_append::<FixedKey>(2, &7, 71);
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&7), Some(71));
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&404), None);
+    }
+
+    #[test]
+    fn wbuf_fold_moves_newest_values_into_slots() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        insert_fixed(&leaf, 0, 7, 70); // slot copy, to be superseded
+        leaf.wbuf_append::<FixedKey>(0, &42, 420);
+        leaf.wbuf_append::<FixedKey>(1, &42, 421);
+        leaf.wbuf_append::<FixedKey>(2, &7, 71);
+        let gen = leaf.wbuf_gen();
+        leaf.wbuf_fold::<FixedKey>();
+        assert_eq!(leaf.wbuf_count(), 0, "fold empties the buffer");
+        assert_eq!(leaf.wbuf_gen(), gen + 1, "fold bumps the generation");
+        assert_eq!(leaf.count(), 2);
+        let s42 = leaf.find_slot::<FixedKey>(&42).unwrap();
+        assert_eq!(leaf.value(s42), 421, "newest buffered value wins");
+        let s7 = leaf.find_slot::<FixedKey>(&7).unwrap();
+        assert_eq!(leaf.value(s7), 71, "buffer supersedes the slot copy");
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&42), Some(421));
+        // Folding an empty buffer is a no-op.
+        leaf.wbuf_fold::<FixedKey>();
+        assert_eq!(leaf.wbuf_gen(), gen + 1);
+    }
+
+    #[test]
+    fn wbuf_torn_sibling_word_kills_the_entry() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        leaf.wbuf_append::<FixedKey>(0, &42, 420);
+        leaf.wbuf_append::<FixedKey>(1, &43, 430);
+        assert_eq!(leaf.wbuf_count(), 2);
+        // Corrupt entry 1's value word as a torn multi-word publish would:
+        // its checksummed tag no longer matches, so the valid prefix ends.
+        pool.write_word(off + layout.wbuf_val_off(1) as u64, 0xDEAD);
+        assert_eq!(leaf.wbuf_count(), 1);
+        assert!(leaf.wbuf_entry_valid(0));
+        assert!(!leaf.wbuf_entry_valid(1));
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&42), Some(420));
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&43), None);
     }
 }

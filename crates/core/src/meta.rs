@@ -38,6 +38,7 @@ const M_GROUP_SIZE: u64 = 64;
 const M_NLOGS: u64 = 72;
 const M_INNER_FANOUT: u64 = 80;
 const M_KEY_SLOT: u64 = 88;
+const M_WBUF_ENTRIES: u64 = 96;
 /// GetLeaf micro-log (Algorithm 10): one pointer, own cache line.
 const M_GETLEAF_LOG: u64 = 128;
 /// FreeLeaf micro-log (Algorithm 12): two pointers, own cache line.
@@ -102,6 +103,7 @@ impl TreeMeta {
         pool.write_word(off + M_NLOGS, n_logs as u64);
         pool.write_word(off + M_INNER_FANOUT, cfg.inner_fanout as u64);
         pool.write_word(off + M_KEY_SLOT, key_slot as u64);
+        pool.write_word(off + M_WBUF_ENTRIES, cfg.wbuf_entries as u64);
         pool.persist(off, 128);
         TreeMeta { off, n_logs }
     }
@@ -144,6 +146,7 @@ impl TreeMeta {
             fingerprints: flags & FLAG_FINGERPRINTS != 0,
             split_arrays: flags & FLAG_SPLIT_ARRAYS != 0,
             leaf_group_size: pool.read_word(self.off + M_GROUP_SIZE) as usize,
+            wbuf_entries: pool.read_word(self.off + M_WBUF_ENTRIES) as usize,
         };
         let key_slot = pool.read_word(self.off + M_KEY_SLOT) as usize;
         (cfg, key_slot, flags & FLAG_VAR_KEYS != 0)

@@ -3,7 +3,8 @@
 //! FPTree leaves keep entries unsorted behind fingerprints (§4.1), so an
 //! ordered scan has to *produce* order: seek to the first relevant leaf via
 //! the transient inner nodes, then walk the persistent `next` chain, sorting
-//! each leaf's bitmap-masked live entries into a fixed stack buffer
+//! each leaf's merged live entries — bitmap-masked slots plus append-buffer
+//! entries, newest shadowing oldest (§5.12) — into a fixed stack buffer
 //! ([`MAX_LEAF_CAPACITY`] slots, of which only the configured leaf capacity
 //! is ever used) before handing them out one by one.
 //!
@@ -227,11 +228,11 @@ impl<K: KeyKind> Iterator for Scan<'_, K> {
             leaf.touch_key_scan();
             self.buf.clear();
             let mut past_hi = false;
-            for (slot, k) in leaf.collect_entries::<K>() {
+            for (k, v) in leaf.collect_merged::<K>() {
                 if self.bounds.past_hi(&k) {
                     past_hi = true;
                 } else if self.bounds.above_lo(&k) {
-                    self.buf.insert(k, leaf.value(slot));
+                    self.buf.insert(k, v);
                 }
             }
             let next = leaf.next();
@@ -312,11 +313,17 @@ impl<'a, K: ConcKey> ConcScan<'a, K> {
         leaf.touch_key_scan();
         self.buf.clear();
         let mut past_hi = false;
-        for (slot, k) in leaf.collect_entries::<K>() {
+        for (k, v) in leaf.collect_merged::<K>() {
             if self.bounds.past_hi(&k) {
                 past_hi = true;
             } else if self.accepts(&k) {
-                self.buf.insert(k, leaf.value(slot));
+                if self.buf.len == MAX_LEAF_CAPACITY {
+                    // Only a torn read (merged count never exceeds the slot
+                    // capacity under a valid snapshot); the validation after
+                    // this gather will discard the buffer anyway.
+                    break;
+                }
+                self.buf.insert(k, v);
             }
         }
         let next = leaf.next();

@@ -158,6 +158,13 @@ impl Ctx {
     /// The body of a leaf split, shared between the forward path and
     /// recovery redo (Algorithm 3 lines 6–14).
     fn split_copy_commit<K: KeyKind>(&self, old: u64, new: u64) -> K::Owned {
+        // Splits only run on folded leaves (the write paths fold before
+        // splitting), so the copied buffer region holds only dead entries.
+        debug_assert_eq!(
+            self.leaf(old).wbuf_count(),
+            0,
+            "split requires a folded buffer"
+        );
         // Copy the entire leaf content, then persist it.
         let mut buf = vec![0u8; self.layout.size];
         self.pool.read_bytes(old, &mut buf);
@@ -323,10 +330,15 @@ impl Ctx {
         }
         let leaf = self.leaf(off);
         let bm = leaf.bitmap();
-        let valid_refs: Vec<RawPPtr> = (0..self.layout.m)
+        // Valid references: the valid slots plus the *live* append-buffer
+        // prefix — a fold interrupted after staging leaves slot copies of
+        // live buffered blobs, which must be reset, not released.
+        let live = leaf.wbuf_count();
+        let mut valid_refs: Vec<RawPPtr> = (0..self.layout.m)
             .filter(|s| bm & (1 << s) != 0)
             .map(|s| K::slot_ref(&self.pool, leaf.key_off(s)))
             .collect();
+        valid_refs.extend((0..live).map(|i| K::slot_ref(&self.pool, leaf.wbuf_key_off(i))));
         for slot in 0..self.layout.m {
             if bm & (1 << slot) != 0 {
                 continue;
@@ -344,6 +356,40 @@ impl Ctx {
                 // A stale pointer that was never a live allocation: freeing
                 // it would corrupt the allocator, so reject the image.
                 return Err(Error::corrupt("orphan key blob pointer", r.offset));
+            }
+        }
+        Ok(())
+    }
+
+    /// Leak audit for a leaf's *dead* append-buffer entries, after the
+    /// live prefix has been folded into slots. A dead entry's key field is
+    /// either null, a duplicate of a valid slot's blob (folded winner or
+    /// crashed append of an existing key's update → reset), or an orphan
+    /// blob from a crashed append (allocated, but the entry publish never
+    /// landed → release).
+    pub fn audit_wbuf<K: KeyKind>(&self, off: u64) -> Result<(), Error> {
+        if !K::IS_VAR || self.layout.wbuf_entries == 0 {
+            return Ok(());
+        }
+        let leaf = self.leaf(off);
+        debug_assert_eq!(leaf.wbuf_count(), 0, "audit_wbuf requires a folded buffer");
+        let bm = leaf.bitmap();
+        let valid_refs: Vec<RawPPtr> = (0..self.layout.m)
+            .filter(|s| bm & (1 << s) != 0)
+            .map(|s| K::slot_ref(&self.pool, leaf.key_off(s)))
+            .collect();
+        for i in 0..self.layout.wbuf_entries {
+            let key_off = leaf.wbuf_key_off(i);
+            if !K::slot_nonnull(&self.pool, key_off) {
+                continue;
+            }
+            let r = K::slot_ref(&self.pool, key_off);
+            if valid_refs.contains(&r) {
+                K::reset_slot(&self.pool, key_off);
+            } else if self.pool.looks_like_block(r) {
+                K::release_slot(&self.pool, key_off);
+            } else {
+                return Err(Error::corrupt("orphan buffer blob pointer", r.offset));
             }
         }
         Ok(())
@@ -517,9 +563,9 @@ impl<K: KeyKind> SingleTree<K> {
         // The rightmost leaf holds the maximum (empty only if len == 0).
         let off = self.root.rightmost_leaf();
         let leaf = self.ctx.leaf(off);
-        let mut entries = leaf.collect_entries::<K>();
-        entries.sort_by(|a, b| a.1.cmp(&b.1));
-        entries.pop().map(|(slot, k)| (k, leaf.value(slot)))
+        let mut entries = leaf.collect_merged::<K>();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.pop()
     }
 
     /// Opens (recovers) the tree whose metadata is referenced by the owner
@@ -803,7 +849,16 @@ impl<K: KeyKind> SingleTree<K> {
             ctx.metrics.inc(Counter::RecoveryLeaves);
             let leaf = ctx.leaf(off);
             leaf.reset_lock();
+            // Order matters: the slot audit first (with live buffer
+            // entries among the valid references, so a crashed fold's
+            // staged copies are reset, not released), then the fold of
+            // live entries into slots, then the dead-entry audit for
+            // blobs a crashed append left behind. All three are
+            // leaf-local and deterministic, keeping parallel recovery
+            // bit-identical to serial.
             ctx.audit_leaf::<K>(off)?;
+            leaf.wbuf_fold::<K>();
+            ctx.audit_wbuf::<K>(off)?;
             Ok((leaf.count(), leaf.max_key::<K>()))
         };
         let workers = threads.min(chain.len()).max(1);
@@ -935,13 +990,36 @@ impl<K: KeyKind> SingleTree<K> {
         let (ctx, groups, root) = (&self.ctx, &mut self.groups, &mut self.root);
         let mut leaf_op = |ctx: &Ctx, groups: &mut GroupMgr, off: u64| -> Outcome<K> {
             let leaf = ctx.leaf(off);
-            if leaf.find_slot::<K>(key).is_some() {
+            let live = leaf.wbuf_count();
+            if leaf.find_buffered::<K>(key, live).is_some() || leaf.find_slot::<K>(key).is_some() {
                 return Outcome::Done(false);
+            }
+            // Fast path (§5.12): one-publish append. The room check keeps
+            // the fold invariant `count + live <= m`, so compaction never
+            // needs a split.
+            if live < ctx.layout.wbuf_entries && leaf.count() + live < ctx.layout.m {
+                leaf.wbuf_append::<K>(live, key, value);
+                return Outcome::Done(true);
+            }
+            if live > 0 {
+                leaf.wbuf_fold::<K>();
+                if leaf.count() < ctx.layout.m {
+                    leaf.wbuf_append::<K>(0, key, value);
+                    return Outcome::Done(true);
+                }
             }
             if leaf.is_full() {
                 let (split_key, new_off) = ctx.split_leaf::<K>(groups, off, 0);
                 let target = if *key > split_key { new_off } else { off };
-                ctx.insert_into_leaf::<K>(target, key, value);
+                let tleaf = ctx.leaf(target);
+                if ctx.layout.wbuf_entries > 0 {
+                    // Both split halves start with an empty buffer (the
+                    // fold above emptied the old leaf's, and the copy's
+                    // entries are dead under the copied generation).
+                    tleaf.wbuf_append::<K>(0, key, value);
+                } else {
+                    ctx.insert_into_leaf::<K>(target, key, value);
+                }
                 Outcome::Split {
                     key: split_key,
                     right: Node::Leaf(new_off),
@@ -967,7 +1045,7 @@ impl<K: KeyKind> SingleTree<K> {
         let _t = self.ctx.metrics.time_op(Op::Get);
         let off = self.root.find_leaf(key);
         let leaf = self.ctx.leaf(off);
-        let found = leaf.find_slot::<K>(key).map(|slot| leaf.value(slot));
+        let found = leaf.find_merged_value::<K>(key);
         self.ctx.metrics.inc(if found.is_some() {
             Counter::GetHits
         } else {
@@ -990,9 +1068,27 @@ impl<K: KeyKind> SingleTree<K> {
         let (ctx, groups, root) = (&self.ctx, &mut self.groups, &mut self.root);
         let mut leaf_op = |ctx: &Ctx, groups: &mut GroupMgr, off: u64| -> Outcome<K> {
             let leaf = ctx.leaf(off);
-            let Some(slot) = leaf.find_slot::<K>(key) else {
+            let live = leaf.wbuf_count();
+            if leaf.find_buffered::<K>(key, live).is_none() && leaf.find_slot::<K>(key).is_none() {
                 return Outcome::Done(false);
-            };
+            }
+            // Buffered update: append the new value — the newest entry
+            // shadows both older entries and the slot copy.
+            if live < ctx.layout.wbuf_entries && leaf.count() + live < ctx.layout.m {
+                leaf.wbuf_append::<K>(live, key, value);
+                return Outcome::Done(true);
+            }
+            if live > 0 {
+                leaf.wbuf_fold::<K>();
+                if leaf.count() < ctx.layout.m {
+                    leaf.wbuf_append::<K>(0, key, value);
+                    return Outcome::Done(true);
+                }
+            }
+            // Slot path: the buffer is empty, so the key sits in a slot.
+            let slot = leaf
+                .find_slot::<K>(key)
+                .expect("folded key must occupy a slot");
             if leaf.is_full() {
                 let (split_key, new_off) = ctx.split_leaf::<K>(groups, off, 0);
                 let target = if *key > split_key { new_off } else { off };
@@ -1026,10 +1122,20 @@ impl<K: KeyKind> SingleTree<K> {
         let _op = self.ctx.pool.begin_checked_op("remove");
         let (leaf_off, prev) = self.root.find_leaf_and_prev(key);
         let leaf = self.ctx.leaf(leaf_off);
-        let Some(slot) = leaf.find_slot::<K>(key) else {
+        let live = leaf.wbuf_count();
+        if leaf.find_buffered::<K>(key, live).is_none() && leaf.find_slot::<K>(key).is_none() {
             metrics.inc(Counter::RemoveMisses);
             return false;
-        };
+        }
+        // Fold first: buffer entries cannot be retired individually (the
+        // live prefix must stay contiguous), and a buffered value would
+        // shadow the slot removal.
+        if live > 0 {
+            leaf.wbuf_fold::<K>();
+        }
+        let slot = leaf
+            .find_slot::<K>(key)
+            .expect("folded key must occupy a slot");
         let bm = leaf.bitmap() & !(1 << slot);
         leaf.commit_bitmap(bm);
         K::release_slot(&self.ctx.pool, leaf.key_off(slot));
@@ -1166,6 +1272,12 @@ impl<K: KeyKind> SingleTree<K> {
                         }
                     }
                 }
+                for i in 0..leaf.wbuf_count() {
+                    let r = K::slot_ref(&self.ctx.pool, leaf.wbuf_key_off(i));
+                    if !r.is_null() {
+                        scm += 8 + self.ctx.pool.read_word(r.offset);
+                    }
+                }
             }
         }
         let key_bytes = |k: &K::Owned| std::mem::size_of_val(k);
@@ -1187,24 +1299,37 @@ impl<K: KeyKind> SingleTree<K> {
         let mut total = 0usize;
         for (i, &off) in offs.iter().enumerate() {
             let leaf = self.ctx.leaf(off);
-            let entries = leaf.collect_entries::<K>();
-            if entries.is_empty() && offs.len() > 1 {
+            let slot_entries = leaf.collect_entries::<K>();
+            // Merged view: distinct buffered keys (newest wins) + slots.
+            let merged = leaf.collect_merged::<K>();
+            if merged.is_empty() && offs.len() > 1 {
                 return Err(format!("leaf {i} is empty but linked"));
             }
-            total += entries.len();
-            let mut keys: Vec<&K::Owned> = entries.iter().map(|(_, k)| k).collect();
+            total += merged.len();
+            let mut keys: Vec<&K::Owned> = slot_entries.iter().map(|(_, k)| k).collect();
             keys.sort();
             keys.dedup();
-            if keys.len() != entries.len() {
+            if keys.len() != slot_entries.len() {
                 return Err(format!("leaf {i} holds duplicate keys"));
             }
-            for (slot, k) in &entries {
+            for (slot, k) in &slot_entries {
                 if self.ctx.layout.fingerprints && leaf.fingerprint(*slot) != K::fingerprint(k) {
                     return Err(format!("leaf {i} slot {slot}: fingerprint mismatch"));
                 }
                 if K::IS_VAR && K::slot_ref(&self.ctx.pool, leaf.key_off(*slot)).is_null() {
                     return Err(format!("leaf {i} slot {slot}: valid slot with null key"));
                 }
+            }
+            let live = leaf.wbuf_count();
+            if live > 0 {
+                let count = leaf.count();
+                if count + live > self.ctx.layout.m {
+                    return Err(format!(
+                        "leaf {i}: {count} slots + {live} buffered exceed capacity (fold invariant)"
+                    ));
+                }
+            }
+            for (k, _) in &merged {
                 if self.root.find_leaf(k) != off {
                     return Err(format!("index routes a key of leaf {i} elsewhere"));
                 }
@@ -1214,7 +1339,7 @@ impl<K: KeyKind> SingleTree<K> {
                     }
                 }
             }
-            if let Some(max) = entries.iter().map(|(_, k)| k.clone()).max() {
+            if let Some(max) = merged.iter().map(|(k, _)| k.clone()).max() {
                 prev_max = Some(max);
             }
             if K::IS_VAR {
@@ -1223,6 +1348,13 @@ impl<K: KeyKind> SingleTree<K> {
                     if bm & (1 << slot) == 0 && K::slot_nonnull(&self.ctx.pool, leaf.key_off(slot))
                     {
                         return Err(format!("leaf {i} slot {slot}: dead slot references a key"));
+                    }
+                }
+                for e in live..self.ctx.layout.wbuf_entries {
+                    if K::slot_nonnull(&self.ctx.pool, leaf.wbuf_key_off(e)) {
+                        return Err(format!(
+                            "leaf {i} entry {e}: dead buffer entry references a key"
+                        ));
                     }
                 }
             }

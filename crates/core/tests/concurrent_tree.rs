@@ -55,6 +55,29 @@ fn single_thread_update_remove() {
     t.leak_audit().unwrap();
 }
 
+/// Regression: a buffered update of a slot-resident key must not make the
+/// remove path think the leaf holds TWO live keys. With the raw
+/// `count() + wbuf_count()` heuristic, removing the last distinct key took
+/// the in-place path and left an empty leaf linked into the chain.
+#[test]
+fn remove_after_buffered_update_unlinks_dying_leaves() {
+    let t = ConcurrentFPTree::create(pool(32), small_cfg().with_wbuf_entries(4), ROOT_SLOT);
+    for i in 0..200u64 {
+        assert!(t.insert(&i, i));
+    }
+    // Descending drain, updating each key just before its removal: when a
+    // leaf is down to one distinct key, the update parks in the append
+    // buffer over the key's slot — the exact state the dying check must
+    // still count as ONE.
+    for i in (0..200u64).rev() {
+        assert!(t.update(&i, i + 1000));
+        assert!(t.remove(&i), "remove {i}");
+        t.check_consistency().unwrap();
+    }
+    assert!(t.is_empty());
+    t.leak_audit().unwrap();
+}
+
 #[test]
 fn range_scan_single_thread() {
     let t = ConcurrentFPTree::create(pool(32), small_cfg(), ROOT_SLOT);

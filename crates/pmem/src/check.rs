@@ -712,6 +712,49 @@ mod tests {
     }
 
     #[test]
+    fn buffer_entry_commit_is_one_clean_publish() {
+        // The leaf append-buffer commit: the whole (tag, key, value) entry
+        // is one word-aligned multi-word publish with no prior operand
+        // stores, so a single persist closes the op cleanly. Recovery
+        // tolerates per-word tearing via the checksum in the tag word.
+        let mut st = CheckerState::default();
+        let id = st.begin_op("wbuf_append");
+        st.record_store(4096, 24, true, Some(id));
+        st.record_flush(4096, 24);
+        assert_eq!(st.end_op(id, false), 0);
+        assert!(st.report().is_clean());
+    }
+
+    #[test]
+    fn buffer_entry_commit_misaligned_is_torn() {
+        // Same shape but off word alignment: every word could tear
+        // independently across field boundaries, which the tag checksum
+        // does not cover.
+        let mut st = CheckerState::default();
+        let id = st.begin_op("wbuf_append");
+        st.record_store(4100, 24, true, Some(id));
+        st.record_flush(4100, 24);
+        assert_eq!(st.end_op(id, false), 1);
+        assert_eq!(st.report().violations[0].kind, ViolationKind::TornPublish);
+    }
+
+    #[test]
+    fn buffer_entry_commit_unflushed_is_missing_flush() {
+        // MissingFlush is reported per stored word, so the whole 3-word
+        // entry surfaces as three violations.
+        let mut st = CheckerState::default();
+        let id = st.begin_op("wbuf_append");
+        st.record_store(4096, 24, true, Some(id));
+        assert_eq!(st.end_op(id, false), 3);
+        let report = st.report();
+        assert_eq!(report.violations.len(), 3);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.kind == ViolationKind::MissingFlush));
+    }
+
+    #[test]
     fn aborted_op_is_not_analyzed() {
         let mut st = CheckerState::default();
         let id = st.begin_op("test");

@@ -447,6 +447,29 @@ impl PmemPool {
         self.write_publish_at(off, &val);
     }
 
+    /// Multi-word *publish* write of raw bytes (see
+    /// [`write_publish_at`](Self::write_publish_at)): used for
+    /// dynamically sized commit records such as leaf append-buffer
+    /// entries, whose length depends on the runtime layout. Must be
+    /// 8-byte aligned and a whole number of words so each word commits
+    /// p-atomically (the checker's per-word commit convention —
+    /// recovery must tolerate any subset of the words surviving a
+    /// crash, e.g. by validating a checksum stored in one word).
+    #[inline]
+    pub fn write_publish_bytes(&self, off: u64, src: &[u8]) {
+        assert_eq!(
+            off % PATOMIC_SIZE as u64,
+            0,
+            "p-atomic write must be 8-byte aligned"
+        );
+        assert_eq!(
+            src.len() % PATOMIC_SIZE,
+            0,
+            "multi-word publish must be a whole number of words"
+        );
+        self.write_bytes_inner(off, src, true);
+    }
+
     /// Writes a POD value through a typed persistent pointer.
     #[inline]
     pub fn write<T: Pod>(&self, p: PPtr<T>, val: &T) {

@@ -39,6 +39,7 @@ fn crash_check<K: KeyKind>(
     fuse: u64,
     seed: u64,
     group_size: usize,
+    wbuf: usize,
 ) {
     let pool =
         Arc::new(PmemPool::create(PoolOptions::tracked(64 << 20).with_checker()).expect("pool"));
@@ -52,7 +53,8 @@ fn crash_check<K: KeyKind>(
         let cfg = TreeConfig::fptree()
             .with_leaf_capacity(4)
             .with_inner_fanout(4)
-            .with_leaf_group_size(group_size);
+            .with_leaf_group_size(group_size)
+            .with_wbuf_entries(wbuf);
         let mut tree = SingleTree::<K>::create(Arc::clone(&pool), cfg, ROOT_SLOT);
         pool.set_crash_fuse(Some(fuse));
         for op in ops {
@@ -487,7 +489,7 @@ proptest! {
         fuse in 50u64..2500,
         seed in any::<u64>(),
     ) {
-        crash_check::<FixedKey>(|k| k as u64, &ops, fuse, seed, 4);
+        crash_check::<FixedKey>(|k| k as u64, &ops, fuse, seed, 4, 8);
     }
 
     #[test]
@@ -496,7 +498,41 @@ proptest! {
         fuse in 50u64..2500,
         seed in any::<u64>(),
     ) {
-        crash_check::<FixedKey>(|k| k as u64, &ops, fuse, seed, 0);
+        crash_check::<FixedKey>(|k| k as u64, &ops, fuse, seed, 0, 8);
+    }
+
+    /// The §5.12 append-buffer crash sweep: buffer sizes from disabled to
+    /// larger than the leaf, so random fuses land inside append publishes
+    /// and folds (stage + bitmap commit + generation bump) as well as the
+    /// plain slot path.
+    #[test]
+    fn wbuf_sizes_fixed_keys(
+        ops in proptest::collection::vec(op_strategy(), 20..120),
+        fuse in 50u64..2500,
+        seed in any::<u64>(),
+        wbuf in 0usize..=6,
+    ) {
+        crash_check::<FixedKey>(|k| k as u64, &ops, fuse, seed, 0, wbuf);
+    }
+
+    /// Variable-size keys through the buffer: append entries own key blobs,
+    /// and folds transfer blob pointers into slots then zero the dead
+    /// entries — every window swept under crash + leak audit.
+    #[test]
+    fn wbuf_sizes_var_keys(
+        ops in proptest::collection::vec(op_strategy(), 20..80),
+        fuse in 50u64..2500,
+        seed in any::<u64>(),
+        wbuf in 1usize..=4,
+    ) {
+        crash_check::<VarKey>(
+            |k| format!("key:{k:05}").into_bytes(),
+            &ops,
+            fuse,
+            seed,
+            2,
+            wbuf,
+        );
     }
 
     #[test]
@@ -511,6 +547,7 @@ proptest! {
             fuse,
             seed,
             2,
+            8,
         );
     }
 

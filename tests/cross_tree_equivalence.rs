@@ -408,6 +408,90 @@ proptest! {
     }
 
     #[test]
+    fn buffered_writes_match_loop_oracle(
+        ops in proptest::collection::vec(op_strategy(), 50..250),
+        wbuf in 1usize..=8,
+    ) {
+        use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        use std::sync::Arc;
+
+        // Single-key writes that commit through the per-leaf append buffer
+        // (§5.12) must be observationally identical to the loop-of-singles
+        // oracle at every buffer size, for gets, ranges, and full scans —
+        // including reads that land while entries are still buffered.
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+            let mut t = fptree_suite::core::FPTree::create(
+                pool,
+                small(TreeConfig::fptree())
+                    .with_leaf_group_size(2)
+                    .with_wbuf_entries(wbuf),
+                ROOT_SLOT,
+            );
+            check(&format!("fptree-wbuf{wbuf}"), &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan(..).collect())),
+            });
+            t.check_consistency().unwrap();
+        }
+        // Concurrent variant: the buffer rides under the leaf lock.
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+            let t = fptree_suite::core::ConcurrentFPTree::create(
+                pool,
+                small(TreeConfig::fptree_concurrent()).with_wbuf_entries(wbuf),
+                ROOT_SLOT,
+            );
+            check(&format!("fptree-c-wbuf{wbuf}"), &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan(..).collect())),
+            });
+            t.check_consistency().unwrap();
+        }
+        // Batch entry points on a buffered tree still follow loop-of-singles
+        // semantics: the fold path and the batch path may not disagree.
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+            let mut t = fptree_suite::core::FPTree::create(
+                pool,
+                small(TreeConfig::fptree()).with_wbuf_entries(wbuf),
+                ROOT_SLOT,
+            );
+            let mut oracle = BTreeMap::new();
+            for op in &ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        let expect = usize::from(!oracle.contains_key(&(*k as u64)));
+                        let got = t.insert_batch(&[(*k as u64, *v as u64)]);
+                        prop_assert_eq!(got, expect, "batch-of-one insert {}", k);
+                        if expect == 1 {
+                            oracle.insert(*k as u64, *v as u64);
+                        }
+                    }
+                    Op::Remove(k) => {
+                        let expect = usize::from(oracle.remove(&(*k as u64)).is_some());
+                        let got = t.remove_batch(&[*k as u64]);
+                        prop_assert_eq!(got, expect, "batch-of-one remove {}", k);
+                    }
+                    _ => {}
+                }
+            }
+            let got: Vec<(u64, u64)> = t.scan(..).collect();
+            let expect: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, expect, "buffered batch-of-one: scan");
+            t.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
     fn var_key_trees_agree(ops in proptest::collection::vec(op_strategy(), 50..150)) {
         use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
         use std::sync::Arc;

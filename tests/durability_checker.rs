@@ -264,6 +264,168 @@ fn batched_recovery_is_clean_after_midrun_crash() {
     }
 }
 
+// ------------------------------------------ append-buffer commit point (§5.12)
+
+/// Crash a buffered single-key insert at every persistence event around its
+/// one-publish commit — landing before the entry publish (the entry must be
+/// invisible after recovery), inside the multi-word publish (a torn sibling
+/// word must kill the checksummed tag), and after it (the entry must be
+/// durable or recoverable) — on the single-threaded variant. The checker
+/// must accept both sides of the crash, and recovery must be atomic: the
+/// in-flight key is present-with-its-value or absent, never torn.
+#[test]
+fn wbuf_commit_crash_sweep_single_tree() {
+    for fuse in 1..=14u64 {
+        let pool = checked_pool(32 << 20);
+        let cfg = TreeConfig::fptree()
+            .with_leaf_capacity(8)
+            .with_inner_fanout(4)
+            .with_leaf_group_size(0);
+        let mut tree = FPTree::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+        // Prime past the first-leaf setup so the fuse lands inside the
+        // append itself (and, at higher fuses, inside the fold it forces).
+        for k in 0..6u64 {
+            assert!(tree.insert(&k, k * 10));
+        }
+        pool.assert_durability_clean();
+
+        pool.set_crash_fuse(Some(fuse));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for k in 100..120u64 {
+                tree.insert(&k, k * 10);
+            }
+        }));
+        pool.set_crash_fuse(None);
+        let crashed = outcome.is_err();
+        if let Err(e) = outcome {
+            assert!(crash_is_injected(e.as_ref()), "non-injected panic");
+        }
+        assert!(crashed, "fuse {fuse} never fired");
+        pool.assert_durability_clean();
+
+        for seed in [1u64, 42, 7777] {
+            let img = pool.crash_image(seed);
+            let pool2 = Arc::new(
+                PmemPool::reopen(img, PoolOptions::tracked(0).with_checker()).expect("reopen"),
+            );
+            let tree = FPTree::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
+            tree.check_consistency().expect("recovered tree consistent");
+            for k in 0..6u64 {
+                assert_eq!(tree.get(&k), Some(k * 10), "primed key lost (fuse {fuse})");
+            }
+            // Atomicity at the commit point: each in-flight key either
+            // committed with its exact value or vanished.
+            for k in 100..120u64 {
+                match tree.get(&k) {
+                    None => {}
+                    Some(v) => assert_eq!(v, k * 10, "torn buffered insert (fuse {fuse})"),
+                }
+            }
+            pool2.assert_durability_clean();
+        }
+    }
+}
+
+/// The same commit-point sweep on the concurrent variant (seqlock leaves,
+/// parallel recovery path).
+#[test]
+fn wbuf_commit_crash_sweep_concurrent_tree() {
+    for fuse in 1..=14u64 {
+        let pool = checked_pool(32 << 20);
+        let cfg = TreeConfig::fptree_concurrent()
+            .with_leaf_capacity(8)
+            .with_inner_fanout(4);
+        let tree = ConcurrentFPTree::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+        for k in 0..6u64 {
+            assert!(tree.insert(&k, k * 10));
+        }
+        pool.assert_durability_clean();
+
+        pool.set_crash_fuse(Some(fuse));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for k in 100..120u64 {
+                tree.insert(&k, k * 10);
+            }
+        }));
+        pool.set_crash_fuse(None);
+        if let Err(e) = outcome {
+            assert!(crash_is_injected(e.as_ref()), "non-injected panic");
+        }
+        pool.assert_durability_clean();
+
+        for seed in [3u64, 99] {
+            let img = pool.crash_image(seed);
+            let pool2 = Arc::new(
+                PmemPool::reopen(img, PoolOptions::tracked(0).with_checker()).expect("reopen"),
+            );
+            let tree = ConcurrentFPTree::open(Arc::clone(&pool2), ROOT_SLOT).expect("recover");
+            tree.check_consistency().expect("recovered tree consistent");
+            for k in 0..6u64 {
+                assert_eq!(tree.get(&k), Some(k * 10), "primed key lost (fuse {fuse})");
+            }
+            for k in 100..120u64 {
+                match tree.get(&k) {
+                    None => {}
+                    Some(v) => assert_eq!(v, k * 10, "torn buffered insert (fuse {fuse})"),
+                }
+            }
+            pool2.assert_durability_clean();
+        }
+    }
+}
+
+/// Buffered single-key traffic — appends, shadowing updates, overflow
+/// folds, splits of folded leaves — is protocol-clean for every buffer
+/// size on both variants.
+#[test]
+fn wbuf_workloads_are_clean_across_buffer_sizes() {
+    for wbuf in [0usize, 1, 2, 8] {
+        let pool = checked_pool(32 << 20);
+        let cfg = TreeConfig::fptree()
+            .with_leaf_capacity(4)
+            .with_inner_fanout(4)
+            .with_wbuf_entries(wbuf);
+        let mut tree = FPTree::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+        for k in 0..150u64 {
+            assert!(tree.insert(&k, k));
+        }
+        for k in (0..150u64).step_by(2) {
+            assert!(tree.update(&k, k + 1));
+        }
+        for k in (0..150u64).step_by(3) {
+            assert!(tree.remove(&k));
+        }
+        let report = pool.take_durability_report();
+        assert!(
+            report.is_clean(),
+            "single-tree wbuf={wbuf} dirty:\n{}",
+            report.render()
+        );
+
+        let pool = checked_pool(32 << 20);
+        let cfg = TreeConfig::fptree_concurrent()
+            .with_leaf_capacity(4)
+            .with_inner_fanout(4)
+            .with_wbuf_entries(wbuf);
+        let tree = ConcurrentFPTree::create(Arc::clone(&pool), cfg, ROOT_SLOT);
+        for k in 0..150u64 {
+            assert!(tree.insert(&k, k));
+        }
+        for k in (0..150u64).step_by(2) {
+            assert!(tree.update(&k, k + 1));
+        }
+        for k in (0..150u64).step_by(3) {
+            assert!(tree.remove(&k));
+        }
+        let report = pool.take_durability_report();
+        assert!(
+            report.is_clean(),
+            "concurrent wbuf={wbuf} dirty:\n{}",
+            report.render()
+        );
+    }
+}
+
 // ------------------------------------------------- negative: broken protocols
 
 /// The acceptance-criterion test: an insert-shaped operation whose slot

@@ -180,8 +180,12 @@ mod sys {
     extern "C" {
         fn epoll_create1(flags: c_int) -> c_int;
         fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
-        fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
-            -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
         fn eventfd(initval: c_uint, flags: c_int) -> c_int;
         fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
         fn close(fd: c_int) -> c_int;
@@ -294,7 +298,14 @@ mod sys {
             };
             // SAFETY: `scratch` has room for `cap` events and outlives the
             // call; the kernel writes at most `cap` entries.
-            let n = unsafe { epoll_wait(self.registry.epfd, self.scratch.as_mut_ptr(), cap as c_int, ms) };
+            let n = unsafe {
+                epoll_wait(
+                    self.registry.epfd,
+                    self.scratch.as_mut_ptr(),
+                    cap as c_int,
+                    ms,
+                )
+            };
             let n = match cvt(n) {
                 Ok(n) => n as usize,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
@@ -387,13 +398,17 @@ mod sys {
 // Portable fallback (non-Linux Unix): every registered fd reports ready on a
 // short tick. Correct for level-triggered use with nonblocking sockets —
 // spurious readiness resolves as WouldBlock — but burns a wakeup per tick.
+//
+// Compiled under `cfg(test)` on Linux too, so the regression tests exercise
+// the degraded timer arithmetic on the platform CI actually runs.
 // ---------------------------------------------------------------------------
-#[cfg(not(target_os = "linux"))]
-mod sys {
+#[cfg(any(not(target_os = "linux"), test))]
+mod degraded {
     use super::*;
     use std::collections::HashMap;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Arc, Mutex};
+    use std::time::Instant;
 
     #[derive(Debug, Default)]
     struct Inner {
@@ -472,35 +487,54 @@ mod sys {
         }
 
         /// Reports every registered source ready after at most a 1 ms tick.
+        ///
+        /// Honors the full `timeout` contract: when nothing is registered
+        /// and no wake is pending, the wait spans the whole timeout in 1 ms
+        /// ticks (sampling the wake flag each tick) instead of returning
+        /// empty after one tick — so caller deadline arithmetic that trusts
+        /// `poll(Some(t))` to pace a timer cannot slip, an idle poller does
+        /// not spin, and a [`Waker`] interrupts a long poll within one tick.
         pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
             events.clear();
             let tick = Duration::from_millis(1);
-            std::thread::sleep(timeout.map_or(tick, |t| t.min(tick)));
-            let inner = &self.registry.inner;
-            if inner.woken.swap(false, Ordering::AcqRel) {
-                if let Some(token) = *inner.waker_token.lock().unwrap() {
+            let deadline = timeout.map(|t| Instant::now() + t);
+            loop {
+                let nap = match deadline {
+                    None => tick,
+                    Some(d) => d.saturating_duration_since(Instant::now()).min(tick),
+                };
+                std::thread::sleep(nap);
+                let inner = &self.registry.inner;
+                if inner.woken.swap(false, Ordering::AcqRel) {
+                    if let Some(token) = *inner.waker_token.lock().unwrap() {
+                        events.list.push(Event {
+                            token,
+                            readable: true,
+                            writable: false,
+                            read_closed: false,
+                            error: false,
+                        });
+                    }
+                }
+                for (token, interest) in inner.registered.lock().unwrap().values() {
+                    if events.list.len() >= events.capacity {
+                        break;
+                    }
                     events.list.push(Event {
-                        token,
-                        readable: true,
-                        writable: false,
+                        token: *token,
+                        readable: interest.is_readable(),
+                        writable: interest.is_writable(),
                         read_closed: false,
                         error: false,
                     });
                 }
-            }
-            for (token, interest) in inner.registered.lock().unwrap().values() {
-                if events.list.len() >= events.capacity {
-                    break;
+                if !events.list.is_empty() {
+                    return Ok(());
                 }
-                events.list.push(Event {
-                    token: *token,
-                    readable: interest.is_readable(),
-                    writable: interest.is_writable(),
-                    read_closed: false,
-                    error: false,
-                });
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Ok(());
+                }
             }
-            Ok(())
         }
     }
 
@@ -527,6 +561,9 @@ mod sys {
         }
     }
 }
+
+#[cfg(not(target_os = "linux"))]
+use degraded as sys;
 
 pub use sys::{Poll, Registry, Waker};
 
@@ -649,8 +686,7 @@ mod tests {
     fn listener_becomes_readable_on_connect() {
         let mut poll = Poll::new().unwrap();
         let mut events = Events::with_capacity(8);
-        let mut listener =
-            net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let mut listener = net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
         poll.registry()
             .register(&mut listener, T_LISTENER, Interest::READABLE)
             .unwrap();
@@ -658,8 +694,12 @@ mod tests {
         let _client = std::net::TcpStream::connect(addr).unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
-            poll.poll(&mut events, Some(Duration::from_millis(100))).unwrap();
-            if events.iter().any(|e| e.token() == T_LISTENER && e.is_readable()) {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == T_LISTENER && e.is_readable())
+            {
                 break;
             }
             assert!(std::time::Instant::now() < deadline, "no accept readiness");
@@ -671,8 +711,12 @@ mod tests {
             .register(&mut stream, T_STREAM, Interest::WRITABLE)
             .unwrap();
         loop {
-            poll.poll(&mut events, Some(Duration::from_millis(100))).unwrap();
-            if events.iter().any(|e| e.token() == T_STREAM && e.is_writable()) {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == T_STREAM && e.is_writable())
+            {
                 break;
             }
             assert!(std::time::Instant::now() < deadline, "no write readiness");
@@ -682,8 +726,7 @@ mod tests {
     #[test]
     fn double_register_errors_and_deregister_silences() {
         let poll = Poll::new().unwrap();
-        let mut listener =
-            net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let mut listener = net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
         poll.registry()
             .register(&mut listener, T_LISTENER, Interest::READABLE)
             .unwrap();
@@ -707,8 +750,7 @@ mod tests {
         let mut poll = Poll::new().unwrap();
         let mut events = Events::with_capacity(8);
         let listener = net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
-        let mut client =
-            std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         let (mut stream, _) = loop {
             match listener.accept() {
                 Ok(pair) => break pair,
@@ -722,14 +764,19 @@ mod tests {
         client.write_all(b"x").unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
-            poll.poll(&mut events, Some(Duration::from_millis(100))).unwrap();
-            if events.iter().any(|e| e.token() == T_STREAM && e.is_readable()) {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == T_STREAM && e.is_readable())
+            {
                 break;
             }
             assert!(std::time::Instant::now() < deadline, "no read readiness");
         }
         poll.registry().deregister(&mut stream).unwrap();
-        poll.poll(&mut events, Some(Duration::from_millis(50))).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
         assert!(
             !events.iter().any(|e| e.token() == T_STREAM),
             "deregistered stream still reported"
@@ -749,8 +796,12 @@ mod tests {
         let start = std::time::Instant::now();
         let deadline = start + Duration::from_secs(5);
         loop {
-            poll.poll(&mut events, Some(Duration::from_millis(200))).unwrap();
-            if events.iter().any(|e| e.token() == T_WAKER && e.is_readable()) {
+            poll.poll(&mut events, Some(Duration::from_millis(200)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == T_WAKER && e.is_readable())
+            {
                 break;
             }
             assert!(std::time::Instant::now() < deadline, "wake never delivered");
@@ -759,5 +810,132 @@ mod tests {
         // Repeated wakes coalesce without error.
         waker.wake().unwrap();
         waker.wake().unwrap();
+    }
+
+    /// Regression tests for the degraded tick fallback's timer arithmetic,
+    /// compiled and run on every platform (the module is `cfg(test)` on
+    /// Linux precisely so CI exercises the non-Linux path). Lower timing
+    /// bounds are strict — a poll must never report a timeout early — and
+    /// upper bounds are loose to tolerate scheduler overshoot.
+    mod degraded_fallback {
+        use super::super::degraded;
+        use super::*;
+        use std::time::Instant;
+
+        #[test]
+        fn idle_poll_honors_full_timeout() {
+            let mut poll = degraded::Poll::new().unwrap();
+            let mut events = Events::with_capacity(8);
+            let start = Instant::now();
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            assert!(events.is_empty(), "nothing registered, nothing woken");
+            assert!(
+                start.elapsed() >= Duration::from_millis(100),
+                "idle poll returned before its timeout: {:?}",
+                start.elapsed()
+            );
+        }
+
+        #[test]
+        fn waker_interrupts_long_poll_within_ticks() {
+            let mut poll = degraded::Poll::new().unwrap();
+            let mut events = Events::with_capacity(8);
+            let waker =
+                std::sync::Arc::new(degraded::Waker::new(poll.registry(), T_WAKER).unwrap());
+            let w = std::sync::Arc::clone(&waker);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                w.wake().unwrap();
+            });
+            let start = Instant::now();
+            poll.poll(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            let elapsed = start.elapsed();
+            t.join().unwrap();
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.token() == T_WAKER && e.is_readable()),
+                "wake not delivered"
+            );
+            assert!(
+                elapsed < Duration::from_secs(5),
+                "wake did not interrupt the poll: {elapsed:?}"
+            );
+        }
+
+        #[test]
+        fn registered_source_reports_ready_on_a_tick() {
+            let mut poll = degraded::Poll::new().unwrap();
+            let mut events = Events::with_capacity(8);
+            let mut listener = net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+            poll.registry()
+                .register(&mut listener, T_LISTENER, Interest::READABLE)
+                .unwrap();
+            let start = Instant::now();
+            poll.poll(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.token() == T_LISTENER && e.is_readable()),
+                "registered source not reported"
+            );
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "tick readiness took {:?}",
+                start.elapsed()
+            );
+            poll.registry()
+                .reregister(&mut listener, Token(8), Interest::WRITABLE)
+                .unwrap();
+            poll.poll(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.token() == Token(8) && e.is_writable()),
+                "reregistered interest not reported"
+            );
+            poll.registry().deregister(&mut listener).unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(events.is_empty(), "deregistered source still reported");
+        }
+
+        /// The kvcache event-loop pattern: a deadline checked once per poll
+        /// round must fire within one poll timeout of the configured value —
+        /// never early, and without slipping — whether the poller ticks
+        /// because sources are registered or waits out the full timeout.
+        #[test]
+        fn deadline_loop_fires_within_one_poll_timeout() {
+            for registered in [false, true] {
+                let mut poll = degraded::Poll::new().unwrap();
+                let mut events = Events::with_capacity(8);
+                let mut listener = net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+                if registered {
+                    poll.registry()
+                        .register(&mut listener, T_LISTENER, Interest::READABLE)
+                        .unwrap();
+                }
+                let poll_timeout = Duration::from_millis(50);
+                let drain = Duration::from_millis(150);
+                let start = Instant::now();
+                let deadline = start + drain;
+                loop {
+                    poll.poll(&mut events, Some(poll_timeout)).unwrap();
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                let elapsed = start.elapsed();
+                assert!(elapsed >= drain, "deadline fired early: {elapsed:?}");
+                assert!(
+                    elapsed < drain + Duration::from_secs(5),
+                    "deadline slipped (registered={registered}): {elapsed:?}"
+                );
+            }
+        }
     }
 }
