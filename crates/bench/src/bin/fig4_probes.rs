@@ -5,18 +5,35 @@
 //! Emits both the paper's closed-form expectations (§4.2) and an empirical
 //! simulation (random fingerprint arrays, counting actual probes), plus the
 //! two crossover anchor points the paper calls out.
+//!
+//! Additionally benchmarks the real in-leaf probe (`Leaf::find_slot`) on a
+//! direct (zero-latency) pool, so the numbers are pure CPU cost: the same
+//! leaf bytes are probed through a SWAR-enabled layout view and a scalar
+//! byte-loop view (`--swar` / `--no-swar` restrict to one variant), and the
+//! charged SCM read lines per probe are re-baselined for the fingerprint
+//! and linear paths.
 
 use fptree_bench::{Args, Report, Row};
 use fptree_core::fingerprint::{
     expected_probes_fptree, expected_probes_fptree_perkey, expected_probes_nvtree,
     expected_probes_wbtree, fingerprint_u64, FP_DOMAIN,
 };
+use fptree_core::keys::{FixedKey, KeyKind};
+use fptree_core::layout::LeafLayout;
+use fptree_core::leaf::Leaf;
+use fptree_core::TreeConfig;
+use fptree_pmem::{PmemPool, PoolOptions, ROOT_SLOT};
 use rand::prelude::*;
+use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
     let out = args.get_str("out");
     let trials: usize = args.get("trials", 400);
+    let reps: usize = args.get("reps", 25);
+    // Default runs both variants; --swar / --no-swar narrow the comparison.
+    let run_swar = !args.flag("no-swar");
+    let run_scalar = !args.flag("swar");
 
     let mut report = Report::new("fig4_probes", "Figure 4: expected in-leaf key probes vs m");
     let mut m = 4usize;
@@ -65,6 +82,163 @@ fn main() {
             .field("wBTree wins from m", crossover_wb as f64),
     );
     anchors.emit(out);
+
+    swar_probe_bench(out, reps, run_swar, run_scalar);
+    charged_lines(out);
+}
+
+/// Wall-clock `find_slot` throughput, SWAR word-wise probe vs the scalar
+/// byte loop, over identical leaf bytes. Direct pool → zero modeled
+/// latency, so this isolates the probe's CPU cost. Half the probes hit,
+/// half miss (a miss scans every fingerprint — the SWAR sweet spot).
+fn swar_probe_bench(out: Option<&str>, reps: usize, run_swar: bool, run_scalar: bool) {
+    let mut report = Report::new(
+        "fig4_swar",
+        "find_slot throughput: SWAR word probe vs scalar byte loop (Mprobe/s)",
+    );
+    let mut speedups = Vec::new();
+    for m in [8usize, 16, 32, 64] {
+        let pool = PmemPool::create(PoolOptions::direct(1 << 20)).unwrap();
+        let cfg_on = TreeConfig {
+            leaf_capacity: m,
+            ..TreeConfig::fptree()
+        };
+        let cfg_off = TreeConfig {
+            swar_probe: false,
+            ..cfg_on
+        };
+        // Same offsets either way — only the probe strategy differs, so
+        // both views read the exact same leaf bytes.
+        let lay_on = LeafLayout::new(&cfg_on, FixedKey::SLOT_SIZE);
+        let lay_off = LeafLayout::new(&cfg_off, FixedKey::SLOT_SIZE);
+        let off = pool.allocate(ROOT_SLOT, lay_on.size).unwrap();
+        pool.write_bytes(off, &vec![0u8; lay_on.size]);
+        let leaf = Leaf::new(&pool, &lay_on, off);
+        let keys: Vec<u64> = (0..m as u64).map(|i| i * 0x9E37_79B9 + 17).collect();
+        for (slot, &k) in keys.iter().enumerate() {
+            FixedKey::write_slot(&pool, leaf.key_off(slot), &k);
+            leaf.set_value(slot, k ^ 0x5A);
+            leaf.set_fingerprint(slot, FixedKey::fingerprint(&k));
+        }
+        leaf.commit_bitmap(lay_on.full_bitmap());
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let probes: Vec<u64> = (0..4096)
+            .map(|i| {
+                if i % 2 == 0 {
+                    keys[rng.gen_range(0..m)]
+                } else {
+                    rng.gen::<u64>() | (1 << 63) // misses (stored keys stay below)
+                }
+            })
+            .collect();
+
+        let time = |layout: &LeafLayout| -> f64 {
+            let view = Leaf::new(&pool, layout, off);
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t = Instant::now();
+                for k in &probes {
+                    std::hint::black_box(view.find_slot::<FixedKey>(k));
+                }
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            probes.len() as f64 / best / 1e6
+        };
+
+        let mut row = Row::new(format!("m={m}"));
+        let swar = if run_swar { time(&lay_on) } else { 0.0 };
+        let scalar = if run_scalar { time(&lay_off) } else { 0.0 };
+        if run_swar {
+            row = row.field("swar_Mops", swar);
+        }
+        if run_scalar {
+            row = row.field("scalar_Mops", scalar);
+        }
+        if run_swar && run_scalar {
+            let s = swar / scalar;
+            speedups.push(s);
+            row = row.field("speedup", s);
+        }
+        report.push(row);
+    }
+    if !speedups.is_empty() {
+        // Geometric mean over leaf sizes: the CI smoke gate's single number.
+        let geo = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        report.push(Row::new("overall").field("swar_speedup", geo));
+    }
+    report.emit(out);
+}
+
+/// Charged SCM read lines per probe after the accounting fix: the linear
+/// (no-fingerprint) path charges the one-pass key scan, not the scan plus
+/// a second per-slot touch; a fingerprint hit additionally charges only
+/// the matched slot.
+fn charged_lines(out: Option<&str>) {
+    let mut report = Report::new(
+        "fig4_charged_lines",
+        "charged SCM read lines per probe (hit vs miss)",
+    );
+    let lines_for = |cfg: &TreeConfig, label: &str, report: &mut Report| {
+        let pool = PmemPool::create(PoolOptions::direct(1 << 20)).unwrap();
+        let layout = LeafLayout::new(cfg, FixedKey::SLOT_SIZE);
+        let off = pool.allocate(ROOT_SLOT, layout.size).unwrap();
+        pool.write_bytes(off, &vec![0u8; layout.size]);
+        let leaf = Leaf::new(&pool, &layout, off);
+        let keys: Vec<u64> = (0..cfg.leaf_capacity as u64).map(|i| i * 977 + 3).collect();
+        for (slot, &k) in keys.iter().enumerate() {
+            FixedKey::write_slot(&pool, leaf.key_off(slot), &k);
+            leaf.set_value(slot, k);
+            if cfg.fingerprints {
+                leaf.set_fingerprint(slot, FixedKey::fingerprint(&k));
+            }
+        }
+        leaf.commit_bitmap(layout.full_bitmap());
+        pool.stats().reset();
+        for k in &keys {
+            assert!(leaf.find_slot::<FixedKey>(k).is_some());
+        }
+        let hit = pool.stats().snapshot().read_lines as f64 / keys.len() as f64;
+        pool.stats().reset();
+        for k in &keys {
+            assert!(leaf.find_slot::<FixedKey>(&(k | 1 << 63)).is_none());
+        }
+        let miss = pool.stats().snapshot().read_lines as f64 / keys.len() as f64;
+        report.push(
+            Row::new(label)
+                .field("lines/hit", hit)
+                .field("lines/miss", miss),
+        );
+    };
+    let m = 32usize;
+    lines_for(
+        &TreeConfig {
+            leaf_capacity: m,
+            ..TreeConfig::fptree()
+        },
+        "fingerprint(swar)",
+        &mut report,
+    );
+    lines_for(
+        &TreeConfig {
+            leaf_capacity: m,
+            swar_probe: false,
+            ..TreeConfig::fptree()
+        },
+        "fingerprint(scalar)",
+        &mut report,
+    );
+    lines_for(
+        &TreeConfig {
+            leaf_capacity: m,
+            fingerprints: false,
+            split_arrays: false,
+            ..TreeConfig::ptree()
+        },
+        "linear(interleaved)",
+        &mut report,
+    );
+    report.emit(out);
 }
 
 /// Empirical per-key probe count: fill leaves with random keys, search each

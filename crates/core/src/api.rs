@@ -292,6 +292,13 @@ impl TreeBuilder {
         self
     }
 
+    /// Toggles the SWAR word-wise fingerprint probe and the transient
+    /// successor sentinels it feeds (off restores the scalar byte loop).
+    pub fn swar_probe(mut self, on: bool) -> TreeBuilder {
+        self.cfg.swar_probe = on;
+        self
+    }
+
     /// Sets leaves per amortized allocation group (0 disables grouping;
     /// forced to 0 by the concurrent build paths).
     pub fn leaf_group_size(mut self, g: usize) -> TreeBuilder {

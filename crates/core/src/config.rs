@@ -45,6 +45,15 @@ pub struct TreeConfig {
     /// fold into regular slots only on overflow or split; 0 disables
     /// buffering (every write takes the slot/fingerprint/bitmap path).
     pub wbuf_entries: usize,
+    /// Data-parallel probe fast paths (default on): the fingerprint scan
+    /// compares 8 fingerprints per word (SWAR — no intrinsics, stable
+    /// Rust) instead of byte-at-a-time, and leaves cache a transient
+    /// sentinel record of their successor's minimum key so failed lookups
+    /// and scan hops short-circuit without touching the next leaf's
+    /// SCM-resident keys. Off falls back to the scalar byte loop
+    /// (identical probe order and charged SCM lines — the differential
+    /// proptests pin the equivalence).
+    pub swar_probe: bool,
 }
 
 impl TreeConfig {
@@ -58,6 +67,7 @@ impl TreeConfig {
             split_arrays: false,
             leaf_group_size: 16,
             wbuf_entries: 8,
+            swar_probe: true,
         }
     }
 
@@ -72,6 +82,7 @@ impl TreeConfig {
             split_arrays: false,
             leaf_group_size: 0,
             wbuf_entries: 8,
+            swar_probe: true,
         }
     }
 
@@ -86,6 +97,7 @@ impl TreeConfig {
             split_arrays: true,
             leaf_group_size: 16,
             wbuf_entries: 0,
+            swar_probe: true,
         }
     }
 
@@ -140,6 +152,12 @@ impl TreeConfig {
     /// Sets the per-leaf append-buffer capacity (0 disables buffering).
     pub fn with_wbuf_entries(mut self, w: usize) -> Self {
         self.wbuf_entries = w;
+        self
+    }
+
+    /// Enables or disables the SWAR probe + sentinel fast paths.
+    pub fn with_swar_probe(mut self, on: bool) -> Self {
+        self.swar_probe = on;
         self
     }
 
@@ -244,5 +262,22 @@ mod tests {
     #[should_panic(expected = "write buffer")]
     fn validate_rejects_oversized_wbuf() {
         TreeConfig::fptree().with_wbuf_entries(65).validate();
+    }
+
+    #[test]
+    fn swar_probe_defaults_on_everywhere_and_toggles() {
+        for cfg in [
+            TreeConfig::fptree(),
+            TreeConfig::fptree_concurrent(),
+            TreeConfig::ptree(),
+            TreeConfig::fptree_var(),
+            TreeConfig::fptree_concurrent_var(),
+            TreeConfig::ptree_var(),
+        ] {
+            assert!(cfg.swar_probe, "SWAR fast paths default on");
+        }
+        let off = TreeConfig::fptree().with_swar_probe(false);
+        assert!(!off.swar_probe);
+        off.validate();
     }
 }

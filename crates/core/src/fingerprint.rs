@@ -10,6 +10,83 @@
 /// Number of distinct fingerprint values (one byte).
 pub const FP_DOMAIN: f64 = 256.0;
 
+// ------------------------------------------------------------------- SWAR
+//
+// The probe loop compares one fingerprint byte against all m leaf
+// fingerprints. Done byte-at-a-time that is m dependent branches; done
+// SWAR-style ("SIMD within a register", stable Rust, no intrinsics) it is
+// ceil(m/8) word operations: XOR the probe byte broadcast across a word
+// against 8 fingerprints at once, detect zero bytes, and compress the
+// per-byte hit bits into a bitmap-aligned candidate mask.
+
+/// All-ones byte broadcast multiplier.
+const SWAR_ONES: u64 = 0x0101_0101_0101_0101;
+/// Low 7 bits of every byte lane.
+const SWAR_LOW7: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+/// Magic multiplier gathering the 8 per-byte high bits (at positions
+/// 8i, after `>> 7`) into the top byte: bit `i` of lane `i` lands at
+/// position `56 + i`, every other partial product falls below bit 56 or
+/// above bit 63, and no two products share a bit, so no carries occur.
+const SWAR_GATHER: u64 = 0x0102_0408_1020_4080;
+
+/// Broadcasts byte `b` into every lane of a word.
+#[inline]
+pub fn swar_broadcast(b: u8) -> u64 {
+    (b as u64).wrapping_mul(SWAR_ONES)
+}
+
+/// Per-byte zero detector: returns a word whose byte lanes are `0x80` where
+/// the corresponding lane of `v` is zero and `0x00` elsewhere.
+///
+/// This is the *exact* form: `((v & 0x7F..) + 0x7F..) | v | 0x7F..` has its
+/// per-lane high bit set iff the lane is nonzero (low-7 carry or high bit or
+/// any bit), so the negation isolates exactly the zero lanes. The cheaper
+/// classic `(v - 0x01..) & !v & 0x80..` admits false positives when a lane
+/// borrows from a zero neighbor — exactness matters here because the SWAR
+/// candidate set must be *identical* to the byte loop's (same probes, same
+/// charged SCM lines), which the differential tests pin.
+#[inline]
+pub fn swar_zero_bytes(v: u64) -> u64 {
+    !(((v & SWAR_LOW7) + SWAR_LOW7) | v | SWAR_LOW7)
+}
+
+/// Byte-match mask: `0x80` in every lane of `word` equal to `b`.
+#[inline]
+pub fn swar_match_bytes(word: u64, b: u8) -> u64 {
+    swar_zero_bytes(word ^ swar_broadcast(b))
+}
+
+/// Compresses a per-byte high-bit mask (lanes `0x80` or `0x00`) into its low
+/// 8 bits: bit `i` set iff lane `i` had its high bit set.
+#[inline]
+pub fn swar_compress(mask: u64) -> u64 {
+    ((mask >> 7).wrapping_mul(SWAR_GATHER)) >> 56
+}
+
+/// Builds the fingerprint candidate mask for a probe: bit `s` is set iff
+/// `fps[s] == fp`. Operates on 8-byte chunks; the zero-padded tail of the
+/// last partial chunk can contribute spurious bits only for `fp == 0`,
+/// which the caller's AND with the validity bitmap (bits `< m` only)
+/// eliminates.
+pub fn fp_match_mask(fps: &[u8], fp: u8) -> u64 {
+    debug_assert!(fps.len() <= 64);
+    let mut out = 0u64;
+    let mut chunks = fps.chunks_exact(8);
+    for (w, chunk) in chunks.by_ref().enumerate() {
+        let word = u64::from_le_bytes(chunk.try_into().unwrap());
+        out |= swar_compress(swar_match_bytes(word, fp)) << (8 * w);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut bytes = [0u8; 8];
+        bytes[..rest.len()].copy_from_slice(rest);
+        let word = u64::from_le_bytes(bytes);
+        let w = fps.len() / 8;
+        out |= swar_compress(swar_match_bytes(word, fp)) << (8 * w);
+    }
+    out
+}
+
 /// One-byte fingerprint of a fixed-size (u64) key.
 ///
 /// Fibonacci multiplicative hashing: multiplication by the 64-bit golden
@@ -117,6 +194,87 @@ mod tests {
         // "The wBTree outperforms the FPTree only starting from m ≈ 4096"
         assert!(expected_probes_fptree(2048, FP_DOMAIN) < expected_probes_wbtree(2048));
         assert!(expected_probes_fptree(8192, FP_DOMAIN) > expected_probes_wbtree(8192));
+    }
+
+    /// Scalar oracle for the candidate mask: bit `s` iff `fps[s] == fp`.
+    fn byte_loop_mask(fps: &[u8], fp: u8) -> u64 {
+        let mut out = 0u64;
+        for (s, &f) in fps.iter().enumerate() {
+            if f == fp {
+                out |= 1 << s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn swar_zero_bytes_is_exact() {
+        // The classic haszero form false-positives on words like
+        // 0x0000_0000_0000_0100 (a 0x01 lane above a zero lane); the exact
+        // form must flag exactly the zero lanes on adversarial words.
+        let cases = [
+            0u64,
+            u64::MAX,
+            0x0000_0000_0000_0100,
+            0x0100_0000_0000_0000,
+            0x0101_0101_0101_0101,
+            0x0001_0001_0001_0001,
+            0x8000_0000_0000_0080,
+            0x00FF_00FF_00FF_00FF,
+        ];
+        for v in cases {
+            let got = swar_zero_bytes(v);
+            for lane in 0..8 {
+                let byte = (v >> (8 * lane)) as u8;
+                let flagged = got >> (8 * lane) & 0xFF;
+                assert_eq!(
+                    flagged,
+                    if byte == 0 { 0x80 } else { 0 },
+                    "v={v:#018x} lane={lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swar_match_mask_equals_byte_loop_exhaustively() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        // Every probe byte, random + adversarial arrays, every length
+        // 1..=64 (including non-multiple-of-8 tails).
+        for len in 1..=64usize {
+            let mut fps = vec![0u8; len];
+            for trial in 0..8 {
+                match trial {
+                    0 => fps.iter_mut().for_each(|b| *b = 0),    // all zero
+                    1 => fps.iter_mut().for_each(|b| *b = 0xFF), // all ones
+                    2 => fps.iter_mut().for_each(|b| *b = rng.gen::<u8>() & 1),
+                    _ => fps.iter_mut().for_each(|b| *b = rng.gen()),
+                }
+                for fp in [0u8, 1, 0x7F, 0x80, 0xFF, rng.gen()] {
+                    let swar = fp_match_mask(&fps, fp) & ((1u128 << len) - 1) as u64;
+                    assert_eq!(
+                        swar,
+                        byte_loop_mask(&fps, fp),
+                        "len={len} fp={fp:#x} fps={fps:?}"
+                    );
+                }
+            }
+        }
+        // The zero-padded tail may only ever add bits at positions >= len,
+        // and only for fp == 0.
+        let fps = [7u8; 13];
+        let raw = fp_match_mask(&fps, 0);
+        assert_eq!(raw & ((1 << 13) - 1), 0);
+    }
+
+    #[test]
+    fn swar_compress_gathers_each_lane_without_carries() {
+        for i in 0..8u64 {
+            assert_eq!(swar_compress(0x80 << (8 * i)), 1 << i);
+        }
+        assert_eq!(swar_compress(0x8080_8080_8080_8080), 0xFF);
+        assert_eq!(swar_compress(0), 0);
     }
 
     #[test]

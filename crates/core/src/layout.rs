@@ -6,7 +6,8 @@
 //! recompiling. Layout of an FPTree leaf (paper Figure 2):
 //!
 //! ```text
-//! | bitmap (8) | fingerprints (m) | pad | next PPtr (16) | lock (1) + pad | KV area |
+//! | bitmap (8) | fingerprints (m) | pad | next PPtr (16) | lock (1) + pad |
+//! | sentinel (32, transient) | KV area |
 //! ```
 //!
 //! With m = 56 and fixed keys, bitmap + fingerprints exactly fill the first
@@ -23,6 +24,10 @@
 use crate::config::TreeConfig;
 use fptree_pmem::CACHE_LINE;
 
+/// Bytes of the transient per-leaf sentinel record (4 words: successor min
+/// key encoding, successor offset, successor version, checksummed tag).
+pub const SENTINEL_BYTES: usize = 32;
+
 /// Byte offsets of every leaf field, precomputed from a [`TreeConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LeafLayout {
@@ -37,6 +42,8 @@ pub struct LeafLayout {
     pub fingerprints: bool,
     /// Whether keys and values form separate arrays (PTree).
     pub split_arrays: bool,
+    /// Whether the SWAR probe + sentinel fast paths are enabled.
+    pub swar_probe: bool,
     /// Offset of the validity bitmap (always 0; 8-byte p-atomic word).
     pub off_bitmap: usize,
     /// Offset of the fingerprint array (m bytes; unused if disabled).
@@ -45,6 +52,14 @@ pub struct LeafLayout {
     pub off_next: usize,
     /// Offset of the one-byte transient lock.
     pub off_lock: usize,
+    /// Offset of the 32-byte transient sentinel record: the successor's
+    /// minimum key (order-preserving 8-byte encoding), the successor's
+    /// offset and observed version, and a checksummed tag. Populated by
+    /// scans, validated on every read, never persisted deliberately —
+    /// recovery clears it alongside the lock word. Present in the layout
+    /// even when `swar_probe` is off (the flag only gates the code paths),
+    /// so the same leaf bytes can be read under either setting.
+    pub off_sentinel: usize,
     /// Offset of the KV area.
     pub off_kv: usize,
     /// Entries in the persistent append buffer (0 = no buffer).
@@ -68,8 +83,10 @@ impl LeafLayout {
         // Next pointer 8-byte aligned after the fingerprints.
         let off_next = (off_fps + fps_len + 7) & !7;
         let off_lock = off_next + 16;
-        // KV area 8-byte aligned after lock byte (+7 pad).
-        let off_kv = off_lock + 8;
+        // Transient sentinel record after the lock word (both 8-aligned).
+        let off_sentinel = off_lock + 8;
+        // KV area 8-byte aligned after the sentinel record.
+        let off_kv = off_sentinel + SENTINEL_BYTES;
         let kv_len = m * (key_slot + cfg.value_size);
         // The KV area is a whole number of 8-byte fields, so off_wbuf (and
         // every buffer entry: 8-byte tag + key slot + value) stays 8-aligned,
@@ -87,10 +104,12 @@ impl LeafLayout {
             value_size: cfg.value_size,
             fingerprints: cfg.fingerprints,
             split_arrays: cfg.split_arrays,
+            swar_probe: cfg.swar_probe,
             off_bitmap,
             off_fps,
             off_next,
             off_lock,
+            off_sentinel,
             off_kv,
             wbuf_entries: cfg.wbuf_entries,
             off_wbuf,
@@ -185,6 +204,11 @@ mod tests {
         assert_eq!(l.head_len(), 64);
         assert_eq!(l.off_next, 64);
         assert_eq!(l.size % CACHE_LINE, 0);
+        // Transient tail of the head: lock word then the sentinel record.
+        assert_eq!(l.off_sentinel, l.off_lock + 8);
+        assert_eq!(l.off_kv, l.off_sentinel + SENTINEL_BYTES);
+        assert_eq!(l.off_sentinel % 8, 0);
+        assert!(l.swar_probe);
     }
 
     #[test]
@@ -197,7 +221,8 @@ mod tests {
             (l.off_bitmap, 8),
             (l.off_fps, 16),
             (l.off_next, 16),
-            (l.off_lock, 1),
+            (l.off_lock, 8),
+            (l.off_sentinel, SENTINEL_BYTES),
         ];
         for i in 0..16 {
             spans.push((l.key_off(i), 8));
@@ -274,6 +299,7 @@ mod tests {
                     split_arrays: split,
                     leaf_group_size: 0,
                     wbuf_entries: 4,
+                    swar_probe: true,
                 };
                 for ks in [8usize, 16] {
                     let l = LeafLayout::new(&cfg, ks);

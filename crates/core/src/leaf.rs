@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 use fptree_pmem::{PmemPool, RawPPtr, CACHE_LINE};
 
+use crate::fingerprint::fp_match_mask;
 use crate::keys::KeyKind;
 use crate::layout::LeafLayout;
 
@@ -42,12 +43,15 @@ impl<'a> Leaf<'a> {
     }
 
     /// P-atomically writes and persists the bitmap — the commit point of
-    /// every leaf modification.
+    /// every leaf modification. Also advances the transient version word,
+    /// so cached records *about* this leaf (successor sentinels) stop
+    /// validating.
     #[inline]
     pub fn commit_bitmap(&self, bm: u64) {
         let off = self.off + self.layout.off_bitmap as u64;
         self.pool.write_publish_word(off, bm);
         self.pool.persist(off, 8);
+        self.version_bump();
     }
 
     /// Number of valid entries.
@@ -202,6 +206,140 @@ impl<'a> Leaf<'a> {
     #[inline]
     pub fn unlock_version(&self) {
         self.vlock_ref().fetch_add(1, Ordering::Release);
+    }
+
+    /// Advances the version word by a full even step (parity-preserving).
+    /// Every leaf commit point calls this so that transient records taken
+    /// *about* this leaf — the successor sentinels below — self-invalidate:
+    /// the version they captured no longer matches.
+    #[inline]
+    pub fn version_bump(&self) {
+        self.vlock_ref().fetch_add(2, Ordering::Release);
+    }
+
+    /// Raw snapshot of the version word, any parity — the `prior` input of
+    /// [`Leaf::restore_version_monotonic`].
+    #[inline]
+    pub fn version_word(&self) -> u64 {
+        self.vlock_ref().load(Ordering::Acquire)
+    }
+
+    /// Re-initializes the version word of a recycled or rewritten leaf to
+    /// an even value strictly greater than `prior`, so sentinel records
+    /// taken against the old contents can never validate against the new
+    /// ones (offset-reuse ABA).
+    #[inline]
+    pub fn restore_version_monotonic(&self, prior: u64) {
+        self.vlock_ref()
+            .store((prior | 1).wrapping_add(1), Ordering::Release);
+    }
+
+    // ------------------------------------------------------------ sentinel
+    //
+    // Transient successor sentinel (Boosting-with-Sentinels adapted to the
+    // FPTree leaf chain): four 8-byte words after the lock word caching
+    // `(succ_min_prefix, succ_off, succ_version, checksummed tag)` — the
+    // successor leaf's minimum key as an order-preserving 8-byte prefix,
+    // plus enough identity to detect staleness. A failed lookup whose key
+    // provably orders at or beyond the successor's minimum returns without
+    // touching any SCM-resident key or fingerprint line; scan hops use the
+    // same record to skip re-seeks. Like the lock word the region is pure
+    // scratch: accessed only through atomics, never persisted deliberately,
+    // wiped by recovery. A record is a *hint* — every read revalidates the
+    // checksum, the live next pointer, and the successor's version word, so
+    // a stale or torn record degrades to a normal probe, never a wrong
+    // answer.
+
+    /// Transient sentinel word `i` (0..4) as an atomic.
+    #[inline]
+    fn sentinel_word(&self, i: usize) -> &std::sync::atomic::AtomicU64 {
+        debug_assert!(i < 4);
+        self.pool
+            .atomic_u64(self.off + (self.layout.off_sentinel + 8 * i) as u64)
+    }
+
+    /// Checksummed tag over a sentinel record; bit 0 is always set so a
+    /// zeroed region reads as "no record".
+    fn sentinel_tag(enc: u64, succ_off: u64, succ_ver: u64) -> u64 {
+        #[inline]
+        fn mix(h: u64, v: u64) -> u64 {
+            let x = (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^ (x >> 32)
+        }
+        mix(mix(mix(0xC0FF_EE11, enc), succ_off), succ_ver) | 1
+    }
+
+    /// Publishes a sentinel record: the successor at `succ_off` (this
+    /// leaf's current `next`) had minimum-key prefix `enc` while its
+    /// version word read `succ_ver` (even). Racing stores may interleave
+    /// fields; the checksum makes any mixed record read as invalid.
+    pub fn sentinel_store(&self, enc: u64, succ_off: u64, succ_ver: u64) {
+        if !self.layout.swar_probe {
+            return;
+        }
+        let tag = self.sentinel_word(3);
+        tag.store(0, Ordering::Relaxed);
+        self.sentinel_word(0).store(enc, Ordering::Relaxed);
+        self.sentinel_word(1).store(succ_off, Ordering::Relaxed);
+        self.sentinel_word(2).store(succ_ver, Ordering::Relaxed);
+        tag.store(
+            Self::sentinel_tag(enc, succ_off, succ_ver),
+            Ordering::Release,
+        );
+    }
+
+    /// Drops any sentinel record (chain surgery: split, unlink, recovery).
+    #[inline]
+    pub fn sentinel_clear(&self) {
+        self.sentinel_word(3).store(0, Ordering::Release);
+    }
+
+    /// Reads the raw record if its checksum validates.
+    fn sentinel_read(&self) -> Option<(u64, u64, u64)> {
+        let tag = self.sentinel_word(3).load(Ordering::Acquire);
+        if tag == 0 {
+            return None;
+        }
+        let enc = self.sentinel_word(0).load(Ordering::Relaxed);
+        let succ_off = self.sentinel_word(1).load(Ordering::Relaxed);
+        let succ_ver = self.sentinel_word(2).load(Ordering::Relaxed);
+        (tag == Self::sentinel_tag(enc, succ_off, succ_ver)).then_some((enc, succ_off, succ_ver))
+    }
+
+    /// The successor's minimum-key prefix, if a sentinel record exists and
+    /// still proves it: the checksum validates, the live next pointer still
+    /// references the recorded successor, and the successor's version word
+    /// is unchanged (even and equal — any modification, rewrite, or
+    /// recycling of the successor bumps it). Charges no SCM read latency:
+    /// everything consulted is transient or metadata.
+    pub fn sentinel_succ_min(&self) -> Option<u64> {
+        if !self.layout.swar_probe {
+            return None;
+        }
+        let (enc, succ_off, succ_ver) = self.sentinel_read()?;
+        let next = self.next();
+        if next.is_null() || next.offset != succ_off {
+            return None;
+        }
+        if succ_ver & 1 != 0
+            || !succ_off.is_multiple_of(8)
+            || succ_off + self.layout.size as u64 > self.pool.capacity() as u64
+        {
+            return None;
+        }
+        let succ = Leaf::new(self.pool, self.layout, succ_off);
+        (succ.vlock_ref().load(Ordering::Acquire) == succ_ver).then_some(enc)
+    }
+
+    /// True if a validated sentinel proves `key` cannot live in this leaf:
+    /// every key here orders strictly below the successor's minimum, so a
+    /// key at (exact prefixes only) or beyond that minimum is elsewhere.
+    pub fn sentinel_excludes<K: KeyKind>(&self, key: &K::Owned) -> bool {
+        let Some(enc) = self.sentinel_succ_min() else {
+            return false;
+        };
+        let ke = K::prefix64(key);
+        ke > enc || (K::PREFIX_EXACT && ke == enc)
     }
 
     // ------------------------------------------------------------ kv slots
@@ -394,8 +532,13 @@ impl<'a> Leaf<'a> {
     /// Searches the leaf for `key`, returning its slot.
     ///
     /// With fingerprints: scan the fingerprint array and probe only matching
-    /// slots (expected one probe, §4.2). Without: linear scan of the key
-    /// area. Read latency is charged per the access pattern.
+    /// slots (expected one probe, §4.2). Under `swar_probe` the scan is
+    /// data-parallel: fingerprints load eight at a time, a SWAR match mask
+    /// against the broadcast probe byte ANDs with the validity bitmap, and
+    /// candidates iterate via `trailing_zeros` — same candidates, same
+    /// order, same charged lines as the byte loop (the differential tests
+    /// pin this). Without fingerprints: linear scan of the key area. Read
+    /// latency is charged per the access pattern.
     pub fn find_slot<K: KeyKind>(&self, key: &K::Owned) -> Option<usize> {
         let bitmap = self.bitmap();
         self.touch_head();
@@ -403,13 +546,26 @@ impl<'a> Leaf<'a> {
             let fp = K::fingerprint(key);
             let mut fps = [0u8; crate::config::MAX_LEAF_CAPACITY];
             self.read_fingerprints(&mut fps);
-            #[allow(clippy::needless_range_loop)] // slot indexes bitmap too
-            for slot in 0..self.layout.m {
-                if bitmap & (1 << slot) != 0 && fps[slot] == fp {
+            if self.layout.swar_probe {
+                let mut cand = fp_match_mask(&fps[..self.layout.m], fp) & bitmap;
+                while cand != 0 {
+                    let slot = cand.trailing_zeros() as usize;
+                    cand &= cand - 1;
                     self.touch_slot(slot);
                     K::touch_key(self.pool, self.key_off(slot));
                     if K::slot_matches(self.pool, self.key_off(slot), key) {
                         return Some(slot);
+                    }
+                }
+            } else {
+                #[allow(clippy::needless_range_loop)] // slot indexes bitmap too
+                for slot in 0..self.layout.m {
+                    if bitmap & (1 << slot) != 0 && fps[slot] == fp {
+                        self.touch_slot(slot);
+                        K::touch_key(self.pool, self.key_off(slot));
+                        if K::slot_matches(self.pool, self.key_off(slot), key) {
+                            return Some(slot);
+                        }
                     }
                 }
             }
@@ -420,7 +576,15 @@ impl<'a> Leaf<'a> {
                 if bitmap & (1 << slot) != 0 {
                     K::touch_key(self.pool, self.key_off(slot));
                     if K::slot_matches(self.pool, self.key_off(slot), key) {
-                        self.touch_slot(slot);
+                        // The linear scan above already streamed this
+                        // slot's key — and, interleaved, its value —
+                        // through the cache; a full `touch_slot` here
+                        // double-counted the key bytes. Only a split
+                        // layout's value array is a genuinely new access.
+                        if self.layout.split_arrays {
+                            self.pool
+                                .touch_read(self.val_off(slot), self.layout.value_size);
+                        }
                         return Some(slot);
                     }
                 }
@@ -429,24 +593,42 @@ impl<'a> Leaf<'a> {
         }
     }
 
-    /// Collects every valid `(slot, key)` pair (splits, scans, recovery).
+    /// Collects every valid `(slot, key)` pair (splits, scans, recovery),
+    /// iterating set bitmap bits word-wise via `trailing_zeros`.
     pub fn collect_entries<K: KeyKind>(&self) -> Vec<(usize, K::Owned)> {
-        let bitmap = self.bitmap();
-        let mut out = Vec::with_capacity(bitmap.count_ones() as usize);
-        for slot in 0..self.layout.m {
-            if bitmap & (1 << slot) != 0 {
-                out.push((slot, K::read_slot(self.pool, self.key_off(slot))));
-            }
+        let mut bm = self.bitmap() & self.layout.full_bitmap();
+        let mut out = Vec::with_capacity(bm.count_ones() as usize);
+        while bm != 0 {
+            let slot = bm.trailing_zeros() as usize;
+            bm &= bm - 1;
+            out.push((slot, K::read_slot(self.pool, self.key_off(slot))));
         }
         out
     }
 
     /// Largest key in the leaf (recovery: discriminator for inner rebuild).
+    ///
+    /// Covers the *merged* key set: bitmap-valid slots AND live unfolded
+    /// buffer entries. A buffered key larger than every slot-resident key
+    /// previously yielded a wrong split/rebuild discriminator.
     pub fn max_key<K: KeyKind>(&self) -> Option<K::Owned> {
-        self.collect_entries::<K>()
-            .into_iter()
-            .map(|(_, k)| k)
-            .max()
+        let mut bm = self.bitmap() & self.layout.full_bitmap();
+        let mut max: Option<K::Owned> = None;
+        while bm != 0 {
+            let slot = bm.trailing_zeros() as usize;
+            bm &= bm - 1;
+            let k = K::read_slot(self.pool, self.key_off(slot));
+            if max.as_ref().is_none_or(|m| k > *m) {
+                max = Some(k);
+            }
+        }
+        for i in 0..self.wbuf_count() {
+            let k = K::read_slot(self.pool, self.wbuf_key_off(i));
+            if max.as_ref().is_none_or(|m| k > *m) {
+                max = Some(k);
+            }
+        }
+        max
     }
 
     // ------------------------------------------------------ append buffer
@@ -567,6 +749,9 @@ impl<'a> Leaf<'a> {
         // single persist below makes both durable together.
         self.pool.write_publish_bytes(eoff, &entry);
         self.pool.persist(eoff, l.wbuf_entry_size());
+        // An append is a commit point like the bitmap: invalidate sentinel
+        // records other leaves hold about this one.
+        self.version_bump();
     }
 
     /// Searches the live buffer prefix for `key`, newest entry first
@@ -586,8 +771,13 @@ impl<'a> Leaf<'a> {
     }
 
     /// Merged point lookup: the live buffer (newest first), then the
-    /// slots. Returns the logical value.
+    /// slots. Returns the logical value. A validated successor sentinel
+    /// short-circuits keys that provably order past this leaf without
+    /// touching any SCM-resident key line.
     pub fn find_merged_value<K: KeyKind>(&self, key: &K::Owned) -> Option<u64> {
+        if self.sentinel_excludes::<K>(key) {
+            return None;
+        }
         let live = self.wbuf_count();
         if let Some(i) = self.find_buffered::<K>(key, live) {
             return Some(self.wbuf_value(i));
@@ -1026,6 +1216,163 @@ mod tests {
         // Folding an empty buffer is a no-op.
         leaf.wbuf_fold::<FixedKey>();
         assert_eq!(leaf.wbuf_gen(), gen + 1);
+    }
+
+    #[test]
+    fn swar_and_scalar_probes_agree_on_same_bytes() {
+        let (pool, layout, off) = setup();
+        // Same geometry, different probe engine: the SWAR flag changes
+        // behavior, not layout, so one leaf serves both views.
+        let scalar_layout = LeafLayout::new(&TreeConfig::fptree().with_swar_probe(false), 8);
+        assert_eq!(scalar_layout.off_kv, layout.off_kv);
+        let leaf = Leaf::new(&pool, &layout, off);
+        let scalar = Leaf::new(&pool, &scalar_layout, off);
+        for i in 0..layout.m {
+            let k = (i as u64) * 977;
+            insert_fixed(&leaf, i, k, k + 1);
+        }
+        for x in 0..4096u64 {
+            let probe = x * 41;
+            pool.stats().reset();
+            let a = leaf.find_slot::<FixedKey>(&probe);
+            let la = pool.stats().snapshot().read_lines;
+            pool.stats().reset();
+            let b = scalar.find_slot::<FixedKey>(&probe);
+            let lb = pool.stats().snapshot().read_lines;
+            assert_eq!(a, b, "probe {probe}");
+            assert_eq!(la, lb, "charged lines for probe {probe}");
+        }
+    }
+
+    #[test]
+    fn sentinel_excludes_without_touching_scm_and_self_invalidates() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        insert_fixed(&leaf, 0, 10, 100);
+        // Chain a successor whose minimum key is 50 and record it.
+        let soff = pool.allocate(ROOT_SLOT, layout.size).unwrap();
+        pool.write_bytes(soff, &vec![0u8; layout.size]);
+        let succ = Leaf::new(&pool, &layout, soff);
+        insert_fixed(&succ, 0, 50, 500);
+        leaf.set_next(RawPPtr::new(pool.file_id(), soff));
+        leaf.sentinel_store(50, soff, succ.version_word());
+        assert_eq!(leaf.sentinel_succ_min(), Some(50));
+        // Keys at or past the successor's minimum short-circuit with ZERO
+        // SCM read lines (everything consulted is transient).
+        pool.stats().reset();
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&60), None);
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&50), None);
+        assert_eq!(pool.stats().snapshot().read_lines, 0);
+        // Keys below it probe normally.
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&10), Some(100));
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&49), None);
+        // Any commit on the successor self-invalidates the record and the
+        // lookup degrades to a normal probe.
+        insert_fixed(&succ, 1, 5, 55);
+        assert_eq!(leaf.sentinel_succ_min(), None);
+        pool.stats().reset();
+        assert_eq!(leaf.find_merged_value::<FixedKey>(&60), None);
+        assert!(pool.stats().snapshot().read_lines > 0);
+        // Chain surgery invalidates too; an explicit clear drops it.
+        leaf.sentinel_store(5, soff, succ.version_word());
+        assert_eq!(leaf.sentinel_succ_min(), Some(5));
+        leaf.set_next(RawPPtr::NULL);
+        assert_eq!(leaf.sentinel_succ_min(), None);
+        leaf.set_next(RawPPtr::new(pool.file_id(), soff));
+        assert_eq!(leaf.sentinel_succ_min(), Some(5));
+        leaf.sentinel_clear();
+        assert_eq!(leaf.sentinel_succ_min(), None);
+        // A corrupted record reads as absent, never as a wrong answer.
+        leaf.sentinel_store(5, soff, succ.version_word());
+        pool.atomic_u64(off + layout.off_sentinel as u64)
+            .store(6, Ordering::Relaxed);
+        assert_eq!(leaf.sentinel_succ_min(), None);
+    }
+
+    #[test]
+    fn max_key_covers_live_buffer_entries() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        assert_eq!(leaf.max_key::<FixedKey>(), None);
+        insert_fixed(&leaf, 0, 50, 500);
+        leaf.wbuf_append::<FixedKey>(0, &99, 990);
+        assert_eq!(
+            leaf.max_key::<FixedKey>(),
+            Some(99),
+            "a live buffered key is part of the leaf's key set"
+        );
+        leaf.wbuf_fold::<FixedKey>();
+        assert_eq!(leaf.wbuf_count(), 0);
+        assert_eq!(leaf.max_key::<FixedKey>(), Some(99));
+    }
+
+    #[test]
+    fn linear_probe_charges_the_scan_once() {
+        // Split arrays (PTree): a hit adds only the value region beyond
+        // the scanned key array — the old code re-charged the key bytes.
+        let pool = PmemPool::create(PoolOptions::direct(1 << 20)).unwrap();
+        let layout = LeafLayout::new(&TreeConfig::ptree(), 8);
+        let off = pool.allocate(ROOT_SLOT, layout.size).unwrap();
+        pool.write_bytes(off, &vec![0u8; layout.size]);
+        let leaf = Leaf::new(&pool, &layout, off);
+        use crate::keys::KeyKind;
+        for (i, k) in [5u64, 3, 8].iter().enumerate() {
+            FixedKey::write_slot(&pool, leaf.key_off(i), k);
+            leaf.set_value(i, k + 100);
+            leaf.persist_slot(i);
+            leaf.commit_bitmap(leaf.bitmap() | (1 << i));
+        }
+        pool.stats().reset();
+        assert_eq!(leaf.find_slot::<FixedKey>(&9), None);
+        let miss = pool.stats().snapshot().read_lines;
+        pool.stats().reset();
+        assert_eq!(leaf.find_slot::<FixedKey>(&3), Some(1));
+        let hit = pool.stats().snapshot().read_lines;
+        assert_eq!(hit, miss + 1, "a hit adds exactly the one-line value read");
+        // Interleaved layout without fingerprints: the scan already
+        // streamed the value bytes, so a hit charges nothing extra.
+        let pool2 = PmemPool::create(PoolOptions::direct(1 << 20)).unwrap();
+        let cfg = TreeConfig {
+            fingerprints: false,
+            split_arrays: false,
+            ..TreeConfig::ptree()
+        };
+        let layout2 = LeafLayout::new(&cfg, 8);
+        let off2 = pool2.allocate(ROOT_SLOT, layout2.size).unwrap();
+        pool2.write_bytes(off2, &vec![0u8; layout2.size]);
+        let leaf2 = Leaf::new(&pool2, &layout2, off2);
+        FixedKey::write_slot(&pool2, leaf2.key_off(0), &7);
+        leaf2.set_value(0, 70);
+        leaf2.persist_slot(0);
+        leaf2.commit_bitmap(1);
+        pool2.stats().reset();
+        assert_eq!(leaf2.find_slot::<FixedKey>(&8), None);
+        let miss2 = pool2.stats().snapshot().read_lines;
+        pool2.stats().reset();
+        assert_eq!(leaf2.find_slot::<FixedKey>(&7), Some(0));
+        let hit2 = pool2.stats().snapshot().read_lines;
+        assert_eq!(hit2, miss2, "interleaved values ride the key scan");
+    }
+
+    #[test]
+    fn commit_points_bump_the_version_word() {
+        let (pool, layout, off) = setup();
+        let leaf = Leaf::new(&pool, &layout, off);
+        let v0 = leaf.version_word();
+        leaf.commit_bitmap(0b1);
+        assert_eq!(
+            leaf.version_word(),
+            v0 + 2,
+            "bitmap commit bumps, parity kept"
+        );
+        leaf.wbuf_append::<FixedKey>(0, &1, 10);
+        assert_eq!(leaf.version_word(), v0 + 4, "buffer append bumps too");
+        leaf.restore_version_monotonic(leaf.version_word());
+        let v = leaf.version_word();
+        assert!(
+            v > v0 + 4 && v & 1 == 0,
+            "recycled word restarts strictly above, even"
+        );
     }
 
     #[test]

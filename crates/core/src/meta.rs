@@ -49,6 +49,7 @@ const M_LOGS: u64 = 256;
 const FLAG_FINGERPRINTS: u64 = 1;
 const FLAG_SPLIT_ARRAYS: u64 = 2;
 const FLAG_VAR_KEYS: u64 = 4;
+const FLAG_SWAR_PROBE: u64 = 8;
 
 /// Handle over a tree's persistent metadata block.
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +98,9 @@ impl TreeMeta {
         }
         if var_keys {
             flags |= FLAG_VAR_KEYS;
+        }
+        if cfg.swar_probe {
+            flags |= FLAG_SWAR_PROBE;
         }
         pool.write_word(off + M_FLAGS, flags);
         pool.write_word(off + M_GROUP_SIZE, cfg.leaf_group_size as u64);
@@ -147,6 +151,7 @@ impl TreeMeta {
             split_arrays: flags & FLAG_SPLIT_ARRAYS != 0,
             leaf_group_size: pool.read_word(self.off + M_GROUP_SIZE) as usize,
             wbuf_entries: pool.read_word(self.off + M_WBUF_ENTRIES) as usize,
+            swar_probe: flags & FLAG_SWAR_PROBE != 0,
         };
         let key_slot = pool.read_word(self.off + M_KEY_SLOT) as usize;
         (cfg, key_slot, flags & FLAG_VAR_KEYS != 0)

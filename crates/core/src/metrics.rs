@@ -185,10 +185,13 @@ pub enum Counter {
     EvloopQueueStalls = 39,
     /// Connections reaped by the server's idle timeout.
     ConnIdleClosed = 40,
+    /// Scans terminated early by a validated successor sentinel (the next
+    /// leaf's cached minimum key lies past the upper bound).
+    ScanSentinelStops = 41,
 }
 
 /// Number of [`Counter`] variants.
-pub const N_COUNTERS: usize = 41;
+pub const N_COUNTERS: usize = 42;
 
 impl Counter {
     /// Every variant, in field order.
@@ -234,6 +237,7 @@ impl Counter {
         Counter::EvloopPartialWrites,
         Counter::EvloopQueueStalls,
         Counter::ConnIdleClosed,
+        Counter::ScanSentinelStops,
     ];
 
     /// Stable snapshot field name.
@@ -280,6 +284,7 @@ impl Counter {
             Counter::EvloopPartialWrites => "evloop_partial_writes",
             Counter::EvloopQueueStalls => "evloop_queue_stalls",
             Counter::ConnIdleClosed => "conn_idle_closed",
+            Counter::ScanSentinelStops => "scan_sentinel_stops",
         }
     }
 }

@@ -113,62 +113,93 @@ impl<K: KeyKind> ScanBounds<K> {
             _ => false,
         }
     }
+
+    /// True if a successor leaf whose minimum key has order-preserving
+    /// prefix `enc` lies entirely past the upper bound — the walk can stop
+    /// without touching that leaf. Conservative for inexact prefixes: a tie
+    /// proves nothing (except under an excluded bound, where equality of
+    /// exact prefixes already excludes the whole successor).
+    fn hop_blocked(&self, enc: u64) -> bool {
+        match &self.hi {
+            Bound::Included(h) => enc > K::prefix64(h),
+            Bound::Excluded(h) => {
+                let hp = K::prefix64(h);
+                enc > hp || (K::PREFIX_EXACT && enc == hp)
+            }
+            Bound::Unbounded => false,
+        }
+    }
 }
 
-/// One leaf's worth of sorted entries in a fixed-capacity buffer.
+/// One leaf's worth of entries in a fixed-capacity buffer, drained in key
+/// order by word-wise min-selection.
+///
+/// Gathering is O(1) per entry (first free slot of a `live` bitmask —
+/// `trailing_zeros` of its complement); `pop` selects the minimum live key
+/// by iterating set bits of the mask, the same word-wise machinery as the
+/// leaf probe. Leaves are at most 64 entries, so selection beats
+/// maintaining sorted order under shifts.
 ///
 /// Sized by the compile-time bitmap limit [`MAX_LEAF_CAPACITY`]; only the
 /// configured `leaf_capacity` slots (`TreeConfig::scan_buffer_slots`) are
 /// ever occupied, which `TreeConfig::validate` guarantees fits.
 struct LeafBuf<K: KeyKind> {
     slots: [Option<(K::Owned, u64)>; MAX_LEAF_CAPACITY],
-    len: usize,
-    pos: usize,
+    /// Bit `i` set = `slots[i]` holds an undrained entry.
+    live: u64,
 }
 
 impl<K: KeyKind> LeafBuf<K> {
     fn new() -> Self {
         LeafBuf {
             slots: std::array::from_fn(|_| None),
-            len: 0,
-            pos: 0,
+            live: 0,
         }
     }
 
     fn clear(&mut self) {
-        for s in &mut self.slots[..self.len] {
-            *s = None;
+        let mut m = self.live;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.slots[i] = None;
         }
-        self.len = 0;
-        self.pos = 0;
+        self.live = 0;
     }
 
-    /// Insertion-sorts `(key, val)` into the buffer (leaves are tiny, so a
-    /// shift beats allocating and sorting a `Vec`).
+    /// True when every buffer slot is occupied (only a torn concurrent
+    /// read can produce more entries than one leaf holds).
+    fn is_full(&self) -> bool {
+        self.live == u64::MAX
+    }
+
+    /// Stores `(key, val)` in the first free slot — no ordering work here.
     fn insert(&mut self, key: K::Owned, val: u64) {
-        debug_assert!(self.pos == 0, "insert after draining started");
-        debug_assert!(self.len < MAX_LEAF_CAPACITY, "leaf wider than bitmap");
-        let mut i = self.len;
-        while i > 0 {
-            match &self.slots[i - 1] {
-                Some((k, _)) if *k > key => i -= 1,
-                _ => break,
-            }
-        }
-        for j in (i..self.len).rev() {
-            self.slots[j + 1] = self.slots[j].take();
-        }
+        debug_assert!(self.live != u64::MAX, "leaf wider than bitmap");
+        let i = (!self.live).trailing_zeros() as usize;
         self.slots[i] = Some((key, val));
-        self.len += 1;
+        self.live |= 1 << i;
     }
 
+    /// Removes and returns the minimum-key live entry.
     fn pop(&mut self) -> Option<(K::Owned, u64)> {
-        if self.pos == self.len {
+        if self.live == 0 {
             return None;
         }
-        let item = self.slots[self.pos].take();
-        self.pos += 1;
-        item
+        let mut m = self.live;
+        let mut best = m.trailing_zeros() as usize;
+        m &= m - 1;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let ki = &self.slots[i].as_ref().expect("live slot").0;
+            let kb = &self.slots[best].as_ref().expect("live slot").0;
+            if ki < kb {
+                best = i;
+            }
+        }
+        self.live &= !(1 << best);
+        self.slots[best].take()
     }
 }
 
@@ -185,6 +216,9 @@ pub struct Scan<'a, K: KeyKind> {
     buf: LeafBuf<K>,
     /// Next leaf offset to gather; 0 when the chain walk is finished.
     next_leaf: u64,
+    /// Previously gathered leaf; receives a successor sentinel once the
+    /// current leaf's minimum key is known. 0 before the first gather.
+    prev_leaf: u64,
     /// Times the scan over the iterator's whole lifetime.
     _timer: OpTimer<'a>,
 }
@@ -206,6 +240,7 @@ impl<'a, K: KeyKind> Scan<'a, K> {
             bounds,
             buf: LeafBuf::new(),
             next_leaf,
+            prev_leaf: 0,
             _timer: timer,
         }
     }
@@ -223,20 +258,43 @@ impl<K: KeyKind> Iterator for Scan<'_, K> {
             if self.next_leaf == 0 {
                 return None;
             }
-            let leaf = self.ctx.leaf(self.next_leaf);
+            let off = self.next_leaf;
+            let leaf = self.ctx.leaf(off);
             leaf.touch_head();
             leaf.touch_key_scan();
             self.buf.clear();
             let mut past_hi = false;
+            let mut min_enc: Option<u64> = None;
             for (k, v) in leaf.collect_merged::<K>() {
+                let enc = K::prefix64(&k);
+                if min_enc.is_none_or(|m| enc < m) {
+                    min_enc = Some(enc);
+                }
                 if self.bounds.past_hi(&k) {
                     past_hi = true;
                 } else if self.bounds.above_lo(&k) {
                     self.buf.insert(k, v);
                 }
             }
+            // Refresh the predecessor's successor sentinel: this leaf's
+            // minimum key is exactly what a future lookup or scan needs to
+            // short-circuit a hop without touching these SCM-resident keys.
+            if let (true, Some(enc)) = (self.prev_leaf != 0, min_enc) {
+                self.ctx
+                    .leaf(self.prev_leaf)
+                    .sentinel_store(enc, off, leaf.version_word());
+            }
+            self.prev_leaf = off;
             let next = leaf.next();
             self.next_leaf = if past_hi || next.is_null() {
+                0
+            } else if leaf
+                .sentinel_succ_min()
+                .is_some_and(|enc| self.bounds.hop_blocked(enc))
+            {
+                // The cached successor minimum proves every remaining key
+                // lies past the upper bound — stop without gathering it.
+                self.ctx.metrics.inc(Counter::ScanSentinelStops);
                 0
             } else {
                 next.offset
@@ -306,18 +364,26 @@ impl<'a, K: ConcKey> ConcScan<'a, K> {
     }
 
     /// Gathers one leaf into `buf` (no validation — the caller validates
-    /// before committing). Returns `(past_hi, next_offset)`.
-    fn gather(&mut self, off: u64) -> (bool, u64) {
+    /// before committing). Returns `(past_hi, next_offset, min_enc)` where
+    /// `min_enc` is the order-preserving prefix of the leaf's minimum key
+    /// across *all* merged entries, bounds ignored — the value a
+    /// predecessor sentinel wants.
+    fn gather(&mut self, off: u64) -> (bool, u64, Option<u64>) {
         let leaf = self.tree.ctx.leaf(off);
         leaf.touch_head();
         leaf.touch_key_scan();
         self.buf.clear();
         let mut past_hi = false;
+        let mut min_enc: Option<u64> = None;
         for (k, v) in leaf.collect_merged::<K>() {
+            let enc = K::prefix64(&k);
+            if min_enc.is_none_or(|m| enc < m) {
+                min_enc = Some(enc);
+            }
             if self.bounds.past_hi(&k) {
                 past_hi = true;
             } else if self.accepts(&k) {
-                if self.buf.len == MAX_LEAF_CAPACITY {
+                if self.buf.is_full() {
                     // Only a torn read (merged count never exceeds the slot
                     // capacity under a valid snapshot); the validation after
                     // this gather will discard the buffer anyway.
@@ -327,7 +393,11 @@ impl<'a, K: ConcKey> ConcScan<'a, K> {
             }
         }
         let next = leaf.next();
-        (past_hi, if next.is_null() { 0 } else { next.offset })
+        (
+            past_hi,
+            if next.is_null() { 0 } else { next.offset },
+            min_enc,
+        )
     }
 
     /// Re-seek from the root inside a globally validated speculative
@@ -352,14 +422,31 @@ impl<'a, K: ConcKey> ConcScan<'a, K> {
             let Some(ver) = leaf.version() else {
                 return Err(Abort); // leaf locked by a writer (or dying)
             };
-            let (past_hi, next_off) = self.gather(off);
+            let (past_hi, next_off, _) = self.gather(off);
             if !tx.validate() || leaf.version_changed(ver) {
                 self.buf.clear();
                 return Err(Abort);
             }
             Ok((off, ver, past_hi, next_off))
         });
+        self.advance_cursor(off, ver, past_hi, next_off);
+    }
+
+    /// Shared cursor advance after a validated gather of leaf
+    /// `(off, ver)`. Consults the leaf's successor sentinel: a validated
+    /// cached minimum past the upper bound ends the walk without ever
+    /// touching the successor's SCM-resident keys.
+    fn advance_cursor(&mut self, off: u64, ver: u64, past_hi: bool, next_off: u64) {
         self.cursor = if past_hi || next_off == 0 {
+            Cursor::Done
+        } else if self
+            .tree
+            .ctx
+            .leaf(off)
+            .sentinel_succ_min()
+            .is_some_and(|enc| self.bounds.hop_blocked(enc))
+        {
+            self.tree.ctx.metrics.inc(Counter::ScanSentinelStops);
             Cursor::Done
         } else {
             Cursor::Hop {
@@ -377,7 +464,7 @@ impl<'a, K: ConcKey> ConcScan<'a, K> {
         for attempt in 0..HOP_RETRIES {
             let leaf = self.tree.ctx.leaf(next_off);
             if let Some(ver) = leaf.version() {
-                let (past_hi, succ) = self.gather(next_off);
+                let (past_hi, succ, min_enc) = self.gather(next_off);
                 // Hand-over-hand: the anchor unchanged proves
                 // `anchor.next == next_off` held for this whole read, so the
                 // leaf we just gathered was the live successor — not a
@@ -386,15 +473,13 @@ impl<'a, K: ConcKey> ConcScan<'a, K> {
                 // the gather was not torn by a writer.
                 let anchor = self.tree.ctx.leaf(anchor_off);
                 if !anchor.version_changed(anchor_ver) && !leaf.version_changed(ver) {
-                    self.cursor = if past_hi || succ == 0 {
-                        Cursor::Done
-                    } else {
-                        Cursor::Hop {
-                            anchor_off: next_off,
-                            anchor_ver: ver,
-                            next_off: succ,
-                        }
-                    };
+                    // The double validation proves (min_enc, next_off, ver)
+                    // is a consistent successor snapshot for the anchor —
+                    // exactly the sentinel contract, so refresh it.
+                    if let Some(enc) = min_enc {
+                        anchor.sentinel_store(enc, next_off, ver);
+                    }
+                    self.advance_cursor(next_off, ver, past_hi, succ);
                     return;
                 }
                 self.buf.clear();
@@ -432,5 +517,58 @@ impl<K: ConcKey> Iterator for ConcScan<'_, K> {
                 } => self.step_hop(anchor_off, anchor_ver, next_off),
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::FixedKey;
+
+    #[test]
+    fn leaf_buf_pops_in_key_order_regardless_of_insert_order() {
+        let mut buf = LeafBuf::<FixedKey>::new();
+        let keys = [42u64, 7, 99, 7 + 64, 0, u64::MAX, 13];
+        for &k in &keys {
+            buf.insert(k, k ^ 0xAB);
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        for want in sorted {
+            let (k, v) = buf.pop().expect("entry");
+            assert_eq!(k, want);
+            assert_eq!(v, want ^ 0xAB);
+        }
+        assert!(buf.pop().is_none());
+        assert!(!buf.is_full());
+    }
+
+    #[test]
+    fn leaf_buf_clear_frees_all_slots_and_full_detection_works() {
+        let mut buf = LeafBuf::<FixedKey>::new();
+        for k in 0..MAX_LEAF_CAPACITY as u64 {
+            buf.insert(k, k);
+        }
+        assert!(buf.is_full());
+        buf.clear();
+        assert!(buf.pop().is_none());
+        buf.insert(5, 50);
+        assert_eq!(buf.pop(), Some((5, 50)));
+    }
+
+    #[test]
+    fn hop_blocked_respects_bound_kind_and_prefix_exactness() {
+        let b = |hi: Bound<u64>| ScanBounds::<FixedKey> {
+            lo: Bound::Unbounded,
+            hi,
+        };
+        // Included: only strictly-greater minima block the hop.
+        assert!(b(Bound::Included(10)).hop_blocked(11));
+        assert!(!b(Bound::Included(10)).hop_blocked(10));
+        // Excluded + exact prefixes: a tie already proves exclusion.
+        assert!(b(Bound::Excluded(10)).hop_blocked(10));
+        assert!(!b(Bound::Excluded(10)).hop_blocked(9));
+        // Unbounded never blocks.
+        assert!(!b(Bound::Unbounded).hop_blocked(u64::MAX));
     }
 }

@@ -75,8 +75,13 @@ impl Ctx {
     }
 
     pub fn zero_leaf(&self, off: u64) {
+        let prior = self.leaf(off).version_word();
         self.pool.write_bytes(off, &vec![0u8; self.layout.size]);
         self.pool.persist(off, self.layout.size);
+        // A recycled offset must never validate sentinel records taken
+        // against its previous contents: restart the transient version
+        // word strictly above its old value (offset-reuse ABA).
+        self.leaf(off).restore_version_monotonic(prior);
     }
 
     /// Validates a persistent pointer that is supposed to reference a leaf
@@ -165,12 +170,20 @@ impl Ctx {
             0,
             "split requires a folded buffer"
         );
-        // Copy the entire leaf content, then persist it.
+        // Copy the entire leaf content, then persist it. The transient
+        // tail of the head — lock word and sentinel record — must not be
+        // copied: the new leaf starts unlocked and record-free.
+        let prior = self.leaf(new).version_word();
         let mut buf = vec![0u8; self.layout.size];
         self.pool.read_bytes(old, &mut buf);
         buf[self.layout.off_lock..self.layout.off_lock + 8].fill(0); // transient lock word
+        buf[self.layout.off_sentinel..self.layout.off_sentinel + crate::layout::SENTINEL_BYTES]
+            .fill(0);
         self.pool.write_bytes(new, &buf);
         self.pool.persist(new, self.layout.size);
+        // The new offset may be recycled: records about its previous life
+        // must not validate against this one.
+        self.leaf(new).restore_version_monotonic(prior);
 
         // Choose the split: lower half stays, upper half moves.
         let old_leaf = self.leaf(old);
@@ -187,6 +200,13 @@ impl Ctx {
         old_leaf.commit_bitmap(self.layout.full_bitmap() ^ new_bm);
         self.split_reset_dead_slots::<K>(old, new, new_bm);
         old_leaf.set_next(self.pptr(new));
+        // The old leaf's successor changed: drop its stale sentinel and —
+        // since the split computed the new leaf's minimum — record a fresh
+        // one (enc = min of the moved upper half).
+        old_leaf.sentinel_clear();
+        if keep < entries.len() {
+            old_leaf.sentinel_store(K::prefix64(&entries[keep].1), new, new_leaf.version_word());
+        }
         split_key
     }
 
@@ -263,6 +283,8 @@ impl Ctx {
             let prev = prev.expect("non-head leaf must have a predecessor");
             log.set_second(&self.pool, self.pptr(prev));
             self.leaf(prev).set_next(next);
+            // The predecessor's sentinel referenced the unlinked leaf.
+            self.leaf(prev).sentinel_clear();
         }
         match groups {
             Some(g) if g.enabled() => {
@@ -304,6 +326,7 @@ impl Ctx {
             // Crashed between recording prev and finishing: redo the unlink.
             let next = self.leaf(cur.offset).next();
             self.leaf(prev.offset).set_next(next);
+            self.leaf(prev.offset).sentinel_clear();
             finish(&log);
         } else if head.offset == cur.offset {
             // Head unlink not yet done.
@@ -849,6 +872,9 @@ impl<K: KeyKind> SingleTree<K> {
             ctx.metrics.inc(Counter::RecoveryLeaves);
             let leaf = ctx.leaf(off);
             leaf.reset_lock();
+            // Sentinels are transient like the lock: bytes surviving in the
+            // image are stale records from the crashed run — wipe them.
+            leaf.sentinel_clear();
             // Order matters: the slot audit first (with live buffer
             // entries among the valid references, so a crashed fold's
             // staged copies are reset, not released), then the fold of

@@ -443,3 +443,85 @@ fn concurrent_scan_races_splits() {
     assert_eq!(final_scan.len(), 4000);
     t.check_consistency().unwrap();
 }
+
+#[test]
+fn sentinel_short_circuits_bounded_rescans() {
+    // A bounded scan's last hop normally gathers one extra leaf just to
+    // learn every key is past the bound. The first scan deposits successor
+    // sentinels (each leaf caches its successor's minimum); a rescan over
+    // the same range must consume one to stop early, and emit identical
+    // entries while doing so.
+    let p = pool(8);
+    let t = {
+        let mut t = FPTree::create(Arc::clone(&p), small_cfg(), ROOT_SLOT);
+        for i in 0..64u64 {
+            assert!(t.insert(&i, i + 7));
+        }
+        t
+    };
+    // hi = 19 sits on a leaf boundary (leaves hold 4 contiguous keys):
+    // the leaf holding 16..=19 never observes a past-bound key, so only
+    // the successor's cached minimum (20) can prove the walk is done.
+    let expect: Vec<(u64, u64)> = (10..=19u64).map(|i| (i, i + 7)).collect();
+    let first: Vec<(u64, u64)> = t.scan(10..=19).collect();
+    assert_eq!(first, expect);
+    let stops_before = t.metrics_snapshot().get("scan_sentinel_stops").unwrap_or(0);
+    let second: Vec<(u64, u64)> = t.scan(10..=19).collect();
+    assert_eq!(second, expect);
+    let stops_after = t.metrics_snapshot().get("scan_sentinel_stops").unwrap_or(0);
+    if fptree_core::Metrics::enabled() {
+        assert!(
+            stops_after > stops_before,
+            "rescan did not consume a successor sentinel \
+             ({stops_before} -> {stops_after})"
+        );
+    }
+
+    // Scalar fallback: sentinels are disabled with the SWAR probe, so the
+    // same double-scan stays correct and never records a sentinel stop.
+    let p2 = pool(8);
+    let mut t2 = FPTree::create(
+        Arc::clone(&p2),
+        small_cfg().with_swar_probe(false),
+        ROOT_SLOT,
+    );
+    for i in 0..64u64 {
+        assert!(t2.insert(&i, i + 7));
+    }
+    let _ = t2.scan(10..=19).collect::<Vec<_>>();
+    assert_eq!(t2.scan(10..=19).collect::<Vec<_>>(), expect);
+    assert_eq!(
+        t2.metrics_snapshot()
+            .get("scan_sentinel_stops")
+            .unwrap_or(0),
+        0
+    );
+}
+
+#[test]
+fn concurrent_sentinel_stops_preserve_bounded_scans() {
+    // Same shape on the concurrent tree: hop-validated scans deposit
+    // anchor sentinels, a rescan may stop early, and mutations that
+    // splice the chain (splits of the cached successor) must invalidate
+    // the hint rather than truncate later scans.
+    let p = pool(8);
+    let t = ConcurrentFPTree::create(Arc::clone(&p), conc_cfg(), ROOT_SLOT);
+    for i in 0..64u64 {
+        assert!(t.insert(&i, i * 2));
+    }
+    let expect: Vec<(u64, u64)> = (5..=15u64).map(|i| (i, i * 2)).collect();
+    assert_eq!(t.scan(5..=15).collect::<Vec<_>>(), expect);
+    assert_eq!(t.scan(5..=15).collect::<Vec<_>>(), expect);
+
+    // Grow the tree past the cached region; every sentinel along the way
+    // is refreshed or rejected by version/next validation, so full and
+    // bounded scans keep agreeing with the model.
+    for i in 64..256u64 {
+        assert!(t.insert(&i, i * 2));
+    }
+    let full: Vec<(u64, u64)> = t.scan(..).collect();
+    assert_eq!(full.len(), 256);
+    assert!(full.windows(2).all(|w| w[0].0 < w[1].0));
+    let tail: Vec<(u64, u64)> = t.scan(200..).collect();
+    assert_eq!(tail, (200..256u64).map(|i| (i, i * 2)).collect::<Vec<_>>());
+}

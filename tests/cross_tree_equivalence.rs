@@ -492,6 +492,127 @@ proptest! {
     }
 
     #[test]
+    fn swar_and_scalar_probes_agree_on_random_leaves(
+        m in 1usize..=64,
+        bitmap in any::<u64>(),
+        mut keys in proptest::collection::vec(0u64..96, 64),
+        probes in proptest::collection::vec(0u64..96, 32),
+        wbuf in prop_oneof![Just(0usize), Just(8usize)],
+        collide in any::<bool>(),
+    ) {
+        use fptree_suite::core::fingerprint::fingerprint_u64;
+        use fptree_suite::core::keys::{FixedKey, KeyKind};
+        use fptree_suite::core::layout::LeafLayout;
+        use fptree_suite::core::leaf::Leaf;
+        use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+
+        // Fingerprint-collision-heavy variant: rewrite every other slot to a
+        // distinct key sharing slot 0's fingerprint, so the probe's word
+        // match-mask is dense and the full-key confirm actually decides.
+        if collide {
+            let base = keys[0];
+            let fp = fingerprint_u64(base);
+            let mut next = base;
+            for k in keys.iter_mut().skip(1).step_by(2) {
+                next += 1;
+                while fingerprint_u64(next) != fp {
+                    next += 1;
+                }
+                *k = next;
+            }
+        }
+
+        // The SWAR word probe and the scalar byte loop must agree on every
+        // (bitmap, keyset, probe) — same slot or same absence — and charge
+        // the same SCM lines; layouts differ only in probe strategy, so both
+        // views read identical leaf bytes.
+        let cfg_on = TreeConfig {
+            leaf_capacity: m,
+            wbuf_entries: wbuf,
+            ..TreeConfig::fptree()
+        };
+        let cfg_off = TreeConfig { swar_probe: false, ..cfg_on };
+        let lay_on = LeafLayout::new(&cfg_on, FixedKey::SLOT_SIZE);
+        let lay_off = LeafLayout::new(&cfg_off, FixedKey::SLOT_SIZE);
+        let pool = PmemPool::create(PoolOptions::direct(1 << 20)).unwrap();
+        let off = pool.allocate(ROOT_SLOT, lay_on.size).unwrap();
+        pool.write_bytes(off, &vec![0u8; lay_on.size]);
+
+        let swar = Leaf::new(&pool, &lay_on, off);
+        for (slot, k) in keys.iter().take(m).enumerate() {
+            FixedKey::write_slot(&pool, swar.key_off(slot), k);
+            swar.set_value(slot, k + 1000);
+            swar.set_fingerprint(slot, FixedKey::fingerprint(k));
+        }
+        swar.commit_bitmap(bitmap & lay_on.full_bitmap());
+
+        let scalar = Leaf::new(&pool, &lay_off, off);
+        for k in probes.iter().chain(keys.iter().take(m)) {
+            pool.stats().reset();
+            let a = swar.find_slot::<FixedKey>(k);
+            let la = pool.stats().snapshot().read_lines;
+            pool.stats().reset();
+            let b = scalar.find_slot::<FixedKey>(k);
+            let lb = pool.stats().snapshot().read_lines;
+            prop_assert_eq!(a, b, "probe {} diverged (m={}, bitmap={:#x})", k, m, bitmap);
+            prop_assert_eq!(la, lb, "probe {} charged different lines", k);
+        }
+        // The recovery discriminator reuses the same word-wise machinery.
+        prop_assert_eq!(swar.max_key::<FixedKey>(), scalar.max_key::<FixedKey>());
+    }
+
+    #[test]
+    fn scalar_probe_trees_agree(
+        ops in proptest::collection::vec(op_strategy(), 50..250),
+        wbuf in prop_oneof![Just(0usize), Just(8usize)],
+    ) {
+        use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
+        use std::sync::Arc;
+
+        // The swar_probe=false fallback (scalar byte loop, sentinels
+        // disabled) must keep identical map semantics on both tree
+        // variants; the default-on path is covered by all_trees_agree.
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+            let mut t = fptree_suite::core::FPTree::create(
+                pool,
+                small(TreeConfig::fptree())
+                    .with_swar_probe(false)
+                    .with_wbuf_entries(wbuf),
+                ROOT_SLOT,
+            );
+            check(&format!("fptree-scalar-wbuf{wbuf}"), &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan(..).collect())),
+            });
+            t.check_consistency().unwrap();
+        }
+        {
+            let pool = Arc::new(PmemPool::create(PoolOptions::direct(64 << 20)).unwrap());
+            let t = fptree_suite::core::ConcurrentFPTree::create(
+                pool,
+                small(TreeConfig::fptree_concurrent())
+                    .with_swar_probe(false)
+                    .with_wbuf_entries(wbuf),
+                ROOT_SLOT,
+            );
+            check(&format!("fptree-c-scalar-wbuf{wbuf}"), &ops, |c| match c {
+                Call::Insert(k, v) => Resp::Bool(t.insert(&k, v)),
+                Call::Update(k, v) => Resp::Bool(t.update(&k, v)),
+                Call::Remove(k) => Resp::Bool(t.remove(&k)),
+                Call::Get(k) => Resp::Val(t.get(&k)),
+                Call::Range(lo, hi) => Resp::Scan(Some(t.range(&lo, &hi))),
+                Call::ScanAll => Resp::Scan(Some(t.scan(..).collect())),
+            });
+            t.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
     fn var_key_trees_agree(ops in proptest::collection::vec(op_strategy(), 50..150)) {
         use fptree_suite::pmem::{PmemPool, PoolOptions, ROOT_SLOT};
         use std::sync::Arc;
